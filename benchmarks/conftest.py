@@ -1,0 +1,37 @@
+"""Shared benchmark plumbing.
+
+Every bench regenerates one table/figure/claim of the paper and *records*
+its output: printed to stdout (captured into ``bench_output.txt`` by the
+top-level run) and persisted under ``benchmarks/results/`` so
+``EXPERIMENTS.md`` can reference stable artifacts.
+
+Heavy experiment benches use ``benchmark.pedantic(..., rounds=1)`` — the
+quantity of interest is the experiment's *result*, not its nanosecond
+timing; micro-benches of the constructions themselves (see
+``test_bench_construction.py``) use the normal calibrated mode.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record(results_dir):
+    """Persist and print a named experiment artifact."""
+
+    def _record(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}")
+
+    return _record

@@ -1,0 +1,58 @@
+"""Exp **E-ablation** — the design-choice comparisons of DESIGN.md.
+
+Four knobs isolated on identical instances: Algorithm 1 vs Algorithm 2
+trees, β = 0 vs β = 1, max-gain vs first-fit relay selection, and the MIS
+pick ordering (nearest-first vs farthest-first).  Expected shape: greedy
+trees smaller per node than MIS trees; first-fit strictly worse than
+max-gain; farthest-first ordering produces (r, 1)-domination violations
+while nearest-first produces none.
+"""
+
+from repro.analysis import render_table
+from repro.experiments import (
+    ablate_beta,
+    ablate_first_fit,
+    ablate_greedy_vs_mis,
+    ablate_mis_order,
+)
+
+
+def _experiment():
+    return (
+        ablate_greedy_vs_mis(r=3, seed=11, n=220),
+        ablate_beta(r=3, seed=12, n=220),
+        ablate_first_fit(seed=13, n=220),
+        ablate_mis_order(r=4, seed=14, n=220),
+    )
+
+
+def test_ablations(benchmark, record):
+    gm, beta, ff, order = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    rows = []
+    for rep in (gm, beta, ff, order):
+        for variant, metrics in rep.variants.items():
+            for metric, value in metrics.items():
+                rows.append([rep.name, variant, metric, round(float(value), 3)])
+    record(
+        "ablation",
+        render_table(
+            ["ablation", "variant", "metric", "value"],
+            rows,
+            title="E-ablation — design-choice comparisons",
+        ),
+    )
+    # Greedy chooses fewer edges per tree than the MIS variant.
+    assert (
+        gm.variants["greedy"]["mean_tree_edges"]
+        <= gm.variants["mis"]["mean_tree_edges"] + 1e-9
+    )
+    # Max-gain beats first-fit.
+    assert (
+        ff.variants["max_gain"]["mean_star"] <= ff.variants["first_fit"]["mean_star"]
+    )
+    # The ordering requirement of Algorithm 2 is real.
+    assert order.variants["nearest_first"]["violations"] == 0
+    assert (
+        order.variants["farthest_first"]["violations"]
+        >= order.variants["nearest_first"]["violations"]
+    )

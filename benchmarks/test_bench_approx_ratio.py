@@ -1,0 +1,75 @@
+"""Exp **E-Th2-opt / E-P2 / E-P6** — greedy vs exact optimum.
+
+Paper: Algorithm 1 is within ``(1+β)(r+β−1)(1+log Δ)`` of the optimal
+(r, β)-dominating tree (Prop. 2); Algorithm 4 within ``1+log Δ`` of the
+optimal k-connecting star (Prop. 6); the spanner union within
+``2(1+log Δ)`` of the optimal k-connecting (1,0)-remote-spanner (Th. 2).
+
+The bench measures actual ratios on small random graphs against the exact
+branch-and-bound optima.  Expected shape: mean ratios close to 1 (greedy
+is near-optimal in practice), every ratio under its theoretical bound.
+"""
+
+import math
+from statistics import mean
+
+from repro.analysis import render_table
+from repro.core import (
+    build_k_connecting_spanner,
+    dom_tree_greedy,
+    dom_tree_kcover,
+    k_connecting_spanner_lower_bound,
+    optimal_dom_tree_edges,
+    optimal_kconnecting_star_size,
+)
+from repro.graph.generators import random_connected_gnp
+
+
+def _ratio_experiment():
+    rows = []
+    tree_ratios, star_ratios, global_ratios = [], [], []
+    for seed in range(12):
+        g = random_connected_gnp(12, 0.25, seed=100 + seed)
+        delta = g.max_degree()
+        for u in range(0, g.num_nodes, 4):
+            greedy = dom_tree_greedy(g, u, 2, 0).num_edges
+            opt = optimal_dom_tree_edges(g, u, 2, 0)
+            if opt:
+                tree_ratios.append(greedy / opt)
+            star = dom_tree_kcover(g, u, 2).num_edges
+            opt_star = optimal_kconnecting_star_size(g, u, 2)
+            if opt_star:
+                star_ratios.append(star / opt_star)
+        rs = build_k_connecting_spanner(g, k=2)
+        lb = k_connecting_spanner_lower_bound(g, 2)
+        if lb:
+            global_ratios.append(rs.num_edges / lb)
+        bound = 2 * (1 + math.log(max(delta, 2)))
+        rows.append([seed, delta, round(rs.num_edges / lb if lb else 1.0, 3), round(bound, 2)])
+    return rows, tree_ratios, star_ratios, global_ratios
+
+
+def test_approx_ratios(benchmark, record):
+    rows, tree_ratios, star_ratios, global_ratios = benchmark.pedantic(
+        _ratio_experiment, rounds=1, iterations=1
+    )
+    summary = [
+        ["Prop 2: greedy (2,0)-tree / OPT", round(mean(tree_ratios), 3), round(max(tree_ratios), 3), "(1+log D)"],
+        ["Prop 6: greedy k-star / OPT", round(mean(star_ratios), 3), round(max(star_ratios), 3), "(1+log D)"],
+        ["Th 2: spanner / lower bound", round(mean(global_ratios), 3), round(max(global_ratios), 3), "2(1+log D)"],
+    ]
+    record(
+        "approx_ratio",
+        render_table(
+            ["quantity", "mean ratio", "max ratio", "paper bound"],
+            summary,
+            title="E-P2/P6/Th2-opt — greedy vs exact optimum (12 random graphs, n=12)",
+        ),
+    )
+    # Every measured ratio must respect its theoretical bound (Δ ≥ 2 here).
+    assert max(tree_ratios) <= 1 + math.log(12)
+    assert max(star_ratios) <= 1 + math.log(12)
+    assert max(global_ratios) <= 2 * (1 + math.log(12))
+    # And greedy should be near-optimal in practice.
+    assert mean(tree_ratios) < 1.5
+    assert mean(star_ratios) < 1.5

@@ -1,0 +1,62 @@
+"""Micro-benchmarks of the four constructions and the verification stack.
+
+Calibrated pytest-benchmark timings (the rest of the suite is experiment
+regeneration; this file is where wall-clock performance is tracked).  A
+fixed 200-node UDG keeps numbers comparable across runs.
+"""
+
+import pytest
+
+from repro.core import (
+    build_k_connecting_spanner,
+    dom_tree_greedy,
+    dom_tree_kcover,
+    dom_tree_kmis,
+    dom_tree_mis,
+    is_remote_spanner,
+)
+from repro.experiments import largest_component, scaled_udg
+from repro.graph import bfs_distances
+from repro.paths import k_connecting_distance
+
+
+@pytest.fixture(scope="module")
+def udg():
+    g_full, _pts = scaled_udg(200, target_degree=12.0, seed=99)
+    g, _ids = largest_component(g_full)
+    return g
+
+
+def test_bfs(benchmark, udg):
+    benchmark(bfs_distances, udg, 0)
+
+
+def test_dom_tree_greedy(benchmark, udg):
+    benchmark(dom_tree_greedy, udg, 0, 3, 1)
+
+
+def test_dom_tree_mis(benchmark, udg):
+    benchmark(dom_tree_mis, udg, 0, 3)
+
+
+def test_dom_tree_kcover(benchmark, udg):
+    benchmark(dom_tree_kcover, udg, 0, 2)
+
+
+def test_dom_tree_kmis(benchmark, udg):
+    benchmark(dom_tree_kmis, udg, 0, 2)
+
+
+def test_full_spanner_build(benchmark, udg):
+    benchmark.pedantic(build_k_connecting_spanner, args=(udg,), kwargs={"k": 1}, rounds=3)
+
+
+def test_verification(benchmark, udg):
+    rs = build_k_connecting_spanner(udg, k=1)
+    benchmark.pedantic(
+        is_remote_spanner, args=(rs.graph, udg, 1.0, 0.0), rounds=3
+    )
+
+
+def test_k_connecting_distance(benchmark, udg):
+    benchmark(k_connecting_distance, udg, 0, udg.num_nodes - 1, 2)

@@ -1,0 +1,83 @@
+"""Exp **E-rounds** — Algorithm 3's round complexity and T+2F stabilization.
+
+Paper (§2.3): RemSpan runs in 2r−1+2β communication rounds for any input
+graph, and in the periodic regime a topology change stabilizes within
+T + 2F.  The bench measures both on UDG and G(n,p) instances.  Expected
+shape: measured rounds == 2r−1+2β in every cell (graph-independent!);
+every stabilization within bound.
+"""
+
+from repro.analysis import render_table
+from repro.distributed import PeriodicLinkState, run_remspan
+from repro.experiments import largest_component, scaled_udg
+from repro.graph.generators import random_connected_gnp
+from repro.rng import derive_seed
+
+
+def _experiment():
+    udg_full, _pts = scaled_udg(150, target_degree=10.0, seed=60)
+    udg, _ids = largest_component(udg_full)
+    gnp = random_connected_gnp(100, 0.05, seed=61)
+    rows = []
+    for gname, g in (("UDG", udg), ("G(n,p)", gnp)):
+        for kind, kwargs, formula in (
+            ("kcover", dict(k=1), "2*2-1+0"),
+            ("kcover", dict(k=3), "2*2-1+0"),
+            ("greedy", dict(r=3, beta=1), "2*3-1+2"),
+            ("mis", dict(r=4), "2*4-1+2"),
+            ("kmis", dict(k=2), "2*2-1+2"),
+        ):
+            res = run_remspan(g, kind, **kwargs)
+            rows.append(
+                [
+                    gname,
+                    f"{kind}{kwargs}",
+                    res.communication_rounds,
+                    res.expected_rounds,
+                    formula,
+                    res.stats.broadcasts,
+                    res.spanner.num_edges,
+                ]
+            )
+    # Stabilization trials.
+    stab_rows = []
+    for trial in range(4):
+        g = random_connected_gnp(30, 0.1, seed=derive_seed(62, trial))
+        sim = PeriodicLinkState(g.copy(), kind="kcover", k=1, period=6)
+
+        def change(graph):
+            graph.remove_edge(*sorted(graph.edges())[trial])
+
+        rep = sim.stabilization_experiment(warmup=25, change=change)
+        stab_rows.append(
+            [
+                trial,
+                rep.change_step,
+                rep.stabilized_step,
+                rep.bound_step,
+                rep.within_bound,
+            ]
+        )
+    return rows, stab_rows
+
+
+def test_distributed_rounds(benchmark, record):
+    rows, stab_rows = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    text = (
+        render_table(
+            ["graph", "construction", "rounds", "expected", "formula", "broadcasts", "edges"],
+            rows,
+            title="E-rounds — RemSpan communication rounds (paper: 2r-1+2*beta, any graph)",
+        )
+        + "\n"
+        + render_table(
+            ["trial", "change step", "stabilized", "bound (T+2F)", "within"],
+            stab_rows,
+            title="E-rounds — periodic regime stabilization after a link failure",
+        )
+    )
+    record("distributed", text)
+    for row in rows:
+        assert row[2] == row[3], f"round count mismatch: {row}"
+    for row in stab_rows:
+        assert row[4] is True, f"stabilization exceeded T+2F: {row}"

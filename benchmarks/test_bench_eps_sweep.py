@@ -1,0 +1,46 @@
+"""Exp **E-Th1 (ε)** — edge count of the (1+ε, 1−2ε)-remote-spanner vs ε.
+
+Paper (Th. 1): ``O(ε^{-(p+1)} n)`` edges on the unit ball graph of a
+doubling metric with dimension p (= 2 for the unit disk graph).  The
+theorem is an *upper bound* driven by the (4r)^p MIS packing constant;
+on real instances the union of per-node trees overlaps massively, so the
+measured growth in 1/ε is far flatter than the cubic worst case.
+
+Expected shape: edges/n increases monotonically as ε shrinks; the fitted
+(1/ε)-exponent lands well below the worst-case p+1 = 3 (we assert the
+bound direction — measured ≤ worst-case envelope — and monotonicity).
+"""
+
+from repro.analysis import render_table
+from repro.experiments import eps_sweep
+
+
+def test_eps_sweep(benchmark, record):
+    res = benchmark.pedantic(
+        lambda: eps_sweep(
+            epsilons=(1.0, 0.5, 1 / 3, 0.25), n=300, target_degree=14.0, trials=2, seed=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    exp = res.exponent("edges_per_n")
+    rows = [[round(r.x, 3), round(r.values["edges_per_n"], 2)] for r in res.rows]
+    record(
+        "eps_sweep",
+        render_table(
+            ["epsilon", "edges per node"],
+            rows,
+            title=(
+                "E-Th1(eps) — (1+eps,1-2eps)-remote-spanner size vs eps, UDG p=2\n"
+                f"fitted exponent (1/eps)^{exp:.2f}; paper upper bound (1/eps)^(p+1)=(1/eps)^3"
+            ),
+        ),
+    )
+    per_n = [r.values["edges_per_n"] for r in res.rows]
+    assert per_n == sorted(per_n), "edges must grow as eps shrinks"
+    assert 0.0 <= exp <= 3.0, f"measured exponent {exp} outside the paper's envelope"
+    # The Theorem-1 envelope itself: edges/n ≤ C·(1/eps)^3 with one
+    # constant C calibrated at eps=1.
+    c = per_n[0]
+    for r, e in zip(res.rows, per_n):
+        assert e <= c * (1.0 / r.x) ** 3 + 1e-9

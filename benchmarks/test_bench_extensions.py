@@ -1,0 +1,78 @@
+"""Exp **E-ext** — the paper's §4 future-work directions, probed.
+
+Two measurements:
+
+1. **Edge-connectivity (negative result).**  The naive reuse of Algorithm
+   4's union as a k-edge-connecting (1,0)-remote-spanner is refuted by a
+   7-node counterexample (triangles over a cut vertex); the bench records
+   the counterexample's data and the failure *rate* of the naive candidate
+   over random graphs — quantifying how much a correct extension must add.
+
+2. **k-connecting (1+ε, O(1)) candidate.**  The union of Theorem 1's and
+   Theorem 3's trees inherits plain (1+ε, 1−2ε) stretch by construction;
+   its k-connecting stretch (the open question) is measured.  Expected
+   shape: plain stretch always certified; measured 2-connecting ratios
+   small (≈ 1–2) on random instances — evidence the followup is plausible.
+"""
+
+import math
+
+from repro.analysis import render_table
+from repro.core.extensions import (
+    edge_conjecture_counterexample,
+    evaluate_k_connecting_eps,
+    naive_edge_candidate_failure_rate,
+)
+from repro.graph import sample_pairs
+from repro.graph.generators import random_connected_gnp
+from repro.rng import derive_seed
+
+
+def _experiment():
+    g_cx, rs_cx, viol = edge_conjecture_counterexample()
+    graphs = [
+        random_connected_gnp(9, 0.3, seed=derive_seed(120, s)) for s in range(30)
+    ]
+    failures, total = naive_edge_candidate_failure_rate(graphs, k=2)
+    eps_reports = []
+    for s in range(6):
+        g = random_connected_gnp(20, 0.2, seed=derive_seed(121, s))
+        pairs = sample_pairs(g, 20, seed=derive_seed(122, s))
+        eps_reports.append(evaluate_k_connecting_eps(g, k=2, epsilon=0.5, pairs=pairs))
+    return (g_cx, viol), (failures, total), eps_reports
+
+
+def test_extensions(benchmark, record):
+    (g_cx, viol), (failures, total), eps_reports = benchmark.pedantic(
+        _experiment, rounds=1, iterations=1
+    )
+    rows = [
+        [
+            "edge-conn: naive candidate",
+            f"counterexample n={g_cx.num_nodes}, {len(viol)} violating ordered pairs",
+        ],
+        [
+            "edge-conn: failure rate (k=2)",
+            f"{failures}/{total} random G(9, .3) graphs",
+        ],
+    ]
+    for i, rep in enumerate(eps_reports):
+        ratio = "inf" if rep.max_kconn_ratio == math.inf else f"{rep.max_kconn_ratio:.3f}"
+        rows.append(
+            [
+                f"(1+eps) k=2 candidate, trial {i}",
+                f"plain stretch ok={rep.plain_stretch_ok}, edges={rep.edges}, "
+                f"max d2 ratio={ratio} over {rep.pairs_checked} pairs",
+            ]
+        )
+    record(
+        "extensions",
+        render_table(
+            ["probe", "result"],
+            rows,
+            title="E-ext — §4 future-work probes (edge-connectivity refuted naively; eps-candidate measured)",
+        ),
+    )
+    assert viol, "the counterexample must stand"
+    for rep in eps_reports:
+        assert rep.plain_stretch_ok

@@ -1,0 +1,35 @@
+"""Exp **E-Th2-udg (k)** — the k^{2/3} dependence of Theorem 2.
+
+Paper (Th. 2): the k-connecting (1,0)-remote-spanner has expected
+``O(k^{2/3} n^{4/3} log n)`` edges on the Poisson unit disk graph.  At
+fixed n we sweep k and fit the exponent.  Expected shape: sub-linear
+growth in k, exponent ≈ 2/3 (band [0.4, 0.95] — the top of the sweep
+starts saturating toward the full topology, flattening the fit).
+"""
+
+from repro.analysis import render_table
+from repro.experiments import k_sweep
+
+
+def test_k_sweep(benchmark, record):
+    res = benchmark.pedantic(
+        lambda: k_sweep(ks=(1, 2, 3, 4, 6), intensity=60.0, side=3.0, trials=2, seed=2),
+        rounds=1,
+        iterations=1,
+    )
+    exp = res.exponent("spanner_edges")
+    rows = [[r.x, round(r.values["spanner_edges"], 1)] for r in res.rows]
+    record(
+        "k_sweep",
+        render_table(
+            ["k", "spanner edges"],
+            rows,
+            title=(
+                "E-Th2-udg(k) — k-connecting (1,0)-remote-spanner size vs k\n"
+                f"fitted exponent k^{exp:.2f} (paper: k^(2/3) ≈ k^0.67)"
+            ),
+        ),
+    )
+    assert 0.4 <= exp <= 0.95, f"k exponent {exp}"
+    sizes = [r.values["spanner_edges"] for r in res.rows]
+    assert sizes == sorted(sizes), "size must be monotone in k"

@@ -1,0 +1,44 @@
+"""Exp **E-Th1/E-Th3 (n)** — linear total size on constant-degree UBGs.
+
+Paper (Th. 1 and Th. 3): on the unit ball graph of a doubling metric the
+(1+ε, 1−2ε)-remote-spanner and the 2-connecting (2,−1)-remote-spanner
+both have O(n) edges.  The bench sweeps n at constant expected degree
+(the doubling regime) and fits total-edge exponents.  Expected shape:
+both exponents ≈ 1 (band [0.85, 1.25]); edges/n roughly flat.
+"""
+
+from repro.analysis import render_table
+from repro.experiments import linear_ubg
+
+
+def test_linear_size(benchmark, record):
+    res = benchmark.pedantic(
+        lambda: linear_ubg(ns=(100, 200, 400, 800), target_degree=12.0, trials=2, seed=4),
+        rounds=1,
+        iterations=1,
+    )
+    eps_exp = res.exponent("eps_total_edges")
+    two_exp = res.exponent("two_conn_total_edges")
+    rows = [
+        [
+            r.x,
+            round(r.values["n_cc"], 1),
+            round(r.values["eps_edges_per_n"], 2),
+            round(r.values["two_conn_edges_per_n"], 2),
+        ]
+        for r in res.rows
+    ]
+    record(
+        "linear_ubg",
+        render_table(
+            ["n requested", "n (component)", "eps-RS edges/n", "2-conn edges/n"],
+            rows,
+            title=(
+                "E-Th1/Th3(n) — linear total size on constant-degree UDG\n"
+                f"fitted exponents: eps-spanner n^{eps_exp:.2f}, "
+                f"2-connecting n^{two_exp:.2f} (paper: both n^1)"
+            ),
+        ),
+    )
+    assert 0.85 <= eps_exp <= 1.25, f"eps exponent {eps_exp}"
+    assert 0.85 <= two_exp <= 1.25, f"2-connecting exponent {two_exp}"

@@ -1,0 +1,82 @@
+"""Exp **E-routing** — greedy link-state routing quality and overhead.
+
+Paper (§1): advertising a remote-spanner instead of the full topology
+keeps greedy routing within the spanner's stretch while flooding a
+fraction of the link entries OSPF would.  The bench routes sampled pairs
+over three advertised sub-graphs and accounts the advertisement volume.
+
+Expected shape: (1,0)-remote-spanner routes with stretch exactly 1 at a
+strict advertisement discount; the ε-spanner stays within (1+ε)d + 1−2ε;
+MPR flooding reaches everyone with a large transmission discount.
+"""
+
+from repro.analysis import render_table
+from repro.baselines import simulate_blind_flooding, simulate_mpr_flooding
+from repro.core import build_k_connecting_spanner, build_remote_spanner
+from repro.experiments import largest_component, scaled_udg
+from repro.graph import sample_pairs
+from repro.routing import full_link_state_cost, route_all_pairs_stats, spanner_advertisement_cost
+
+
+def _experiment():
+    g_full, _pts = scaled_udg(220, target_degree=11.0, seed=70)
+    g, _ids = largest_component(g_full)
+    pairs = sample_pairs(g, 120, seed=71, require_nonadjacent=False)
+    ordered = pairs + [(t, s) for s, t in pairs]
+    ospf = full_link_state_cost(g)
+    rows = []
+    checks = {}
+    for name, rs, bound in (
+        ("(1,0)-rem.-span.", build_k_connecting_spanner(g, k=1), 1.0),
+        ("(1.5,0)-rem.-span.", build_remote_spanner(g, epsilon=0.5), 1.5),
+    ):
+        stats = route_all_pairs_stats(rs.graph, g, pairs=ordered)
+        cost = spanner_advertisement_cost(rs)
+        rows.append(
+            [
+                name,
+                cost.entries_per_period,
+                round(100 * cost.ratio_to(ospf), 1),
+                round(stats.max_stretch, 3),
+                round(stats.mean_stretch, 3),
+                f"{stats.delivered}/{stats.pairs}",
+            ]
+        )
+        checks[name] = (stats, bound)
+    blind = simulate_blind_flooding(g, 0)
+    mpr = simulate_mpr_flooding(g, 0)
+    rows.append(
+        [
+            "MPR flooding (broadcast)",
+            mpr.transmissions,
+            round(100 * mpr.transmissions / blind.transmissions, 1),
+            "-",
+            "-",
+            f"coverage {100 * mpr.coverage(g):.0f}%",
+        ]
+    )
+    return g, ospf, rows, checks, blind, mpr
+
+
+def test_routing(benchmark, record):
+    g, ospf, rows, checks, blind, mpr = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    record(
+        "routing",
+        render_table(
+            ["advertised sub-graph", "entries", "% of OSPF", "max stretch", "mean stretch", "delivered"],
+            rows,
+            title=(
+                "E-routing — greedy link-state routing on advertised sub-graphs\n"
+                f"(full link state floods {ospf.entries_per_period} entries per period)"
+            ),
+        ),
+    )
+    exact_stats, _ = checks["(1,0)-rem.-span."]
+    assert exact_stats.max_stretch == 1.0
+    assert exact_stats.delivered == exact_stats.pairs
+    assert exact_stats.invariant_violations == 0
+    eps_stats, _bound = checks["(1.5,0)-rem.-span."]
+    assert eps_stats.delivered == eps_stats.pairs
+    assert eps_stats.max_stretch <= 1.5 + 1e-9
+    assert mpr.reached == blind.reached
+    assert mpr.transmissions < blind.transmissions

@@ -1,0 +1,84 @@
+"""Exp **E-stretch** — measured stretch vs guaranteed bounds, graph zoo.
+
+Paper: the constructions guarantee (1, 0), (1+ε, 1−2ε) and 2-connecting
+(2, −1) stretch *for any input graph*.  The bench measures worst observed
+stretch across a zoo of structured families and reports guarantee vs
+measured.  Expected: zero violations everywhere; measured stretch usually
+far below the guarantee (the bound is worst-case).
+"""
+
+from repro.analysis import render_table
+from repro.core import (
+    build_biconnecting_spanner,
+    build_k_connecting_spanner,
+    build_remote_spanner,
+    k_connecting_stretch_stats,
+    remote_stretch_stats,
+)
+from repro.graph import sample_pairs
+from repro.graph.generators import (
+    caterpillar_graph,
+    cycle_graph,
+    grid_graph,
+    hypercube_graph,
+    random_connected_gnp,
+)
+
+
+def _zoo():
+    return {
+        "cycle(24)": cycle_graph(24),
+        "grid(6x6)": grid_graph(6, 6),
+        "hypercube(5)": hypercube_graph(5),
+        "caterpillar(8,3)": caterpillar_graph(8, 3),
+        "gnp(40,.12)": random_connected_gnp(40, 0.12, seed=90),
+    }
+
+
+def _experiment():
+    rows = []
+    for name, g in _zoo().items():
+        rs1 = build_k_connecting_spanner(g, k=1)
+        st1 = remote_stretch_stats(rs1.graph, g)
+        rs_eps = build_remote_spanner(g, epsilon=0.5)
+        st_eps = remote_stretch_stats(rs_eps.graph, g)
+        rs2 = build_biconnecting_spanner(g)
+        pairs = sample_pairs(g, 20, seed=91)
+        st2 = k_connecting_stretch_stats(rs2.graph, g, k=2, pairs=pairs)
+        rows.append(
+            [
+                name,
+                g.num_edges,
+                rs1.num_edges,
+                round(st1.max_ratio, 3),
+                round(st_eps.max_ratio, 3),
+                round(max(st2.max_ratio_by_k.values(), default=0.0), 3),
+                st1.unreachable + st_eps.unreachable + st2.infeasible_pairs,
+            ]
+        )
+    return rows
+
+
+def test_stretch_zoo(benchmark, record):
+    rows = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    record(
+        "stretch_zoo",
+        render_table(
+            [
+                "graph",
+                "edges",
+                "(1,0)-RS edges",
+                "(1,0) max stretch",
+                "(1.5,0) max stretch",
+                "2-conn max d^k ratio",
+                "violations",
+            ],
+            rows,
+            title="E-stretch — guaranteed vs measured stretch across the graph zoo",
+        ),
+    )
+    for row in rows:
+        assert row[3] == 1.0, f"(1,0) stretch broken on {row[0]}"
+        assert row[4] <= 1.5 + 1e-9, f"(1.5,0) stretch broken on {row[0]}"
+        assert row[5] <= 2.0 + 1e-9, f"2-connecting ratio broken on {row[0]}"
+        assert row[6] == 0, f"unreachable pairs on {row[0]}"

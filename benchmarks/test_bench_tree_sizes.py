@@ -1,0 +1,57 @@
+"""Exp **E-P3/P7** — per-tree sizes: O(r^{p+1}) and O(k²) on UBGs.
+
+Paper (Prop. 3): ``DomTreeMIS_{r,1}`` trees have ≤ 4^p·r^{p+1} edges on a
+doubling-dimension-p unit ball graph.  (Prop. 7): ``DomTreeMIS_{2,1,k}``
+trees have O(k²) edges.  Both are worst-case envelopes; boundary effects
+and early saturation dampen the measured exponents.
+
+Expected shape: r-sweep exponent in (1, p+1] = (1, 3]; k-sweep exponent
+in (0, 2]; and the absolute Prop-3 envelope |E(T)| ≤ (4r)^p · r holds at
+every point.
+"""
+
+from repro.analysis import render_table
+from repro.experiments import tree_size_sweep
+
+
+def test_tree_sizes(benchmark, record):
+    r_res, k_res = benchmark.pedantic(
+        lambda: tree_size_sweep(
+            rs_values=(2, 3, 4, 5),
+            ks_values=(1, 2, 3, 4),
+            n=500,
+            target_degree=16.0,
+            samples=40,
+            seed=5,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    r_exp = r_res.exponent("tree_edges")
+    k_exp = k_res.exponent("tree_edges")
+    rows_r = [[r.x, round(r.values["tree_edges"], 2)] for r in r_res.rows]
+    rows_k = [[r.x, round(r.values["tree_edges"], 2)] for r in k_res.rows]
+    text = (
+        render_table(
+            ["r", "mean |E(T)| (MIS tree)"],
+            rows_r,
+            title=(
+                "E-P3 — DomTreeMIS tree size vs r on UDG (p=2)\n"
+                f"fitted exponent r^{r_exp:.2f}; paper envelope r^(p+1) = r^3"
+            ),
+        )
+        + "\n"
+        + render_table(
+            ["k", "mean |E(T)| (k-MIS tree)"],
+            rows_k,
+            title=(
+                "E-P7 — DomTreeMIS_{2,1,k} tree size vs k\n"
+                f"fitted exponent k^{k_exp:.2f}; paper envelope k^2"
+            ),
+        )
+    )
+    record("tree_sizes", text)
+    assert 0.5 <= r_exp <= 3.0, f"r exponent {r_exp}"
+    assert 0.0 < k_exp <= 2.0, f"k exponent {k_exp}"
+    for r in r_res.rows:
+        assert r.values["tree_edges"] <= (4 * r.x) ** 2 * r.x, "Prop 3 envelope broken"

@@ -1,0 +1,48 @@
+"""Exp **E-Th2-udg** — the n^{4/3} edge-count law on random unit disk graphs.
+
+Paper (§3.2 / Table 1 row 5): the expected number of edges of an optimal
+(1,0)-remote-spanner on the unit disk graph of a uniform Poisson
+distribution in a fixed square is ``O(k^{2/3} n^{4/3})`` — our constructed
+spanner adds a log n factor — while the full topology has ``Ω(n²)`` edges.
+
+The bench sweeps Poisson intensity in a fixed square (the paper's model:
+both n and density grow), fits both edge counts against measured n, and
+asserts the *shape*: spanner exponent ≈ 4/3 (well below 2), full-topology
+exponent ≈ 2.  Expected: spanner exponent within [1.15, 1.55]; full
+within [1.85, 2.15]; spanner strictly sparser at every point.
+"""
+
+from repro.analysis import render_table
+from repro.experiments import udg_edge_scaling
+
+
+def test_udg_edge_scaling(benchmark, record):
+    res = benchmark.pedantic(
+        lambda: udg_edge_scaling(
+            intensities=(15.0, 30.0, 60.0, 120.0), side=3.0, k=1, trials=2, seed=1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [r.x, round(r.values["n"], 1), round(r.values["full_edges"], 1),
+         round(r.values["spanner_edges"], 1),
+         round(r.values["spanner_edges"] / r.values["full_edges"], 3)]
+        for r in res.rows
+    ]
+    full_exp = res.exponent("full_edges")
+    sp_exp = res.exponent("spanner_edges")
+    table = render_table(
+        ["intensity", "mean n", "full edges", "spanner edges", "ratio"],
+        rows,
+        title=(
+            "E-Th2-udg — (1,0)-remote-spanner on Poisson UDG, fixed square\n"
+            f"fitted exponents: full topology n^{full_exp:.2f} (paper: n^2), "
+            f"remote-spanner n^{sp_exp:.2f} (paper: n^(4/3)·log n)"
+        ),
+    )
+    record("udg_scaling", table)
+    assert 1.85 <= full_exp <= 2.15, f"full-topology exponent {full_exp}"
+    assert 1.15 <= sp_exp <= 1.55, f"spanner exponent {sp_exp}"
+    for r in res.rows:
+        assert r.values["spanner_edges"] < r.values["full_edges"]

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""The RemSpan protocol live: constant-round distributed construction.
+
+Runs Algorithm 3 as an actual message-passing protocol (HELLO, scoped
+link-state floods, local tree computation, tree floods) and demonstrates
+the paper's three distributed claims:
+
+* the protocol finishes in exactly 2r − 1 + 2β communication rounds on
+  every topology (we run four constructions on two graphs);
+* each node's locally-computed tree equals the centralized computation —
+  "no synchronization between node decisions is necessary";
+* under the periodic regime, a topology change stabilizes within T + 2F.
+
+Run:  python examples/distributed_protocol.py
+"""
+
+from repro.core import dom_tree_greedy, dom_tree_kcover
+from repro.distributed import PeriodicLinkState, run_remspan
+from repro.experiments import largest_component, scaled_udg
+from repro.graph.generators import random_connected_gnp
+
+
+def main() -> None:
+    udg_full, _pts = scaled_udg(n=120, target_degree=10.0, seed=3)
+    udg, _ids = largest_component(udg_full)
+    gnp = random_connected_gnp(80, 0.06, seed=4)
+
+    print("one-shot RemSpan runs (communication rounds = 2r-1+2β):")
+    print(f"{'graph':<10} {'construction':<22} {'rounds':>6} {'expected':>8} "
+          f"{'edges':>6} {'broadcasts':>10}")
+    for gname, g in (("UDG", udg), ("G(n,p)", gnp)):
+        for kind, kwargs in (
+            ("kcover", dict(k=1)),
+            ("kcover", dict(k=2)),
+            ("greedy", dict(r=3, beta=1)),
+            ("kmis", dict(k=2)),
+        ):
+            res = run_remspan(g, kind, **kwargs)
+            label = f"{kind}({', '.join(f'{a}={b}' for a, b in kwargs.items())})"
+            print(f"{gname:<10} {label:<22} {res.communication_rounds:>6} "
+                  f"{res.expected_rounds:>8} {res.spanner.num_edges:>6} "
+                  f"{res.stats.broadcasts:>10}")
+            assert res.communication_rounds == res.expected_rounds
+
+    # Locality: distributed trees == centralized trees, node for node.
+    res = run_remspan(udg, "greedy", r=3, beta=1)
+    agree = sum(
+        set(res.nodes[u].tree.edges()) == set(dom_tree_greedy(udg, u, 3, 1).edges())
+        for u in udg.nodes()
+    )
+    print(f"\nlocality check: {agree}/{udg.num_nodes} distributed trees "
+          f"identical to the centralized computation")
+
+    res_k = run_remspan(udg, "kcover", k=1)
+    agree_k = sum(
+        set(res_k.nodes[u].tree.edges()) == set(dom_tree_kcover(udg, u, 1).edges())
+        for u in udg.nodes()
+    )
+    print(f"                {agree_k}/{udg.num_nodes} for the MPR stars")
+
+    # Steady state: periodic advertisements, then a link failure.
+    sim = PeriodicLinkState(udg.copy(), kind="greedy", r=3, beta=1, period=8)
+
+    def fail_first_link(graph):
+        graph.remove_edge(*sorted(graph.edges())[0])
+
+    report = sim.stabilization_experiment(warmup=40, change=fail_first_link)
+    print(f"\nperiodic regime: link failed at step {report.change_step}; "
+          f"spanner re-stabilized at step {report.stabilized_step} "
+          f"(bound T+2F = step {report.bound_step}) "
+          f"{'OK' if report.within_bound else 'LATE'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Multi-connectivity: k-connecting remote-spanners and failure survival.
+
+The paper's §3 extends stretch to k internally-disjoint paths — the
+property that enables multi-path routing and survives node failures.  This
+example shows the difference concretely:
+
+1. build a 2-connected ad hoc network;
+2. compare the plain (1, 0)-remote-spanner (k = 1) against the
+   2-connecting one (k = 2) and the 2-connecting (2, −1)-spanner of
+   Theorem 3;
+3. for sampled 2-connected pairs, exhibit the two disjoint paths the
+   k = 2 spanner preserves, and show them surviving a relay failure;
+4. verify the k-connecting distance bound d²_{H_s} ≤ d²_G on the spot.
+
+Run:  python examples/multiconnectivity.py
+"""
+
+import math
+
+from repro import (
+    build_biconnecting_spanner,
+    build_k_connecting_spanner,
+    disjoint_paths,
+    k_connecting_profile,
+)
+from repro.experiments import largest_component, scaled_udg
+from repro.graph import augmented_graph, bfs_distances, remove_nodes, sample_pairs
+
+
+def main() -> None:
+    g_full, _points = scaled_udg(n=200, target_degree=13.0, seed=21)
+    g, _ids = largest_component(g_full)
+    print(f"network: {g.num_nodes} nodes, {g.num_edges} links")
+
+    rs1 = build_k_connecting_spanner(g, k=1)
+    rs2 = build_k_connecting_spanner(g, k=2)
+    rs2c = build_biconnecting_spanner(g)
+    print(f"(1,0)-RS k=1: {rs1.num_edges} edges | k=2: {rs2.num_edges} edges "
+          f"| 2-conn (2,-1): {rs2c.num_edges} edges  (full: {g.num_edges})")
+
+    pairs = sample_pairs(g, 40, seed=5)
+    shown = 0
+    for s, t in pairs:
+        d2_g = k_connecting_profile(g, s, t, 2)[1]
+        if d2_g == math.inf:
+            continue
+        hs = augmented_graph(rs2.graph, g, s)
+        d2_h = k_connecting_profile(hs, s, t, 2)[1]
+        assert d2_h <= d2_g, f"k=2 stretch broken for {(s, t)}: {d2_h} > {d2_g}"
+        if shown < 3:
+            p, q = disjoint_paths(hs, s, t, 2)
+            print(f"\npair ({s}, {t}): d²_G = {d2_g:g}, d² in H_s = {d2_h:g}")
+            print(f"  path A: {' -> '.join(map(str, p))}")
+            print(f"  path B: {' -> '.join(map(str, q))}")
+            # Fail every internal relay of path A; path B must survive.
+            casualties = p[1:-1]
+            crippled = remove_nodes(hs, casualties)
+            d_after = bfs_distances(crippled, s)[t]
+            print(f"  after failing relays {casualties}: s→t still routable, "
+                  f"{d_after} hops via the disjoint backup")
+            assert d_after >= 0, "backup path should have survived"
+            shown += 1
+    print(f"\nall sampled 2-connected pairs satisfied d²_Hs ≤ d²_G "
+          f"({shown} exhibited in detail)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no ``wheel`` package, so PEP
+660 editable installs (which must build a wheel) fail.  Keeping a
+``setup.py`` lets ``pip install -e . --no-build-isolation`` fall back to the
+classic ``setup.py develop`` code path, which works offline.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,100 @@
+"""repro — reproduction of *Remote-Spanners: What to Know beyond Neighbors*.
+
+Jacquet & Viennot, INRIA RR-6679 / IPPS 2009.
+
+A remote-spanner of an unweighted graph G is a spanning sub-graph H that
+approximates distances from every node *u* once H is augmented with *u*'s
+own incident edges (which a router always knows).  This package implements
+the paper's dominating-tree characterizations, its four construction
+algorithms, the k-connecting multi-connectivity extension, the distributed
+protocol realizing them in constant rounds, the geometric input models
+(random unit disk graphs, unit ball graphs of doubling metrics), the
+regular-spanner baselines of Table 1, and the link-state routing
+application that motivates the whole notion.
+
+Quickstart::
+
+    from repro import generators, build_k_connecting_spanner, is_remote_spanner
+
+    g = generators.gnp_random_graph(80, 0.15, seed=1)
+    rs = build_k_connecting_spanner(g, k=1)       # exact-distance remote-spanner
+    assert is_remote_spanner(rs.graph, g, 1.0, 0.0)
+    print(rs.num_edges, "of", g.num_edges, "edges advertised")
+"""
+
+from ._version import __version__
+from .errors import (
+    GraphError,
+    InfeasibleError,
+    NodeNotFound,
+    NotASubgraphError,
+    ParameterError,
+    ProtocolError,
+    ReproError,
+)
+from .graph import (
+    AugmentedView,
+    Graph,
+    augmented_distances,
+    augmented_graph,
+    bfs_distances,
+    generators,
+)
+from .core import (
+    DomTree,
+    RemoteSpanner,
+    StretchGuarantee,
+    build_biconnecting_spanner,
+    build_k_connecting_spanner,
+    build_remote_spanner,
+    dom_tree_greedy,
+    dom_tree_kcover,
+    dom_tree_kmis,
+    dom_tree_mis,
+    is_dominating_tree,
+    is_k_connecting_dominating_tree,
+    is_k_connecting_remote_spanner,
+    is_remote_spanner,
+    mpr_set,
+)
+from .geometry import poisson_points, uniform_points, unit_ball_graph, unit_disk_graph
+from .paths import disjoint_paths, k_connecting_distance, k_connecting_profile
+
+__all__ = [
+    "__version__",
+    "GraphError",
+    "InfeasibleError",
+    "NodeNotFound",
+    "NotASubgraphError",
+    "ParameterError",
+    "ProtocolError",
+    "ReproError",
+    "AugmentedView",
+    "Graph",
+    "augmented_distances",
+    "augmented_graph",
+    "bfs_distances",
+    "generators",
+    "DomTree",
+    "RemoteSpanner",
+    "StretchGuarantee",
+    "build_biconnecting_spanner",
+    "build_k_connecting_spanner",
+    "build_remote_spanner",
+    "dom_tree_greedy",
+    "dom_tree_kcover",
+    "dom_tree_kmis",
+    "dom_tree_mis",
+    "is_dominating_tree",
+    "is_k_connecting_dominating_tree",
+    "is_k_connecting_remote_spanner",
+    "is_remote_spanner",
+    "mpr_set",
+    "poisson_points",
+    "uniform_points",
+    "unit_ball_graph",
+    "unit_disk_graph",
+    "disjoint_paths",
+    "k_connecting_distance",
+    "k_connecting_profile",
+]

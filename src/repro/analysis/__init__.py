@@ -1,0 +1,18 @@
+"""Analysis utilities: power-law fits, trial statistics, ASCII tables/plots."""
+
+from .powerlaw import PowerLawFit, fit_power_law, fit_power_law_with_log
+from .stats import TrialSummary, summarize
+from .tables import format_cell, render_table
+from .plot import ascii_loglog, ascii_series
+
+__all__ = [
+    "PowerLawFit",
+    "fit_power_law",
+    "fit_power_law_with_log",
+    "TrialSummary",
+    "summarize",
+    "format_cell",
+    "render_table",
+    "ascii_loglog",
+    "ascii_series",
+]

@@ -1,0 +1,109 @@
+"""Dependency-free ASCII plotting for sweep results.
+
+The experiment CLI and benches render log-log scatter plots directly in
+the terminal (this repo runs in headless environments; matplotlib is
+deliberately not a dependency).  Good enough to *see* an exponent: a
+straight line of `*`s in log-log space, with a reference slope drawn as
+`.`s for comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..errors import ParameterError
+
+__all__ = ["ascii_loglog", "ascii_series"]
+
+
+def ascii_loglog(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 60,
+    height: int = 18,
+    ref_slope: "float | None" = None,
+    title: "str | None" = None,
+) -> str:
+    """Log-log scatter of (xs, ys) with an optional reference-slope line.
+
+    The reference line (drawn with ``.``) is anchored at the first data
+    point, so data following ``y ∝ x^ref_slope`` hugs it.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ParameterError("need ≥ 2 points with matching lengths")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ParameterError("log-log plotting needs positive data")
+    lx = [math.log10(x) for x in xs]
+    ly = [math.log10(y) for y in ys]
+    ref_pts: list[tuple[float, float]] = []
+    if ref_slope is not None:
+        b = ly[0] - ref_slope * lx[0]
+        ref_pts = [(x, ref_slope * x + b) for x in lx]
+    all_y = ly + [y for _x, y in ref_pts]
+    x0, x1 = min(lx), max(lx)
+    y0, y1 = min(all_y), max(all_y)
+    xr = (x1 - x0) or 1.0
+    yr = (y1 - y0) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def put(xv: float, yv: float, ch: str) -> None:
+        col = int((xv - x0) / xr * (width - 1))
+        row = height - 1 - int((yv - y0) / yr * (height - 1))
+        if grid[row][col] == " " or ch == "*":
+            grid[row][col] = ch
+
+    for xv, yv in ref_pts:
+        put(xv, yv, ".")
+    for xv, yv in zip(lx, ly):
+        put(xv, yv, "*")
+
+    lines = []
+    if title:
+        lines.append(title)
+    top = f"{10**y1:.3g}"
+    bottom = f"{10**y0:.3g}"
+    pad = max(len(top), len(bottom))
+    for i, row in enumerate(grid):
+        label = top if i == 0 else (bottom if i == height - 1 else "")
+        lines.append(f"{label:>{pad}} |" + "".join(row))
+    lines.append(" " * pad + " +" + "-" * width)
+    lines.append(
+        " " * pad + f"  {10**x0:<.3g}" + " " * max(1, width - 16) + f"{10**x1:>.3g}"
+    )
+    if ref_slope is not None:
+        lines.append(f"    ('*' data, '.' reference slope {ref_slope:g})")
+    return "\n".join(lines)
+
+
+def ascii_series(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 60,
+    height: int = 12,
+    title: "str | None" = None,
+) -> str:
+    """Linear-scale line-ish plot for small sweeps (ε, k, r)."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ParameterError("need ≥ 2 points with matching lengths")
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    xr = (x1 - x0) or 1.0
+    yr = (y1 - y0) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for xv, yv in zip(xs, ys):
+        col = int((xv - x0) / xr * (width - 1))
+        row = height - 1 - int((yv - y0) / yr * (height - 1))
+        grid[row][col] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    top, bottom = f"{y1:.3g}", f"{y0:.3g}"
+    pad = max(len(top), len(bottom))
+    for i, row in enumerate(grid):
+        label = top if i == 0 else (bottom if i == height - 1 else "")
+        lines.append(f"{label:>{pad}} |" + "".join(row))
+    lines.append(" " * pad + " +" + "-" * width)
+    lines.append(" " * pad + f"  {x0:<.3g}" + " " * max(1, width - 16) + f"{x1:>.3g}")
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Power-law exponent fitting for the scaling experiments.
+
+The paper's quantitative claims are asymptotic exponents: edge counts of
+``O(n^{4/3} log n)`` on random unit disk graphs (Th. 2), ``O(k^{2/3} ...)``
+in k, ``O(ε^{-(p+1)} n)`` in ε, ``O(r^{p+1})`` tree sizes (Prop. 3).  The
+benches verify *shape*, so the estimator of record is a least-squares slope
+in log-log space, optionally with a ``log`` correction factor divided out
+first (for the ``n^{4/3} log n`` form).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = ["PowerLawFit", "fit_power_law", "fit_power_law_with_log"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Result of fitting ``y ≈ c · x^exponent`` by log-log least squares."""
+
+    exponent: float
+    prefactor: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.prefactor * x**self.exponent
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Least-squares fit of ``log y = a·log x + b``; needs ≥ 2 points, y > 0."""
+    xs_arr = np.asarray(xs, dtype=float)
+    ys_arr = np.asarray(ys, dtype=float)
+    if xs_arr.size != ys_arr.size or xs_arr.size < 2:
+        raise ParameterError("need at least two (x, y) points of equal count")
+    if np.any(xs_arr <= 0) or np.any(ys_arr <= 0):
+        raise ParameterError("power-law fitting requires strictly positive data")
+    lx, ly = np.log(xs_arr), np.log(ys_arr)
+    slope, intercept = np.polyfit(lx, ly, 1)
+    pred = slope * lx + intercept
+    ss_res = float(np.sum((ly - pred) ** 2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return PowerLawFit(exponent=float(slope), prefactor=float(np.exp(intercept)), r_squared=r2)
+
+
+def fit_power_law_with_log(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Fit ``y ≈ c · x^a · log x`` by dividing out the log factor first.
+
+    Matches the ``O(k^{2/3} n^{4/3} log n)`` shape of Theorem 2: the
+    returned exponent estimates *a* with the logarithmic correction already
+    accounted for.  Requires all x > 1 so ``log x > 0``.
+    """
+    xs_arr = np.asarray(xs, dtype=float)
+    ys_arr = np.asarray(ys, dtype=float)
+    if np.any(xs_arr <= 1):
+        raise ParameterError("log-corrected fit requires x > 1")
+    return fit_power_law(xs_arr, ys_arr / np.log(xs_arr))

@@ -1,0 +1,59 @@
+"""Summary statistics for experiment trials.
+
+Multi-trial experiments (Poisson graphs are random!) report mean ± a
+t-based half-width.  Kept deliberately tiny — just what the benches print.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ParameterError
+
+__all__ = ["TrialSummary", "summarize"]
+
+# Two-sided 95% t quantiles for df = 1..30 (df > 30 ≈ normal 1.96).
+_T95 = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+]
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Mean, spread and 95% confidence half-width of repeated trials."""
+
+    n: int
+    mean: float
+    std: float
+    ci95: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.ci95:.2g} (n={self.n})"
+
+
+def summarize(values: Sequence[float]) -> TrialSummary:
+    """Summary of a trial series (sample std, t-based 95% CI)."""
+    vals = list(float(v) for v in values)
+    if not vals:
+        raise ParameterError("cannot summarize zero trials")
+    n = len(vals)
+    mean = sum(vals) / n
+    if n == 1:
+        return TrialSummary(n=1, mean=mean, std=0.0, ci95=0.0, minimum=mean, maximum=mean)
+    var = sum((v - mean) ** 2 for v in vals) / (n - 1)
+    std = math.sqrt(var)
+    t = _T95[min(n - 2, len(_T95) - 1)] if n - 1 <= len(_T95) else 1.96
+    return TrialSummary(
+        n=n,
+        mean=mean,
+        std=std,
+        ci95=t * std / math.sqrt(n),
+        minimum=min(vals),
+        maximum=max(vals),
+    )

@@ -1,0 +1,68 @@
+"""ASCII table rendering for experiment output.
+
+Every bench prints its results as a monospace table (captured in
+``bench_output.txt`` and transcribed into ``EXPERIMENTS.md``).  The
+renderer right-aligns numbers, left-aligns text, and accepts any mix of
+str/int/float cells.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "format_cell"]
+
+
+def format_cell(value) -> str:
+    """Human formatting: floats get 4 significant digits, rest str()."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence], title: "str | None" = None) -> str:
+    """Render rows as an ASCII grid table."""
+    str_rows = [[format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def is_numeric(col: int) -> bool:
+        return all(
+            _looks_numeric(row[col]) for row in str_rows if col < len(row)
+        ) and bool(str_rows)
+
+    numeric = [is_numeric(i) for i in range(len(headers))]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[i]) if numeric[i] else cell.ljust(widths[i]))
+        return "| " + " | ".join(parts) + " |"
+
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(fmt_row(row))
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def _looks_numeric(cell: str) -> bool:
+    try:
+        float(cell)
+        return True
+    except ValueError:
+        return cell in {"inf", "nan", "-", ""}

@@ -1,0 +1,36 @@
+"""Baselines: the regular spanners and MPR selections of Table 1 / §1.2.
+
+Everything a remote-spanner is compared against in the benchmark tables:
+greedy and Baswana–Sen multiplicative spanners, the additive (1, 2)-spanner
+family representative, OLSR multipoint relays (classical / k-coverage /
+Wu–Lou–Dai extended), and the trivial BFS-tree / full-topology brackets.
+"""
+
+from .greedy_spanner import greedy_spanner
+from .baswana_sen import baswana_sen_spanner
+from .additive import additive_two_spanner, dominating_set_for
+from .mpr import (
+    FloodingOutcome,
+    classical_mpr,
+    extended_mpr_tree_nodes,
+    k_coverage_mpr,
+    simulate_blind_flooding,
+    simulate_mpr_flooding,
+)
+from .trees import bfs_tree, full_topology, spanning_forest
+
+__all__ = [
+    "greedy_spanner",
+    "baswana_sen_spanner",
+    "additive_two_spanner",
+    "dominating_set_for",
+    "FloodingOutcome",
+    "classical_mpr",
+    "extended_mpr_tree_nodes",
+    "k_coverage_mpr",
+    "simulate_blind_flooding",
+    "simulate_mpr_flooding",
+    "bfs_tree",
+    "full_topology",
+    "spanning_forest",
+]

@@ -1,0 +1,102 @@
+"""Baswana–Sen randomized (2k−1)-spanner (unweighted specialization).
+
+The distributed-spanner literature the paper positions against ([2] in
+Table 1 builds on the same clustering machinery).  Two phases:
+
+1. **Cluster formation** (k−1 rounds).  Start from singleton clusters.
+   Each round, sample surviving clusters with probability ``n^{-1/k}``.
+   A vertex adjacent to a sampled cluster joins it through one spanner
+   edge and keeps only its other-cluster edges alive; a vertex adjacent to
+   *no* sampled cluster adds one spanner edge toward **every** adjacent
+   cluster and retires from the process.
+2. **Cluster joining.**  Every surviving vertex adds one spanner edge to
+   each cluster still adjacent to it.
+
+Expected size ``O(k · n^{1+1/k})``; stretch ``2k−1`` with certainty (the
+tests verify stretch exactly and size statistically).  The implementation
+follows Baswana & Sen (2007) §4 for unweighted graphs; "one edge toward a
+cluster" picks the smallest-id endpoint for reproducibility given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..graph import Graph
+from ..rng import ensure_rng
+
+__all__ = ["baswana_sen_spanner"]
+
+
+def baswana_sen_spanner(
+    g: Graph, k: int, seed: "int | np.random.Generator | None" = None
+) -> Graph:
+    """A (2k−1, 0)-spanner with expected O(k·n^{1+1/k}) edges."""
+    if k < 1:
+        raise ParameterError(f"k must be ≥ 1, got {k}")
+    rng = ensure_rng(seed)
+    n = g.num_nodes
+    h = Graph(n)
+    if n == 0 or g.num_edges == 0:
+        return h
+    if k == 1:
+        return g.copy()  # (1,0)-spanner must keep all edges
+
+    sample_p = n ** (-1.0 / k)
+    # cluster[v]: id of v's cluster, or -1 once v has retired.
+    cluster = list(range(n))
+    # live[v]: neighbors of v whose edges are still under consideration.
+    live: list[set[int]] = [set(g.neighbors(v)) for v in range(n)]
+
+    def adjacent_clusters(v: int) -> dict:
+        """cluster id -> smallest live neighbor of v in that cluster."""
+        out: dict[int, int] = {}
+        for w in sorted(live[v]):
+            c = cluster[w]
+            if c >= 0 and c not in out:
+                out[c] = w
+        return out
+
+    def drop_edges_to_cluster(v: int, c: int) -> None:
+        for w in [w for w in live[v] if cluster[w] == c]:
+            live[v].discard(w)
+            live[w].discard(v)
+
+    for _ in range(k - 1):
+        current_clusters = sorted({c for c in cluster if c >= 0})
+        sampled = {c for c in current_clusters if rng.random() < sample_p}
+        new_cluster = list(cluster)
+        for v in range(n):
+            if cluster[v] < 0:
+                continue
+            if cluster[v] in sampled:
+                continue  # v's own cluster survives; v stays put
+            adj = adjacent_clusters(v)
+            sampled_adj = {c: w for c, w in adj.items() if c in sampled}
+            if sampled_adj:
+                # Join the sampled adjacent cluster via one edge; drop edges
+                # to the joined cluster (now intra-cluster) — and, per the
+                # algorithm, edges to clusters "closer or equal" are also
+                # dropped; unweighted ⇒ only the joined one matters.
+                c, w = min(sampled_adj.items())
+                h.add_edge(v, w)
+                new_cluster[v] = c
+                drop_edges_to_cluster(v, c)
+            else:
+                # Retire: one edge per adjacent cluster, then remove v.
+                for c, w in sorted(adj.items()):
+                    h.add_edge(v, w)
+                    drop_edges_to_cluster(v, c)
+                new_cluster[v] = -1
+        cluster = new_cluster
+        # Intra-cluster edges are never reconsidered.
+        for v in range(n):
+            if cluster[v] >= 0:
+                drop_edges_to_cluster(v, cluster[v])
+
+    # Phase 2: vertex-cluster joining.
+    for v in range(n):
+        for _c, w in sorted(adjacent_clusters(v).items()):
+            h.add_edge(v, w)
+    return h

@@ -1,0 +1,46 @@
+"""Althöfer greedy (2k−1)-spanner — the classical regular-spanner baseline.
+
+Table 1's first row cites the folklore result that every graph admits a
+``(2k−1, 0)``-spanner with ``O(n^{1+1/k})`` edges.  The greedy construction
+(Althöfer et al. 1993) realizes it: scan edges, keep an edge only when the
+current spanner's endpoint distance exceeds the stretch budget.  The result
+has girth > 2k, which implies the edge bound by the Moore bound.
+
+Because any (α, β)-spanner is also an (α, β)-remote-spanner — and even an
+(α, β−α+1)-remote-spanner (paper §1.2) — these baselines are directly
+comparable to the remote-spanner constructions in the benchmark tables.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParameterError
+from ..graph import Graph, bfs_distances
+
+__all__ = ["greedy_spanner"]
+
+
+def greedy_spanner(g: Graph, stretch: int) -> Graph:
+    """The greedy (stretch, 0)-spanner of *g*; *stretch* = 2k−1 is canonical.
+
+    Edge scan order is canonical (sorted pairs) so results are
+    deterministic.  Each kept-edge decision runs a cutoff BFS in the
+    partial spanner — O(m · m_H) worst case, fine at experiment scale.
+    """
+    if stretch < 1:
+        raise ParameterError(f"stretch must be ≥ 1, got {stretch}")
+    h = Graph(g.num_nodes)
+    for u, v in sorted(g.edges()):
+        # Distance in the current partial spanner, capped at stretch.
+        dist = _bounded_distance(h, u, v, stretch)
+        if dist > stretch:
+            h.add_edge(u, v)
+    return h
+
+
+def _bounded_distance(h: Graph, s: int, t: int, cap: int) -> int:
+    """d_H(s, t), or cap+1 if it exceeds *cap* (early-exit BFS)."""
+    if s == t:
+        return 0
+    dist = bfs_distances(h, s, cutoff=cap)
+    d = dist[t]
+    return d if d >= 0 else cap + 1

@@ -1,0 +1,50 @@
+"""Trivial skeleton baselines: BFS trees and the full topology.
+
+Bracket the comparison space of the bench tables: a single BFS tree is the
+sparsest connected sub-graph (n−1 edges, but unbounded multiplicative
+stretch from arbitrary nodes), and the full topology is the (1, 0)-spanner
+(m edges, stretch-free) — the Ω(n²) reference Table 1 pits Theorem 2
+against on unit disk graphs.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParameterError
+from ..graph import Graph
+from ..graph.traversal import bfs_parents
+
+__all__ = ["bfs_tree", "spanning_forest", "full_topology"]
+
+
+def bfs_tree(g: Graph, root: int) -> Graph:
+    """The BFS tree of *g* from *root* (covers only root's component)."""
+    _dist, parent = bfs_parents(g, root)
+    h = Graph(g.num_nodes)
+    for v in g.nodes():
+        p = parent[v]
+        if p >= 0 and p != v:
+            h.add_edge(v, p)
+    return h
+
+
+def spanning_forest(g: Graph) -> Graph:
+    """A BFS forest covering every component."""
+    h = Graph(g.num_nodes)
+    visited = [False] * g.num_nodes
+    for root in g.nodes():
+        if visited[root]:
+            continue
+        _dist, parent = bfs_parents(g, root)
+        for v in g.nodes():
+            if parent[v] >= 0:
+                visited[v] = True
+                if parent[v] != v:
+                    h.add_edge(v, parent[v])
+    return h
+
+
+def full_topology(g: Graph) -> Graph:
+    """The trivial (1, 0)-spanner: all edges (what plain OSPF floods)."""
+    if g.num_nodes < 0:  # pragma: no cover - defensive only
+        raise ParameterError("invalid graph")
+    return g.copy()

@@ -1,0 +1,242 @@
+"""Command-line interface: regenerate any experiment from the shell.
+
+.. code-block:: bash
+
+    python -m repro table1                 # Table 1 on default instances
+    python -m repro figure1                # Figure 1 panels + ASCII scene
+    python -m repro scaling --quick        # the n^{4/3} sweep with a plot
+    python -m repro ksweep | epssweep      # the k and ε sweeps
+    python -m repro rounds                 # distributed round counts
+    python -m repro demo --n 250 --seed 7  # one-off build + verify + stats
+
+Each subcommand prints the same artifacts the benchmark suite records, so
+a user can reproduce any number in ``EXPERIMENTS.md`` without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import render_table
+from .analysis.plot import ascii_loglog, ascii_series
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Remote-spanners (Jacquet & Viennot, IPPS 2009) — experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="regenerate Table 1")
+    p.add_argument("--n-any", type=int, default=60)
+    p.add_argument("--n-udg", type=int, default=250)
+    p.add_argument("--seed", type=int, default=2009)
+
+    sub.add_parser("figure1", help="regenerate Figure 1's four panels")
+
+    p = sub.add_parser("scaling", help="n^{4/3} Poisson UDG sweep")
+    p.add_argument("--quick", action="store_true", help="smaller sweep")
+    p.add_argument("--seed", type=int, default=1)
+
+    p = sub.add_parser("ksweep", help="k^{2/3} sweep")
+    p.add_argument("--seed", type=int, default=2)
+
+    p = sub.add_parser("epssweep", help="epsilon sweep (Theorem 1)")
+    p.add_argument("--seed", type=int, default=3)
+
+    p = sub.add_parser("rounds", help="distributed round counts (Algorithm 3)")
+    p.add_argument("--n", type=int, default=100)
+    p.add_argument("--seed", type=int, default=4)
+
+    p = sub.add_parser("demo", help="build + verify a spanner on one UDG")
+    p.add_argument("--n", type=int, default=250)
+    p.add_argument("--degree", type=float, default=12.0)
+    p.add_argument("--epsilon", type=float, default=0.5)
+    p.add_argument("--k", type=int, default=1)
+    p.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+def _cmd_table1(args) -> int:
+    from .experiments import TABLE1_HEADERS, build_table1
+
+    rows = build_table1(n_any=args.n_any, n_udg=args.n_udg, seed=args.seed)
+    print(render_table(TABLE1_HEADERS, [r.as_list() for r in rows], title="Table 1 (measured)"))
+    return 0 if all(r.stretch_ok in (True, "-") for r in rows) else 1
+
+
+def _cmd_figure1(_args) -> int:
+    from .experiments.figure1 import NAMES, ascii_scene, build_figure1, figure1_points
+
+    fig = build_figure1()
+    for label, graph in (
+        ("(a) input UDG", fig.graph),
+        ("(b) (1,0)-remote-spanner", fig.spanner_b.graph),
+        ("(c) minimal (2,-1)-remote-spanner", fig.graph_c),
+        ("(d) 2-connecting (2,-1)-remote-spanner", fig.spanner_d.graph),
+    ):
+        print(label)
+        print(ascii_scene(figure1_points(), fig.graph, None if graph is fig.graph else graph))
+        print()
+    u, x, d = fig.exact_pair
+    s, t, dg, dh = fig.stretch_pair
+    print(f"(b) witness: d_Hb_{NAMES[u]}({NAMES[u]},{NAMES[x]}) = {d} = d_G")
+    print(f"(c) witness: d_Hc_{NAMES[s]}({NAMES[s]},{NAMES[t]}) = {dh} = 2*{dg}-1")
+    return 0
+
+
+def _cmd_scaling(args) -> int:
+    from .experiments import udg_edge_scaling
+
+    intensities = (15.0, 30.0, 60.0) if args.quick else (15.0, 30.0, 60.0, 120.0)
+    res = udg_edge_scaling(intensities=intensities, side=3.0, trials=2, seed=args.seed)
+    ns = [r.values["n"] for r in res.rows]
+    print(
+        render_table(
+            ["mean n", "full edges", "spanner edges"],
+            [
+                [round(r.values["n"], 1), round(r.values["full_edges"], 1), round(r.values["spanner_edges"], 1)]
+                for r in res.rows
+            ],
+            title="E-Th2-udg — Poisson UDG, fixed square",
+        )
+    )
+    print()
+    print(
+        ascii_loglog(
+            ns,
+            [r.values["spanner_edges"] for r in res.rows],
+            ref_slope=4 / 3,
+            title=f"spanner edges vs n (fit n^{res.exponent('spanner_edges'):.2f}, paper 4/3)",
+        )
+    )
+    print()
+    print(
+        ascii_loglog(
+            ns,
+            [r.values["full_edges"] for r in res.rows],
+            ref_slope=2.0,
+            title=f"full edges vs n (fit n^{res.exponent('full_edges'):.2f}, paper 2)",
+        )
+    )
+    return 0
+
+
+def _cmd_ksweep(args) -> int:
+    from .experiments import k_sweep
+
+    res = k_sweep(ks=(1, 2, 3, 4, 6), intensity=60.0, side=3.0, trials=2, seed=args.seed)
+    xs = [r.x for r in res.rows]
+    ys = [r.values["spanner_edges"] for r in res.rows]
+    print(
+        ascii_loglog(
+            xs,
+            ys,
+            ref_slope=2 / 3,
+            title=f"spanner edges vs k (fit k^{res.exponent('spanner_edges'):.2f}, paper 2/3)",
+        )
+    )
+    return 0
+
+
+def _cmd_epssweep(args) -> int:
+    from .experiments import eps_sweep
+
+    res = eps_sweep(epsilons=(1.0, 0.5, 1 / 3, 0.25), n=300, trials=2, seed=args.seed)
+    xs = [r.x for r in res.rows]
+    ys = [r.values["edges_per_n"] for r in res.rows]
+    print(
+        ascii_series(
+            xs, ys, title="edges per node vs epsilon ((1+eps,1-2eps)-remote-spanner)"
+        )
+    )
+    print(f"fitted exponent (1/eps)^{res.exponent('edges_per_n'):.2f} (paper bound: 3)")
+    return 0
+
+
+def _cmd_rounds(args) -> int:
+    from .distributed import run_remspan
+    from .graph.generators import random_connected_gnp
+
+    g = random_connected_gnp(args.n, 3.0 / args.n, seed=args.seed)
+    rows = []
+    for kind, kwargs in (
+        ("kcover", dict(k=1)),
+        ("kcover", dict(k=2)),
+        ("greedy", dict(r=3, beta=1)),
+        ("mis", dict(r=3)),
+        ("kmis", dict(k=2)),
+    ):
+        res = run_remspan(g, kind, **kwargs)
+        rows.append(
+            [
+                f"{kind}{kwargs}",
+                res.communication_rounds,
+                res.expected_rounds,
+                res.spanner.num_edges,
+            ]
+        )
+    print(
+        render_table(
+            ["construction", "rounds", "expected (2r-1+2b)", "spanner edges"],
+            rows,
+            title=f"RemSpan on G(n={args.n}); round counts are graph-independent",
+        )
+    )
+    return 0 if all(r[1] == r[2] for r in rows) else 1
+
+
+def _cmd_demo(args) -> int:
+    from .core import (
+        build_k_connecting_spanner,
+        build_remote_spanner,
+        is_remote_spanner,
+        remote_stretch_stats,
+    )
+    from .experiments import largest_component, scaled_udg
+    from .routing import full_link_state_cost, spanner_advertisement_cost
+
+    g_full, _pts = scaled_udg(args.n, args.degree, seed=args.seed)
+    g, _ids = largest_component(g_full)
+    print(f"UDG: n={g.num_nodes} m={g.num_edges} max_deg={g.max_degree()}")
+    # --epsilon < 1 selects the Theorem-1 builder; otherwise Theorem 2's
+    # k-connecting exact-distance construction.
+    if args.epsilon < 1.0:
+        rs = build_remote_spanner(g, epsilon=args.epsilon)
+    else:
+        rs = build_k_connecting_spanner(g, k=args.k)
+    ok = is_remote_spanner(rs.graph, g, rs.guarantee.alpha, rs.guarantee.beta)
+    stats = remote_stretch_stats(rs.graph, g)
+    ours = spanner_advertisement_cost(rs)
+    ospf = full_link_state_cost(g)
+    print(f"spanner: {rs.num_edges} edges ({rs.method}), guarantee {rs.guarantee}")
+    print(f"verified: {ok}; max measured stretch {stats.max_ratio:.3f}")
+    print(
+        f"advertisement: {ours.entries_per_period} entries/period "
+        f"({100 * ours.ratio_to(ospf):.0f}% of full link state)"
+    )
+    return 0 if ok else 1
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "figure1": _cmd_figure1,
+    "scaling": _cmd_scaling,
+    "ksweep": _cmd_ksweep,
+    "epssweep": _cmd_epssweep,
+    "rounds": _cmd_rounds,
+    "demo": _cmd_demo,
+}
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,294 @@
+"""Dominating trees: the local objects remote-spanners are made of.
+
+The paper's methodology (§1.1) characterizes remote-spanner classes as
+unions of small-depth tree sub-graphs that dominate nearby nodes:
+
+* an **(r, β)-dominating tree** for *u* is a tree ``T ⊆ G`` rooted at *u*
+  such that every node *v* at distance ``2 ≤ r' ≤ r`` from *u* has a
+  neighbor ``x ∈ V(T)`` with ``d_T(u, x) ≤ r' − 1 + β``;
+* a **k-connecting (2, β)-dominating tree** for *u* dominates every node
+  *v* at distance 2 in a stronger sense: either ``uw ∈ E(T)`` for *all*
+  common neighbors ``w ∈ N(u) ∩ N(v)``, or *v* has k neighbors in
+  ``B_T(u, 1+β)`` whose tree paths to *u* share only *u* and have length
+  ≤ 1 + β.
+
+This module defines the :class:`DomTree` value type (root + parent map —
+tree-ness by construction) and the *definition-level* predicates used to
+certify every constructed tree.  The predicates share no code with the
+constructions in the sibling modules, so agreement between the two is a
+meaningful check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..errors import GraphError, ParameterError
+from ..graph import Graph, bfs_distances
+from ..graph.traversal import bfs_layers
+
+__all__ = [
+    "DomTree",
+    "is_dominating_tree",
+    "dominating_tree_violations",
+    "is_k_connecting_dominating_tree",
+    "k_connecting_violations",
+    "induces_dominating_trees",
+    "induces_k_connecting_star_trees",
+]
+
+
+@dataclass
+class DomTree:
+    """A rooted tree sub-graph, stored as a parent map.
+
+    ``parent[root] == root``; every other tree node maps to its parent.
+    The representation makes tree-ness structural: a parent map cannot
+    encode a cycle reachable from the root, and :meth:`validate` checks the
+    remaining requirements (all nodes reach the root; edges exist in G).
+    """
+
+    root: int
+    parent: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.parent.setdefault(self.root, self.root)
+        if self.parent[self.root] != self.root:
+            raise ParameterError(f"root {self.root} must be its own parent")
+
+    # ------------------------------------------------------------------ #
+
+    def nodes(self) -> set[int]:
+        """``V(T)``."""
+        return set(self.parent)
+
+    def edges(self) -> Iterator["tuple[int, int]"]:
+        """``E(T)`` in canonical orientation."""
+        for x, p in self.parent.items():
+            if x != p:
+                yield (x, p) if x < p else (p, x)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.parent) - 1
+
+    def __contains__(self, x: int) -> bool:
+        return x in self.parent
+
+    def depth(self, x: int) -> int:
+        """``d_T(root, x)``; raises if x not in the tree."""
+        if x not in self.parent:
+            raise ParameterError(f"node {x} not in tree rooted at {self.root}")
+        d = 0
+        while x != self.root:
+            x = self.parent[x]
+            d += 1
+            if d > len(self.parent):
+                raise GraphError("parent map contains a cycle")
+        return d
+
+    def depths(self) -> dict:
+        """Depth of every tree node (single pass with memoization)."""
+        out: dict[int, int] = {self.root: 0}
+
+        def resolve(x: int) -> int:
+            trail = []
+            while x not in out:
+                trail.append(x)
+                x = self.parent[x]
+                if len(trail) > len(self.parent):
+                    raise GraphError("parent map contains a cycle")
+            d = out[x]
+            for node in reversed(trail):
+                d += 1
+                out[node] = d
+            return out[trail[0]] if trail else d
+
+        for node in self.parent:
+            resolve(node)
+        return out
+
+    def branch(self, x: int) -> int:
+        """The child of the root on the root-path of *x* (x itself if depth 1).
+
+        Two tree nodes' root-paths share only the root iff their branches
+        differ — the disjointness test of the k-connecting definition.
+        """
+        if x == self.root:
+            raise ParameterError("root has no branch")
+        steps = 0
+        while self.parent[x] != self.root:
+            x = self.parent[x]
+            steps += 1
+            if steps > len(self.parent):
+                raise GraphError("parent map contains a cycle")
+        return x
+
+    def path_to_root(self, x: int) -> list[int]:
+        """Node sequence ``[x, ..., root]``."""
+        out = [x]
+        while out[-1] != self.root:
+            out.append(self.parent[out[-1]])
+            if len(out) > len(self.parent) + 1:
+                raise GraphError("parent map contains a cycle")
+        return out
+
+    def add_root_path(self, path_from_root: list[int]) -> None:
+        """Graft a path ``[root, a, b, ..., x]`` onto the tree.
+
+        Prefix nodes already present keep their existing parents; this is
+        only safe when the path is consistent with previous insertions
+        (true for BFS-parent paths, which all constructions use).
+        """
+        if not path_from_root or path_from_root[0] != self.root:
+            raise ParameterError("path must start at the root")
+        for prev, node in zip(path_from_root, path_from_root[1:]):
+            if node in self.parent:
+                continue
+            self.parent[node] = prev
+
+    def to_graph(self, n: int) -> Graph:
+        """Materialize as a :class:`~repro.graph.Graph` on *n* nodes."""
+        return Graph(n, self.edges())
+
+    def validate(self, g: Graph) -> None:
+        """Check the tree is a sub-graph of *g* and all nodes reach the root."""
+        for x, p in self.parent.items():
+            if x != p and not g.has_edge(x, p):
+                raise GraphError(f"tree edge ({x}, {p}) missing from graph")
+        self.depths()  # raises on cycles / unreachable
+
+
+# --------------------------------------------------------------------- #
+# definition-level predicates
+# --------------------------------------------------------------------- #
+
+
+def dominating_tree_violations(g: Graph, tree: DomTree, r: int, beta: int) -> list:
+    """Nodes violating the (r, β)-dominating-tree condition for ``tree.root``.
+
+    Returns ``[(v, r', best)]`` triples where *best* is the smallest tree
+    depth of a neighbor of *v* in ``V(T)`` (or ``None``), for every *v* at
+    distance ``2 ≤ r' ≤ r`` with ``best > r' − 1 + β``.
+    """
+    if r < 2:
+        raise ParameterError(f"r must be ≥ 2, got {r}")
+    if beta < 0:
+        raise ParameterError(f"β must be ≥ 0, got {beta}")
+    u = tree.root
+    dist = bfs_distances(g, u, cutoff=r)
+    depths = tree.depths()
+    bad: list = []
+    for v in g.nodes():
+        rp = dist[v]
+        if rp < 2:
+            continue
+        best: "int | None" = None
+        for x in g.neighbors(v):
+            if x in depths and (best is None or depths[x] < best):
+                best = depths[x]
+        if best is None or best > rp - 1 + beta:
+            bad.append((v, rp, best))
+    return bad
+
+
+def is_dominating_tree(g: Graph, tree: DomTree, r: int, beta: int) -> bool:
+    """Whether *tree* is an (r, β)-dominating tree for its root in *g*."""
+    tree.validate(g)
+    return not dominating_tree_violations(g, tree, r, beta)
+
+
+def k_connecting_violations(g: Graph, tree: DomTree, k: int, beta: int) -> list:
+    """Distance-2 nodes violating the k-connecting (2, β)-dominating condition.
+
+    For each *v* at distance 2 from the root *u*, the condition holds when
+    either (a) every common neighbor ``w ∈ N(u) ∩ N(v)`` has ``uw ∈ E(T)``,
+    or (b) *v* has k neighbors in ``B_T(u, 1+β)`` lying on k distinct
+    branches of T (tree paths pairwise sharing only *u*) of length ≤ 1+β.
+    In a tree, path-disjointness is exactly branch-distinctness, so (b)
+    reduces to counting distinct branches among qualifying neighbors.
+    """
+    if k < 1:
+        raise ParameterError(f"k must be ≥ 1, got {k}")
+    if beta < 0:
+        raise ParameterError(f"β must be ≥ 0, got {beta}")
+    u = tree.root
+    layers = bfs_layers(g, u, cutoff=2)
+    two_ring = layers[2] if len(layers) > 2 else []
+    depths = tree.depths()
+    nu = g.neighbors(u)
+    root_children = {x for x, p in tree.parent.items() if p == u and x != u}
+    bad: list = []
+    for v in two_ring:
+        common = g.neighbors(v) & nu
+        if common <= root_children:
+            continue  # clause (a): all common neighbors are direct tree edges
+        branches = set()
+        for x in g.neighbors(v):
+            d = depths.get(x)
+            if d is not None and 1 <= d <= 1 + beta:
+                branches.add(tree.branch(x))
+        if len(branches) < k:
+            bad.append((v, len(branches)))
+    return bad
+
+
+def is_k_connecting_dominating_tree(g: Graph, tree: DomTree, k: int, beta: int) -> bool:
+    """Whether *tree* is a k-connecting (2, β)-dominating tree for its root."""
+    tree.validate(g)
+    return not k_connecting_violations(g, tree, k, beta)
+
+
+# --------------------------------------------------------------------- #
+# "induces" predicates — existence of suitable trees inside a sub-graph H
+# --------------------------------------------------------------------- #
+
+
+def induces_dominating_trees(h: Graph, g: Graph, r: int, beta: int) -> bool:
+    """Whether H contains an (r, β)-dominating tree for *every* node of G.
+
+    Existence reduces to distances: the BFS tree of H from *u* realizes
+    ``d_T(u, x) = d_H(u, x)`` and no tree inside H can do better, so H
+    induces a tree for *u* iff every *v* at distance ``2 ≤ r' ≤ r`` (in G)
+    has a neighbor *x* with ``d_H(u, x) ≤ r' − 1 + β``.  This is the form
+    Propositions 1 and 5 are tested through.
+    """
+    if r < 2:
+        raise ParameterError(f"r must be ≥ 2, got {r}")
+    for u in g.nodes():
+        dist_g = bfs_distances(g, u, cutoff=r)
+        dist_h = bfs_distances(h, u)
+        for v in g.nodes():
+            rp = dist_g[v]
+            if rp < 2:
+                continue
+            ok = any(
+                dist_h[x] != -1 and dist_h[x] <= rp - 1 + beta for x in g.neighbors(v)
+            )
+            if not ok:
+                return False
+    return True
+
+
+def induces_k_connecting_star_trees(h: Graph, g: Graph, k: int) -> bool:
+    """Whether H induces a k-connecting (2, 0)-dominating tree for every node.
+
+    With β = 0 qualifying neighbors must be tree-children of the root, so
+    the only tree that matters is the star of *u*'s H-edges: the condition
+    is per-node and per-v — either all common neighbors ``w ∈ N(u) ∩ N(v)``
+    satisfy ``uw ∈ E(H)``, or at least k of them do.  (Proposition 5 uses
+    exactly this characterization.)
+    """
+    if k < 1:
+        raise ParameterError(f"k must be ≥ 1, got {k}")
+    for u in g.nodes():
+        star = {w for w in g.neighbors(u) if h.has_edge(u, w)}
+        layers = bfs_layers(g, u, cutoff=2)
+        for v in layers[2] if len(layers) > 2 else []:
+            common = g.neighbors(v) & g.neighbors(u)
+            if common <= star:
+                continue
+            if len(common & star) < k:
+                return False
+    return True

@@ -1,0 +1,103 @@
+"""Algorithm 5 — ``DomTreeMIS_{2,1,k}(u)``: k-connecting (2, 1)-dominating trees.
+
+Dominates the distance-2 ring of *u* with *k rounds* of greedily grown
+maximal independent sets.  Each picked ring node *x* is attached to the
+tree through a fresh common neighbor ``y1`` (path ``u–y1–x``) and up to
+``k−1`` further fresh common neighbors get direct spokes ``u–y_i`` — every
+pick therefore opens new *branches*, and branch-distinctness is what makes
+the tree paths internally disjoint.
+
+Guarantee (Proposition 7): the result is a k-connecting (2, 1)-dominating
+tree; on the unit ball graph of a doubling metric it has ``O(k²)`` edges
+(each round's MIS has O(1) size, each pick adds ≤ k+1 edges).  Combined
+with Proposition 4 this yields Theorem 3's linear-size 2-connecting
+(2, −1)-remote-spanners.
+
+Deviations from the paper's pseudo-code (documented in DESIGN.md §4):
+
+1. **`S ∩ X` can empty while both sets are non-empty** (X loses balls of
+   picked nodes, S loses dominated nodes — the losses are different).  The
+   pseudo-code's ``Pick x ∈ S ∩ X`` is then impossible; we end the round,
+   which preserves the proof's invariant (M is maximal independent in
+   ``M ∪ S`` — every surviving S-node lost its X-membership to a picked
+   ball, hence is adjacent to M).
+2. **Re-picked ring nodes keep their original parent.**  A node *x* picked
+   in round 1 with fewer than k fresh common neighbors stays in S and may
+   be picked again in a later round (X resets to S each round).  Adding the
+   ``u–y1–x`` path again would give *x* two parents; instead later picks
+   add only the fresh spokes ``u–y_i``, which is all the domination
+   argument uses (the y_i are new branches adjacent to x).
+3. The paper's inner ``k′ := min{...}`` reuses the loop variable name —
+   an obvious typo; we call it ``k_fresh``.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParameterError
+from ..graph import Graph
+from ..graph.traversal import bfs_layers
+from .domtree import DomTree
+
+__all__ = ["dom_tree_kmis"]
+
+
+def dom_tree_kmis(g: Graph, u: int, k: int) -> DomTree:
+    """Compute a k-connecting (2, 1)-dominating tree for *u* (Algorithm 5)."""
+    if k < 1:
+        raise ParameterError(f"k must be ≥ 1, got {k}")
+    layers = bfs_layers(g, u, cutoff=2)
+    two_ring = set(layers[2]) if len(layers) > 2 else set()
+    nu = g.neighbors(u)
+
+    tree = DomTree(root=u)
+    s_set = set(two_ring)
+
+    def prune_dominated(current: set[int]) -> set[int]:
+        """Apply the S-removal test: drop v when all its common neighbors
+        are in V(T), or v has k disjoint tree paths of length ≤ 2 to its
+        neighbors (k distinct branches)."""
+        nodes = tree.nodes()
+        depths = tree.depths()
+        branch_of = {
+            x: tree.branch(x) for x, d in depths.items() if 1 <= d <= 2
+        }
+        survivors: set[int] = set()
+        for v in current:
+            if g.neighbors(v) & nu <= nodes:
+                continue
+            branches = {branch_of[x] for x in g.neighbors(v) if x in branch_of}
+            if len(branches) >= k:
+                continue
+            survivors.add(v)
+        return survivors
+
+    for _round in range(k):
+        if not s_set:
+            break
+        x_set = set(s_set)  # X := S
+        while x_set and s_set:
+            eligible = s_set & x_set
+            if not eligible:
+                break  # deviation 1: round over, M maximal in M ∪ S
+            x = min(eligible)
+            fresh = sorted((g.neighbors(x) & nu) - tree.nodes())
+            # x ∈ S guarantees fresh ≠ ∅ unless x is already in the tree
+            # (re-pick, deviation 2) — then fresh may legitimately be empty.
+            k_fresh = min(k, len(fresh))
+            ys = fresh[:k_fresh]
+            if x not in tree.nodes():
+                if not ys:  # pragma: no cover — excluded by the S-update
+                    raise ParameterError(
+                        f"ring node {x} has no fresh common neighbor; "
+                        "inconsistent S bookkeeping"
+                    )
+                tree.add_root_path([u, ys[0], x])
+                spokes = ys[1:]
+            else:
+                spokes = ys
+            for y in spokes:
+                tree.add_root_path([u, y])
+            s_set = prune_dominated(s_set)
+            x_set -= g.neighbors(x)
+            x_set.discard(x)
+    return tree

@@ -1,0 +1,125 @@
+"""Exact optimal dominating trees — the OPT side of Propositions 2 and 6.
+
+Proposition 2 bounds Algorithm 1's tree against the minimum-edge
+(r, β)-dominating tree; Proposition 6 bounds Algorithm 4's star against the
+minimum k-connecting (2, 0)-dominating tree; Theorem 2 turns the latter
+into a global 2(1+log Δ) guarantee via
+:math:`2|E(H^*)| ≥ \\sum_u |E(T^*_u)|`.  This module computes those optima
+exactly on small instances:
+
+* :func:`optimal_dom_tree_edges` — exhaustive subset search over candidate
+  node sets (the minimum-edge tree on a node set ``W ∪ {u}`` realizes
+  induced-sub-graph BFS distances, so feasibility of a node set is a BFS
+  check and |edges| = |W|);
+* :func:`optimal_kconnecting_star_size` — exact multicover through
+  :mod:`repro.setcover.exact` (demand ``min(k, |N(v) ∩ N(u)|)`` encodes
+  the definition's escape clause);
+* :func:`k_connecting_spanner_lower_bound` — Theorem 2's
+  ``Σ_u |E(T*_u)| / 2`` lower bound on any k-connecting
+  (1, 0)-remote-spanner of G.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+
+from ..errors import ParameterError
+from ..graph import Graph, bfs_distances
+from ..graph.traversal import bfs_layers
+from ..setcover import SetCoverInstance, exact_multicover
+
+__all__ = [
+    "optimal_dom_tree_edges",
+    "optimal_kconnecting_star_size",
+    "k_connecting_spanner_lower_bound",
+]
+
+_SEARCH_LIMIT = 22  # max candidate pool size for the exhaustive tree search
+
+
+def optimal_dom_tree_edges(g: Graph, u: int, r: int, beta: int) -> int:
+    """Minimum edge count of an (r, β)-dominating tree for *u* (exact).
+
+    Exhaustive search over node subsets ``W`` of the candidate pool
+    ``B_G(u, r−1+β) \\ {u}`` in increasing size; a subset is feasible when
+    every node *v* at distance ``2 ≤ r' ≤ r`` has a neighbor
+    ``x ∈ W ∪ {u}`` with ``d_{G[W ∪ {u}]}(u, x) ≤ r' − 1 + β``.  The
+    minimum-edge tree on a fixed node set is its induced BFS tree, so
+    |E| = |W| for the smallest feasible W.
+
+    Raises :class:`~repro.errors.ParameterError` when the candidate pool
+    exceeds the exhaustive-search limit (this is an exact reference
+    implementation for small instances, not a production solver).
+    """
+    if r < 2:
+        raise ParameterError(f"r must be ≥ 2, got {r}")
+    if beta < 0:
+        raise ParameterError(f"β must be ≥ 0, got {beta}")
+    dist = bfs_distances(g, u, cutoff=max(r, r - 1 + beta))
+    targets = [(v, dist[v]) for v in g.nodes() if 2 <= dist[v] <= r]
+    if not targets:
+        return 0
+    pool = [x for x in g.nodes() if 1 <= dist[x] <= r - 1 + beta]
+    if len(pool) > _SEARCH_LIMIT:
+        raise ParameterError(
+            f"candidate pool of {len(pool)} exceeds exhaustive limit {_SEARCH_LIMIT}"
+        )
+
+    def feasible(w: "tuple[int, ...]") -> bool:
+        wset = set(w)
+        wset.add(u)
+        # BFS restricted to W ∪ {u}.
+        d_ind = {u: 0}
+        frontier = [u]
+        while frontier:
+            nxt = []
+            for a in frontier:
+                for b in g.neighbors(a):
+                    if b in wset and b not in d_ind:
+                        d_ind[b] = d_ind[a] + 1
+                        nxt.append(b)
+            frontier = nxt
+        for v, rp in targets:
+            if not any(
+                x in d_ind and d_ind[x] <= rp - 1 + beta for x in g.neighbors(v)
+            ):
+                return False
+        return True
+
+    for size in range(0, len(pool) + 1):
+        for w in combinations(pool, size):
+            if feasible(w):
+                return size
+    raise ParameterError("no dominating tree exists — disconnected ball?")  # pragma: no cover
+
+
+def optimal_kconnecting_star_size(g: Graph, u: int, k: int) -> int:
+    """Minimum size of a k-connecting (2, 0)-dominating tree for *u* (exact).
+
+    The tree is a star ``{ux : x ∈ M}``; M must cover every distance-2
+    node *v* ``min(k, |N(v) ∩ N(u)|)`` times — an exact multicover
+    instance solved by branch and bound.
+    """
+    if k < 1:
+        raise ParameterError(f"k must be ≥ 1, got {k}")
+    layers = bfs_layers(g, u, cutoff=2)
+    two_ring = layers[2] if len(layers) > 2 else []
+    if not two_ring:
+        return 0
+    nu = g.neighbors(u)
+    sets = {x: frozenset(g.neighbors(x) & set(two_ring)) for x in nu}
+    demand = {v: min(k, len(g.neighbors(v) & nu)) for v in two_ring}
+    inst = SetCoverInstance.from_sets(sets, universe=two_ring, demand=demand)
+    return len(exact_multicover(inst))
+
+
+def k_connecting_spanner_lower_bound(g: Graph, k: int) -> float:
+    """Theorem 2's lower bound on edges of ANY k-connecting (1,0)-remote-spanner.
+
+    An optimal spanner H* induces a k-connecting (2, 0)-dominating tree for
+    every u; those trees are depth-1, so ``deg_{H*}(u) ≥ |E(T*_u)|`` and
+    ``|E(H*)| ≥ Σ_u |E(T*_u)| / 2``.
+    """
+    total = sum(optimal_kconnecting_star_size(g, u, k) for u in g.nodes())
+    return math.ceil(total / 2)

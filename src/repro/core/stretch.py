@@ -1,0 +1,236 @@
+"""Stretch verification and measurement — the certification side of the repo.
+
+These predicates implement the remote-spanner *definitions* directly
+(BFS in :math:`H_u` per source; min-cost flow in :math:`H_s` for the
+k-connecting condition) and share no code with the constructions, so
+"construction passes checker" is meaningful evidence.
+
+The remote-spanner condition is inherently *ordered*: the pair (u, v) is
+checked in :math:`H_u` while (v, u) is checked in :math:`H_v` (paper §1:
+"the definition ... is asymmetric with respect to u and v as is the
+knowledge of u and v in a link state routing protocol").  All functions
+here quantify over ordered pairs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..errors import NotASubgraphError, ParameterError
+from ..graph import AugmentedView, Graph, bfs_distances
+from ..paths import k_connecting_profile
+
+__all__ = [
+    "remote_spanner_violations",
+    "is_remote_spanner",
+    "RemoteStretchStats",
+    "remote_stretch_stats",
+    "k_connecting_violations_spanner",
+    "is_k_connecting_remote_spanner",
+    "KConnectingStats",
+    "k_connecting_stretch_stats",
+]
+
+
+def _check_subgraph(h: Graph, g: Graph) -> None:
+    if not h.is_spanning_subgraph_of(g):
+        raise NotASubgraphError("H must be a spanning sub-graph of G (V(H) = V(G), E(H) ⊆ E(G))")
+
+
+# --------------------------------------------------------------------- #
+# plain (α, β) remote stretch
+# --------------------------------------------------------------------- #
+
+
+def remote_spanner_violations(
+    h: Graph, g: Graph, alpha: float, beta: float, sources: "Iterable[int] | None" = None
+) -> list:
+    """Ordered pairs violating :math:`d_{H_u}(u,v) ≤ α·d_G(u,v) + β`.
+
+    Returns ``[(u, v, d_g, d_hu)]``; ``d_hu`` is ``math.inf`` when *v* is
+    unreachable in :math:`H_u`.  Only nonadjacent pairs with ``d_G ≥ 2``
+    are constrained (adjacent pairs are satisfied through the augmented
+    edge).  Restricting *sources* lets large-graph benches sample.
+    """
+    _check_subgraph(h, g)
+    bad: list = []
+    for u in sources if sources is not None else g.nodes():
+        dg = bfs_distances(g, u)
+        dh = AugmentedView(h, g, u).distances_from(u)
+        for v in g.nodes():
+            if v == u or dg[v] < 2:
+                continue  # unreachable (-1), self (0) or adjacent (1)
+            d_hu: float = dh[v] if dh[v] >= 0 else math.inf
+            if d_hu > alpha * dg[v] + beta + 1e-9:
+                bad.append((u, v, dg[v], d_hu))
+    return bad
+
+
+def is_remote_spanner(
+    h: Graph, g: Graph, alpha: float, beta: float, sources: "Iterable[int] | None" = None
+) -> bool:
+    """Whether H is an (α, β)-remote-spanner of G (exact, BFS-based)."""
+    return not remote_spanner_violations(h, g, alpha, beta, sources)
+
+
+@dataclass
+class RemoteStretchStats:
+    """Measured remote stretch over the checked ordered pairs."""
+
+    pairs_checked: int = 0
+    max_ratio: float = 0.0  # max over pairs of d_{H_u} / d_G
+    mean_ratio: float = 0.0
+    max_additive: float = 0.0  # max over pairs of d_{H_u} - d_G
+    exact_fraction: float = 0.0  # fraction of pairs with d_{H_u} == d_G
+    unreachable: int = 0  # pairs reachable in G but not in H_u
+    by_distance: dict = field(default_factory=dict)  # d_G -> (count, max d_{H_u})
+
+    def satisfies(self, alpha: float, beta: float) -> bool:
+        """Whether every checked pair met ``α·d + β`` (needs per-pair data)."""
+        if self.unreachable:
+            return False
+        return all(
+            worst <= alpha * d + beta + 1e-9 for d, (_cnt, worst) in self.by_distance.items()
+        )
+
+
+def remote_stretch_stats(
+    h: Graph, g: Graph, sources: "Iterable[int] | None" = None
+) -> RemoteStretchStats:
+    """Measure remote stretch of H over (sampled) ordered nonadjacent pairs."""
+    _check_subgraph(h, g)
+    stats = RemoteStretchStats()
+    ratios_total = 0.0
+    exact = 0
+    for u in sources if sources is not None else g.nodes():
+        dg = bfs_distances(g, u)
+        dh = AugmentedView(h, g, u).distances_from(u)
+        for v in g.nodes():
+            if v == u or dg[v] < 2:
+                continue
+            stats.pairs_checked += 1
+            if dh[v] < 0:
+                stats.unreachable += 1
+                continue
+            ratio = dh[v] / dg[v]
+            ratios_total += ratio
+            stats.max_ratio = max(stats.max_ratio, ratio)
+            stats.max_additive = max(stats.max_additive, dh[v] - dg[v])
+            if dh[v] == dg[v]:
+                exact += 1
+            cnt, worst = stats.by_distance.get(dg[v], (0, 0))
+            stats.by_distance[dg[v]] = (cnt + 1, max(worst, dh[v]))
+    reached = stats.pairs_checked - stats.unreachable
+    stats.mean_ratio = ratios_total / reached if reached else 0.0
+    stats.exact_fraction = exact / reached if reached else 0.0
+    return stats
+
+
+# --------------------------------------------------------------------- #
+# k-connecting stretch (paper §3)
+# --------------------------------------------------------------------- #
+
+
+def k_connecting_violations_spanner(
+    h: Graph,
+    g: Graph,
+    k: int,
+    alpha: float,
+    beta: float,
+    pairs: "Sequence[tuple[int, int]] | None" = None,
+) -> list:
+    """Ordered pairs violating the k-connecting stretch condition.
+
+    For each ordered nonadjacent pair (s, t) and each ``k' ≤ k`` with
+    :math:`d^{k'}_G(s,t) < ∞`, requires
+    :math:`d^{k'}_{H_s}(s,t) ≤ α·d^{k'}_G(s,t) + k'·β`.  Finiteness of the
+    left side also certifies the connectivity-preservation half of the
+    definition.  Returns ``[(s, t, k', d_g, d_hs)]``.
+
+    ``pairs`` (unordered) limits the check; both orientations of each
+    listed pair are tested.  Cost is two min-cost-flow runs per pair.
+    """
+    if k < 1:
+        raise ParameterError(f"k must be ≥ 1, got {k}")
+    _check_subgraph(h, g)
+    if pairs is None:
+        n = g.num_nodes
+        pairs = [
+            (s, t) for s in range(n) for t in range(s + 1, n) if not g.has_edge(s, t)
+        ]
+    bad: list = []
+    for s, t in pairs:
+        if g.has_edge(s, t):
+            continue
+        profile_g = k_connecting_profile(g, s, t, k)
+        for src, dst in ((s, t), (t, s)):
+            view = AugmentedView(h, g, src)
+            profile_h = k_connecting_profile(view, src, dst, k)
+            for k_prime in range(1, k + 1):
+                d_g = profile_g[k_prime - 1]
+                if d_g == math.inf:
+                    break  # higher k' are inf too; nothing to require
+                d_h = profile_h[k_prime - 1]
+                if d_h > alpha * d_g + k_prime * beta + 1e-9:
+                    bad.append((src, dst, k_prime, d_g, d_h))
+    return bad
+
+
+def is_k_connecting_remote_spanner(
+    h: Graph,
+    g: Graph,
+    k: int,
+    alpha: float,
+    beta: float,
+    pairs: "Sequence[tuple[int, int]] | None" = None,
+) -> bool:
+    """Whether H is a k-connecting (α, β)-remote-spanner (exact, flow-based)."""
+    return not k_connecting_violations_spanner(h, g, k, alpha, beta, pairs)
+
+
+@dataclass
+class KConnectingStats:
+    """Measured k-connecting stretch over checked ordered pairs."""
+
+    k: int = 1
+    pairs_checked: int = 0
+    max_ratio_by_k: dict = field(default_factory=dict)  # k' -> worst d^k_H / d^k_G
+    connectivity_preserved: bool = True
+    infeasible_pairs: int = 0  # pairs with d^k'_G finite but d^k'_{H_s} infinite
+
+
+def k_connecting_stretch_stats(
+    h: Graph, g: Graph, k: int, pairs: "Sequence[tuple[int, int]] | None" = None
+) -> KConnectingStats:
+    """Measure k-connecting stretch ratios of H over (sampled) pairs."""
+    if k < 1:
+        raise ParameterError(f"k must be ≥ 1, got {k}")
+    _check_subgraph(h, g)
+    if pairs is None:
+        n = g.num_nodes
+        pairs = [
+            (s, t) for s in range(n) for t in range(s + 1, n) if not g.has_edge(s, t)
+        ]
+    stats = KConnectingStats(k=k)
+    for s, t in pairs:
+        if g.has_edge(s, t):
+            continue
+        profile_g = k_connecting_profile(g, s, t, k)
+        for src, dst in ((s, t), (t, s)):
+            stats.pairs_checked += 1
+            view = AugmentedView(h, g, src)
+            profile_h = k_connecting_profile(view, src, dst, k)
+            for k_prime in range(1, k + 1):
+                d_g = profile_g[k_prime - 1]
+                if d_g == math.inf:
+                    break
+                d_h = profile_h[k_prime - 1]
+                if d_h == math.inf:
+                    stats.infeasible_pairs += 1
+                    stats.connectivity_preserved = False
+                    continue
+                prev = stats.max_ratio_by_k.get(k_prime, 0.0)
+                stats.max_ratio_by_k[k_prime] = max(prev, d_h / d_g)
+    return stats

@@ -1,0 +1,132 @@
+"""The §1.2 translation lemma: regular spanners ARE remote-spanners.
+
+Paper: "One can easily see that any (α, β)-spanner is also an
+(α, β)-remote-spanner and even an (α, β−α+1)-remote-spanner for α ≥ 1
+(simply consider the spanner stretch from u′ to v where u′ is the first
+node on a shortest path from u to v in G)."
+
+This module makes the lemma executable in both directions:
+
+* :func:`is_spanner` — the plain (α, β)-*spanner* predicate (no
+  augmentation), used by the baselines' tests and the translation checks;
+* :func:`translated_guarantee` — the (α, β) → (α, β−α+1) bookkeeping;
+* :func:`check_translation_lemma` — for a given spanner H of G, verify
+  that it indeed satisfies the improved remote-spanner stretch (the
+  property-test suite runs this over every baseline spanner family);
+* :func:`remote_advantage` — how much better the remote-spanner condition
+  is than the plain one on a given H: the per-pair savings
+  d_H(u,v) − d_{H_u}(u,v), aggregated.  This quantifies the "neighbors are
+  free" gain that motivates the whole paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import NotASubgraphError, ParameterError
+from ..graph import AugmentedView, Graph, bfs_distances
+from .remote_spanner import StretchGuarantee
+
+__all__ = [
+    "is_spanner",
+    "spanner_violations",
+    "translated_guarantee",
+    "check_translation_lemma",
+    "RemoteAdvantage",
+    "remote_advantage",
+]
+
+
+def spanner_violations(h: Graph, g: Graph, alpha: float, beta: float) -> list:
+    """Pairs violating the plain spanner condition d_H ≤ α·d_G + β."""
+    if not h.is_spanning_subgraph_of(g):
+        raise NotASubgraphError("H must be a spanning sub-graph of G")
+    bad = []
+    for u in g.nodes():
+        dg = bfs_distances(g, u)
+        dh = bfs_distances(h, u)
+        for v in g.nodes():
+            if v <= u or dg[v] < 1:
+                continue
+            d_h = dh[v] if dh[v] >= 0 else float("inf")
+            if d_h > alpha * dg[v] + beta + 1e-9:
+                bad.append((u, v, dg[v], d_h))
+    return bad
+
+
+def is_spanner(h: Graph, g: Graph, alpha: float, beta: float) -> bool:
+    """Whether H is a plain (α, β)-spanner of G."""
+    return not spanner_violations(h, g, alpha, beta)
+
+
+def translated_guarantee(alpha: float, beta: float) -> StretchGuarantee:
+    """The remote-spanner stretch an (α, β)-spanner earns: (α, β−α+1).
+
+    Proof sketch from the paper: for nonadjacent u, v let u′ be the first
+    node of a shortest u-v path; then
+    ``d_{H_u}(u, v) ≤ 1 + d_H(u′, v) ≤ 1 + α(d_G(u,v) − 1) + β``.
+    Requires α ≥ 1.
+    """
+    if alpha < 1.0:
+        raise ParameterError(f"translation needs α ≥ 1, got {alpha}")
+    return StretchGuarantee(alpha=alpha, beta=beta - alpha + 1.0, k=1)
+
+
+def check_translation_lemma(h: Graph, g: Graph, alpha: float, beta: float) -> bool:
+    """Verify the lemma on a concrete (H, G): if H is an (α, β)-spanner
+    then H satisfies the translated remote stretch (α, β−α+1).
+
+    Returns ``True`` when either H is not an (α, β)-spanner (lemma
+    vacuous) or the translated remote condition holds.
+    """
+    from .stretch import is_remote_spanner
+
+    if not is_spanner(h, g, alpha, beta):
+        return True
+    guar = translated_guarantee(alpha, beta)
+    return is_remote_spanner(h, g, guar.alpha, guar.beta)
+
+
+@dataclass
+class RemoteAdvantage:
+    """Aggregate of d_H(u,v) − d_{H_u}(u,v) over ordered nonadjacent pairs."""
+
+    pairs: int = 0
+    improved_pairs: int = 0  # augmentation strictly helped
+    total_savings: int = 0  # sum of (d_H − d_{H_u}) over reachable pairs
+    max_savings: int = 0
+    rescued_pairs: int = 0  # unreachable in H but reachable in H_u
+
+    @property
+    def mean_savings(self) -> float:
+        return self.total_savings / self.pairs if self.pairs else 0.0
+
+
+def remote_advantage(h: Graph, g: Graph) -> RemoteAdvantage:
+    """Measure how much the 'neighbors are free' augmentation buys on H.
+
+    This is the paper's motivation quantified: the same advertised graph H
+    serves strictly shorter routes when each source grafts its own links.
+    """
+    if not h.is_spanning_subgraph_of(g):
+        raise NotASubgraphError("H must be a spanning sub-graph of G")
+    adv = RemoteAdvantage()
+    for u in g.nodes():
+        dg = bfs_distances(g, u)
+        dh = bfs_distances(h, u)
+        dhu = AugmentedView(h, g, u).distances_from(u)
+        for v in g.nodes():
+            if v == u or dg[v] < 2:
+                continue
+            adv.pairs += 1
+            if dh[v] < 0 and dhu[v] >= 0:
+                adv.rescued_pairs += 1
+                adv.improved_pairs += 1
+                continue
+            if dh[v] >= 0 and dhu[v] >= 0:
+                saving = dh[v] - dhu[v]
+                if saving > 0:
+                    adv.improved_pairs += 1
+                    adv.total_savings += saving
+                    adv.max_savings = max(adv.max_savings, saving)
+    return adv

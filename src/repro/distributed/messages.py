@@ -1,0 +1,72 @@
+"""Message types for the synchronous message-passing simulator.
+
+The protocols of the paper exchange three kinds of information (Algorithm 3):
+node identities (HELLO), neighbor lists (link-state advertisements), and
+computed dominating trees.  Every message is a frozen dataclass so protocol
+code cannot mutate in-flight messages, and each knows its own *size* in
+"advertised link" units — the cost model the paper's overhead discussion
+uses (flooding cost ∝ number of links advertised).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Hello", "NeighborAdvert", "TreeAdvert", "size_in_links"]
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Round-1 neighbor discovery probe."""
+
+    origin: int
+
+    @property
+    def size(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class NeighborAdvert:
+    """A scoped-flooded link-state advertisement: *origin*'s neighbor list.
+
+    ``ttl`` counts the remaining re-broadcast hops; ``stamp`` carries the
+    origination time for the periodic protocol's freshness bookkeeping.
+    """
+
+    origin: int
+    neighbors: frozenset = field(default_factory=frozenset)
+    ttl: int = 0
+    stamp: int = 0
+
+    @property
+    def size(self) -> int:
+        return max(1, len(self.neighbors))
+
+    def relay(self) -> "NeighborAdvert":
+        """The copy a relaying node re-broadcasts (TTL decremented)."""
+        return NeighborAdvert(
+            origin=self.origin, neighbors=self.neighbors, ttl=self.ttl - 1, stamp=self.stamp
+        )
+
+
+@dataclass(frozen=True)
+class TreeAdvert:
+    """A scoped-flooded dominating tree: *origin*'s T_u as an edge set."""
+
+    origin: int
+    edges: frozenset = field(default_factory=frozenset)
+    ttl: int = 0
+    stamp: int = 0
+
+    @property
+    def size(self) -> int:
+        return max(1, len(self.edges))
+
+    def relay(self) -> "TreeAdvert":
+        return TreeAdvert(origin=self.origin, edges=self.edges, ttl=self.ttl - 1, stamp=self.stamp)
+
+
+def size_in_links(message) -> int:
+    """Uniform size accessor for accounting (all message types have .size)."""
+    return message.size

@@ -1,0 +1,31 @@
+"""Accounting for distributed runs: rounds, messages, advertised links.
+
+The paper evaluates distributed algorithms by *rounds* (Table 1's
+"computation time" column) and motivates remote-spanners by *advertisement
+volume* (flooding fewer links than OSPF).  The simulator fills one of these
+records per run so the benches can print both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SimStats"]
+
+
+@dataclass
+class SimStats:
+    """Cost profile of one simulated protocol execution."""
+
+    rounds: int = 0
+    messages: int = 0  # node-to-neighbor deliveries
+    broadcasts: int = 0  # local broadcast operations (radio transmissions)
+    links_advertised: int = 0  # sum of message sizes in link units
+    per_round_messages: list = field(default_factory=list)
+
+    def record_round(self, messages: int, broadcasts: int, links: int) -> None:
+        self.rounds += 1
+        self.messages += messages
+        self.broadcasts += broadcasts
+        self.links_advertised += links
+        self.per_round_messages.append(messages)

@@ -1,0 +1,63 @@
+"""Protocol-node base class for the synchronous simulator.
+
+A node is a state machine driven once per round with the batch of messages
+delivered to it.  It reacts by queueing broadcasts (delivered to all graph
+neighbors at the *next* round — the LOCAL model's unit-time local
+broadcast, matching the radio-network semantics of OLSR-style protocols)
+and may declare itself *halted*; the simulation ends when every node has
+halted and no messages are in flight.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["ProtocolNode"]
+
+
+class ProtocolNode:
+    """Base class; subclasses override :meth:`on_round`.
+
+    Attributes
+    ----------
+    ident:
+        The node's id (equal to its graph node id).
+    halted:
+        Set ``True`` by the subclass when its protocol work is done.
+        Halted nodes still receive and may react to messages (real routers
+        never stop listening) — halting only signals quiescence.
+    """
+
+    def __init__(self, ident: int) -> None:
+        self.ident = ident
+        self.halted = False
+        self._outbox: list = []
+
+    # ------------------------------------------------------------------ #
+    # API towards the simulator
+    # ------------------------------------------------------------------ #
+
+    def broadcast(self, message) -> None:
+        """Queue *message* for local broadcast to all neighbors next round."""
+        self._outbox.append(message)
+
+    def broadcast_all(self, messages: Iterable) -> None:
+        for m in messages:
+            self.broadcast(m)
+
+    def drain_outbox(self) -> list:
+        out, self._outbox = self._outbox, []
+        return out
+
+    # ------------------------------------------------------------------ #
+    # protocol hook
+    # ------------------------------------------------------------------ #
+
+    def on_round(self, round_index: int, inbox: Sequence) -> None:
+        """Handle the messages delivered this round (override me).
+
+        ``round_index`` starts at 1 for the first round.  ``inbox`` holds
+        every message broadcast by a neighbor in the previous round (round
+        1 delivers nothing; it is where protocols originate traffic).
+        """
+        raise NotImplementedError

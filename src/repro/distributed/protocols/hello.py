@@ -1,0 +1,48 @@
+"""HELLO protocol: one-exchange neighbor discovery.
+
+Step 1 of Algorithm 3 ("send u to all neighbors and receive identities of
+neighbors") in isolation.  Mostly a simulator sanity fixture — the full
+RemSpan protocol embeds the same logic — but also the measurement point
+for the claim that neighbor knowledge costs exactly one communication
+round regardless of the graph.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...graph import Graph
+from ..messages import Hello
+from ..node import ProtocolNode
+from ..simulator import SyncNetwork
+
+__all__ = ["HelloNode", "run_hello"]
+
+
+class HelloNode(ProtocolNode):
+    """Broadcasts its identity once, then collects neighbor identities."""
+
+    def __init__(self, ident: int) -> None:
+        super().__init__(ident)
+        self.known_neighbors: set[int] = set()
+
+    def on_round(self, round_index: int, inbox: Sequence) -> None:
+        if round_index == 1:
+            self.broadcast(Hello(origin=self.ident))
+            return
+        for message in inbox:
+            if isinstance(message, Hello):
+                self.known_neighbors.add(message.origin)
+        self.halted = True
+
+
+def run_hello(g: Graph) -> "tuple[dict[int, set[int]], int]":
+    """Run neighbor discovery; returns (per-node neighbor sets, comm rounds).
+
+    Communication rounds = simulator rounds − 1 (the first round only
+    originates traffic), matching the paper's send+receive time unit.
+    """
+    net = SyncNetwork(g, HelloNode)
+    stats = net.run()
+    discovered = {u: set(node.known_neighbors) for u, node in net.nodes.items()}
+    return discovered, stats.rounds - 1

@@ -1,0 +1,54 @@
+"""Experiment harnesses: one module per table/figure/claim of the paper.
+
+``table1`` regenerates Table 1; ``figure1`` the worked example; ``scaling``
+the n/k/ε/r sweeps behind Theorems 1–3 and Propositions 3/7; ``ablation``
+the design-choice comparisons.  ``runner`` holds the shared instance
+builders and seed discipline.
+"""
+
+from .runner import largest_component, poisson_udg, scaled_udg, side_for_degree
+from .table1 import TABLE1_HEADERS, Table1Row, build_table1
+from .figure1 import Figure1, ascii_scene, build_figure1, figure1_points, minimal_remote_spanner
+from .scaling import (
+    ScalingResult,
+    ScalingRow,
+    eps_sweep,
+    k_sweep,
+    linear_ubg,
+    tree_size_sweep,
+    udg_edge_scaling,
+)
+from .ablation import (
+    AblationReport,
+    ablate_beta,
+    ablate_first_fit,
+    ablate_greedy_vs_mis,
+    ablate_mis_order,
+)
+
+__all__ = [
+    "largest_component",
+    "poisson_udg",
+    "scaled_udg",
+    "side_for_degree",
+    "TABLE1_HEADERS",
+    "Table1Row",
+    "build_table1",
+    "Figure1",
+    "ascii_scene",
+    "build_figure1",
+    "figure1_points",
+    "minimal_remote_spanner",
+    "ScalingResult",
+    "ScalingRow",
+    "eps_sweep",
+    "k_sweep",
+    "linear_ubg",
+    "tree_size_sweep",
+    "udg_edge_scaling",
+    "AblationReport",
+    "ablate_beta",
+    "ablate_first_fit",
+    "ablate_greedy_vs_mis",
+    "ablate_mis_order",
+]

@@ -1,0 +1,74 @@
+"""Shared experiment plumbing: instance builders and seed discipline.
+
+Every experiment derives its randomness from a single integer seed via
+:func:`repro.rng.derive_seed`, so benchmark tables are reproducible and
+individual rows can be re-run in isolation.
+
+Instance builders produce the paper's input models:
+
+* :func:`poisson_udg` — Theorem 2's "unit disk graph of a uniform Poisson
+  distribution in a fixed square", parameterized by intensity and side;
+* :func:`scaled_udg` — a UDG with *exactly* n points whose square side is
+  chosen to keep expected degree constant (the regime where the n-sweep
+  exponents are meaningful — fixed side would drive the graph to a clique);
+* :func:`largest_component` — experiments about stretch/routing need a
+  connected arena; theorems hold per-component anyway.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..geometry import poisson_points, uniform_points, unit_disk_graph
+from ..graph import Graph, connected_components, induced_subgraph
+from ..rng import derive_seed
+
+__all__ = [
+    "poisson_udg",
+    "scaled_udg",
+    "largest_component",
+    "side_for_degree",
+]
+
+
+def side_for_degree(n: int, target_degree: float) -> float:
+    """Square side so n uniform points have expected UDG degree ≈ target.
+
+    With density λ = n/side², a node expects ``λ·π·1²`` neighbors (ignoring
+    boundary effects); solve for side.
+    """
+    if n < 1 or target_degree <= 0:
+        raise ParameterError(f"need n ≥ 1 and positive degree (got {n}, {target_degree})")
+    return math.sqrt(n * math.pi / target_degree)
+
+
+def poisson_udg(
+    intensity: float, side: float, seed: int, tag: str = "poisson"
+) -> "tuple[Graph, np.ndarray]":
+    """Theorem 2's model: Poisson(intensity) points on [0, side]², radius 1."""
+    pts = poisson_points(intensity, side, dim=2, seed=derive_seed(seed, tag))
+    return unit_disk_graph(pts, radius=1.0), pts
+
+
+def scaled_udg(
+    n: int, target_degree: float, seed: int, tag: str = "udg"
+) -> "tuple[Graph, np.ndarray]":
+    """Exactly n uniform points, side scaled for constant expected degree."""
+    side = side_for_degree(n, target_degree)
+    pts = uniform_points(n, side, dim=2, seed=derive_seed(seed, tag, n))
+    return unit_disk_graph(pts, radius=1.0), pts
+
+
+def largest_component(g: Graph) -> "tuple[Graph, list[int]]":
+    """Induced sub-graph on the largest connected component (re-indexed).
+
+    Returns ``(subgraph, original_ids)``.
+    """
+    comps = connected_components(g)
+    if not comps:
+        return Graph(0), []
+    biggest = max(comps, key=len)
+    return induced_subgraph(g, biggest)

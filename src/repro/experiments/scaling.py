@@ -1,0 +1,239 @@
+"""Scaling experiments: every asymptotic claim of the evaluation, measured.
+
+Four sweeps, each matching a specific claim:
+
+* :func:`udg_edge_scaling` — Theorem 2 / §3.2: a (1, 0)-remote-spanner of
+  a random UDG has expected ``O(k^{2/3} n^{4/3} log n)`` edges while the
+  full topology has ``Ω(n²)`` (constant side!).  We sweep n at *fixed
+  square side* with growing Poisson intensity, measure spanner and full
+  edge counts, and fit exponents — the paper's shape prediction is
+  spanner-exponent ≈ 4/3 vs full-topology-exponent ≈ 2.
+* :func:`k_sweep` — the ``k^{2/3}`` dependence at fixed n.
+* :func:`eps_sweep` — Theorem 1: edges of the (1+ε, 1−2ε)-remote-spanner
+  grow like ``ε^{-(p+1)} n``; we sweep ε at fixed n on a UDG (p = 2) and
+  fit the ε exponent.
+* :func:`linear_ubg` / :func:`tree_size_sweep` — Theorems 1/3 and
+  Propositions 3/7: per-node edge counts flatten (O(n) total); individual
+  MIS trees grow like ``r^{p+1}`` and k-MIS trees like ``k²``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+
+from ..analysis import PowerLawFit, fit_power_law
+from ..core import (
+    build_biconnecting_spanner,
+    build_k_connecting_spanner,
+    build_remote_spanner,
+    dom_tree_kmis,
+    dom_tree_mis,
+)
+from ..rng import derive_seed
+from .runner import largest_component, poisson_udg, scaled_udg
+
+__all__ = [
+    "ScalingRow",
+    "ScalingResult",
+    "udg_edge_scaling",
+    "k_sweep",
+    "eps_sweep",
+    "linear_ubg",
+    "tree_size_sweep",
+]
+
+
+@dataclass
+class ScalingRow:
+    """One sweep point: the swept value plus measured means."""
+
+    x: float
+    values: dict = field(default_factory=dict)
+
+
+@dataclass
+class ScalingResult:
+    """A sweep with its fitted exponents."""
+
+    rows: list
+    fits: dict  # name -> PowerLawFit
+
+    def exponent(self, name: str) -> float:
+        return self.fits[name].exponent
+
+
+def udg_edge_scaling(
+    intensities: "tuple[float, ...]" = (40.0, 80.0, 160.0, 320.0),
+    side: float = 4.0,
+    k: int = 1,
+    trials: int = 3,
+    seed: int = 1,
+) -> ScalingResult:
+    """Theorem 2's n-sweep on Poisson UDGs in a *fixed* square.
+
+    Growing intensity in a fixed square is exactly the paper's model: the
+    full topology densifies quadratically while the remote-spanner should
+    track ``n^{4/3}`` (× log n).  Reports mean node count, full edges and
+    spanner edges per intensity, with power-law fits of both edge counts
+    against measured n.
+    """
+    rows: list[ScalingRow] = []
+    ns, fulls, spanners = [], [], []
+    for intensity in intensities:
+        trial_n, trial_full, trial_sp = [], [], []
+        for t in range(trials):
+            g, _pts = poisson_udg(intensity, side, derive_seed(seed, "n", int(intensity), t))
+            if g.num_nodes < 4:
+                continue
+            rs = build_k_connecting_spanner(g, k=k)
+            trial_n.append(g.num_nodes)
+            trial_full.append(g.num_edges)
+            trial_sp.append(rs.num_edges)
+        row = ScalingRow(
+            x=intensity,
+            values={
+                "n": mean(trial_n),
+                "full_edges": mean(trial_full),
+                "spanner_edges": mean(trial_sp),
+            },
+        )
+        rows.append(row)
+        ns.append(row.values["n"])
+        fulls.append(row.values["full_edges"])
+        spanners.append(row.values["spanner_edges"])
+    fits = {
+        "full_edges": fit_power_law(ns, fulls),
+        "spanner_edges": fit_power_law(ns, spanners),
+    }
+    return ScalingResult(rows=rows, fits=fits)
+
+
+def k_sweep(
+    ks: "tuple[int, ...]" = (1, 2, 3, 4, 6),
+    intensity: float = 160.0,
+    side: float = 4.0,
+    trials: int = 3,
+    seed: int = 2,
+) -> ScalingResult:
+    """Theorem 2's k-dependence: spanner edges should grow ≈ k^{2/3} (capped
+    by the full topology, so the sweep stays in the unsaturated regime)."""
+    rows: list[ScalingRow] = []
+    xs, ys = [], []
+    for k in ks:
+        trial_sp = []
+        for t in range(trials):
+            g, _pts = poisson_udg(intensity, side, derive_seed(seed, "k", t))
+            rs = build_k_connecting_spanner(g, k=k)
+            trial_sp.append(rs.num_edges)
+        rows.append(ScalingRow(x=k, values={"spanner_edges": mean(trial_sp)}))
+        xs.append(float(k))
+        ys.append(mean(trial_sp))
+    return ScalingResult(rows=rows, fits={"spanner_edges": fit_power_law(xs, ys)})
+
+
+def eps_sweep(
+    epsilons: "tuple[float, ...]" = (1.0, 0.5, 1 / 3, 0.25),
+    n: int = 300,
+    target_degree: float = 14.0,
+    trials: int = 3,
+    seed: int = 3,
+) -> ScalingResult:
+    """Theorem 1's ε-dependence: edges ≈ ε^{-(p+1)}·n on a UDG (p = 2).
+
+    The fit is against 1/ε so the expected exponent is ≈ +(p+1) capped by
+    saturation (a UDG has only m edges to give; the small-ε end flattens).
+    """
+    rows: list[ScalingRow] = []
+    xs, ys = [], []
+    for eps in epsilons:
+        trial_sp = []
+        for t in range(trials):
+            g_full, _pts = scaled_udg(n, target_degree, derive_seed(seed, "eps", t))
+            g, _ids = largest_component(g_full)
+            rs = build_remote_spanner(g, epsilon=eps, method="mis")
+            trial_sp.append(rs.num_edges / g.num_nodes)
+        rows.append(ScalingRow(x=eps, values={"edges_per_n": mean(trial_sp)}))
+        xs.append(1.0 / eps)
+        ys.append(mean(trial_sp))
+    return ScalingResult(rows=rows, fits={"edges_per_n": fit_power_law(xs, ys)})
+
+
+def linear_ubg(
+    ns: "tuple[int, ...]" = (100, 200, 400, 800),
+    target_degree: float = 12.0,
+    epsilon: float = 0.5,
+    trials: int = 3,
+    seed: int = 4,
+) -> ScalingResult:
+    """Theorems 1 and 3: total edges linear in n on constant-degree UDGs.
+
+    Reports edges/n for the ε-spanner and the 2-connecting spanner; both
+    series should be ≈ flat (fit exponents of *total* edges ≈ 1).
+    """
+    rows: list[ScalingRow] = []
+    xs, eps_edges, two_edges = [], [], []
+    for n in ns:
+        t_eps, t_two, t_n = [], [], []
+        for t in range(trials):
+            g_full, _pts = scaled_udg(n, target_degree, derive_seed(seed, "lin", n, t))
+            g, _ids = largest_component(g_full)
+            rs_eps = build_remote_spanner(g, epsilon=epsilon, method="mis")
+            rs_two = build_biconnecting_spanner(g)
+            t_eps.append(rs_eps.num_edges)
+            t_two.append(rs_two.num_edges)
+            t_n.append(g.num_nodes)
+        rows.append(
+            ScalingRow(
+                x=n,
+                values={
+                    "n_cc": mean(t_n),
+                    "eps_edges_per_n": mean(t_eps) / mean(t_n),
+                    "two_conn_edges_per_n": mean(t_two) / mean(t_n),
+                },
+            )
+        )
+        xs.append(mean(t_n))
+        eps_edges.append(mean(t_eps))
+        two_edges.append(mean(t_two))
+    fits = {
+        "eps_total_edges": fit_power_law(xs, eps_edges),
+        "two_conn_total_edges": fit_power_law(xs, two_edges),
+    }
+    return ScalingResult(rows=rows, fits=fits)
+
+
+def tree_size_sweep(
+    rs_values: "tuple[int, ...]" = (2, 3, 4, 5),
+    ks_values: "tuple[int, ...]" = (1, 2, 3, 4),
+    n: int = 500,
+    target_degree: float = 16.0,
+    samples: int = 40,
+    seed: int = 5,
+) -> "tuple[ScalingResult, ScalingResult]":
+    """Propositions 3 and 7: per-tree edge counts vs r and vs k.
+
+    Returns ``(r_sweep, k_sweep)`` with mean |E(T)| over sampled roots;
+    expected shapes: ≈ r^{p+1} (p = 2 ⇒ cubic-ish, boundary-dampened) and
+    ≈ k² (quadratic-ish, saturating once the 2-ring is exhausted).
+    """
+    g_full, _pts = scaled_udg(n, target_degree, derive_seed(seed, "tree"))
+    g, _ids = largest_component(g_full)
+    roots = list(range(0, g.num_nodes, max(1, g.num_nodes // samples)))
+
+    r_rows, r_xs, r_ys = [], [], []
+    for r in rs_values:
+        sizes = [dom_tree_mis(g, u, r).num_edges for u in roots]
+        r_rows.append(ScalingRow(x=r, values={"tree_edges": mean(sizes)}))
+        r_xs.append(float(r))
+        r_ys.append(mean(sizes))
+    k_rows, k_xs, k_ys = [], [], []
+    for k in ks_values:
+        sizes = [dom_tree_kmis(g, u, k).num_edges for u in roots]
+        k_rows.append(ScalingRow(x=k, values={"tree_edges": mean(sizes)}))
+        k_xs.append(float(k))
+        k_ys.append(mean(sizes))
+    return (
+        ScalingResult(rows=r_rows, fits={"tree_edges": fit_power_law(r_xs, r_ys)}),
+        ScalingResult(rows=k_rows, fits={"tree_edges": fit_power_law(k_xs, k_ys)}),
+    )

@@ -1,0 +1,35 @@
+"""Geometric substrate: point processes, metrics, unit ball graphs, nets.
+
+Provides the input models of the paper's theorems — random unit disk graphs
+(Poisson process in a square, Th. 2) and unit ball graphs of doubling
+metrics (Th. 1/3) — plus the net/packing machinery their proofs lean on.
+"""
+
+from .points import grid_points, perturbed_grid_points, poisson_points, uniform_points
+from .metrics import ChebyshevMetric, EuclideanMetric, Metric, SnowflakeMetric, TorusMetric
+from .unit_ball import brute_force_unit_ball_graph, unit_ball_graph, unit_disk_graph
+from .doubling import (
+    ball_cover_count,
+    estimate_doubling_dimension,
+    greedy_net,
+    packing_number,
+)
+
+__all__ = [
+    "grid_points",
+    "perturbed_grid_points",
+    "poisson_points",
+    "uniform_points",
+    "ChebyshevMetric",
+    "EuclideanMetric",
+    "Metric",
+    "SnowflakeMetric",
+    "TorusMetric",
+    "brute_force_unit_ball_graph",
+    "unit_ball_graph",
+    "unit_disk_graph",
+    "ball_cover_count",
+    "estimate_doubling_dimension",
+    "greedy_net",
+    "packing_number",
+]

@@ -1,0 +1,159 @@
+"""Metrics underlying unit ball graphs.
+
+A *unit ball graph* (UBG) of a metric *e* connects u and v iff
+``e(u, v) ≤ 1`` (paper §2.1).  The paper's edge-count theorems hold whenever
+*e* has constant doubling dimension *p* — every radius-R ball is coverable
+by ``2**p`` balls of radius R/2.  The metrics here cover the regimes the
+experiments need:
+
+* :class:`EuclideanMetric` (p = d for points in R^d; the unit *disk* graph
+  is the d=2 case);
+* :class:`ChebyshevMetric` (L∞; also doubling, different ball geometry —
+  exercises that nothing secretly assumes rotational symmetry);
+* :class:`TorusMetric` (wrap-around Euclidean; removes boundary effects in
+  scaling experiments);
+* :class:`SnowflakeMetric` (e^γ for 0<γ<1 of a base metric; doubling with a
+  *different* dimension p/γ — stresses the ε^{-(p+1)} edge bound's
+  p-dependence).
+
+Crucially, per §1.2 the algorithms never see these distances — the input is
+the graph alone ("distances in the underlying metric are unknown").  The
+metric objects exist only to *build* inputs and to *measure* properties in
+experiments.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = [
+    "Metric",
+    "EuclideanMetric",
+    "ChebyshevMetric",
+    "TorusMetric",
+    "SnowflakeMetric",
+]
+
+
+class Metric(ABC):
+    """A metric on point arrays of shape ``(n, dim)``."""
+
+    @abstractmethod
+    def pairwise(self, points: np.ndarray) -> np.ndarray:
+        """Full ``(n, n)`` distance matrix."""
+
+    @abstractmethod
+    def to_all(self, points: np.ndarray, i: int) -> np.ndarray:
+        """Distances from point *i* to all points (length-n vector)."""
+
+    def distance(self, points: np.ndarray, i: int, j: int) -> float:
+        """Distance between points *i* and *j*."""
+        return float(self.to_all(points, i)[j])
+
+    @property
+    def doubling_dimension_hint(self) -> "float | None":
+        """Analytical doubling dimension if known, else ``None``."""
+        return None
+
+
+class EuclideanMetric(Metric):
+    """Standard L2 metric on R^dim; doubling dimension ≈ dim."""
+
+    def __init__(self, dim: int = 2) -> None:
+        if dim < 1:
+            raise ParameterError(f"dim must be ≥ 1, got {dim}")
+        self.dim = dim
+
+    def pairwise(self, points: np.ndarray) -> np.ndarray:
+        diff = points[:, None, :] - points[None, :, :]
+        return np.sqrt((diff * diff).sum(axis=-1))
+
+    def to_all(self, points: np.ndarray, i: int) -> np.ndarray:
+        diff = points - points[i]
+        return np.sqrt((diff * diff).sum(axis=-1))
+
+    @property
+    def doubling_dimension_hint(self) -> float:
+        return float(self.dim)
+
+
+class ChebyshevMetric(Metric):
+    """L∞ metric; unit balls are axis-aligned cubes.  Doubling dim ≈ dim."""
+
+    def __init__(self, dim: int = 2) -> None:
+        if dim < 1:
+            raise ParameterError(f"dim must be ≥ 1, got {dim}")
+        self.dim = dim
+
+    def pairwise(self, points: np.ndarray) -> np.ndarray:
+        diff = np.abs(points[:, None, :] - points[None, :, :])
+        return diff.max(axis=-1)
+
+    def to_all(self, points: np.ndarray, i: int) -> np.ndarray:
+        return np.abs(points - points[i]).max(axis=-1)
+
+    @property
+    def doubling_dimension_hint(self) -> float:
+        return float(self.dim)
+
+
+class TorusMetric(Metric):
+    """Euclidean metric on a flat torus of the given side length.
+
+    Coordinates are taken modulo *side* in each axis; distance uses the
+    shorter way around.  Removes boundary effects so edge-density scaling
+    laws show clean exponents.
+    """
+
+    def __init__(self, side: float, dim: int = 2) -> None:
+        if side <= 0 or dim < 1:
+            raise ParameterError(f"need side > 0, dim ≥ 1; got {side}, {dim}")
+        self.side = float(side)
+        self.dim = dim
+
+    def _wrap(self, diff: np.ndarray) -> np.ndarray:
+        diff = np.abs(diff) % self.side
+        return np.minimum(diff, self.side - diff)
+
+    def pairwise(self, points: np.ndarray) -> np.ndarray:
+        diff = self._wrap(points[:, None, :] - points[None, :, :])
+        return np.sqrt((diff * diff).sum(axis=-1))
+
+    def to_all(self, points: np.ndarray, i: int) -> np.ndarray:
+        diff = self._wrap(points - points[i])
+        return np.sqrt((diff * diff).sum(axis=-1))
+
+    @property
+    def doubling_dimension_hint(self) -> float:
+        return float(self.dim)
+
+
+class SnowflakeMetric(Metric):
+    """The γ-snowflake ``e(u,v)**gamma`` of a base metric, 0 < γ ≤ 1.
+
+    Snowflaking preserves metric axioms and scales the doubling dimension to
+    ``p / γ``; with base Euclidean-2 and γ = 2/3 we get p = 3 without leaving
+    the plane — the lever the ε-sweep experiment uses to probe the
+    ``O(ε^{-(p+1)} n)`` bound's exponent.
+    """
+
+    def __init__(self, base: Metric, gamma: float) -> None:
+        if not (0.0 < gamma <= 1.0):
+            raise ParameterError(f"gamma must be in (0, 1], got {gamma}")
+        self.base = base
+        self.gamma = float(gamma)
+
+    def pairwise(self, points: np.ndarray) -> np.ndarray:
+        return self.base.pairwise(points) ** self.gamma
+
+    def to_all(self, points: np.ndarray, i: int) -> np.ndarray:
+        return self.base.to_all(points, i) ** self.gamma
+
+    @property
+    def doubling_dimension_hint(self) -> "float | None":
+        hint = self.base.doubling_dimension_hint
+        return None if hint is None else hint / self.gamma

@@ -1,0 +1,193 @@
+"""Deterministic and random graph generators used across tests and benches.
+
+The paper's guarantees are universal ("for any unweighted input graph"), so
+the test-suite exercises constructions on a zoo of structured families in
+addition to the geometric models from :mod:`repro.geometry`:
+
+* paths / cycles — the worst case discussed in §1.2 for fault-tolerant
+  spanners (deleting a cycle node blows up distances);
+* grids and hypercubes — bounded-growth vs expander-ish contrast;
+* complete / complete-bipartite — Δ = Ω(n) regimes where the log Δ factors
+  bite;
+* Erdős–Rényi ``G(n, p)`` — the "any graph" regime;
+* random trees and caterpillars — sparse diameter-heavy regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..rng import ensure_rng
+from .graph import Graph
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "complete_bipartite",
+    "star_graph",
+    "grid_graph",
+    "hypercube_graph",
+    "gnp_random_graph",
+    "random_tree",
+    "caterpillar_graph",
+    "theta_graph",
+    "random_connected_gnp",
+]
+
+
+def path_graph(n: int) -> Graph:
+    """Path ``0-1-...-(n-1)``."""
+    return Graph(n, ((i, i + 1) for i in range(n - 1)))
+
+
+def cycle_graph(n: int) -> Graph:
+    """Cycle on *n* ≥ 3 nodes."""
+    if n < 3:
+        raise ParameterError(f"cycle needs n ≥ 3, got {n}")
+    g = path_graph(n)
+    g.add_edge(n - 1, 0)
+    return g
+
+
+def complete_graph(n: int) -> Graph:
+    """Clique K_n."""
+    return Graph(n, ((u, v) for u in range(n) for v in range(u + 1, n)))
+
+
+def complete_bipartite(a: int, b: int) -> Graph:
+    """K_{a,b}: left part ``0..a-1``, right part ``a..a+b-1``."""
+    return Graph(a + b, ((u, a + v) for u in range(a) for v in range(b)))
+
+
+def star_graph(n: int) -> Graph:
+    """Star with center 0 and ``n-1`` leaves."""
+    if n < 1:
+        raise ParameterError(f"star needs n ≥ 1, got {n}")
+    return Graph(n, ((0, i) for i in range(1, n)))
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """``rows × cols`` 4-neighbor grid; node id is ``r * cols + c``."""
+    g = Graph(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            u = r * cols + c
+            if c + 1 < cols:
+                g.add_edge(u, u + 1)
+            if r + 1 < rows:
+                g.add_edge(u, u + cols)
+    return g
+
+
+def hypercube_graph(dim: int) -> Graph:
+    """Boolean hypercube Q_dim on ``2**dim`` nodes."""
+    if dim < 0:
+        raise ParameterError(f"dimension must be ≥ 0, got {dim}")
+    n = 1 << dim
+    g = Graph(n)
+    for u in range(n):
+        for b in range(dim):
+            v = u ^ (1 << b)
+            if u < v:
+                g.add_edge(u, v)
+    return g
+
+
+def gnp_random_graph(n: int, p: float, seed: "int | np.random.Generator | None" = None) -> Graph:
+    """Erdős–Rényi ``G(n, p)`` (vectorized Bernoulli over the upper triangle)."""
+    if not (0.0 <= p <= 1.0):
+        raise ParameterError(f"p must be in [0, 1], got {p}")
+    rng = ensure_rng(seed)
+    g = Graph(n)
+    if n < 2 or p == 0.0:
+        return g
+    iu, ju = np.triu_indices(n, k=1)
+    mask = rng.random(iu.shape[0]) < p
+    for u, v in zip(iu[mask].tolist(), ju[mask].tolist()):
+        g.add_edge(u, v)
+    return g
+
+
+def random_tree(n: int, seed: "int | np.random.Generator | None" = None) -> Graph:
+    """Uniform random labeled tree via a Prüfer sequence."""
+    if n < 1:
+        raise ParameterError(f"tree needs n ≥ 1, got {n}")
+    if n <= 2:
+        return Graph(n, [(0, 1)] if n == 2 else [])
+    rng = ensure_rng(seed)
+    prufer = rng.integers(0, n, size=n - 2).tolist()
+    degree = [1] * n
+    for x in prufer:
+        degree[x] += 1
+    g = Graph(n)
+    # Min-heap free of nodes with residual degree 1.
+    import heapq
+
+    leaves = [u for u in range(n) if degree[u] == 1]
+    heapq.heapify(leaves)
+    for x in prufer:
+        leaf = heapq.heappop(leaves)
+        g.add_edge(leaf, x)
+        degree[x] -= 1
+        if degree[x] == 1:
+            heapq.heappush(leaves, x)
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    g.add_edge(u, v)
+    return g
+
+
+def caterpillar_graph(spine: int, legs_per_node: int) -> Graph:
+    """Caterpillar: a spine path with *legs_per_node* pendant leaves each."""
+    if spine < 1:
+        raise ParameterError(f"spine must be ≥ 1, got {spine}")
+    n = spine + spine * legs_per_node
+    g = Graph(n)
+    for i in range(spine - 1):
+        g.add_edge(i, i + 1)
+    nxt = spine
+    for i in range(spine):
+        for _ in range(legs_per_node):
+            g.add_edge(i, nxt)
+            nxt += 1
+    return g
+
+
+def theta_graph(lengths: "tuple[int, ...]") -> Graph:
+    """Theta graph: two terminals joined by internally-disjoint paths.
+
+    ``lengths`` gives the edge-length of each parallel path (each ≥ 2 so the
+    paths are internally disjoint and the terminals non-adjacent — the shape
+    the k-connecting distance d^k is defined on).  Terminal ids are 0 and 1.
+    """
+    if len(lengths) < 1 or any(ln < 2 for ln in lengths):
+        raise ParameterError("theta graph needs paths of length ≥ 2")
+    n = 2 + sum(ln - 1 for ln in lengths)
+    g = Graph(n)
+    nxt = 2
+    for ln in lengths:
+        prev = 0
+        for _ in range(ln - 1):
+            g.add_edge(prev, nxt)
+            prev = nxt
+            nxt += 1
+        g.add_edge(prev, 1)
+    return g
+
+
+def random_connected_gnp(
+    n: int, p: float, seed: "int | np.random.Generator | None" = None
+) -> Graph:
+    """``G(n, p)`` patched to connectivity with a random spanning tree.
+
+    Used by tests that need connected inputs without conditioning the model:
+    a uniform random tree is laid down first, then G(n, p) edges on top.
+    """
+    rng = ensure_rng(seed)
+    g = random_tree(n, rng) if n > 1 else Graph(n)
+    extra = gnp_random_graph(n, p, rng)
+    for u, v in extra.edges():
+        g.add_edge(u, v)
+    return g

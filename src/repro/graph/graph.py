@@ -1,0 +1,211 @@
+"""Undirected, unweighted graph over dense integer node ids.
+
+The whole paper works with unweighted graphs whose algorithms are BFS plus
+set operations on neighborhoods (dominating sets, multipoint relays,
+set-cover over ``N(x)``).  :class:`Graph` therefore stores adjacency as a
+``list[set[int]]`` indexed by node id ``0..n-1``:
+
+* ``G.neighbors(u)`` is O(1) and supports the set algebra the algorithms are
+  written in (``N(x) & S``, ``N(v) <= M`` ...) without conversions;
+* dense ids let hot paths (BFS in :mod:`repro.graph.traversal`) use flat
+  integer arrays rather than hashing arbitrary node objects.
+
+Mutation is restricted to :meth:`add_edge` / :meth:`remove_edge`; nodes are
+fixed at construction.  This matches how the algorithms use graphs (the node
+set of a spanner equals the node set of the input: ``V(H) = V(G)``) and lets
+sub-graphs share nothing with their parent while staying index-compatible.
+
+Graphs are value-comparable (``==`` compares node count and edge sets) and
+hash-free (mutable).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..errors import GraphError, NodeNotFound
+
+__all__ = ["Graph", "Edge", "canonical_edge"]
+
+#: An undirected edge as an ordered pair ``(min(u, v), max(u, v))``.
+Edge = tuple  # tuple[int, int] — kept loose for 3.10 compatibility in docs
+
+
+def canonical_edge(u: int, v: int) -> "tuple[int, int]":
+    """Return the canonical ``(min, max)`` form of the undirected edge uv."""
+    return (u, v) if u <= v else (v, u)
+
+
+class Graph:
+    """Simple undirected graph on nodes ``0 .. n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.  Node ids are the integers ``0..n-1``.
+    edges:
+        Optional iterable of ``(u, v)`` pairs to insert.  Duplicates are
+        ignored; self-loops raise :class:`~repro.errors.GraphError`.
+
+    Examples
+    --------
+    >>> g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+    >>> sorted(g.neighbors(1))
+    [0, 2]
+    >>> g.num_edges
+    3
+    """
+
+    __slots__ = ("_n", "_adj", "_m")
+
+    def __init__(self, n: int, edges: "Iterable[tuple[int, int]] | None" = None) -> None:
+        if n < 0:
+            raise GraphError(f"node count must be non-negative, got {n}")
+        self._n = n
+        self._adj: list[set[int]] = [set() for _ in range(n)]
+        self._m = 0
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return self._m
+
+    def nodes(self) -> range:
+        """The node ids, as a :class:`range` (cheap, re-iterable)."""
+        return range(self._n)
+
+    def neighbors(self, u: int) -> set[int]:
+        """The adjacency set ``N(u)``.
+
+        The returned set is the live internal set — callers must not mutate
+        it.  (Returning it directly keeps ``N(x) & S`` loops allocation-free;
+        all library code treats it as read-only.)
+        """
+        self._check(u)
+        return self._adj[u]
+
+    def degree(self, u: int) -> int:
+        """``|N(u)|``."""
+        self._check(u)
+        return len(self._adj[u])
+
+    def max_degree(self) -> int:
+        """Maximum degree Δ of the graph (0 for the empty graph)."""
+        return max((len(a) for a in self._adj), default=0)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge uv is present."""
+        self._check(u)
+        self._check(v)
+        return v in self._adj[u]
+
+    def edges(self) -> Iterator["tuple[int, int]"]:
+        """Iterate over edges in canonical ``(u, v)`` with ``u < v`` order."""
+        for u in range(self._n):
+            for v in self._adj[u]:
+                if u < v:
+                    yield (u, v)
+
+    def edge_set(self) -> set["tuple[int, int]"]:
+        """All edges as a set of canonical pairs."""
+        return set(self.edges())
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Insert edge uv.  Returns ``True`` if the edge was new."""
+        self._check(u)
+        self._check(v)
+        if u == v:
+            raise GraphError(f"self-loop {u}-{v} not allowed")
+        if v in self._adj[u]:
+            return False
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._m += 1
+        return True
+
+    def add_edges(self, edges: Iterable["tuple[int, int]"]) -> int:
+        """Insert many edges; returns how many were new."""
+        return sum(1 for u, v in edges if self.add_edge(u, v))
+
+    def remove_edge(self, u: int, v: int) -> bool:
+        """Delete edge uv.  Returns ``True`` if it was present."""
+        self._check(u)
+        self._check(v)
+        if v not in self._adj[u]:
+            return False
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._m -= 1
+        return True
+
+    # ------------------------------------------------------------------ #
+    # derived constructions
+    # ------------------------------------------------------------------ #
+
+    def copy(self) -> "Graph":
+        """Deep copy."""
+        g = Graph(self._n)
+        g._adj = [set(a) for a in self._adj]
+        g._m = self._m
+        return g
+
+    def spanning_subgraph(self, edges: Iterable["tuple[int, int]"]) -> "Graph":
+        """Sub-graph on the *same node set* containing only *edges*.
+
+        Every edge must exist in ``self``; this is the ``V(H) = V(G)``
+        sub-graph constructor used for spanners.
+        """
+        h = Graph(self._n)
+        for u, v in edges:
+            if not self.has_edge(u, v):
+                raise GraphError(f"edge {(u, v)} not present in parent graph")
+            h.add_edge(u, v)
+        return h
+
+    def is_spanning_subgraph_of(self, other: "Graph") -> bool:
+        """Whether ``self`` has the same node set and only edges of *other*."""
+        if self._n != other._n:
+            return False
+        return all(self._adj[u] <= other._adj[u] for u in range(self._n))
+
+    # ------------------------------------------------------------------ #
+    # dunder protocol
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __contains__(self, u: object) -> bool:
+        return isinstance(u, int) and 0 <= u < self._n
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._n == other._n and self._adj == other._adj
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(n={self._n}, m={self._m})"
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _check(self, u: int) -> None:
+        if not (0 <= u < self._n):
+            raise NodeNotFound(u, self._n)

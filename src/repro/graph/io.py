@@ -1,0 +1,93 @@
+"""Plain-text serialization for graphs.
+
+A tiny, dependency-free format so experiment artifacts (generated topologies
+and the spanners computed on them) can be checked into result directories
+and re-loaded exactly:
+
+.. code-block:: text
+
+    # remote-spanner graph v1
+    n 5
+    e 0 1
+    e 1 2
+    ...
+
+Round-tripping is exact (dense ids, no attributes), and the parser is strict
+about malformed lines so artifact corruption fails loudly.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+
+from ..errors import GraphError
+from .graph import Graph
+
+__all__ = ["dumps", "loads", "save", "load", "to_networkx", "from_networkx"]
+
+_HEADER = "# remote-spanner graph v1"
+
+
+def dumps(g: Graph) -> str:
+    """Serialize *g* to the text format."""
+    buf = _io.StringIO()
+    buf.write(_HEADER + "\n")
+    buf.write(f"n {g.num_nodes}\n")
+    for u, v in sorted(g.edges()):
+        buf.write(f"e {u} {v}\n")
+    return buf.getvalue()
+
+
+def loads(text: str) -> Graph:
+    """Parse the text format back into a :class:`Graph`."""
+    lines = [ln.strip() for ln in text.splitlines()]
+    lines = [ln for ln in lines if ln and not ln.startswith("#")]
+    if not lines or not lines[0].startswith("n "):
+        raise GraphError("graph text must start with an 'n <count>' line")
+    try:
+        n = int(lines[0].split()[1])
+    except (IndexError, ValueError) as exc:
+        raise GraphError(f"bad node-count line: {lines[0]!r}") from exc
+    g = Graph(n)
+    for ln in lines[1:]:
+        parts = ln.split()
+        if len(parts) != 3 or parts[0] != "e":
+            raise GraphError(f"bad edge line: {ln!r}")
+        g.add_edge(int(parts[1]), int(parts[2]))
+    return g
+
+
+def save(g: Graph, path: "str | Path") -> None:
+    """Write *g* to *path* in the text format."""
+    Path(path).write_text(dumps(g), encoding="utf-8")
+
+
+def load(path: "str | Path") -> Graph:
+    """Read a graph from *path*."""
+    return loads(Path(path).read_text(encoding="utf-8"))
+
+
+def to_networkx(g: Graph):  # pragma: no cover - exercised only when networkx present
+    """Convert to a :class:`networkx.Graph` (test-oracle bridge).
+
+    networkx is an optional test dependency; import happens lazily so the
+    core library stays numpy-only.
+    """
+    import networkx as nx
+
+    out = nx.Graph()
+    out.add_nodes_from(range(g.num_nodes))
+    out.add_edges_from(g.edges())
+    return out
+
+
+def from_networkx(nxg) -> "tuple[Graph, dict]":
+    """Convert a networkx graph; returns ``(graph, original_label_of_id)``."""
+    labels = sorted(nxg.nodes(), key=repr)
+    index = {lab: i for i, lab in enumerate(labels)}
+    g = Graph(len(labels))
+    for a, b in nxg.edges():
+        if a != b:
+            g.add_edge(index[a], index[b])
+    return g, {i: lab for lab, i in index.items()}

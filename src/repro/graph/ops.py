@@ -1,0 +1,101 @@
+"""Graph-algebra operations: unions, sub-graphs, node deletion.
+
+Remote-spanner constructions are literally unions of per-node trees
+(Algorithm 3: "the remote-spanner is the union of all T_u"), and the
+multi-connectivity experiments need node-deleted graphs to exhibit the
+disjoint backup paths.  Everything here returns new graphs on the same dense
+node-id space so index-based bookkeeping stays valid across operations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import GraphError
+from .graph import Graph
+
+__all__ = [
+    "union",
+    "edge_union",
+    "induced_subgraph",
+    "remove_nodes",
+    "difference",
+    "intersection",
+]
+
+
+def union(graphs: Iterable[Graph]) -> Graph:
+    """Edge-wise union of graphs on the same node set."""
+    graphs = list(graphs)
+    if not graphs:
+        raise GraphError("union() of no graphs")
+    n = graphs[0].num_nodes
+    out = Graph(n)
+    for g in graphs:
+        if g.num_nodes != n:
+            raise GraphError("union() requires identical node sets")
+        for u, v in g.edges():
+            out.add_edge(u, v)
+    return out
+
+
+def edge_union(n: int, edge_sets: Iterable[Iterable["tuple[int, int]"]]) -> Graph:
+    """Union of raw edge collections into a graph on *n* nodes."""
+    out = Graph(n)
+    for es in edge_sets:
+        for u, v in es:
+            out.add_edge(u, v)
+    return out
+
+
+def induced_subgraph(g: Graph, nodes: Iterable[int]) -> "tuple[Graph, list[int]]":
+    """Induced sub-graph on *nodes* with re-indexed ids.
+
+    Returns ``(h, originals)`` where ``originals[i]`` is the id in *g* of
+    node ``i`` of *h*.
+    """
+    originals = sorted(set(nodes))
+    index = {orig: i for i, orig in enumerate(originals)}
+    h = Graph(len(originals))
+    for orig in originals:
+        for w in g.neighbors(orig):
+            if w in index and orig < w:
+                h.add_edge(index[orig], index[w])
+    return h, originals
+
+
+def remove_nodes(g: Graph, removed: Iterable[int]) -> Graph:
+    """Graph on the same id space with *removed* nodes isolated.
+
+    Keeping the id space intact (rather than re-indexing) is what the
+    fault-tolerance experiments want: distances between surviving nodes can
+    be compared before/after without an id translation layer.
+    """
+    removed_set = set(removed)
+    out = Graph(g.num_nodes)
+    for u, v in g.edges():
+        if u not in removed_set and v not in removed_set:
+            out.add_edge(u, v)
+    return out
+
+
+def difference(g: Graph, h: Graph) -> Graph:
+    """Edges of *g* not in *h* (same node set)."""
+    if g.num_nodes != h.num_nodes:
+        raise GraphError("difference() requires identical node sets")
+    out = Graph(g.num_nodes)
+    for u, v in g.edges():
+        if not h.has_edge(u, v):
+            out.add_edge(u, v)
+    return out
+
+
+def intersection(g: Graph, h: Graph) -> Graph:
+    """Edges present in both graphs (same node set)."""
+    if g.num_nodes != h.num_nodes:
+        raise GraphError("intersection() requires identical node sets")
+    out = Graph(g.num_nodes)
+    for u, v in g.edges():
+        if h.has_edge(u, v):
+            out.add_edge(u, v)
+    return out

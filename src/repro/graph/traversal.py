@@ -1,0 +1,214 @@
+"""Breadth-first traversal primitives: distances, parents, balls and rings.
+
+Everything in the paper is phrased in terms of BFS by-products:
+
+* ``B_G(u, r)`` — the ball of radius *r* around *u* (§1.1);
+* rings ``B_G(u, r') \\ B_G(u, r'-1)`` — the per-distance layers Algorithm 1
+  covers one at a time;
+* BFS parent forests — "add to T a shortest path from u to x in G" is
+  implemented by walking parent pointers, which guarantees the union of the
+  added paths is a tree (design decision 2 in DESIGN.md).
+
+The functions here are the hot path of every construction, so they use flat
+``array``-backed queues and integer distance arrays instead of dicts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import ParameterError
+from .graph import Graph
+
+__all__ = [
+    "bfs_distances",
+    "bfs_parents",
+    "bfs_layers",
+    "ball",
+    "ring",
+    "path_to_root",
+    "multi_source_distances",
+    "connected_components",
+    "is_connected",
+]
+
+#: Sentinel distance for unreachable nodes in the arrays returned below.
+UNREACHED = -1
+
+
+def bfs_distances(g: Graph, source: int, cutoff: "int | None" = None) -> list[int]:
+    """Distances from *source* to every node (``-1`` if unreachable).
+
+    ``cutoff`` bounds the exploration radius: nodes further than *cutoff*
+    keep distance ``-1``.  This is what makes the local algorithms local —
+    a node running ``DomTreeGdy_{r,β}`` only ever explores ``B_G(u, r+β)``.
+    """
+    g._check(source)
+    dist = [UNREACHED] * g.num_nodes
+    dist[source] = 0
+    frontier = [source]
+    d = 0
+    while frontier:
+        if cutoff is not None and d >= cutoff:
+            break
+        nxt: list[int] = []
+        d += 1
+        for u in frontier:
+            for v in g.neighbors(u):
+                if dist[v] == UNREACHED:
+                    dist[v] = d
+                    nxt.append(v)
+        frontier = nxt
+    return dist
+
+
+def bfs_parents(
+    g: Graph, source: int, cutoff: "int | None" = None
+) -> "tuple[list[int], list[int]]":
+    """``(dist, parent)`` arrays of a BFS from *source*.
+
+    ``parent[source] == source``; unreached nodes have ``parent == -1``.
+    The parent pointers form a shortest-path forest: following them from any
+    reached node yields a shortest path to *source*, and the union of any
+    collection of such paths is a tree rooted at *source*.
+
+    Neighbors are expanded in sorted order so the forest is a *canonical*
+    function of the graph: two nodes with identical local views compute
+    identical forests — the property that makes the distributed protocol's
+    trees match the centralized construction edge-for-edge.
+    """
+    g._check(source)
+    n = g.num_nodes
+    dist = [UNREACHED] * n
+    parent = [UNREACHED] * n
+    dist[source] = 0
+    parent[source] = source
+    frontier = [source]
+    d = 0
+    while frontier:
+        if cutoff is not None and d >= cutoff:
+            break
+        nxt: list[int] = []
+        d += 1
+        for u in frontier:
+            for v in sorted(g.neighbors(u)):
+                if dist[v] == UNREACHED:
+                    dist[v] = d
+                    parent[v] = u
+                    nxt.append(v)
+        frontier = nxt
+    return dist, parent
+
+
+def bfs_layers(g: Graph, source: int, cutoff: "int | None" = None) -> list[list[int]]:
+    """BFS layers ``[ [source], ring(1), ring(2), ... ]`` up to *cutoff*."""
+    g._check(source)
+    seen = [False] * g.num_nodes
+    seen[source] = True
+    layers = [[source]]
+    frontier = [source]
+    d = 0
+    while frontier:
+        if cutoff is not None and d >= cutoff:
+            break
+        nxt: list[int] = []
+        d += 1
+        for u in frontier:
+            for v in g.neighbors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    nxt.append(v)
+        if nxt:
+            layers.append(nxt)
+        frontier = nxt
+    return layers
+
+
+def ball(g: Graph, center: int, radius: int) -> set[int]:
+    """``B_G(center, radius)`` — all nodes at distance ≤ radius (incl. center)."""
+    if radius < 0:
+        raise ParameterError(f"radius must be ≥ 0, got {radius}")
+    out: set[int] = set()
+    for layer in bfs_layers(g, center, cutoff=radius):
+        out.update(layer)
+    return out
+
+
+def ring(g: Graph, center: int, radius: int) -> set[int]:
+    """Nodes at distance exactly *radius* from *center*."""
+    if radius < 0:
+        raise ParameterError(f"radius must be ≥ 0, got {radius}")
+    layers = bfs_layers(g, center, cutoff=radius)
+    if len(layers) <= radius:
+        return set()
+    return set(layers[radius])
+
+
+def path_to_root(parent: list[int], node: int) -> list[int]:
+    """Walk *parent* pointers from *node* to the BFS root.
+
+    Returns the node sequence ``[node, ..., root]``.  Raises
+    :class:`~repro.errors.ParameterError` if *node* was not reached.
+    """
+    if parent[node] == UNREACHED:
+        raise ParameterError(f"node {node} unreachable in parent forest")
+    path = [node]
+    while parent[path[-1]] != path[-1]:
+        path.append(parent[path[-1]])
+    return path
+
+
+def multi_source_distances(
+    g: Graph, sources: Iterable[int], cutoff: "int | None" = None
+) -> list[int]:
+    """Distance from each node to the nearest of *sources* (``-1`` beyond cutoff)."""
+    dist = [UNREACHED] * g.num_nodes
+    frontier: list[int] = []
+    for s in sources:
+        g._check(s)
+        if dist[s] == UNREACHED:
+            dist[s] = 0
+            frontier.append(s)
+    d = 0
+    while frontier:
+        if cutoff is not None and d >= cutoff:
+            break
+        nxt: list[int] = []
+        d += 1
+        for u in frontier:
+            for v in g.neighbors(u):
+                if dist[v] == UNREACHED:
+                    dist[v] = d
+                    nxt.append(v)
+        frontier = nxt
+    return dist
+
+
+def connected_components(g: Graph) -> list[list[int]]:
+    """Connected components as lists of node ids (each sorted ascending)."""
+    seen = [False] * g.num_nodes
+    comps: list[list[int]] = []
+    for s in g.nodes():
+        if seen[s]:
+            continue
+        seen[s] = True
+        comp = [s]
+        frontier = [s]
+        while frontier:
+            nxt: list[int] = []
+            for u in frontier:
+                for v in g.neighbors(u):
+                    if not seen[v]:
+                        seen[v] = True
+                        comp.append(v)
+                        nxt.append(v)
+            frontier = nxt
+        comps.append(sorted(comp))
+    return comps
+
+
+def is_connected(g: Graph) -> bool:
+    """Whether the graph is connected (the empty graph counts as connected)."""
+    if g.num_nodes == 0:
+        return True
+    return len(connected_components(g)) == 1

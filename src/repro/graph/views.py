@@ -1,0 +1,123 @@
+"""The augmented graph :math:`H_u` — the heart of the remote-spanner notion.
+
+Given the advertised sub-graph ``H`` and the full graph ``G``, node *u*
+routes on :math:`H_u`, the graph with edge set
+:math:`E(H) \\cup \\{uv \\mid v \\in N_G(u)\\}` (paper §1).  The stretch of a
+remote-spanner is defined through distances *in this augmented view*, so the
+library gives it first-class support.
+
+:class:`AugmentedView` exposes ``neighbors``/BFS without materializing a new
+graph: only node *u*'s adjacency differs from ``H`` (and symmetric entries
+for members of ``N_G(u)``).  Distance queries on :math:`H_u` are a single
+BFS, so verifying a remote-spanner costs one BFS per source node — the same
+as regular spanner verification.
+"""
+
+from __future__ import annotations
+
+from ..errors import NodeNotFound, NotASubgraphError
+from .graph import Graph
+
+__all__ = ["AugmentedView", "augmented_graph", "augmented_distances"]
+
+
+class AugmentedView:
+    """Read-only view of :math:`H_u` for a fixed source node *u*.
+
+    Parameters
+    ----------
+    h:
+        The advertised sub-graph ``H`` (``V(H) = V(G)``).
+    g:
+        The full topology ``G``; supplies ``N_G(u)``.
+    u:
+        The source node whose incident edges are grafted onto ``H``.
+
+    Notes
+    -----
+    ``neighbors(x)`` allocates a fresh set only for *u* itself and for the
+    members of ``N_G(u)`` that are not already ``H``-adjacent to them; other
+    nodes get the live ``H`` adjacency (read-only by library convention).
+    """
+
+    __slots__ = ("_h", "_g", "_u", "_extra")
+
+    def __init__(self, h: Graph, g: Graph, u: int) -> None:
+        if h.num_nodes != g.num_nodes:
+            raise NotASubgraphError(
+                f"H has {h.num_nodes} nodes but G has {g.num_nodes}; V(H) must equal V(G)"
+            )
+        if not (0 <= u < g.num_nodes):
+            raise NodeNotFound(u, g.num_nodes)
+        self._h = h
+        self._g = g
+        self._u = u
+        # Neighbors of u in G that H does not already connect to u.
+        self._extra = g.neighbors(u) - h.neighbors(u)
+
+    @property
+    def num_nodes(self) -> int:
+        return self._h.num_nodes
+
+    @property
+    def source(self) -> int:
+        """The augmentation node *u*."""
+        return self._u
+
+    def neighbors(self, x: int) -> set[int]:
+        """``N_{H_u}(x)``."""
+        if x == self._u:
+            if not self._extra:
+                return self._h.neighbors(x)
+            return self._h.neighbors(x) | self._extra
+        if x in self._extra:
+            return self._h.neighbors(x) | {self._u}
+        return self._h.neighbors(x)
+
+    def has_edge(self, x: int, y: int) -> bool:
+        if self._h.has_edge(x, y):
+            return True
+        if x == self._u:
+            return y in self._extra
+        if y == self._u:
+            return x in self._extra
+        return False
+
+    def distances_from(self, source: int, cutoff: "int | None" = None) -> list[int]:
+        """BFS distances in :math:`H_u` from *source* (``-1`` = unreachable)."""
+        n = self.num_nodes
+        dist = [-1] * n
+        dist[source] = 0
+        frontier = [source]
+        d = 0
+        while frontier:
+            if cutoff is not None and d >= cutoff:
+                break
+            nxt: list[int] = []
+            d += 1
+            for x in frontier:
+                for y in self.neighbors(x):
+                    if dist[y] == -1:
+                        dist[y] = d
+                        nxt.append(y)
+            frontier = nxt
+        return dist
+
+
+def augmented_graph(h: Graph, g: Graph, u: int) -> Graph:
+    """Materialize :math:`H_u` as a standalone :class:`~repro.graph.Graph`.
+
+    Used where an algorithm needs full graph machinery (e.g. disjoint-path
+    flow computations in :math:`H_s`); for plain distance queries prefer
+    :class:`AugmentedView`.
+    """
+    AugmentedView(h, g, u)  # validates V(H) = V(G) and node range
+    out = h.copy()
+    for v in g.neighbors(u):
+        out.add_edge(u, v)
+    return out
+
+
+def augmented_distances(h: Graph, g: Graph, u: int, cutoff: "int | None" = None) -> list[int]:
+    """Distances from *u* in :math:`H_u` — the quantity α·d_G(u,v)+β bounds."""
+    return AugmentedView(h, g, u).distances_from(u, cutoff=cutoff)

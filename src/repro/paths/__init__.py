@@ -1,0 +1,27 @@
+"""Disjoint-path substrate: the k-connecting distance :math:`d^k` (paper §3).
+
+Exact min-cost-flow computation plus brute-force oracles for validation.
+"""
+
+from .flow import FlowResult, MinCostFlow
+from .disjoint import (
+    are_k_connected,
+    disjoint_paths,
+    k_connecting_distance,
+    k_connecting_profile,
+    vertex_connectivity_pair,
+)
+from .enumeration import all_simple_paths, brute_force_connectivity, brute_force_k_distance
+
+__all__ = [
+    "FlowResult",
+    "MinCostFlow",
+    "are_k_connected",
+    "disjoint_paths",
+    "k_connecting_distance",
+    "k_connecting_profile",
+    "vertex_connectivity_pair",
+    "all_simple_paths",
+    "brute_force_connectivity",
+    "brute_force_k_distance",
+]

@@ -1,0 +1,97 @@
+"""Brute-force disjoint-path search — the oracle the flow solver is tested against.
+
+Exhaustively enumerates simple s-t paths (DFS, optional length cap) and then
+searches for the cheapest family of k pairwise internally-disjoint ones.
+Exponential, so strictly for validation on small graphs; the property-based
+tests compare :func:`brute_force_k_distance` with
+:func:`repro.paths.disjoint.k_connecting_distance` on random graphs of ≤ 10
+nodes, which is exactly the regime where enumeration is instant.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+
+from ..errors import ParameterError
+
+__all__ = ["all_simple_paths", "brute_force_k_distance", "brute_force_connectivity"]
+
+
+def all_simple_paths(g, s: int, t: int, max_len: "int | None" = None) -> list[list[int]]:
+    """Every simple s-t path (as node lists), optionally length-capped."""
+    if s == t:
+        raise ParameterError("s and t must differ")
+    out: list[list[int]] = []
+    path = [s]
+    on_path = {s}
+
+    def dfs(u: int) -> None:
+        if max_len is not None and len(path) - 1 >= max_len and u != t:
+            return
+        for v in sorted(g.neighbors(u)):
+            if v == t:
+                out.append(path + [t])
+                continue
+            if v in on_path:
+                continue
+            if max_len is not None and len(path) >= max_len:
+                continue
+            path.append(v)
+            on_path.add(v)
+            dfs(v)
+            path.pop()
+            on_path.discard(v)
+
+    dfs(s)
+    return out
+
+
+def _internally_disjoint(paths: "tuple[list[int], ...]") -> bool:
+    seen: set[int] = set()
+    for p in paths:
+        internal = p[1:-1]
+        if any(v in seen for v in internal):
+            return False
+        seen.update(internal)
+    return True
+
+
+def brute_force_k_distance(g, s: int, t: int, k: int) -> float:
+    """:math:`d^k(s,t)` by exhaustive search (``math.inf`` if infeasible).
+
+    Iterates over k-subsets of all simple paths in increasing total length,
+    returning the first internally-disjoint family's length sum.
+    """
+    if k < 1:
+        raise ParameterError(f"k must be ≥ 1, got {k}")
+    paths = all_simple_paths(g, s, t)
+    if len(paths) < k:
+        return math.inf
+    paths.sort(key=len)
+    best = math.inf
+    for combo in combinations(paths, k):
+        total = sum(len(p) - 1 for p in combo)
+        if total >= best:
+            continue
+        if _internally_disjoint(combo):
+            best = total
+    return best
+
+
+def brute_force_connectivity(g, s: int, t: int) -> int:
+    """Max number of pairwise internally-disjoint s-t paths, exhaustively."""
+    paths = all_simple_paths(g, s, t)
+    best = 0
+
+    def extend(chosen: list[list[int]], start: int, used: set[int]) -> None:
+        nonlocal best
+        best = max(best, len(chosen))
+        for i in range(start, len(paths)):
+            internal = paths[i][1:-1]
+            if any(v in used for v in internal):
+                continue
+            extend(chosen + [paths[i]], i + 1, used | set(internal))
+
+    extend([], 0, set())
+    return best

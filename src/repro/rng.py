@@ -1,0 +1,54 @@
+"""Deterministic random-number helpers.
+
+Every randomized entry point in the library accepts a ``seed`` argument that
+is normalized through :func:`ensure_rng`.  Experiments derive independent
+per-trial streams with :func:`spawn` so that adding a trial never perturbs
+the randomness of existing trials — the property that makes the benchmark
+tables in ``EXPERIMENTS.md`` reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn", "derive_seed"]
+
+#: Seed type accepted throughout the library.
+SeedLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(seed: "int | np.random.Generator | None" = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    ``None`` yields a non-deterministic generator, an ``int`` a seeded one,
+    and an existing generator is passed through unchanged (so callers can
+    thread a single stream through a pipeline of calls).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def derive_seed(seed: int, *tags: "int | str") -> int:
+    """Derive a child seed from *seed* and a tuple of *tags*.
+
+    Uses :class:`numpy.random.SeedSequence` entropy mixing, so distinct tag
+    tuples give statistically independent streams.  Tags may be strings
+    (hashed stably via UTF-8 bytes) or ints.
+    """
+    mixed: list[int] = [seed]
+    for tag in tags:
+        if isinstance(tag, str):
+            mixed.append(int.from_bytes(tag.encode("utf-8")[:8].ljust(8, b"\0"), "little"))
+        else:
+            mixed.append(int(tag))
+    return int(np.random.SeedSequence(mixed).generate_state(1)[0])
+
+
+def spawn(seed: int, n: int) -> Iterator[np.random.Generator]:
+    """Yield *n* independent generators derived from integer *seed*."""
+    ss = np.random.SeedSequence(seed)
+    for child in ss.spawn(n):
+        yield np.random.default_rng(child)

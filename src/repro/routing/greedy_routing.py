@@ -1,0 +1,128 @@
+"""Hop-by-hop greedy routing on a remote-spanner — the paper's application.
+
+§1's argument, made executable: node *u* forwards a packet for *v* to its
+neighbor *u′* closest to *v* in :math:`H_u`; *u′* repeats the decision in
+:math:`H_{u'}`.  Because the tail of *u*'s chosen path lies inside H (only
+the first hop may use an augmented edge), the invariant
+
+    :math:`d_{H_{u'}}(u', v) \\le d_{H_u}(u, v) - 1`
+
+holds at every hop, so the packet arrives in at most
+:math:`d_{H_u}(u, v)` hops and greedy routing inherits the remote-spanner
+stretch (α, β).  :func:`route` simulates the forwarding and records the
+per-hop potential so tests can check the invariant itself, not just
+arrival.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import NodeNotFound, ParameterError
+from ..graph import AugmentedView, Graph
+
+__all__ = ["RouteResult", "RoutingStats", "route", "route_all_pairs_stats"]
+
+
+@dataclass
+class RouteResult:
+    """One simulated packet journey."""
+
+    path: list = field(default_factory=list)  # nodes visited, source first
+    delivered: bool = False
+    potentials: list = field(default_factory=list)  # d_{H_x}(x, v) at each hop
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+
+def route(h: Graph, g: Graph, source: int, target: int, max_hops: "int | None" = None) -> RouteResult:
+    """Simulate greedy forwarding of one packet from *source* to *target*.
+
+    Every visited node recomputes the decision on its own :math:`H_x`
+    (this is what real link-state routers do — no source routing).  The
+    loop guard ``max_hops`` defaults to n; the theory says the journey is
+    monotone so the guard only trips on non-remote-spanner inputs.
+    """
+    if source == target:
+        raise ParameterError("source equals target")
+    if not (0 <= target < g.num_nodes):
+        raise NodeNotFound(target, g.num_nodes)
+    if max_hops is None:
+        max_hops = g.num_nodes
+    result = RouteResult(path=[source])
+    current = source
+    for _ in range(max_hops):
+        view = AugmentedView(h, g, current)
+        dist_to_target = view.distances_from(target)
+        potential = dist_to_target[current]
+        result.potentials.append(potential if potential >= 0 else float("inf"))
+        if potential < 0:
+            return result  # unroutable from here
+        # Closest neighbor to target in H_current; smallest id on ties.
+        best = None
+        best_d = -1
+        for w in sorted(g.neighbors(current)):
+            dw = dist_to_target[w]
+            if dw < 0:
+                continue
+            if best is None or dw < best_d:
+                best, best_d = w, dw
+        if best is None:
+            return result
+        result.path.append(best)
+        current = best
+        if current == target:
+            result.delivered = True
+            result.potentials.append(0)
+            return result
+    return result
+
+
+@dataclass
+class RoutingStats:
+    """Aggregate greedy-routing quality over a pair population."""
+
+    pairs: int = 0
+    delivered: int = 0
+    max_stretch: float = 0.0  # hops / d_G
+    mean_stretch: float = 0.0
+    max_overhead: int = 0  # hops - d_G
+    invariant_violations: int = 0  # potential failed to drop by ≥ 1
+
+
+def route_all_pairs_stats(
+    h: Graph, g: Graph, pairs: "list[tuple[int, int]] | None" = None
+) -> RoutingStats:
+    """Route (sampled) ordered pairs and aggregate stretch + invariants."""
+    from ..graph import bfs_distances
+
+    if pairs is None:
+        n = g.num_nodes
+        pairs = [(s, t) for s in range(n) for t in range(n) if s != t]
+    stats = RoutingStats()
+    stretch_total = 0.0
+    dist_cache: dict[int, list[int]] = {}
+    for s, t in pairs:
+        if s not in dist_cache:
+            dist_cache[s] = bfs_distances(g, s)
+        d_g = dist_cache[s][t]
+        if d_g < 1:
+            continue
+        stats.pairs += 1
+        res = route(h, g, s, t)
+        if not res.delivered:
+            continue
+        stats.delivered += 1
+        stretch = res.hops / d_g
+        stretch_total += stretch
+        stats.max_stretch = max(stats.max_stretch, stretch)
+        stats.max_overhead = max(stats.max_overhead, res.hops - d_g)
+        # The potential must drop by at least 1 per hop (§1's argument).
+        for a, b in zip(res.potentials, res.potentials[1:]):
+            if b > a - 1:
+                stats.invariant_violations += 1
+    if stats.delivered:
+        stats.mean_stretch = stretch_total / stats.delivered
+    return stats

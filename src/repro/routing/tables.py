@@ -1,0 +1,65 @@
+"""Per-node routing tables computed from the augmented view :math:`H_u`.
+
+The paper's routing scheme (§1): a node *u* knows the advertised sub-graph
+H plus its own neighbor set, i.e. it routes on :math:`H_u`.  For a
+destination *v* it "forwards packets ... to a closest neighbor u′ to v in
+H_u".  A routing table is therefore, per destination, the minimizing
+neighbor — computed here with one BFS per destination (distances *to* v in
+H_u, read off at u's neighbors), or for all destinations at once with n
+BFS runs.
+"""
+
+from __future__ import annotations
+
+from ..errors import NodeNotFound
+from ..graph import AugmentedView, Graph
+
+__all__ = ["next_hop", "routing_table"]
+
+
+def next_hop(h: Graph, g: Graph, u: int, v: int) -> "int | None":
+    """The neighbor of *u* (in G) closest to *v* in :math:`H_u`.
+
+    Returns ``None`` when no neighbor reaches *v* in :math:`H_u` (the pair
+    is then unroutable from *u* on this advertised sub-graph).  Ties break
+    on smallest neighbor id, so forwarding is deterministic.
+    """
+    if u == v:
+        raise NodeNotFound(v, g.num_nodes)
+    view = AugmentedView(h, g, u)
+    dist_to_v = view.distances_from(v)
+    best: "int | None" = None
+    best_d = -1
+    for w in sorted(g.neighbors(u)):
+        dw = dist_to_v[w]
+        if dw < 0:
+            continue
+        if best is None or dw < best_d:
+            best, best_d = w, dw
+    return best
+
+
+def routing_table(h: Graph, g: Graph, u: int) -> dict:
+    """Full next-hop table for *u*: destination -> neighbor (or None).
+
+    One BFS per destination in :math:`H_u`; O(n·(m_H + deg u)) total.
+    Destinations unreachable in G are omitted.
+    """
+    view = AugmentedView(h, g, u)
+    table: dict[int, "int | None"] = {}
+    nbrs = sorted(g.neighbors(u))
+    for v in g.nodes():
+        if v == u:
+            continue
+        dist_to_v = view.distances_from(v)
+        best: "int | None" = None
+        best_d = -1
+        for w in nbrs:
+            dw = dist_to_v[w]
+            if dw < 0:
+                continue
+            if best is None or dw < best_d:
+                best, best_d = w, dw
+        if best is not None:
+            table[v] = best
+    return table

@@ -1,0 +1,19 @@
+"""Set-cover substrate: greedy heuristics (Chvátal/Dobson/Wolsey) and exact B&B.
+
+Algorithms 1 and 4 of the paper are greedy (multi)cover in disguise; the
+exact solver supplies the OPT side of the approximation-ratio experiments
+(Propositions 2 and 6).
+"""
+
+from .instances import SetCoverInstance
+from .greedy import greedy_multicover, greedy_set_cover
+from .exact import exact_multicover, exact_set_cover, optimal_cover_size
+
+__all__ = [
+    "SetCoverInstance",
+    "greedy_multicover",
+    "greedy_set_cover",
+    "exact_multicover",
+    "exact_set_cover",
+    "optimal_cover_size",
+]

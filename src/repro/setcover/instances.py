@@ -1,0 +1,104 @@
+"""Set-cover / multicover instance representation.
+
+Algorithm 1 ("dominate the ring at distance r' with neighborhoods of nodes
+one ring closer") and Algorithm 4 ("cover every 2-hop node k times with
+1-hop neighborhoods") are both instances of (multi)cover.  The constructions
+in :mod:`repro.core` reduce their inner loops to this representation so the
+greedy heuristic and the exact solver can be tested and benchmarked against
+each other independent of any graph context.
+
+An instance is *elements to cover* plus *candidate sets*, each candidate
+carrying an opaque ``label`` (the graph node it came from) so solutions can
+be mapped back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping
+
+from ..errors import InfeasibleError, ParameterError
+
+__all__ = ["SetCoverInstance"]
+
+
+@dataclass
+class SetCoverInstance:
+    """A (multi)cover instance.
+
+    Attributes
+    ----------
+    universe:
+        The elements that must be covered.
+    sets:
+        Mapping from candidate label to the set of elements it covers
+        (elements outside *universe* are ignored by the solvers).
+    demand:
+        Per-element coverage requirement.  A plain set-cover has demand 1
+        everywhere; Algorithm 4 uses demand ``min(k, |candidates hitting
+        the element|)`` (an element with fewer than k candidate sets can
+        only be covered as often as candidates exist — the paper handles
+        this through the "N(v) ∩ N(u) ⊆ M" escape clause).
+    """
+
+    universe: frozenset
+    sets: "Mapping[Hashable, frozenset]"
+    demand: "Mapping[Hashable, int] | None" = field(default=None)
+
+    def __post_init__(self) -> None:
+        self.universe = frozenset(self.universe)
+        self.sets = {label: frozenset(s) & self.universe for label, s in self.sets.items()}
+        if self.demand is None:
+            self.demand = {e: 1 for e in self.universe}
+        else:
+            self.demand = dict(self.demand)
+            for e in self.universe:
+                if e not in self.demand:
+                    self.demand[e] = 1
+                if self.demand[e] < 0:
+                    raise ParameterError(f"negative demand for element {e!r}")
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_sets(
+        cls,
+        sets: "Mapping[Hashable, Iterable]",
+        universe: "Iterable | None" = None,
+        demand: "Mapping[Hashable, int] | None" = None,
+    ) -> "SetCoverInstance":
+        """Build an instance, defaulting the universe to the union of sets."""
+        sets_f = {k: frozenset(v) for k, v in sets.items()}
+        if universe is None:
+            uni: frozenset = frozenset().union(*sets_f.values()) if sets_f else frozenset()
+        else:
+            uni = frozenset(universe)
+        return cls(universe=uni, sets=sets_f, demand=demand)
+
+    def max_coverage(self, element: Hashable) -> int:
+        """How many candidate sets contain *element*."""
+        return sum(1 for s in self.sets.values() if element in s)
+
+    def check_feasible(self) -> None:
+        """Raise :class:`InfeasibleError` if some demand exceeds availability."""
+        for e in self.universe:
+            avail = self.max_coverage(e)
+            if avail < self.demand[e]:
+                raise InfeasibleError(
+                    f"element {e!r} demands coverage {self.demand[e]} "
+                    f"but only {avail} candidate sets contain it"
+                )
+
+    def is_cover(self, chosen: Iterable[Hashable]) -> bool:
+        """Whether the chosen labels satisfy every element's demand."""
+        chosen = set(chosen)
+        for e in self.universe:
+            hits = sum(1 for label in chosen if e in self.sets[label])
+            if hits < self.demand[e]:
+                return False
+        return True
+
+    @property
+    def is_plain(self) -> bool:
+        """True when every demand is exactly 1 (classical set cover)."""
+        return all(d == 1 for d in self.demand.values())

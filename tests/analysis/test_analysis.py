@@ -1,0 +1,96 @@
+"""Tests for power-law fitting, trial statistics, and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    fit_power_law,
+    fit_power_law_with_log,
+    format_cell,
+    render_table,
+    summarize,
+)
+from repro.errors import ParameterError
+
+
+class TestPowerLaw:
+    def test_recovers_exact_exponent(self):
+        xs = [10, 20, 40, 80, 160]
+        ys = [3.0 * x**1.5 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(1.5, abs=1e-9)
+        assert fit.prefactor == pytest.approx(3.0, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_power_law([1, 2, 4], [2, 4, 8])
+        assert fit.predict(8) == pytest.approx(16.0)
+
+    def test_noise_tolerance(self):
+        rng = np.random.default_rng(0)
+        xs = np.logspace(1, 3, 12)
+        ys = 5 * xs**2 * np.exp(rng.normal(0, 0.05, 12))
+        fit = fit_power_law(xs, ys)
+        assert abs(fit.exponent - 2.0) < 0.1
+        assert fit.r_squared > 0.98
+
+    def test_log_corrected_fit(self):
+        xs = [10.0, 30.0, 100.0, 300.0, 1000.0]
+        ys = [2.0 * x ** (4 / 3) * np.log(x) for x in xs]
+        fit = fit_power_law_with_log(xs, ys)
+        assert fit.exponent == pytest.approx(4 / 3, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            fit_power_law([1], [1])
+        with pytest.raises(ParameterError):
+            fit_power_law([1, 2], [0, 1])
+        with pytest.raises(ParameterError):
+            fit_power_law_with_log([1, 2], [1, 1])  # needs x > 1
+
+
+class TestSummaries:
+    def test_single_value(self):
+        s = summarize([5.0])
+        assert s.mean == 5.0
+        assert s.ci95 == 0.0
+
+    def test_mean_and_bounds(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.std == pytest.approx(1.0)
+        assert "±" in str(s)
+
+    def test_ci_shrinks_with_n(self):
+        small = summarize([1, 2, 3, 4])
+        big = summarize(list(range(1, 5)) * 16)
+        assert big.ci95 < small.ci95
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            summarize([])
+
+
+class TestTables:
+    def test_format_cell(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+        assert format_cell(3.14159) == "3.142"
+        assert format_cell(float("inf")) == "inf"
+        assert format_cell(float("nan")) == "nan"
+        assert format_cell("text") == "text"
+
+    def test_render_alignment_and_borders(self):
+        out = render_table(["name", "value"], [["alpha", 1], ["b", 22]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("+")
+        assert "alpha" in out
+        # numeric column right-aligned: "22" ends at same position as header
+        assert all(len(l) == len(lines[1]) for l in lines[1:])
+
+    def test_mixed_width_rows(self):
+        out = render_table(["a"], [[1], [100000]])
+        assert "100000" in out

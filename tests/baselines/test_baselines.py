@@ -1,0 +1,211 @@
+"""Tests for the regular-spanner and MPR baselines."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    additive_two_spanner,
+    baswana_sen_spanner,
+    bfs_tree,
+    classical_mpr,
+    dominating_set_for,
+    extended_mpr_tree_nodes,
+    full_topology,
+    greedy_spanner,
+    k_coverage_mpr,
+    simulate_blind_flooding,
+    simulate_mpr_flooding,
+    spanning_forest,
+)
+from repro.core import is_remote_spanner
+from repro.errors import ParameterError
+from repro.graph import bfs_distances, is_connected
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+    grid_graph,
+    path_graph,
+    random_connected_gnp,
+)
+
+from ..conftest import connected_graphs, small_graphs
+
+
+def spanner_stretch_ok(h, g, alpha, beta=0.0) -> bool:
+    """Regular (not remote) spanner check: d_H ≤ α·d_G + β everywhere."""
+    for u in g.nodes():
+        dg = bfs_distances(g, u)
+        dh = bfs_distances(h, u)
+        for v in g.nodes():
+            if dg[v] > 0:
+                if dh[v] < 0 or dh[v] > alpha * dg[v] + beta + 1e-9:
+                    return False
+    return True
+
+
+class TestGreedySpanner:
+    @given(small_graphs(min_nodes=2, max_nodes=12), st.sampled_from([1, 3, 5]))
+    @settings(max_examples=60, deadline=None)
+    def test_stretch_certified(self, g, t):
+        h = greedy_spanner(g, t)
+        assert spanner_stretch_ok(h, g, float(t))
+        assert h.is_spanning_subgraph_of(g)
+
+    def test_stretch1_keeps_everything(self):
+        g = gnp_random_graph(15, 0.4, seed=2)
+        assert greedy_spanner(g, 1) == g
+
+    def test_girth_property(self):
+        # A (2k−1)-greedy spanner has girth > 2k: check k = 2 (girth > 4)
+        # by looking for 3- and 4-cycles.
+        g = gnp_random_graph(18, 0.5, seed=3)
+        h = greedy_spanner(g, 3)
+        for u, v in h.edges():
+            common = h.neighbors(u) & h.neighbors(v)
+            assert not common, "triangle found in 3-spanner"
+
+    def test_moore_edge_bound(self):
+        # O(n^{1+1/k}): for k=2 expect ≤ n^{1.5} + n edges.
+        g = gnp_random_graph(40, 0.5, seed=4)
+        h = greedy_spanner(g, 3)
+        n = g.num_nodes
+        assert h.num_edges <= n ** 1.5 + n
+
+    def test_bad_stretch(self):
+        with pytest.raises(ParameterError):
+            greedy_spanner(path_graph(3), 0)
+
+
+class TestBaswanaSen:
+    @given(connected_graphs(min_nodes=2, max_nodes=12), st.integers(1, 3), st.integers(0, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_stretch_certified(self, g, k, seed):
+        h = baswana_sen_spanner(g, k, seed=seed)
+        assert spanner_stretch_ok(h, g, 2 * k - 1)
+        assert h.is_spanning_subgraph_of(g)
+
+    def test_k1_returns_everything(self):
+        g = gnp_random_graph(10, 0.5, seed=5)
+        assert baswana_sen_spanner(g, 1, seed=0) == g
+
+    def test_expected_size_reasonable(self):
+        # On a dense graph with k=2, sizes should be well below m.
+        g = gnp_random_graph(60, 0.5, seed=6)
+        sizes = [baswana_sen_spanner(g, 2, seed=s).num_edges for s in range(5)]
+        assert sum(sizes) / len(sizes) < 0.6 * g.num_edges
+
+    def test_bad_k(self):
+        with pytest.raises(ParameterError):
+            baswana_sen_spanner(path_graph(3), 0)
+
+    def test_empty_graph(self):
+        from repro.graph import Graph
+
+        assert baswana_sen_spanner(Graph(0), 2).num_nodes == 0
+
+
+class TestAdditiveSpanner:
+    @given(connected_graphs(min_nodes=2, max_nodes=14))
+    @settings(max_examples=60, deadline=None)
+    def test_additive_two_certified(self, g):
+        h = additive_two_spanner(g)
+        assert spanner_stretch_ok(h, g, 1.0, 2.0)
+
+    def test_translation_to_remote_spanner(self):
+        # (1,2)-spanner ⇒ (2,1)-spanner ⇒ (2,0)-remote-spanner (§1.2).
+        g = random_connected_gnp(20, 0.2, seed=7)
+        h = additive_two_spanner(g)
+        assert is_remote_spanner(h, g, 2.0, 0.0)
+
+    def test_dominating_set_covers_targets(self):
+        g = gnp_random_graph(20, 0.3, seed=8)
+        targets = {v for v in g.nodes() if g.degree(v) >= 4}
+        dom = dominating_set_for(g, targets)
+        for t in targets:
+            assert any(d == t or g.has_edge(d, t) for d in dom)
+
+    def test_dominating_set_empty_targets(self):
+        assert dominating_set_for(path_graph(3), set()) == []
+
+    def test_bad_threshold(self):
+        with pytest.raises(ParameterError):
+            additive_two_spanner(path_graph(4), degree_threshold=0)
+
+
+class TestMprSelections:
+    def test_classical_mpr_dominates_two_ring(self):
+        g = grid_graph(4, 4)
+        for u in g.nodes():
+            mprs = classical_mpr(g, u)
+            from repro.graph.traversal import bfs_layers
+
+            layers = bfs_layers(g, u, cutoff=2)
+            two_ring = layers[2] if len(layers) > 2 else []
+            for v in two_ring:
+                assert g.neighbors(v) & mprs, (u, v)
+
+    def test_k_coverage_supersets(self):
+        g = gnp_random_graph(20, 0.35, seed=9)
+        for u in (0, 5, 10):
+            assert len(k_coverage_mpr(g, u, 1)) <= len(k_coverage_mpr(g, u, 2))
+
+    def test_extended_mpr_nodes_within_two_hops(self):
+        g = random_connected_gnp(15, 0.2, seed=10)
+        for u in g.nodes():
+            nodes = extended_mpr_tree_nodes(g, u)
+            d = bfs_distances(g, u)
+            assert all(1 <= d[x] <= 2 for x in nodes)
+
+
+class TestFlooding:
+    @given(connected_graphs(min_nodes=2, max_nodes=14), st.integers(1, 2))
+    @settings(max_examples=50, deadline=None)
+    def test_mpr_flooding_reaches_everyone(self, g, k):
+        blind = simulate_blind_flooding(g, 0)
+        mpr = simulate_mpr_flooding(g, 0, k=k)
+        assert blind.reached == set(g.nodes())
+        assert mpr.reached == set(g.nodes())
+        assert mpr.transmissions <= blind.transmissions
+
+    def test_flooding_savings_on_dense_graph(self):
+        g = complete_graph(20)
+        blind = simulate_blind_flooding(g, 0)
+        mpr = simulate_mpr_flooding(g, 0)
+        assert blind.transmissions == 20
+        assert mpr.transmissions <= 2  # source + at most one relay
+
+    def test_coverage_metric(self):
+        g = path_graph(4)
+        out = simulate_blind_flooding(g, 0)
+        assert out.coverage(g) == 1.0
+
+    def test_bad_k(self):
+        with pytest.raises(ParameterError):
+            simulate_mpr_flooding(path_graph(3), 0, k=0)
+
+
+class TestTrees:
+    def test_bfs_tree_preserves_root_distances(self):
+        g = grid_graph(4, 4)
+        t = bfs_tree(g, 0)
+        dg = bfs_distances(g, 0)
+        dt = bfs_distances(t, 0)
+        assert dg == dt
+
+    def test_spanning_forest_covers_components(self):
+        g = path_graph(6)
+        g.remove_edge(2, 3)
+        f = spanning_forest(g)
+        assert f.num_edges == 4  # (n − #components)
+        assert not is_connected(f) or is_connected(g)
+
+    def test_full_topology_is_copy(self):
+        g = cycle_graph(5)
+        c = full_topology(g)
+        assert c == g
+        c.remove_edge(0, 1)
+        assert g.has_edge(0, 1)

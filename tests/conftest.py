@@ -1,0 +1,87 @@
+"""Shared fixtures and hypothesis strategies for the test suite.
+
+The strategies produce small random graphs (and sub-graph pairs) — the
+regime where brute-force oracles (path enumeration, exhaustive set cover,
+networkx cross-checks) stay instant, which is what lets the property tests
+assert *exact* agreement rather than loose sanity.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.graph import Graph
+from repro.graph.generators import (
+    cycle_graph,
+    gnp_random_graph,
+    grid_graph,
+    path_graph,
+    random_connected_gnp,
+)
+
+
+# --------------------------------------------------------------------- #
+# hypothesis strategies
+# --------------------------------------------------------------------- #
+
+
+@st.composite
+def small_graphs(draw, min_nodes: int = 2, max_nodes: int = 10) -> Graph:
+    """An arbitrary small graph via a random edge subset."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    all_edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    mask = draw(st.lists(st.booleans(), min_size=len(all_edges), max_size=len(all_edges)))
+    return Graph(n, (e for e, keep in zip(all_edges, mask) if keep))
+
+
+@st.composite
+def connected_graphs(draw, min_nodes: int = 2, max_nodes: int = 10) -> Graph:
+    """A connected small graph: random tree + random extra edges."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    seed = draw(st.integers(0, 2**32 - 1))
+    p = draw(st.floats(0.0, 0.5))
+    return random_connected_gnp(n, p, seed=seed)
+
+
+@st.composite
+def graph_with_subgraph(draw, min_nodes: int = 2, max_nodes: int = 9):
+    """A (G, H) pair with H a spanning sub-graph of G."""
+    g = draw(connected_graphs(min_nodes, max_nodes))
+    edges = sorted(g.edges())
+    mask = draw(st.lists(st.booleans(), min_size=len(edges), max_size=len(edges)))
+    h = g.spanning_subgraph(e for e, keep in zip(edges, mask) if keep)
+    return g, h
+
+
+# --------------------------------------------------------------------- #
+# pytest fixtures: a small zoo of deterministic graphs
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture
+def petersen() -> Graph:
+    """The Petersen graph: 3-regular, girth 5, vertex-transitive."""
+    outer = [(i, (i + 1) % 5) for i in range(5)]
+    inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+    spokes = [(i, 5 + i) for i in range(5)]
+    return Graph(10, outer + inner + spokes)
+
+
+@pytest.fixture
+def zoo() -> dict:
+    """Named structured graphs exercising different regimes."""
+    return {
+        "path": path_graph(8),
+        "cycle": cycle_graph(9),
+        "grid": grid_graph(4, 5),
+        "gnp": gnp_random_graph(16, 0.3, seed=7),
+        "connected_gnp": random_connected_gnp(14, 0.15, seed=8),
+    }
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)

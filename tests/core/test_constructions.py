@@ -1,0 +1,181 @@
+"""Property tests: every construction's output satisfies its definition.
+
+This is the central soundness suite: Algorithms 1, 2, 4, 5 are run on
+random and structured graphs and their outputs re-verified with the
+independent predicates from ``repro.core.domtree``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    dom_tree_greedy,
+    dom_tree_kcover,
+    dom_tree_kmis,
+    dom_tree_mis,
+    is_dominating_tree,
+    is_k_connecting_dominating_tree,
+    mpr_set,
+)
+from repro.errors import ParameterError
+from repro.graph.generators import (
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+
+from ..conftest import connected_graphs, small_graphs
+
+
+class TestDomTreeGreedy:
+    @given(small_graphs(min_nodes=2, max_nodes=12), st.integers(2, 4), st.integers(0, 1), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_output_is_dominating_tree(self, g, r, beta, data):
+        u = data.draw(st.integers(0, g.num_nodes - 1))
+        tree = dom_tree_greedy(g, u, r, beta)
+        assert tree.root == u
+        assert is_dominating_tree(g, tree, r, beta)
+
+    def test_structured_graphs(self, zoo):
+        for name, g in zoo.items():
+            for r in (2, 3):
+                for beta in (0, 1):
+                    tree = dom_tree_greedy(g, 0, r, beta)
+                    assert is_dominating_tree(g, tree, r, beta), (name, r, beta)
+
+    def test_isolated_root(self):
+        g = path_graph(4)
+        g.remove_edge(0, 1)
+        tree = dom_tree_greedy(g, 0, 3, 1)
+        assert tree.nodes() == {0}
+
+    def test_star_center_needs_no_tree(self):
+        g = star_graph(8)
+        assert dom_tree_greedy(g, 0, 2, 0).num_edges == 0
+
+    def test_star_leaf_covers_siblings_via_center(self):
+        g = star_graph(8)
+        tree = dom_tree_greedy(g, 1, 2, 0)
+        assert tree.nodes() == {1, 0}
+
+    def test_parameters(self):
+        g = path_graph(3)
+        with pytest.raises(ParameterError):
+            dom_tree_greedy(g, 0, 1, 0)
+        with pytest.raises(ParameterError):
+            dom_tree_greedy(g, 0, 2, -1)
+
+    def test_deterministic(self):
+        g = grid_graph(4, 4)
+        a = dom_tree_greedy(g, 5, 3, 1)
+        b = dom_tree_greedy(g, 5, 3, 1)
+        assert set(a.edges()) == set(b.edges())
+
+
+class TestDomTreeMIS:
+    @given(small_graphs(min_nodes=2, max_nodes=12), st.integers(2, 4), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_output_is_r1_dominating_tree(self, g, r, data):
+        u = data.draw(st.integers(0, g.num_nodes - 1))
+        tree = dom_tree_mis(g, u, r)
+        assert is_dominating_tree(g, tree, r, beta=1)
+
+    def test_structured_graphs(self, zoo):
+        for name, g in zoo.items():
+            for r in (2, 3, 4):
+                tree = dom_tree_mis(g, 0, r)
+                assert is_dominating_tree(g, tree, r, 1), (name, r)
+
+    def test_mis_members_independent(self):
+        # Reconstruct the picked set: non-root tree leaves-of-interest are
+        # exactly tree nodes at distance ≥ 2 in G... verify pairwise
+        # non-adjacency of nodes the algorithm picked by checking maximal
+        # independence over the dominated ball isn't violated structurally:
+        # every picked node's neighbors were removed, so no two tree nodes
+        # at depth ≥ 2 that were "picked" are adjacent.  We can't recover
+        # picks exactly from the tree, so assert the domination property
+        # with β = 1 instead (covered above) plus determinism here.
+        g = grid_graph(5, 5)
+        assert set(dom_tree_mis(g, 12, 3).edges()) == set(dom_tree_mis(g, 12, 3).edges())
+
+    def test_r_must_be_at_least_two(self):
+        with pytest.raises(ParameterError):
+            dom_tree_mis(path_graph(3), 0, 1)
+
+    def test_bounded_size_on_dense_graph(self):
+        # In a clique the 2-ring is empty: tree must be trivial.
+        g = complete_graph(10)
+        assert dom_tree_mis(g, 0, 3).num_edges == 0
+
+
+class TestDomTreeKCover:
+    @given(
+        small_graphs(min_nodes=2, max_nodes=12), st.integers(1, 4), st.data()
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_output_is_k_connecting_star(self, g, k, data):
+        u = data.draw(st.integers(0, g.num_nodes - 1))
+        tree = dom_tree_kcover(g, u, k)
+        assert is_k_connecting_dominating_tree(g, tree, k, beta=0)
+        # Depth-1 star rooted at u.
+        assert all(p == u for x, p in tree.parent.items() if x != u)
+
+    def test_k1_is_classical_mpr(self):
+        # On K_{3,3} a leaf's 2-ring is its own side; one relay suffices.
+        g = complete_bipartite(3, 3)
+        assert len(mpr_set(g, 0, k=1)) == 1
+
+    def test_k_scaling_monotone(self, zoo):
+        for name, g in zoo.items():
+            sizes = [len(mpr_set(g, 0, k)) for k in (1, 2, 3)]
+            assert sizes == sorted(sizes), name
+
+    def test_k_larger_than_coverage_uses_escape_clause(self):
+        # v has a single common neighbor; k=3 still must terminate.
+        g = path_graph(3)
+        tree = dom_tree_kcover(g, 0, 3)
+        assert is_k_connecting_dominating_tree(g, tree, 3, beta=0)
+        assert tree.nodes() == {0, 1}
+
+    def test_parameters(self):
+        with pytest.raises(ParameterError):
+            dom_tree_kcover(path_graph(3), 0, 0)
+
+
+class TestDomTreeKMIS:
+    @given(
+        small_graphs(min_nodes=2, max_nodes=12), st.integers(1, 3), st.data()
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_output_is_k_connecting_beta1_tree(self, g, k, data):
+        u = data.draw(st.integers(0, g.num_nodes - 1))
+        tree = dom_tree_kmis(g, u, k)
+        assert is_k_connecting_dominating_tree(g, tree, k, beta=1)
+
+    def test_structured_graphs(self, zoo):
+        for name, g in zoo.items():
+            for k in (1, 2, 3):
+                tree = dom_tree_kmis(g, 0, k)
+                assert is_k_connecting_dominating_tree(g, tree, k, 1), (name, k)
+
+    def test_depth_at_most_two(self, zoo):
+        for g in zoo.values():
+            tree = dom_tree_kmis(g, 0, 2)
+            assert all(d <= 2 for d in tree.depths().values())
+
+    def test_direct_edges_for_all_depth1_nodes(self, zoo):
+        # Every N(u) member of V(T) must carry a direct edge (clause (a)
+        # soundness depends on it).
+        for g in zoo.values():
+            tree = dom_tree_kmis(g, 0, 2)
+            for x, p in tree.parent.items():
+                if x != 0 and x in g.neighbors(0):
+                    assert p == 0
+
+    def test_parameters(self):
+        with pytest.raises(ParameterError):
+            dom_tree_kmis(path_graph(3), 0, 0)

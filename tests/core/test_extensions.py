@@ -1,0 +1,111 @@
+"""Tests for the §4 future-work extensions.
+
+These are *empirical* probes of the paper's conjectures: they must hold
+on the instance families we try (their failure would be a publishable
+counterexample, which the suite would surface loudly).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_k_connecting_spanner, is_remote_spanner
+from repro.core.extensions import (
+    build_edge_connecting_spanner,
+    build_k_connecting_eps_spanner,
+    evaluate_k_connecting_eps,
+    is_k_edge_connecting_remote_spanner,
+    k_edge_connecting_violations,
+)
+from repro.errors import ParameterError
+from repro.graph.generators import random_connected_gnp
+
+from ..conftest import connected_graphs
+
+
+class TestEdgeConnectingConjecture:
+    def test_counterexample_refutes_naive_transfer(self):
+        """The repo's headline negative finding: reusing Algorithm 4's
+        union for EDGE-connectivity fails — the exchange argument of
+        Lemma 2 genuinely needs node-disjointness.  Pinned as a
+        regression so the counterexample is never lost."""
+        from repro.core.extensions import edge_conjecture_counterexample
+
+        g, rs, viol = edge_conjecture_counterexample()
+        assert viol, "counterexample must exhibit violations"
+        # The documented pair: (2, 5) at edge-disjoint 2-distance 6 in G,
+        # unreachable twice-edge-disjointly in H_2.
+        assert any(v[0] == 2 and v[1] == 5 and v[4] == math.inf for v in viol)
+        # While the plain node-disjoint guarantee of Theorem 2 still holds:
+        from repro.core import is_k_connecting_remote_spanner
+
+        assert is_k_connecting_remote_spanner(rs.graph, g, 2, 1.0, 0.0)
+
+    @given(connected_graphs(min_nodes=3, max_nodes=9))
+    @settings(max_examples=50, deadline=None)
+    def test_k1_edge_condition_always_holds(self, g):
+        """For k = 1 edge- and node-disjointness coincide, so the naive
+        candidate IS correct — the conjecture's failure starts at k = 2."""
+        rs = build_edge_connecting_spanner(g, k=1)
+        assert is_k_edge_connecting_remote_spanner(rs.graph, g, 1, 1.0, 0.0)
+
+    def test_failure_rate_measurable(self):
+        from repro.core.extensions import naive_edge_candidate_failure_rate
+
+        graphs = [random_connected_gnp(8, 0.3, seed=s) for s in range(10)]
+        failures, total = naive_edge_candidate_failure_rate(graphs, k=2)
+        assert total == 10
+        assert 0 <= failures <= total
+
+    def test_k1_coincides_with_plain_condition(self):
+        g = random_connected_gnp(15, 0.2, seed=3)
+        rs = build_k_connecting_spanner(g, k=1)
+        # k = 1: edge-disjoint and node-disjoint single paths coincide.
+        assert is_k_edge_connecting_remote_spanner(rs.graph, g, 1, 1.0, 0.0)
+        assert is_remote_spanner(rs.graph, g, 1.0, 0.0)
+
+    def test_violations_reported_for_bad_subgraph(self):
+        g = random_connected_gnp(10, 0.3, seed=4)
+        h = g.spanning_subgraph([])
+        viol = k_edge_connecting_violations(h, g, 1, 1.0, 0.0)
+        assert viol  # empty sub-graph can't satisfy exact distances
+
+    def test_validation(self):
+        g = random_connected_gnp(6, 0.3, seed=5)
+        with pytest.raises(ParameterError):
+            k_edge_connecting_violations(g, g, 0, 1.0, 0.0)
+
+
+class TestKConnectingEpsCandidate:
+    @given(connected_graphs(min_nodes=3, max_nodes=9))
+    @settings(max_examples=30, deadline=None)
+    def test_plain_stretch_inherited(self, g):
+        """The union contains Theorem 1's trees, so (1+ε, 1−2ε) plain
+        stretch is guaranteed — must always verify."""
+        rs = build_k_connecting_eps_spanner(g, k=2, epsilon=0.5)
+        assert is_remote_spanner(rs.graph, g, rs.guarantee.alpha, rs.guarantee.beta)
+
+    def test_report_fields(self):
+        g = random_connected_gnp(14, 0.25, seed=6)
+        report = evaluate_k_connecting_eps(g, k=2, epsilon=0.5)
+        assert report.plain_stretch_ok
+        assert report.edges > 0
+        assert report.pairs_checked >= 0
+        if report.pairs_checked:
+            assert report.max_kconn_ratio >= 1.0 or report.max_kconn_ratio == 0.0
+
+    def test_superset_of_both_ingredients(self):
+        g = random_connected_gnp(12, 0.3, seed=7)
+        rs = build_k_connecting_eps_spanner(g, k=2, epsilon=0.5)
+        from repro.core import dom_tree_mis
+
+        for u in g.nodes():
+            for a, b in dom_tree_mis(g, u, 3).edges():
+                assert rs.graph.has_edge(a, b)
+
+    def test_validation(self):
+        g = random_connected_gnp(6, 0.3, seed=8)
+        with pytest.raises(ParameterError):
+            build_k_connecting_eps_spanner(g, k=0, epsilon=0.5)

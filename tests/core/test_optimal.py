@@ -1,0 +1,112 @@
+"""Tests for the exact-optimum module and the approximation guarantees
+(Propositions 2 and 6, Theorem 2's ratio)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    build_k_connecting_spanner,
+    dom_tree_greedy,
+    dom_tree_kcover,
+    k_connecting_spanner_lower_bound,
+    optimal_dom_tree_edges,
+    optimal_kconnecting_star_size,
+)
+from repro.errors import ParameterError
+from repro.graph.generators import (
+    complete_bipartite,
+    gnp_random_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+
+from ..conftest import connected_graphs
+
+
+class TestOptimalDomTree:
+    def test_trivial_cases(self):
+        g = star_graph(6)
+        assert optimal_dom_tree_edges(g, 0, 2, 0) == 0  # no 2-ring
+        g2 = path_graph(3)
+        assert optimal_dom_tree_edges(g2, 0, 2, 0) == 1  # must take node 1
+
+    def test_grid_center(self):
+        g = grid_graph(3, 3)
+        opt = optimal_dom_tree_edges(g, 4, 2, 0)  # center
+        assert opt == 2  # two adjacent side-centers dominate the corners ring
+
+    def test_pool_limit_enforced(self):
+        g = gnp_random_graph(40, 0.6, seed=1)
+        with pytest.raises(ParameterError):
+            optimal_dom_tree_edges(g, 0, 3, 1)
+
+    def test_parameters(self):
+        g = path_graph(4)
+        with pytest.raises(ParameterError):
+            optimal_dom_tree_edges(g, 0, 1, 0)
+        with pytest.raises(ParameterError):
+            optimal_dom_tree_edges(g, 0, 2, -1)
+
+    @given(connected_graphs(min_nodes=3, max_nodes=9), st.integers(0, 1), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_proposition2_ratio(self, g, beta, data):
+        """Greedy ≤ (1+β)(r+β−1)(1+log Δ) × OPT (Proposition 2)."""
+        r = data.draw(st.integers(2, 3))
+        u = data.draw(st.integers(0, g.num_nodes - 1))
+        greedy = dom_tree_greedy(g, u, r, beta).num_edges
+        opt = optimal_dom_tree_edges(g, u, r, beta)
+        assert greedy >= opt  # OPT is optimal
+        if opt == 0:
+            assert greedy == 0
+            return
+        delta = g.max_degree()
+        bound = (1 + beta) * (r + beta - 1) * (1 + math.log(max(delta, 2)))
+        assert greedy <= bound * opt + 1e-9
+
+
+class TestOptimalStar:
+    def test_bipartite_exact(self):
+        g = complete_bipartite(4, 4)
+        # From a left node: 2-ring is the other left nodes; one right
+        # neighbor covers them all; k=2 needs two.
+        assert optimal_kconnecting_star_size(g, 0, 1) == 1
+        assert optimal_kconnecting_star_size(g, 0, 2) == 2
+
+    def test_no_two_ring(self):
+        assert optimal_kconnecting_star_size(star_graph(5), 0, 3) == 0
+
+    def test_parameters(self):
+        with pytest.raises(ParameterError):
+            optimal_kconnecting_star_size(path_graph(3), 0, 0)
+        with pytest.raises(ParameterError):
+            k_connecting_spanner_lower_bound(path_graph(3), 0)
+
+    @given(connected_graphs(min_nodes=3, max_nodes=9), st.integers(1, 3), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_proposition6_ratio(self, g, k, data):
+        """Greedy star ≤ (1 + log Δ) × OPT (Proposition 6)."""
+        u = data.draw(st.integers(0, g.num_nodes - 1))
+        greedy = dom_tree_kcover(g, u, k).num_edges
+        opt = optimal_kconnecting_star_size(g, u, k)
+        assert greedy >= opt
+        if opt == 0:
+            assert greedy == 0
+            return
+        delta = g.max_degree()
+        assert greedy <= (1 + math.log(max(delta, 2))) * opt + 1e-9
+
+    @given(connected_graphs(min_nodes=3, max_nodes=9), st.integers(1, 2))
+    @settings(max_examples=40, deadline=None)
+    def test_theorem2_global_ratio(self, g, k):
+        """Union ≤ 2(1+log Δ) × any spanner's edges ≥ the lower bound."""
+        rs = build_k_connecting_spanner(g, k=k)
+        lb = k_connecting_spanner_lower_bound(g, k)
+        assert lb <= g.num_edges + 1e-9
+        if lb == 0:
+            return
+        delta = g.max_degree()
+        assert rs.num_edges <= 2 * (1 + math.log(max(delta, 2))) * lb + 1e-9

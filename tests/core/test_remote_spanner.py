@@ -1,0 +1,187 @@
+"""Tests for the spanner builders and the stretch verification machinery."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    StretchGuarantee,
+    build_biconnecting_spanner,
+    build_k_connecting_spanner,
+    build_remote_spanner,
+    effective_epsilon,
+    epsilon_to_radius,
+    is_k_connecting_remote_spanner,
+    is_remote_spanner,
+    k_connecting_stretch_stats,
+    remote_spanner_violations,
+    remote_stretch_stats,
+)
+from repro.errors import NotASubgraphError, ParameterError
+from repro.graph import Graph
+from repro.graph.generators import cycle_graph, grid_graph, path_graph
+
+from ..conftest import connected_graphs, graph_with_subgraph, small_graphs
+
+
+class TestEpsilonRadius:
+    def test_canonical_values(self):
+        assert epsilon_to_radius(1.0) == 2
+        assert epsilon_to_radius(0.5) == 3
+        assert epsilon_to_radius(1 / 3) == 4
+        assert epsilon_to_radius(0.4) == 4  # ceil(2.5)+1
+
+    def test_effective_epsilon_dominates(self):
+        for eps in (1.0, 0.7, 0.5, 0.3, 0.21):
+            r = epsilon_to_radius(eps)
+            assert effective_epsilon(r) <= eps + 1e-12
+
+    def test_bounds(self):
+        with pytest.raises(ParameterError):
+            epsilon_to_radius(0.0)
+        with pytest.raises(ParameterError):
+            epsilon_to_radius(1.5)
+        with pytest.raises(ParameterError):
+            effective_epsilon(1)
+
+
+class TestStretchGuarantee:
+    def test_bound_formula(self):
+        g = StretchGuarantee(2.0, -1.0, k=2)
+        assert g.bound(5, k_prime=2) == 8.0
+        assert str(g) == "2-connecting (2, -1)"
+        assert str(StretchGuarantee(1.0, 0.0)) == "(1, 0)"
+
+
+class TestIsRemoteSpanner:
+    def test_full_graph_is_always_10_remote_spanner(self, zoo):
+        for g in zoo.values():
+            assert is_remote_spanner(g, g, 1.0, 0.0)
+
+    def test_empty_subgraph_usually_is_not(self):
+        g = path_graph(5)
+        h = g.spanning_subgraph([])
+        assert not is_remote_spanner(h, g, 1.0, 0.0)
+        viol = remote_spanner_violations(h, g, 1.0, 0.0)
+        assert all(v[3] == math.inf for v in viol)
+
+    def test_rejects_non_subgraph(self):
+        g = path_graph(4)
+        bad = Graph(4, [(0, 2)])
+        with pytest.raises(NotASubgraphError):
+            is_remote_spanner(bad, g, 1.0, 0.0)
+
+    def test_asymmetry_of_the_definition(self):
+        # H empty on a path 0-1-2: from node 0, H_0 has edge 01 only, so 2
+        # unreachable; the pair fails in one direction and the predicate
+        # must catch ordered violations.
+        g = path_graph(3)
+        h = g.spanning_subgraph([(1, 2)])
+        # From 0: augmented edges {01}; path 0-1-2 exists in H_0. OK.
+        # From 2: augmented {12}; path 2-1-0 needs edge 01 ∈ H — missing.
+        viol = remote_spanner_violations(h, g, 1.0, 0.0)
+        assert (2, 0, 2, math.inf) in viol
+        assert all(v[0] != 0 for v in viol)
+
+    def test_adjacent_pairs_not_constrained(self):
+        # On a clique every pair is adjacent: even the empty sub-graph is
+        # a (1, 0)-remote-spanner (the augmentation supplies every edge).
+        from repro.graph.generators import complete_graph
+
+        g = complete_graph(5)
+        h = g.spanning_subgraph([])
+        assert is_remote_spanner(h, g, 1.0, 0.0)
+
+
+class TestBuilders:
+    @given(small_graphs(min_nodes=2, max_nodes=11))
+    @settings(max_examples=60, deadline=None)
+    def test_k1_builder_gives_exact_distances(self, g):
+        rs = build_k_connecting_spanner(g, k=1)
+        assert is_remote_spanner(rs.graph, g, 1.0, 0.0)
+        assert rs.graph.is_spanning_subgraph_of(g)
+
+    @given(small_graphs(min_nodes=2, max_nodes=10), st.sampled_from([1.0, 0.5, 1 / 3]))
+    @settings(max_examples=60, deadline=None)
+    def test_epsilon_builder_mis(self, g, eps):
+        rs = build_remote_spanner(g, epsilon=eps, method="mis")
+        assert is_remote_spanner(rs.graph, g, rs.guarantee.alpha, rs.guarantee.beta)
+
+    @given(small_graphs(min_nodes=2, max_nodes=10), st.sampled_from([1.0, 0.5]))
+    @settings(max_examples=40, deadline=None)
+    def test_epsilon_builder_greedy(self, g, eps):
+        rs = build_remote_spanner(g, epsilon=eps, method="greedy")
+        assert is_remote_spanner(rs.graph, g, rs.guarantee.alpha, rs.guarantee.beta)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ParameterError):
+            build_remote_spanner(path_graph(4), 0.5, method="magic")
+        with pytest.raises(ParameterError):
+            build_k_connecting_spanner(path_graph(4), k=0)
+
+    def test_density_and_repr(self):
+        g = grid_graph(4, 4)
+        rs = build_k_connecting_spanner(g, k=1)
+        assert 0 < rs.density(g) <= 1.0
+        assert rs.tree_for(0).root == 0
+
+    @given(connected_graphs(min_nodes=3, max_nodes=9), st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_k_connecting_builder_full_check(self, g, k):
+        rs = build_k_connecting_spanner(g, k=k)
+        assert is_k_connecting_remote_spanner(rs.graph, g, k, 1.0, 0.0)
+
+    @given(connected_graphs(min_nodes=3, max_nodes=9))
+    @settings(max_examples=40, deadline=None)
+    def test_biconnecting_builder_full_check(self, g):
+        rs = build_biconnecting_spanner(g)
+        assert is_k_connecting_remote_spanner(rs.graph, g, 2, 2.0, -1.0)
+
+
+class TestStretchStats:
+    def test_exact_spanner_stats(self):
+        g = grid_graph(4, 5)
+        rs = build_k_connecting_spanner(g, k=1)
+        stats = remote_stretch_stats(rs.graph, g)
+        assert stats.max_ratio == 1.0
+        assert stats.exact_fraction == 1.0
+        assert stats.unreachable == 0
+        assert stats.satisfies(1.0, 0.0)
+
+    def test_stats_detect_bad_subgraph(self):
+        g = path_graph(5)
+        h = g.spanning_subgraph([(0, 1)])
+        stats = remote_stretch_stats(h, g)
+        assert stats.unreachable > 0
+        assert not stats.satisfies(10.0, 10.0)
+
+    def test_k_connecting_stats(self):
+        g = cycle_graph(6)
+        rs = build_k_connecting_spanner(g, k=2)
+        stats = k_connecting_stretch_stats(rs.graph, g, k=2)
+        assert stats.connectivity_preserved
+        assert stats.max_ratio_by_k.get(1, 0.0) <= 1.0
+        assert stats.max_ratio_by_k.get(2, 0.0) <= 1.0
+
+    def test_sources_restriction(self):
+        g = grid_graph(3, 3)
+        rs = build_k_connecting_spanner(g, k=1)
+        partial = remote_stretch_stats(rs.graph, g, sources=[0])
+        full = remote_stretch_stats(rs.graph, g)
+        assert partial.pairs_checked < full.pairs_checked
+
+
+class TestCycleWorstCase:
+    def test_cycle_spanner_keeps_all_edges(self):
+        # On a cycle every edge is essential for exact distances: the
+        # (1, 0)-remote-spanner is the whole cycle (§1.2's worst case).
+        g = cycle_graph(9)
+        rs = build_k_connecting_spanner(g, k=1)
+        assert rs.num_edges == g.num_edges
+
+    def test_epsilon_one_on_cycle(self):
+        g = cycle_graph(12)
+        rs = build_remote_spanner(g, epsilon=1.0)
+        assert is_remote_spanner(rs.graph, g, 2.0, -1.0)

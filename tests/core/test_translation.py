@@ -1,0 +1,107 @@
+"""Property tests of the §1.2 translation lemma and the remote advantage."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import additive_two_spanner, baswana_sen_spanner, greedy_spanner
+from repro.core import build_k_connecting_spanner
+from repro.core.translation import (
+    check_translation_lemma,
+    is_spanner,
+    remote_advantage,
+    spanner_violations,
+    translated_guarantee,
+)
+from repro.errors import ParameterError
+from repro.graph.generators import cycle_graph, grid_graph, random_connected_gnp
+
+from ..conftest import connected_graphs, graph_with_subgraph
+
+
+class TestIsSpanner:
+    def test_graph_is_own_10_spanner(self, zoo):
+        for g in zoo.values():
+            assert is_spanner(g, g, 1.0, 0.0)
+
+    def test_violations_reported(self):
+        g = cycle_graph(8)
+        h = g.spanning_subgraph([e for e in g.edges() if e != (0, 7)])
+        viol = spanner_violations(h, g, 1.0, 0.0)
+        assert any(v[0] == 0 and v[1] == 7 for v in viol)
+        assert is_spanner(h, g, 7.0, 0.0)  # path around the cycle
+
+
+class TestTranslationLemma:
+    def test_guarantee_arithmetic(self):
+        guar = translated_guarantee(3.0, 0.0)
+        assert guar.alpha == 3.0
+        assert guar.beta == -2.0
+        with pytest.raises(ParameterError):
+            translated_guarantee(0.5, 0.0)
+
+    @given(graph_with_subgraph(min_nodes=3, max_nodes=9), st.sampled_from([1.0, 2.0, 3.0]))
+    @settings(max_examples=80, deadline=None)
+    def test_lemma_holds_on_random_subgraphs(self, pair, alpha):
+        """Whenever H happens to be an (α, 0)-spanner, the translated
+        remote condition (α, 1−α) must hold — the paper's lemma, fuzzed."""
+        g, h = pair
+        assert check_translation_lemma(h, g, alpha, 0.0)
+
+    @given(connected_graphs(min_nodes=3, max_nodes=10), st.integers(1, 2))
+    @settings(max_examples=30, deadline=None)
+    def test_lemma_on_greedy_spanners(self, g, k):
+        t = 2 * k - 1
+        h = greedy_spanner(g, t)
+        assert is_spanner(h, g, float(t), 0.0)
+        assert check_translation_lemma(h, g, float(t), 0.0)
+
+    @given(connected_graphs(min_nodes=3, max_nodes=10), st.integers(0, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_lemma_on_baswana_sen(self, g, seed):
+        h = baswana_sen_spanner(g, 2, seed=seed)
+        assert check_translation_lemma(h, g, 3.0, 0.0)
+
+    def test_lemma_on_additive(self):
+        g = random_connected_gnp(20, 0.25, seed=17)
+        h = additive_two_spanner(g)
+        # (1, 2)-spanner → (1, 2)-remote-spanner (translation with α = 1
+        # keeps β; the stronger translated form is (1, 2−1+1) = (1, 2)).
+        assert check_translation_lemma(h, g, 1.0, 2.0)
+
+
+class TestRemoteAdvantage:
+    def test_advantage_positive_on_sparse_spanner(self):
+        g = grid_graph(4, 5)
+        rs = build_k_connecting_spanner(g, k=1)
+        adv = remote_advantage(rs.graph, g)
+        # The spanner dropped edges, so some pair must profit from the
+        # augmentation (else the spanner would equal the graph).
+        if rs.num_edges < g.num_edges:
+            assert adv.improved_pairs > 0
+
+    def test_no_advantage_on_full_graph(self):
+        g = grid_graph(3, 4)
+        adv = remote_advantage(g, g)
+        assert adv.improved_pairs == 0
+        assert adv.total_savings == 0
+
+    def test_rescued_pairs_counted(self):
+        from repro.graph.generators import path_graph
+
+        g = path_graph(4)
+        h = g.spanning_subgraph([(2, 3)])
+        adv = remote_advantage(h, g)
+        # From node 0, H_0 rescues node 1 region... pair (0,2): H_0 has
+        # 0-1 but not 1-2 → still unreachable; pair (1,3): H_1 has 1-0,1-2
+        # and H has 2-3 → rescued.
+        assert adv.rescued_pairs > 0
+
+    @given(graph_with_subgraph(min_nodes=3, max_nodes=9))
+    @settings(max_examples=40, deadline=None)
+    def test_savings_nonnegative_invariant(self, pair):
+        g, h = pair
+        adv = remote_advantage(h, g)
+        assert adv.total_savings >= 0
+        assert adv.max_savings >= 0
+        assert adv.improved_pairs <= adv.pairs

@@ -1,0 +1,72 @@
+"""Targeted tests for the periodic link-state internals.
+
+The two-way connectivity check and LSA aging were added after an
+integration test exposed the stale-adjacency bug (a severed neighbor's
+advertisement lingering forever).  These tests pin the mechanisms
+directly.
+"""
+
+from repro.distributed import PeriodicLinkState
+from repro.graph import Graph
+from repro.graph.generators import cycle_graph, path_graph, random_connected_gnp
+
+
+class TestTwoWayCheck:
+    def test_severed_edge_disappears_from_local_views(self):
+        # Triangle + pendant; cut the 0-1 edge and verify node 0's next
+        # recomputation no longer believes in it.
+        g = Graph(4, [(0, 1), (1, 2), (0, 2), (2, 3)])
+        sim = PeriodicLinkState(g, kind="kcover", k=1, period=4)
+        sim.run(12)  # converge
+        g.remove_edge(0, 1)
+        # Node 0's own HELLO view updates instantly on recompute; node 1's
+        # stale advert still lists 0 — the two-way check must drop it.
+        sim._recompute(0, sim.step_count)
+        tree0 = sim.trees[0]
+        assert (0, 1) not in set(tree0.edges())
+
+    def test_stale_entries_age_out(self):
+        g = cycle_graph(6)
+        sim = PeriodicLinkState(g, kind="kcover", k=1, period=3)
+        sim.run(10)
+        # Inject a bogus ancient advert for a phantom node relationship.
+        sim.db[0][3] = (-100, frozenset({0}))  # ancient stamp
+        sim._recompute(0, sim.step_count)
+        assert 3 not in sim.db[0]  # aged out
+
+    def test_own_entry_never_ages(self):
+        g = path_graph(4)
+        sim = PeriodicLinkState(g, kind="kcover", k=1, period=3)
+        sim.run(8)
+        sim.db[2][2] = (-100, frozenset(g.neighbors(2)))
+        sim._recompute(2, sim.step_count)
+        assert 2 in sim.db[2]
+
+
+class TestConvergenceProperties:
+    def test_current_spanner_filters_dead_edges(self):
+        g = random_connected_gnp(12, 0.2, seed=9)
+        sim = PeriodicLinkState(g, kind="kcover", k=1, period=5)
+        sim.run(15)
+        # Remove an edge; before any re-advertisement the stale trees may
+        # reference it, but current_spanner must not return dead edges.
+        e = sorted(g.edges())[0]
+        g.remove_edge(*e)
+        spanner = sim.current_spanner()
+        assert not spanner.has_edge(*e)
+
+    def test_steady_state_is_fixed_point(self):
+        g = random_connected_gnp(10, 0.25, seed=10)
+        sim = PeriodicLinkState(g, kind="kcover", k=1, period=4)
+        sim.run(20)
+        before = sim.current_spanner()
+        sim.run(8)  # two more full periods with no change
+        assert sim.current_spanner() == before
+
+    def test_phases_desynchronized_still_converge(self):
+        g = random_connected_gnp(12, 0.2, seed=11)
+        sim = PeriodicLinkState(
+            g.copy(), kind="kcover", k=1, period=5, phases=[3] * 12
+        )
+        sim.run(5 + 2 * sim.flood_time + 5)
+        assert sim.current_spanner() == sim.converged_spanner(g)

@@ -1,0 +1,135 @@
+"""Tests for the experiment harnesses (small parameterizations)."""
+
+import math
+
+import pytest
+
+from repro.core import is_k_connecting_remote_spanner, is_remote_spanner
+from repro.errors import ParameterError
+from repro.experiments import (
+    ablate_beta,
+    ablate_first_fit,
+    ablate_greedy_vs_mis,
+    ablate_mis_order,
+    ascii_scene,
+    build_figure1,
+    build_table1,
+    figure1_points,
+    largest_component,
+    minimal_remote_spanner,
+    poisson_udg,
+    scaled_udg,
+    side_for_degree,
+    udg_edge_scaling,
+)
+from repro.graph import is_connected
+
+
+class TestRunner:
+    def test_side_for_degree_math(self):
+        side = side_for_degree(100, 10.0)
+        assert side == pytest.approx(math.sqrt(100 * math.pi / 10.0))
+        with pytest.raises(ParameterError):
+            side_for_degree(0, 5.0)
+
+    def test_scaled_udg_degree_near_target(self):
+        g, pts = scaled_udg(400, target_degree=10.0, seed=1)
+        mean_deg = 2 * g.num_edges / g.num_nodes
+        assert 6.0 < mean_deg < 12.0  # boundary effects reduce it
+
+    def test_poisson_udg_deterministic(self):
+        g1, _ = poisson_udg(30.0, 3.0, seed=9)
+        g2, _ = poisson_udg(30.0, 3.0, seed=9)
+        assert g1 == g2
+
+    def test_largest_component_connected(self):
+        g, _ = scaled_udg(120, target_degree=6.0, seed=2)
+        sub, ids = largest_component(g)
+        assert is_connected(sub)
+        assert len(ids) == sub.num_nodes
+
+
+class TestFigure1:
+    def test_panels_certified(self):
+        fig = build_figure1()
+        g = fig.graph
+        assert is_remote_spanner(fig.spanner_b.graph, g, 1.0, 0.0)
+        assert is_remote_spanner(fig.graph_c, g, 2.0, -1.0)
+        assert is_k_connecting_remote_spanner(fig.spanner_d.graph, g, 2, 2.0, -1.0)
+
+    def test_witnesses_match_captions(self):
+        fig = build_figure1()
+        u, x, d = fig.exact_pair
+        assert d >= 2
+        s, t, dg, dh = fig.stretch_pair
+        assert dh == 2 * dg - 1  # extremal stretch realized on this layout
+        s2, t2, paths = fig.disjoint_witness
+        assert len(paths) == 2
+        internals = [set(p[1:-1]) for p in paths]
+        assert not (internals[0] & internals[1])
+
+    def test_minimal_spanner_is_minimal(self):
+        fig = build_figure1()
+        g = fig.graph
+        h = fig.graph_c
+        # No single edge can be dropped.
+        for e in list(h.edges()):
+            h2 = h.copy()
+            h2.remove_edge(*e)
+            assert not is_remote_spanner(h2, g, 2.0, -1.0)
+
+    def test_ascii_scene_renders(self):
+        fig = build_figure1()
+        out = ascii_scene(figure1_points(), fig.graph, fig.spanner_b.graph)
+        assert "*u" in out and "edges:" in out
+
+
+class TestTable1:
+    def test_reduced_table_builds_and_verifies(self):
+        rows = build_table1(n_any=25, n_udg=60, verify_pairs=8, seed=5)
+        assert len(rows) == 9
+        for row in rows:
+            assert row.stretch_ok in (True, "-"), f"row {row.row} failed"
+        # External rows are citation-only.
+        assert rows[5].edges == "-"
+        assert rows[7].edges == "-"
+
+
+class TestAblations:
+    def test_greedy_vs_mis_reports_both(self):
+        rep = ablate_greedy_vs_mis(r=3, seed=1, n=80)
+        assert set(rep.variants) == {"greedy", "mis"}
+        assert rep.variants["greedy"]["union_edges"] > 0
+
+    def test_beta_reports_both_settings(self):
+        rep = ablate_beta(r=3, seed=2, n=80)
+        # β = 1 widens the candidate pool to same-ring dominators but the
+        # paths to them are one hop longer, so tree sizes can move either
+        # way — the ablation records both; we assert both ran and produced
+        # valid positive sizes with sane max ≥ mean.
+        for variant in ("beta=0", "beta=1"):
+            v = rep.variants[variant]
+            assert v["mean_tree_edges"] > 0
+            assert v["max_tree_edges"] >= v["mean_tree_edges"]
+
+    def test_first_fit_never_beats_greedy_union(self):
+        rep = ablate_first_fit(seed=3, n=80)
+        assert (
+            rep.variants["max_gain"]["mean_star"]
+            <= rep.variants["first_fit"]["mean_star"] + 1e-9
+        )
+
+    def test_mis_order_matters(self):
+        rep = ablate_mis_order(r=4, seed=4, n=120)
+        assert rep.variants["nearest_first"]["violations"] == 0
+        # farthest-first may or may not violate on a given instance, but
+        # never fewer violations than the correct ordering.
+        assert rep.variants["farthest_first"]["violations"] >= 0
+
+
+class TestScalingSmoke:
+    def test_udg_scaling_shapes(self):
+        res = udg_edge_scaling(intensities=(20.0, 40.0), side=3.0, trials=1, seed=6)
+        # full topology grows strictly faster than the spanner
+        assert res.exponent("full_edges") > res.exponent("spanner_edges")
+        assert res.exponent("spanner_edges") > 1.0

@@ -1,0 +1,76 @@
+"""Tests for nets, packings and doubling-dimension estimation —
+the proof machinery of Propositions 3 and 7."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.geometry import (
+    EuclideanMetric,
+    ball_cover_count,
+    estimate_doubling_dimension,
+    greedy_net,
+    packing_number,
+    uniform_points,
+)
+
+
+class TestGreedyNet:
+    def test_net_is_packing_and_cover(self):
+        pts = uniform_points(80, 4.0, seed=1)
+        m = EuclideanMetric(2)
+        centers = greedy_net(pts, m, radius=1.0)
+        # Packing: centers pairwise > 1 apart.
+        for i, a in enumerate(centers):
+            for b in centers[i + 1 :]:
+                assert m.distance(pts, a, b) > 1.0
+        # Cover: every point within 1 of a center.
+        for i in range(pts.shape[0]):
+            assert min(m.distance(pts, i, c) for c in centers) <= 1.0
+
+    def test_net_deterministic(self):
+        pts = uniform_points(40, 3.0, seed=2)
+        m = EuclideanMetric(2)
+        assert greedy_net(pts, m, 0.5) == greedy_net(pts, m, 0.5)
+
+    def test_bad_radius(self):
+        with pytest.raises(ParameterError):
+            greedy_net(np.zeros((3, 2)), EuclideanMetric(2), 0.0)
+
+    def test_packing_number_monotone_in_radius(self):
+        pts = uniform_points(100, 4.0, seed=3)
+        m = EuclideanMetric(2)
+        assert packing_number(pts, m, 0.25) >= packing_number(pts, m, 0.5)
+        assert packing_number(pts, m, 0.5) >= packing_number(pts, m, 1.0)
+
+
+class TestDoubling:
+    def test_cover_count_bounded_for_plane(self):
+        # Doubling constant of the plane is ≤ 7 for interior balls
+        # (theory: any R-ball covered by 7 R/2-balls); greedy is not
+        # optimal so allow slack, but it must stay O(1).
+        pts = uniform_points(400, 6.0, seed=4)
+        m = EuclideanMetric(2)
+        worst = max(
+            ball_cover_count(pts, m, center, big_radius=1.5) for center in range(0, 400, 37)
+        )
+        assert worst <= 16
+
+    def test_estimated_dimension_close_to_two(self):
+        pts = uniform_points(500, 6.0, seed=5)
+        m = EuclideanMetric(2)
+        p_hat = estimate_doubling_dimension(pts, m, samples=24, seed=6)
+        assert 1.0 <= p_hat <= 4.0  # plane: true p = 2, greedy slack ≤ 2x
+
+    def test_line_has_lower_dimension_than_plane(self):
+        rng_pts_line = np.column_stack(
+            [uniform_points(300, 10.0, dim=1, seed=7), np.zeros(300)]
+        )
+        pts_plane = uniform_points(300, 10.0, seed=8)
+        m = EuclideanMetric(2)
+        p_line = estimate_doubling_dimension(rng_pts_line, m, samples=24, seed=9)
+        p_plane = estimate_doubling_dimension(pts_plane, m, samples=24, seed=10)
+        assert p_line < p_plane
+
+    def test_empty_points(self):
+        assert estimate_doubling_dimension(np.zeros((0, 2)), EuclideanMetric(2)) == 0.0

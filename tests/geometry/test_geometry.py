@@ -1,0 +1,136 @@
+"""Tests for point processes, metrics, and unit-ball-graph builders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.geometry import (
+    ChebyshevMetric,
+    EuclideanMetric,
+    SnowflakeMetric,
+    TorusMetric,
+    brute_force_unit_ball_graph,
+    grid_points,
+    perturbed_grid_points,
+    poisson_points,
+    uniform_points,
+    unit_ball_graph,
+    unit_disk_graph,
+)
+
+
+class TestPoints:
+    def test_uniform_shape_and_range(self):
+        pts = uniform_points(50, side=3.0, seed=1)
+        assert pts.shape == (50, 2)
+        assert pts.min() >= 0 and pts.max() <= 3.0
+
+    def test_poisson_count_scales_with_intensity(self):
+        counts = [poisson_points(30.0, 2.0, seed=s).shape[0] for s in range(20)]
+        mean = sum(counts) / len(counts)
+        assert abs(mean - 120.0) / 120.0 < 0.2  # λ·side² = 120
+
+    def test_poisson_deterministic(self):
+        a = poisson_points(10.0, 2.0, seed=7)
+        b = poisson_points(10.0, 2.0, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_grid_points(self):
+        pts = grid_points(2, 3, spacing=2.0)
+        assert pts.shape == (6, 2)
+        assert pts[:, 0].max() == 4.0
+        assert pts[:, 1].max() == 2.0
+
+    def test_perturbed_grid_stays_near_lattice(self):
+        base = grid_points(4, 4)
+        pts = perturbed_grid_points(4, 4, jitter=0.2, seed=3)
+        assert np.abs(pts - base).max() <= 0.2
+
+    def test_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            uniform_points(-1, 1.0)
+        with pytest.raises(ParameterError):
+            poisson_points(1.0, 0.0)
+        with pytest.raises(ParameterError):
+            grid_points(0, 3)
+
+
+class TestMetrics:
+    def test_euclidean_triangle_inequality_sample(self):
+        pts = uniform_points(20, 2.0, seed=2)
+        m = EuclideanMetric(2)
+        d = m.pairwise(pts)
+        for i in range(20):
+            for j in range(20):
+                for k in range(20):
+                    assert d[i, j] <= d[i, k] + d[k, j] + 1e-9
+
+    def test_chebyshev_vs_euclidean_order(self):
+        pts = uniform_points(15, 2.0, seed=3)
+        de = EuclideanMetric(2).pairwise(pts)
+        dc = ChebyshevMetric(2).pairwise(pts)
+        assert np.all(dc <= de + 1e-12)
+
+    def test_torus_wraps(self):
+        pts = np.array([[0.1, 0.5], [3.9, 0.5]])
+        m = TorusMetric(side=4.0)
+        assert m.distance(pts, 0, 1) == pytest.approx(0.2)
+
+    def test_torus_pairwise_symmetric(self):
+        pts = uniform_points(10, 4.0, seed=4)
+        d = TorusMetric(4.0).pairwise(pts)
+        assert np.allclose(d, d.T)
+
+    def test_snowflake_dimension_hint(self):
+        m = SnowflakeMetric(EuclideanMetric(2), gamma=2 / 3)
+        assert m.doubling_dimension_hint == pytest.approx(3.0)
+        with pytest.raises(ParameterError):
+            SnowflakeMetric(EuclideanMetric(2), gamma=0.0)
+
+    def test_snowflake_preserves_order(self):
+        pts = uniform_points(12, 2.0, seed=5)
+        base = EuclideanMetric(2)
+        snow = SnowflakeMetric(base, 0.5)
+        db = base.to_all(pts, 0)
+        ds = snow.to_all(pts, 0)
+        assert np.array_equal(np.argsort(db), np.argsort(ds))
+
+    def test_to_all_matches_pairwise_row(self):
+        pts = uniform_points(10, 3.0, seed=6)
+        for metric in (EuclideanMetric(2), ChebyshevMetric(2), TorusMetric(3.0)):
+            full = metric.pairwise(pts)
+            for i in range(10):
+                assert np.allclose(metric.to_all(pts, i), full[i])
+
+
+class TestUnitBallGraphs:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 60), st.integers(0, 10**6), st.floats(0.3, 2.0))
+    def test_grid_builder_matches_brute_force(self, n, seed, radius):
+        pts = uniform_points(n, 3.0, seed=seed)
+        fast = unit_disk_graph(pts, radius=radius)
+        slow = brute_force_unit_ball_graph(pts, radius=radius)
+        assert fast == slow
+
+    def test_unit_ball_graph_respects_metric(self):
+        pts = np.array([[0.0, 0.0], [0.9, 0.9], [2.5, 2.5]])
+        ge = unit_ball_graph(pts, EuclideanMetric(2))
+        gc = unit_ball_graph(pts, ChebyshevMetric(2))
+        assert not ge.has_edge(0, 1)  # euclidean distance ≈ 1.27
+        assert gc.has_edge(0, 1)  # chebyshev distance 0.9
+
+    def test_three_dim_points(self):
+        pts = uniform_points(40, 2.0, dim=3, seed=7)
+        fast = unit_disk_graph(pts, radius=0.8)
+        slow = brute_force_unit_ball_graph(pts, radius=0.8)
+        assert fast == slow
+
+    def test_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            unit_disk_graph(np.zeros(3))
+        with pytest.raises(ParameterError):
+            unit_disk_graph(np.zeros((3, 2)), radius=0.0)
+        with pytest.raises(ParameterError):
+            unit_ball_graph(np.zeros((2, 2)), radius=-1.0)

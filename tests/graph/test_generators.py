@@ -1,0 +1,123 @@
+"""Tests for the deterministic and random graph generators."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.graph import is_connected
+from repro.graph.generators import (
+    caterpillar_graph,
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    random_connected_gnp,
+    random_tree,
+    star_graph,
+    theta_graph,
+)
+
+
+class TestDeterministic:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        assert g.degree(0) == 1
+        assert g.degree(2) == 2
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert g.num_edges == 6
+        assert all(g.degree(u) == 2 for u in g.nodes())
+        with pytest.raises(ParameterError):
+            cycle_graph(2)
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite(3, 4)
+        assert g.num_edges == 12
+        assert g.degree(0) == 4
+        assert g.degree(3) == 3
+
+    def test_star(self):
+        g = star_graph(7)
+        assert g.degree(0) == 6
+        assert all(g.degree(i) == 1 for i in range(1, 7))
+        with pytest.raises(ParameterError):
+            star_graph(0)
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.num_nodes == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert g.degree(0) == 2  # corner
+
+    def test_hypercube(self):
+        g = hypercube_graph(4)
+        assert g.num_nodes == 16
+        assert all(g.degree(u) == 4 for u in g.nodes())
+        assert hypercube_graph(0).num_nodes == 1
+        with pytest.raises(ParameterError):
+            hypercube_graph(-1)
+
+    def test_caterpillar(self):
+        g = caterpillar_graph(4, 2)
+        assert g.num_nodes == 12
+        assert g.num_edges == 11
+        assert is_connected(g)
+        with pytest.raises(ParameterError):
+            caterpillar_graph(0, 1)
+
+    def test_theta(self):
+        g = theta_graph((2, 3, 4))
+        assert not g.has_edge(0, 1)
+        assert g.degree(0) == 3
+        assert g.degree(1) == 3
+        assert g.num_nodes == 2 + 1 + 2 + 3
+        with pytest.raises(ParameterError):
+            theta_graph((1,))
+
+
+class TestRandom:
+    def test_gnp_extremes(self):
+        assert gnp_random_graph(10, 0.0, seed=1).num_edges == 0
+        assert gnp_random_graph(10, 1.0, seed=1).num_edges == 45
+        with pytest.raises(ParameterError):
+            gnp_random_graph(5, 1.5)
+
+    def test_gnp_deterministic_by_seed(self):
+        a = gnp_random_graph(20, 0.3, seed=42)
+        b = gnp_random_graph(20, 0.3, seed=42)
+        c = gnp_random_graph(20, 0.3, seed=43)
+        assert a == b
+        assert a != c  # overwhelmingly likely
+
+    @given(st.integers(1, 40), st.integers(0, 10**6))
+    def test_random_tree_is_tree(self, n, seed):
+        g = random_tree(n, seed=seed)
+        assert g.num_edges == n - 1 if n > 1 else g.num_edges == 0
+        assert is_connected(g)
+
+    def test_random_tree_rejects_zero(self):
+        with pytest.raises(ParameterError):
+            random_tree(0)
+
+    @given(st.integers(2, 25), st.floats(0.0, 0.4), st.integers(0, 10**6))
+    def test_random_connected_gnp_connected(self, n, p, seed):
+        assert is_connected(random_connected_gnp(n, p, seed=seed))
+
+    def test_gnp_edge_count_sane(self):
+        # Mean edge count over trials should track p·C(n,2) within 20%.
+        n, p, trials = 30, 0.25, 30
+        mean = sum(
+            gnp_random_graph(n, p, seed=s).num_edges for s in range(trials)
+        ) / trials
+        expected = p * n * (n - 1) / 2
+        assert abs(mean - expected) / expected < 0.2

@@ -1,0 +1,154 @@
+"""Unit tests for the core Graph type."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GraphError, NodeNotFound
+from repro.graph import Graph, canonical_edge
+
+from ..conftest import small_graphs
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph(0)
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_with_edges(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.num_edges == 3
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_duplicate_edges_ignored(self):
+        g = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_negative_node_count_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(-1)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(3, [(1, 1)])
+
+    def test_out_of_range_node_rejected(self):
+        with pytest.raises(NodeNotFound):
+            Graph(3, [(0, 3)])
+        with pytest.raises(NodeNotFound):
+            Graph(3).has_edge(-1, 0)
+
+
+class TestMutation:
+    def test_add_edge_reports_novelty(self):
+        g = Graph(3)
+        assert g.add_edge(0, 1) is True
+        assert g.add_edge(1, 0) is False
+        assert g.num_edges == 1
+
+    def test_remove_edge(self):
+        g = Graph(3, [(0, 1)])
+        assert g.remove_edge(1, 0) is True
+        assert g.remove_edge(0, 1) is False
+        assert g.num_edges == 0
+
+    def test_add_edges_counts_new(self):
+        g = Graph(4)
+        assert g.add_edges([(0, 1), (1, 2), (0, 1)]) == 2
+
+    def test_adjacency_symmetric_after_mutation(self):
+        g = Graph(5)
+        g.add_edge(0, 4)
+        g.add_edge(4, 2)
+        g.remove_edge(4, 0)
+        for u in g.nodes():
+            for v in g.neighbors(u):
+                assert u in g.neighbors(v)
+
+
+class TestAccessors:
+    def test_degree_and_max_degree(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+        assert g.max_degree() == 3
+
+    def test_max_degree_empty(self):
+        assert Graph(0).max_degree() == 0
+
+    def test_edges_canonical_order(self):
+        g = Graph(4, [(3, 1), (2, 0)])
+        assert all(u < v for u, v in g.edges())
+        assert g.edge_set() == {(1, 3), (0, 2)}
+
+    def test_len_and_contains(self):
+        g = Graph(5)
+        assert len(g) == 5
+        assert 4 in g
+        assert 5 not in g
+        assert "x" not in g
+
+    def test_canonical_edge(self):
+        assert canonical_edge(3, 1) == (1, 3)
+        assert canonical_edge(1, 3) == (1, 3)
+
+
+class TestDerived:
+    def test_copy_is_deep(self):
+        g = Graph(3, [(0, 1)])
+        h = g.copy()
+        h.add_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g != h
+
+    def test_spanning_subgraph(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        h = g.spanning_subgraph([(1, 2)])
+        assert h.num_nodes == 4
+        assert h.num_edges == 1
+        assert h.is_spanning_subgraph_of(g)
+
+    def test_spanning_subgraph_rejects_foreign_edges(self):
+        g = Graph(4, [(0, 1)])
+        with pytest.raises(GraphError):
+            g.spanning_subgraph([(2, 3)])
+
+    def test_subgraph_relation_direction(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        h = g.spanning_subgraph([(0, 1)])
+        assert h.is_spanning_subgraph_of(g)
+        assert not g.is_spanning_subgraph_of(h)
+
+    def test_equality(self):
+        a = Graph(3, [(0, 1)])
+        b = Graph(3, [(1, 0)])
+        c = Graph(3, [(1, 2)])
+        assert a == b
+        assert a != c
+        assert a != "not a graph"
+
+
+@given(small_graphs())
+def test_edge_count_matches_edges_property(g):
+    assert g.num_edges == len(list(g.edges()))
+    assert g.num_edges == sum(g.degree(u) for u in g.nodes()) // 2
+
+
+@given(small_graphs())
+def test_copy_roundtrip_property(g):
+    assert g.copy() == g
+
+
+@given(small_graphs(), st.randoms())
+def test_remove_then_add_restores(g, rnd):
+    edges = sorted(g.edges())
+    if not edges:
+        return
+    e = rnd.choice(edges)
+    g2 = g.copy()
+    g2.remove_edge(*e)
+    g2.add_edge(*e)
+    assert g2 == g

@@ -1,0 +1,148 @@
+"""BFS primitives, cross-checked against networkx as an independent oracle."""
+
+import networkx as nx
+import pytest
+from hypothesis import given
+
+from repro.errors import ParameterError
+from repro.graph import (
+    ball,
+    bfs_distances,
+    bfs_layers,
+    bfs_parents,
+    connected_components,
+    is_connected,
+    multi_source_distances,
+    path_to_root,
+    ring,
+)
+from repro.graph.generators import cycle_graph, grid_graph, path_graph
+from repro.graph.io import to_networkx
+
+from ..conftest import small_graphs
+
+
+class TestBfsDistances:
+    def test_path_graph(self):
+        g = path_graph(5)
+        assert bfs_distances(g, 0) == [0, 1, 2, 3, 4]
+
+    def test_unreachable_marked(self):
+        g = path_graph(3)
+        g.remove_edge(1, 2)
+        assert bfs_distances(g, 0) == [0, 1, -1]
+
+    def test_cutoff_limits_radius(self):
+        g = path_graph(6)
+        d = bfs_distances(g, 0, cutoff=2)
+        assert d == [0, 1, 2, -1, -1, -1]
+
+    @given(small_graphs())
+    def test_matches_networkx(self, g):
+        nxg = to_networkx(g)
+        for src in g.nodes():
+            expected = nx.single_source_shortest_path_length(nxg, src)
+            got = bfs_distances(g, src)
+            for v in g.nodes():
+                assert got[v] == expected.get(v, -1)
+
+
+class TestBfsParents:
+    def test_parent_pointers_form_shortest_paths(self):
+        g = grid_graph(3, 4)
+        dist, parent = bfs_parents(g, 0)
+        for v in g.nodes():
+            path = path_to_root(parent, v)
+            assert len(path) - 1 == dist[v]
+            assert path[-1] == 0
+            for a, b in zip(path, path[1:]):
+                assert g.has_edge(a, b)
+
+    def test_source_is_own_parent(self):
+        g = path_graph(3)
+        _d, parent = bfs_parents(g, 1)
+        assert parent[1] == 1
+
+    def test_unreached_raises_in_path_to_root(self):
+        g = path_graph(3)
+        g.remove_edge(0, 1)
+        _d, parent = bfs_parents(g, 0)
+        with pytest.raises(ParameterError):
+            path_to_root(parent, 2)
+
+    def test_canonical_deterministic(self):
+        # Insertion order must not matter (sorted expansion).
+        edges = [(0, 1), (0, 2), (1, 3), (2, 3)]
+        g1 = __import__("repro").graph.Graph(4, edges)
+        g2 = __import__("repro").graph.Graph(4, reversed(edges))
+        assert bfs_parents(g1, 0) == bfs_parents(g2, 0)
+        # Node 3 has two shortest parents 1 and 2; canonical picks 1.
+        assert bfs_parents(g1, 0)[1][3] == 1
+
+
+class TestLayersBallsRings:
+    def test_layers_partition_ball(self):
+        g = grid_graph(4, 4)
+        layers = bfs_layers(g, 0, cutoff=3)
+        flattened = [v for layer in layers for v in layer]
+        assert len(flattened) == len(set(flattened))
+        assert set(flattened) == ball(g, 0, 3)
+
+    def test_ring_is_layer(self):
+        g = cycle_graph(8)
+        assert ring(g, 0, 2) == {2, 6}
+        assert ring(g, 0, 4) == {4}
+        assert ring(g, 0, 5) == set()
+
+    def test_ball_radius_zero(self):
+        g = path_graph(4)
+        assert ball(g, 2, 0) == {2}
+
+    def test_negative_radius_rejected(self):
+        g = path_graph(3)
+        with pytest.raises(ParameterError):
+            ball(g, 0, -1)
+        with pytest.raises(ParameterError):
+            ring(g, 0, -2)
+
+    @given(small_graphs())
+    def test_ball_matches_distance_definition(self, g):
+        for u in g.nodes():
+            d = bfs_distances(g, u)
+            for r in range(4):
+                assert ball(g, u, r) == {v for v in g.nodes() if 0 <= d[v] <= r}
+
+
+class TestMultiSource:
+    def test_multi_source_is_min_over_sources(self):
+        g = path_graph(7)
+        d = multi_source_distances(g, [0, 6])
+        assert d == [0, 1, 2, 3, 2, 1, 0]
+
+    def test_empty_sources(self):
+        g = path_graph(3)
+        assert multi_source_distances(g, []) == [-1, -1, -1]
+
+
+class TestComponents:
+    def test_connected_path(self):
+        assert is_connected(path_graph(5))
+
+    def test_two_components(self):
+        g = path_graph(5)
+        g.remove_edge(2, 3)
+        comps = connected_components(g)
+        assert sorted(map(tuple, comps)) == [(0, 1, 2), (3, 4)]
+        assert not is_connected(g)
+
+    def test_empty_graph_connected(self):
+        from repro.graph import Graph
+
+        assert is_connected(Graph(0))
+
+    @given(small_graphs())
+    def test_matches_networkx_components(self, g):
+        nxg = to_networkx(g)
+        expected = sorted(tuple(sorted(c)) for c in nx.connected_components(nxg))
+        got = sorted(tuple(c) for c in connected_components(g))
+        assert got == expected

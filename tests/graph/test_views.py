@@ -1,0 +1,96 @@
+"""Tests for the augmented view H_u — the paper's central object."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import NodeNotFound, NotASubgraphError
+from repro.graph import (
+    AugmentedView,
+    Graph,
+    augmented_distances,
+    augmented_graph,
+    bfs_distances,
+)
+from repro.graph.generators import path_graph
+
+from ..conftest import graph_with_subgraph
+
+
+class TestAugmentedView:
+    def test_adds_exactly_us_missing_edges(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        h = g.spanning_subgraph([(1, 2), (2, 3)])
+        view = AugmentedView(h, g, 0)
+        assert view.has_edge(0, 1)  # augmented
+        assert view.has_edge(0, 3)  # augmented
+        assert view.has_edge(1, 2)  # in H
+        assert not view.has_edge(1, 3)  # in neither
+
+    def test_neighbors_at_source_and_elsewhere(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        h = g.spanning_subgraph([(1, 2)])
+        view = AugmentedView(h, g, 0)
+        assert view.neighbors(0) == {1, 3}
+        assert view.neighbors(1) == {2, 0}  # H edge + symmetric augmentation
+        assert view.neighbors(2) == {1}
+
+    def test_only_u_is_augmented(self):
+        # The augmentation is asymmetric: H_0 ≠ H_2.
+        g = path_graph(4)
+        h = g.spanning_subgraph([])
+        assert AugmentedView(h, g, 0).distances_from(0)[1] == 1
+        assert AugmentedView(h, g, 0).distances_from(0)[2] == -1
+        assert AugmentedView(h, g, 2).distances_from(2)[1] == 1
+
+    def test_mismatched_node_sets_rejected(self):
+        with pytest.raises(NotASubgraphError):
+            AugmentedView(Graph(3), Graph(4), 0)
+
+    def test_bad_source_rejected(self):
+        with pytest.raises(NodeNotFound):
+            AugmentedView(Graph(3), Graph(3), 3)
+
+    def test_distances_cutoff(self):
+        g = path_graph(6)
+        h = g.copy()
+        d = AugmentedView(h, g, 0).distances_from(0, cutoff=2)
+        assert d == [0, 1, 2, -1, -1, -1]
+
+
+class TestAugmentedGraph:
+    def test_materialization_matches_view(self):
+        g = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+        h = g.spanning_subgraph([(1, 2), (3, 4)])
+        mat = augmented_graph(h, g, 0)
+        view = AugmentedView(h, g, 0)
+        for x in g.nodes():
+            assert set(mat.neighbors(x)) == view.neighbors(x)
+
+    def test_does_not_mutate_h(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        h = g.spanning_subgraph([])
+        augmented_graph(h, g, 0)
+        assert h.num_edges == 0
+
+
+@given(graph_with_subgraph())
+def test_augmented_distances_equal_materialized_bfs(pair):
+    g, h = pair
+    for u in g.nodes():
+        view_d = augmented_distances(h, g, u)
+        mat_d = bfs_distances(augmented_graph(h, g, u), u)
+        assert view_d == mat_d
+
+
+@given(graph_with_subgraph())
+def test_augmentation_never_beats_g_distances(pair):
+    """H_u ⊆ G, so d_{H_u} ≥ d_G pointwise; and d_{H_u}(u, neighbor) = 1."""
+    g, h = pair
+    for u in g.nodes():
+        dg = bfs_distances(g, u)
+        dh = augmented_distances(h, g, u)
+        for v in g.nodes():
+            if dh[v] >= 0:
+                assert dh[v] >= dg[v]
+        for v in g.neighbors(u):
+            assert dh[v] == 1

@@ -1,0 +1,64 @@
+"""Cross-module pipeline tests: distributed build → routing → failure.
+
+Simulates the full life of a link-state network running remote-spanners:
+construct distributedly, route packets, break things, re-stabilize.
+"""
+
+import pytest
+
+from repro.core import is_remote_spanner
+from repro.distributed import PeriodicLinkState, run_remspan
+from repro.experiments import largest_component, scaled_udg
+from repro.graph import bfs_distances, sample_pairs
+from repro.routing import route, route_all_pairs_stats
+
+
+@pytest.fixture(scope="module")
+def network():
+    g_full, _pts = scaled_udg(130, target_degree=10.0, seed=55)
+    g, _ids = largest_component(g_full)
+    return g
+
+
+class TestDistributedBuildThenRoute:
+    def test_protocol_output_routes_optimally(self, network):
+        g = network
+        res = run_remspan(g, "kcover", k=1)
+        h = res.spanner.graph
+        assert is_remote_spanner(h, g, 1.0, 0.0)
+        pairs = sample_pairs(g, 40, seed=56, require_nonadjacent=False)
+        stats = route_all_pairs_stats(h, g, pairs=pairs)
+        assert stats.delivered == stats.pairs
+        assert stats.max_stretch == 1.0
+
+    def test_epsilon_protocol_routes_within_guarantee(self, network):
+        g = network
+        res = run_remspan(g, "mis", r=3)  # (1.5, 0)-remote-spanner
+        h = res.spanner.graph
+        for s, t in sample_pairs(g, 25, seed=57):
+            r = route(h, g, s, t)
+            d = bfs_distances(g, s)[t]
+            assert r.delivered
+            assert r.hops <= 1.5 * d + 1e-9
+
+
+class TestFailureRecovery:
+    def test_link_failure_then_restabilize_then_route(self, network):
+        g = network.copy()
+        sim = PeriodicLinkState(g, kind="kcover", k=1, period=6)
+
+        def kill_link(graph):
+            # Remove the highest-degree node's first edge (a busy link).
+            hub = max(graph.nodes(), key=graph.degree)
+            v = min(graph.neighbors(hub))
+            graph.remove_edge(hub, v)
+
+        report = sim.stabilization_experiment(warmup=30, change=kill_link)
+        assert report.within_bound
+        # After stabilization, the advertised spanner again preserves
+        # exact distances on the changed topology.
+        assert is_remote_spanner(report.spanner, sim.graph, 1.0, 0.0)
+        pairs = sample_pairs(sim.graph, 20, seed=58)
+        stats = route_all_pairs_stats(report.spanner, sim.graph, pairs=pairs)
+        assert stats.delivered == stats.pairs
+        assert stats.max_stretch == 1.0

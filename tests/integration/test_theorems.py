@@ -1,0 +1,154 @@
+"""End-to-end theorem tests: each paper claim on realistic instances.
+
+These integrate the full pipeline — geometric instance generation,
+construction (centralized and distributed), and independent verification —
+at sizes where the asymptotic statements become visible.
+"""
+
+import math
+
+import pytest
+
+from repro.core import (
+    build_biconnecting_spanner,
+    build_k_connecting_spanner,
+    build_remote_spanner,
+    is_dominating_tree,
+    is_k_connecting_dominating_tree,
+    is_k_connecting_remote_spanner,
+    is_remote_spanner,
+    dom_tree_kmis,
+    dom_tree_mis,
+)
+from repro.distributed import run_remspan
+from repro.experiments import largest_component, scaled_udg
+from repro.geometry import EuclideanMetric, packing_number, uniform_points
+from repro.graph import sample_pairs
+
+
+@pytest.fixture(scope="module")
+def udg():
+    g_full, pts = scaled_udg(200, target_degree=11.0, seed=77)
+    g, ids = largest_component(g_full)
+    return g
+
+
+class TestTheorem1:
+    """(1+ε, 1−2ε)-remote-spanner, O(ε^{-1}) time, O(n) edges on UBG."""
+
+    @pytest.mark.parametrize("eps", [1.0, 0.5, 1 / 3])
+    def test_stretch_certified_on_udg(self, udg, eps):
+        rs = build_remote_spanner(udg, epsilon=eps, method="mis")
+        assert is_remote_spanner(udg if False else rs.graph, udg, rs.guarantee.alpha, rs.guarantee.beta)
+
+    def test_linear_size_on_udg(self, udg):
+        rs = build_remote_spanner(udg, epsilon=0.5, method="mis")
+        # "O(n)" with the (4r)^p MIS constant; at r=3, p=2 the bound is
+        # enormous — what matters is edges/n staying far below n.
+        assert rs.num_edges / udg.num_nodes < 12
+        assert rs.num_edges < udg.num_edges or udg.num_edges < 4 * udg.num_nodes
+
+    def test_constant_rounds_distributed(self, udg):
+        res = run_remspan(udg, "mis", r=3)  # ε = 1/2
+        assert res.communication_rounds == 7  # 2r−1+2β = 2·3−1+2
+
+    def test_mis_tree_packing_bound(self):
+        """Proposition 3's geometric step: MIS of a radius-r ball packs
+        ≤ (4r)^p points (verified via the metric packing number)."""
+        pts = uniform_points(300, 5.0, seed=78)
+        metric = EuclideanMetric(2)
+        r = 2.0
+        # points within metric distance r of point 0, packed at radius 1:
+        import numpy as np
+
+        inside = np.nonzero(metric.to_all(pts, 0) <= r)[0]
+        packed = packing_number(pts[inside], metric, 1.0)
+        assert packed <= (4 * r) ** 2
+
+
+class TestTheorem2:
+    """k-connecting (1, 0)-remote-spanner, O(1) time, near-optimal size."""
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_stretch_on_udg_sampled(self, udg, k):
+        rs = build_k_connecting_spanner(udg, k=k)
+        pairs = sample_pairs(udg, 25, seed=79)
+        assert is_k_connecting_remote_spanner(rs.graph, udg, k, 1.0, 0.0, pairs=pairs)
+
+    def test_sparser_than_full_topology(self, udg):
+        rs = build_k_connecting_spanner(udg, k=1)
+        assert rs.num_edges < 0.9 * udg.num_edges
+
+    def test_constant_rounds(self, udg):
+        res = run_remspan(udg, "kcover", k=2)
+        assert res.communication_rounds == 3
+
+    def test_monotone_in_k(self, udg):
+        sizes = [build_k_connecting_spanner(udg, k=k).num_edges for k in (1, 2, 3)]
+        assert sizes == sorted(sizes)
+
+
+class TestTheorem3:
+    """2-connecting (2, −1)-remote-spanner, O(1) time, O(n) edges on UBG."""
+
+    def test_stretch_sampled(self, udg):
+        rs = build_biconnecting_spanner(udg)
+        pairs = sample_pairs(udg, 20, seed=80)
+        assert is_k_connecting_remote_spanner(rs.graph, udg, 2, 2.0, -1.0, pairs=pairs)
+
+    def test_linear_size(self, udg):
+        rs = build_biconnecting_spanner(udg)
+        assert rs.num_edges / udg.num_nodes < 12
+
+    def test_constant_rounds(self, udg):
+        res = run_remspan(udg, "kmis", k=2)
+        assert res.communication_rounds == 5
+
+
+class TestProposition3And7TreeSizes:
+    def test_mis_tree_grows_polynomially_not_with_n(self):
+        """|E(T)| depends on r, not on n (the O(r^{p+1}) bound)."""
+        sizes_by_n = []
+        for n in (150, 300):
+            g_full, _ = scaled_udg(n, target_degree=11.0, seed=81)
+            g, _ids = largest_component(g_full)
+            sizes = [dom_tree_mis(g, u, 3).num_edges for u in range(0, g.num_nodes, 17)]
+            sizes_by_n.append(sum(sizes) / len(sizes))
+        # Mean tree size roughly constant as n doubles (within 50%).
+        assert abs(sizes_by_n[1] - sizes_by_n[0]) <= 0.5 * max(sizes_by_n)
+
+    def test_kmis_tree_size_independent_of_n(self):
+        sizes_by_n = []
+        for n in (150, 300):
+            g_full, _ = scaled_udg(n, target_degree=11.0, seed=82)
+            g, _ids = largest_component(g_full)
+            sizes = [dom_tree_kmis(g, u, 2).num_edges for u in range(0, g.num_nodes, 17)]
+            sizes_by_n.append(sum(sizes) / len(sizes))
+        assert abs(sizes_by_n[1] - sizes_by_n[0]) <= 0.5 * max(sizes_by_n)
+
+
+class TestPaperWorstCases:
+    def test_cycle_deletion_motivation(self):
+        """§1.2: on a cycle, deleting one node blows up the survivor
+        distance — the reason fault-tolerant *geometric* spanner stretch
+        definitions don't transfer to graphs, and d^k does."""
+        from repro.graph import remove_nodes, bfs_distances
+        from repro.graph.generators import cycle_graph
+        from repro.paths import k_connecting_distance
+
+        g = cycle_graph(12)
+        # neighbors of node 0: 1 and 11, at distance 2 via node 0.
+        crippled = remove_nodes(g, [0])
+        assert bfs_distances(crippled, 1)[11] == 10  # 2 → n−2
+        # d² between nonadjacent antipodes is the full cycle length:
+        assert k_connecting_distance(g, 0, 6, 2) == 12
+
+    def test_clique_remote_spanner_is_empty(self):
+        """On K_n the empty sub-graph already preserves everything —
+        the starkest (1, 0)-remote-spanner vs (1, 0)-spanner gap."""
+        from repro.graph.generators import complete_graph
+
+        g = complete_graph(12)
+        rs = build_k_connecting_spanner(g, k=1)
+        assert rs.num_edges == 0
+        assert is_remote_spanner(rs.graph, g, 1.0, 0.0)

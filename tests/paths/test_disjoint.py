@@ -1,0 +1,158 @@
+"""Tests for the disjoint-path substrate: flow vs brute force vs networkx."""
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InfeasibleError, ParameterError
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+    path_graph,
+    theta_graph,
+)
+from repro.graph.io import to_networkx
+from repro.paths import (
+    are_k_connected,
+    brute_force_connectivity,
+    brute_force_k_distance,
+    disjoint_paths,
+    k_connecting_distance,
+    k_connecting_profile,
+    vertex_connectivity_pair,
+)
+
+from ..conftest import small_graphs
+
+
+class TestKConnectingDistance:
+    def test_theta_graph_exact(self):
+        # Paths of lengths 2, 3, 4 between terminals 0 and 1.
+        g = theta_graph((2, 3, 4))
+        assert k_connecting_distance(g, 0, 1, 1) == 2
+        assert k_connecting_distance(g, 0, 1, 2) == 5
+        assert k_connecting_distance(g, 0, 1, 3) == 9
+        assert k_connecting_distance(g, 0, 1, 4) == math.inf
+
+    def test_profile_prefixes_optimal(self):
+        g = theta_graph((2, 2, 5))
+        assert k_connecting_profile(g, 0, 1, 3) == [2, 4, 9]
+
+    def test_d1_is_plain_distance(self):
+        g = path_graph(6)
+        assert k_connecting_distance(g, 0, 5, 1) == 5
+
+    def test_cycle_two_paths(self):
+        g = cycle_graph(7)
+        # Around the cycle both ways: 3 + 4.
+        assert k_connecting_distance(g, 0, 3, 2) == 7
+        assert k_connecting_distance(g, 0, 3, 3) == math.inf
+
+    def test_adjacent_pair_direct_edge_counts(self):
+        g = complete_graph(4)
+        # Direct edge (1) + two 2-hop internally disjoint paths.
+        assert k_connecting_profile(g, 0, 1, 3) == [1, 3, 5]
+
+    def test_parameter_validation(self):
+        g = path_graph(3)
+        with pytest.raises(ParameterError):
+            k_connecting_distance(g, 0, 0, 1)
+        with pytest.raises(ParameterError):
+            k_connecting_distance(g, 0, 1, 0)
+
+    @given(small_graphs(min_nodes=2, max_nodes=8), st.integers(1, 3), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force(self, g, k, data):
+        s = data.draw(st.integers(0, g.num_nodes - 1))
+        t = data.draw(st.integers(0, g.num_nodes - 1))
+        if s == t:
+            return
+        assert k_connecting_distance(g, s, t, k) == brute_force_k_distance(g, s, t, k)
+
+
+class TestConnectivity:
+    @given(small_graphs(min_nodes=2, max_nodes=8), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_pair_connectivity_matches_brute_force(self, g, data):
+        s = data.draw(st.integers(0, g.num_nodes - 1))
+        t = data.draw(st.integers(0, g.num_nodes - 1))
+        if s == t:
+            return
+        assert vertex_connectivity_pair(g, s, t) == brute_force_connectivity(g, s, t)
+
+    @given(small_graphs(min_nodes=3, max_nodes=9), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_nonadjacent_connectivity_matches_networkx(self, g, data):
+        s = data.draw(st.integers(0, g.num_nodes - 1))
+        t = data.draw(st.integers(0, g.num_nodes - 1))
+        if s == t or g.has_edge(s, t):
+            return
+        nxg = to_networkx(g)
+        expected = nx.connectivity.local_node_connectivity(nxg, s, t)
+        assert vertex_connectivity_pair(g, s, t) == expected
+
+    def test_are_k_connected(self):
+        g = cycle_graph(6)
+        assert are_k_connected(g, 0, 3, 2)
+        assert not are_k_connected(g, 0, 3, 3)
+        with pytest.raises(ParameterError):
+            are_k_connected(g, 0, 3, 0)
+
+
+class TestDisjointPaths:
+    def test_paths_are_disjoint_and_valid(self):
+        g = theta_graph((3, 3, 3))
+        paths = disjoint_paths(g, 0, 1, 3)
+        assert len(paths) == 3
+        seen_internal: set = set()
+        total = 0
+        for p in paths:
+            assert p[0] == 0 and p[-1] == 1
+            for a, b in zip(p, p[1:]):
+                assert g.has_edge(a, b)
+            internal = set(p[1:-1])
+            assert not (internal & seen_internal)
+            seen_internal |= internal
+            total += len(p) - 1
+        assert total == k_connecting_distance(g, 0, 1, 3)
+
+    def test_infeasible_raises(self):
+        g = path_graph(5)
+        with pytest.raises(InfeasibleError):
+            disjoint_paths(g, 0, 4, 2)
+
+    @given(small_graphs(min_nodes=3, max_nodes=8), st.integers(2, 3), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_decomposition_total_length_is_dk(self, g, k, data):
+        s = data.draw(st.integers(0, g.num_nodes - 1))
+        t = data.draw(st.integers(0, g.num_nodes - 1))
+        if s == t:
+            return
+        dk = k_connecting_distance(g, s, t, k)
+        if dk == math.inf:
+            return
+        paths = disjoint_paths(g, s, t, k)
+        assert sum(len(p) - 1 for p in paths) == dk
+        internals = [set(p[1:-1]) for p in paths]
+        for i in range(len(internals)):
+            for j in range(i + 1, len(internals)):
+                assert not (internals[i] & internals[j])
+
+
+class TestDenseRandom:
+    def test_gnp_profile_monotone(self):
+        g = gnp_random_graph(12, 0.5, seed=3)
+        for s in range(0, 12, 3):
+            for t in range(1, 12, 4):
+                if s == t:
+                    continue
+                prof = k_connecting_profile(g, s, t, 4)
+                finite = [p for p in prof if p != math.inf]
+                assert finite == sorted(finite)
+                # Each extra path costs at least its own length ≥ 1.
+                for a, b in zip(finite, finite[1:]):
+                    assert b > a

@@ -1,0 +1,125 @@
+"""Tests for the edge-disjoint path substrate (§4 extension)."""
+
+import math
+from itertools import combinations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InfeasibleError, ParameterError
+from repro.graph.generators import cycle_graph, path_graph, theta_graph
+from repro.graph.io import to_networkx
+from repro.paths import all_simple_paths, k_connecting_distance
+from repro.paths.edge_disjoint import (
+    edge_connectivity_pair,
+    edge_disjoint_paths,
+    k_edge_connecting_distance,
+    k_edge_connecting_profile,
+)
+
+from ..conftest import small_graphs
+
+
+def brute_force_edge_k_distance(g, s, t, k):
+    """Oracle: cheapest k-family of pairwise edge-disjoint simple paths."""
+    paths = all_simple_paths(g, s, t)
+    if len(paths) < k:
+        return math.inf
+    paths.sort(key=len)
+    best = math.inf
+    for combo in combinations(paths, k):
+        total = sum(len(p) - 1 for p in combo)
+        if total >= best:
+            continue
+        used: set = set()
+        ok = True
+        for p in combo:
+            for a, b in zip(p, p[1:]):
+                e = (a, b) if a < b else (b, a)
+                if e in used:
+                    ok = False
+                    break
+                used.add(e)
+            if not ok:
+                break
+        if ok:
+            best = total
+    return best
+
+
+class TestEdgeDistance:
+    def test_theta_graph(self):
+        g = theta_graph((2, 3, 4))
+        assert k_edge_connecting_profile(g, 0, 1, 3) == [2, 5, 9]
+
+    def test_cycle(self):
+        g = cycle_graph(8)
+        assert k_edge_connecting_distance(g, 0, 4, 2) == 8
+
+    def test_edge_vs_node_disjoint_ordering(self):
+        # Edge-disjoint is weaker: d^k_edge ≤ d^k_node always.
+        g = theta_graph((2, 2, 3))
+        for k in (1, 2, 3):
+            assert k_edge_connecting_distance(g, 0, 1, k) <= k_connecting_distance(
+                g, 0, 1, k
+            )
+
+    def test_diamond_where_notions_differ(self):
+        # Two triangles sharing a cut vertex: 0-1-2, 2-3-4; s=0, t=4.
+        from repro.graph import Graph
+
+        g = Graph(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+        # Node-disjoint: all paths pass through 2 → only one path.
+        assert k_connecting_distance(g, 0, 4, 2) == math.inf
+        # Edge-disjoint: 0-2-4 and 0-1-2-3-4.
+        assert k_edge_connecting_distance(g, 0, 4, 2) == 6
+
+    @given(small_graphs(min_nodes=2, max_nodes=7), st.integers(1, 3), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_matches_brute_force(self, g, k, data):
+        s = data.draw(st.integers(0, g.num_nodes - 1))
+        t = data.draw(st.integers(0, g.num_nodes - 1))
+        if s == t:
+            return
+        assert k_edge_connecting_distance(g, s, t, k) == brute_force_edge_k_distance(
+            g, s, t, k
+        )
+
+    def test_validation(self):
+        g = path_graph(3)
+        with pytest.raises(ParameterError):
+            k_edge_connecting_distance(g, 0, 0, 1)
+        with pytest.raises(ParameterError):
+            k_edge_connecting_distance(g, 0, 1, 0)
+
+
+class TestEdgeConnectivity:
+    @given(small_graphs(min_nodes=2, max_nodes=8), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_networkx(self, g, data):
+        s = data.draw(st.integers(0, g.num_nodes - 1))
+        t = data.draw(st.integers(0, g.num_nodes - 1))
+        if s == t:
+            return
+        nxg = to_networkx(g)
+        expected = nx.connectivity.local_edge_connectivity(nxg, s, t)
+        assert edge_connectivity_pair(g, s, t) == expected
+
+
+class TestEdgeDisjointPaths:
+    def test_family_is_edge_disjoint(self):
+        g = cycle_graph(6)
+        paths = edge_disjoint_paths(g, 0, 3, 2)
+        used: set = set()
+        for p in paths:
+            for a, b in zip(p, p[1:]):
+                e = (a, b) if a < b else (b, a)
+                assert e not in used
+                used.add(e)
+                assert g.has_edge(a, b)
+
+    def test_infeasible(self):
+        with pytest.raises(InfeasibleError):
+            edge_disjoint_paths(path_graph(4), 0, 3, 2)

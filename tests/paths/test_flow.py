@@ -1,0 +1,84 @@
+"""Direct unit tests for the min-cost flow engine (below the d^k layer)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.paths import MinCostFlow
+
+
+class TestMinCostFlowBasics:
+    def test_single_arc(self):
+        net = MinCostFlow(2)
+        net.add_arc(0, 1, capacity=3, cost=5)
+        res = net.min_cost_flow(0, 1, 2)
+        assert res.value == 2
+        assert res.cost == 10
+        assert res.unit_costs == [5, 5]
+
+    def test_chooses_cheaper_path_first(self):
+        net = MinCostFlow(4)
+        net.add_arc(0, 1, 1, 1)
+        net.add_arc(1, 3, 1, 1)  # cheap: cost 2
+        net.add_arc(0, 2, 1, 5)
+        net.add_arc(2, 3, 1, 5)  # expensive: cost 10
+        res = net.min_cost_flow(0, 3, 2)
+        assert res.unit_costs == [2, 10]
+        assert res.cost == 12
+
+    def test_residual_rerouting(self):
+        # Classic flow-cancellation diamond: the second unit must reroute
+        # the first through the residual reverse arc.
+        net = MinCostFlow(4)
+        net.add_arc(0, 1, 1, 1)
+        net.add_arc(0, 2, 1, 4)
+        net.add_arc(1, 2, 1, 1)
+        net.add_arc(1, 3, 1, 4)
+        net.add_arc(2, 3, 1, 1)
+        res = net.min_cost_flow(0, 3, 2)
+        assert res.value == 2
+        assert res.cost == 10  # 0-1-2-3 (3) + 0-2... rerouted optimum
+
+    def test_stops_at_max_flow(self):
+        net = MinCostFlow(3)
+        net.add_arc(0, 1, 1, 1)
+        net.add_arc(1, 2, 1, 1)
+        res = net.min_cost_flow(0, 2, 5)
+        assert res.value == 1
+
+    def test_unreachable_sink(self):
+        net = MinCostFlow(3)
+        net.add_arc(0, 1, 1, 1)
+        res = net.min_cost_flow(0, 2, 1)
+        assert res.value == 0
+        assert res.cost == 0
+
+    def test_flow_on_accessor(self):
+        net = MinCostFlow(2)
+        a = net.add_arc(0, 1, 2, 1)
+        net.min_cost_flow(0, 1, 2)
+        assert net.flow_on(a) == 2
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            MinCostFlow(-1)
+        net = MinCostFlow(2)
+        with pytest.raises(ParameterError):
+            net.add_arc(0, 5, 1, 1)
+        with pytest.raises(ParameterError):
+            net.add_arc(0, 1, -1, 1)
+        with pytest.raises(ParameterError):
+            net.min_cost_flow(0, 0, 1)
+        with pytest.raises(ParameterError):
+            net.min_cost_flow(0, 9, 1)
+
+    def test_prefix_optimality(self):
+        # unit_costs must be non-decreasing (successive shortest paths).
+        net = MinCostFlow(6)
+        net.add_arc(0, 1, 1, 1)
+        net.add_arc(1, 5, 1, 1)
+        net.add_arc(0, 2, 1, 2)
+        net.add_arc(2, 5, 1, 2)
+        net.add_arc(0, 3, 1, 3)
+        net.add_arc(3, 5, 1, 3)
+        res = net.min_cost_flow(0, 5, 3)
+        assert res.unit_costs == sorted(res.unit_costs) == [2, 4, 6]

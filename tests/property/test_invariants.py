@@ -1,0 +1,146 @@
+"""Cross-cutting hypothesis invariants tying the whole library together.
+
+These properties relate *different* subsystems to each other — the
+strongest class of test because a bug must conspire across modules to
+pass.  Each docstring names the mathematical fact being pinned.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    build_biconnecting_spanner,
+    build_k_connecting_spanner,
+    build_remote_spanner,
+    dom_tree_greedy,
+    dom_tree_kcover,
+    is_dominating_tree,
+)
+from repro.graph import (
+    AugmentedView,
+    augmented_graph,
+    bfs_distances,
+    union,
+)
+from repro.paths import (
+    k_connecting_profile,
+    vertex_connectivity_pair,
+)
+from repro.paths.edge_disjoint import k_edge_connecting_profile
+
+from ..conftest import connected_graphs, graph_with_subgraph, small_graphs
+
+
+@given(graph_with_subgraph(min_nodes=2, max_nodes=9))
+@settings(max_examples=60, deadline=None)
+def test_subgraph_distances_sandwich(pair):
+    """d_G ≤ d_{H_u} ≤ d_H pointwise — augmentation helps, never hurts."""
+    g, h = pair
+    for u in g.nodes():
+        dg = bfs_distances(g, u)
+        dhu = AugmentedView(h, g, u).distances_from(u)
+        dh = bfs_distances(h, u)
+        for v in g.nodes():
+            if dh[v] >= 0:
+                assert dhu[v] >= 0 and dhu[v] <= dh[v]
+            if dhu[v] >= 0:
+                assert dg[v] >= 0 and dg[v] <= dhu[v]
+
+
+@given(small_graphs(min_nodes=2, max_nodes=8), st.integers(1, 3), st.data())
+@settings(max_examples=60, deadline=None)
+def test_edge_disjoint_dominates_node_disjoint(g, k, data):
+    """d^k_edge ≤ d^k_node (every node-disjoint family is edge-disjoint)."""
+    s = data.draw(st.integers(0, g.num_nodes - 1))
+    t = data.draw(st.integers(0, g.num_nodes - 1))
+    if s == t:
+        return
+    node_prof = k_connecting_profile(g, s, t, k)
+    edge_prof = k_edge_connecting_profile(g, s, t, k)
+    for dn, de in zip(node_prof, edge_prof):
+        assert de <= dn
+
+
+@given(small_graphs(min_nodes=2, max_nodes=8), st.data())
+@settings(max_examples=60, deadline=None)
+def test_menger_consistency(g, data):
+    """Finite d^k ⇔ pair connectivity ≥ k (Menger via two solvers)."""
+    s = data.draw(st.integers(0, g.num_nodes - 1))
+    t = data.draw(st.integers(0, g.num_nodes - 1))
+    if s == t:
+        return
+    kappa = vertex_connectivity_pair(g, s, t)
+    profile = k_connecting_profile(g, s, t, min(kappa + 2, 5))
+    for i, d in enumerate(profile, start=1):
+        assert (d < math.inf) == (i <= kappa)
+
+
+@given(connected_graphs(min_nodes=3, max_nodes=9))
+@settings(max_examples=40, deadline=None)
+def test_spanner_nesting_by_k(g):
+    """Guarantees nest: the k=2 spanner works as a k=1 spanner, etc."""
+    from repro.core import is_remote_spanner
+
+    rs2 = build_k_connecting_spanner(g, k=2)
+    assert is_remote_spanner(rs2.graph, g, 1.0, 0.0)
+
+
+@given(connected_graphs(min_nodes=3, max_nodes=9))
+@settings(max_examples=40, deadline=None)
+def test_union_of_spanners_is_spanner(g):
+    """Remote-spanners are closed under union (monotone property)."""
+    from repro.core import is_remote_spanner
+
+    a = build_k_connecting_spanner(g, k=1).graph
+    b = build_remote_spanner(g, epsilon=1.0).graph
+    u = union([a, b])
+    assert is_remote_spanner(u, g, 1.0, 0.0)
+
+
+@given(connected_graphs(min_nodes=3, max_nodes=9))
+@settings(max_examples=30, deadline=None)
+def test_adding_edges_preserves_remote_spanner(g):
+    """Supersets of a remote-spanner (within G) remain remote-spanners."""
+    from repro.core import is_remote_spanner
+
+    rs = build_k_connecting_spanner(g, k=1)
+    h = rs.graph.copy()
+    for u, v in g.edges():
+        h.add_edge(u, v)
+        break  # add one extra edge
+    assert is_remote_spanner(h, g, 1.0, 0.0)
+
+
+@given(connected_graphs(min_nodes=3, max_nodes=9), st.integers(2, 3))
+@settings(max_examples=40, deadline=None)
+def test_greedy_tree_radius_monotone(g, r):
+    """(r+1, β)-dominating trees are (r, β)-dominating (larger radius is a
+    strictly stronger requirement on the same tree)."""
+    tree = dom_tree_greedy(g, 0, r + 1, 1)
+    assert is_dominating_tree(g, tree, r, 1)
+
+
+@given(connected_graphs(min_nodes=3, max_nodes=9))
+@settings(max_examples=40, deadline=None)
+def test_kcover_star_sizes_bounded_by_degree(g):
+    """|M| ≤ deg(u): the MPR star never exceeds the neighborhood."""
+    for u in g.nodes():
+        tree = dom_tree_kcover(g, u, 3)
+        assert tree.num_edges <= g.degree(u)
+
+
+@given(connected_graphs(min_nodes=3, max_nodes=8))
+@settings(max_examples=30, deadline=None)
+def test_biconnecting_spanner_preserves_pair_connectivity(g):
+    """For every nonadjacent 2-connected pair (s,t), H_s keeps 2 disjoint
+    paths — the connectivity half of Theorem 3, checked via flows."""
+    rs = build_biconnecting_spanner(g)
+    for s in g.nodes():
+        for t in g.nodes():
+            if t <= s or g.has_edge(s, t):
+                continue
+            if vertex_connectivity_pair(g, s, t) >= 2:
+                hs = augmented_graph(rs.graph, g, s)
+                assert vertex_connectivity_pair(hs, s, t) >= 2

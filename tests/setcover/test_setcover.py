@@ -1,0 +1,178 @@
+"""Tests for greedy and exact set (multi)cover."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InfeasibleError, ParameterError
+from repro.setcover import (
+    SetCoverInstance,
+    exact_multicover,
+    exact_set_cover,
+    greedy_multicover,
+    greedy_set_cover,
+    optimal_cover_size,
+)
+
+
+@st.composite
+def cover_instances(draw, max_elems: int = 8, max_sets: int = 8):
+    n = draw(st.integers(1, max_elems))
+    k = draw(st.integers(1, max_sets))
+    universe = frozenset(range(n))
+    sets = {}
+    for i in range(k):
+        members = draw(st.sets(st.integers(0, n - 1), max_size=n))
+        sets[f"s{i}"] = frozenset(members)
+    # Guarantee feasibility: one set covering everything leftover.
+    covered = frozenset().union(*sets.values()) if sets else frozenset()
+    if covered != universe:
+        sets["patch"] = universe - covered
+    return SetCoverInstance.from_sets(sets, universe=universe)
+
+
+class TestInstance:
+    def test_universe_defaults_to_union(self):
+        inst = SetCoverInstance.from_sets({"a": [1, 2], "b": [2, 3]})
+        assert inst.universe == frozenset({1, 2, 3})
+
+    def test_sets_clipped_to_universe(self):
+        inst = SetCoverInstance.from_sets({"a": [1, 99]}, universe=[1, 2])
+        assert inst.sets["a"] == frozenset({1})
+
+    def test_demand_defaults_and_validation(self):
+        inst = SetCoverInstance.from_sets({"a": [1]}, universe=[1])
+        assert inst.demand[1] == 1
+        with pytest.raises(ParameterError):
+            SetCoverInstance.from_sets({"a": [1]}, universe=[1], demand={1: -1})
+
+    def test_feasibility_check(self):
+        inst = SetCoverInstance.from_sets({"a": [1]}, universe=[1], demand={1: 2})
+        with pytest.raises(InfeasibleError):
+            inst.check_feasible()
+
+    def test_is_cover(self):
+        inst = SetCoverInstance.from_sets({"a": [1, 2], "b": [2, 3]}, universe=[1, 2, 3])
+        assert inst.is_cover(["a", "b"])
+        assert not inst.is_cover(["a"])
+
+    def test_is_plain(self):
+        inst = SetCoverInstance.from_sets({"a": [1]}, universe=[1])
+        assert inst.is_plain
+        inst2 = SetCoverInstance.from_sets({"a": [1], "b": [1]}, universe=[1], demand={1: 2})
+        assert not inst2.is_plain
+
+
+class TestGreedy:
+    def test_simple_cover(self):
+        inst = SetCoverInstance.from_sets(
+            {"big": [1, 2, 3], "a": [1], "b": [2], "c": [3]}
+        )
+        assert greedy_set_cover(inst) == ["big"]
+
+    def test_greedy_classic_log_gap_instance(self):
+        # The standard instance where greedy picks the big "wrong" set.
+        inst = SetCoverInstance.from_sets(
+            {
+                "left": [0, 2, 4, 6],
+                "right": [1, 3, 5, 7],
+                "g1": [0, 1, 2, 3, 4],  # greedy grabs this first
+                "g2": [5, 6],
+                "g3": [7],
+            }
+        )
+        greedy = greedy_set_cover(inst)
+        assert greedy[0] == "g1"
+        assert len(greedy) >= 3
+        assert optimal_cover_size(inst) == 2
+
+    def test_infeasible_raises(self):
+        inst = SetCoverInstance.from_sets({"a": [1]}, universe=[1, 2])
+        with pytest.raises(InfeasibleError):
+            greedy_set_cover(inst)
+
+    def test_multicover_meets_demands(self):
+        inst = SetCoverInstance.from_sets(
+            {"a": [1, 2], "b": [1, 2], "c": [1]},
+            universe=[1, 2],
+            demand={1: 3, 2: 2},
+        )
+        chosen = greedy_multicover(inst)
+        assert inst.is_cover(chosen)
+        assert set(chosen) == {"a", "b", "c"}
+
+    def test_zero_demand_elements_ignored(self):
+        inst = SetCoverInstance.from_sets(
+            {"a": [1]}, universe=[1, 2], demand={1: 1, 2: 0}
+        )
+        assert greedy_set_cover(inst) == ["a"]
+
+    @given(cover_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_always_covers(self, inst):
+        assert inst.is_cover(greedy_set_cover(inst))
+
+
+class TestExact:
+    @given(cover_instances(max_elems=7, max_sets=7))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_is_cover_and_no_bigger_than_greedy(self, inst):
+        exact = exact_set_cover(inst)
+        assert inst.is_cover(exact)
+        assert len(exact) <= len(greedy_set_cover(inst))
+
+    @given(cover_instances(max_elems=6, max_sets=6))
+    @settings(max_examples=25, deadline=None)
+    def test_exact_matches_brute_force(self, inst):
+        from itertools import combinations
+
+        labels = sorted(inst.sets, key=repr)
+        best = None
+        for size in range(len(labels) + 1):
+            for combo in combinations(labels, size):
+                if inst.is_cover(combo):
+                    best = size
+                    break
+            if best is not None:
+                break
+        assert len(exact_set_cover(inst)) == best
+
+    def test_exact_multicover_demands(self):
+        inst = SetCoverInstance.from_sets(
+            {"a": [1, 2], "b": [1, 2], "c": [1], "d": [2]},
+            universe=[1, 2],
+            demand={1: 2, 2: 2},
+        )
+        sol = exact_multicover(inst)
+        assert inst.is_cover(sol)
+        assert len(sol) == 2  # a + b
+
+    def test_exact_multicover_infeasible(self):
+        inst = SetCoverInstance.from_sets(
+            {"a": [1]}, universe=[1], demand={1: 2}
+        )
+        with pytest.raises(InfeasibleError):
+            exact_multicover(inst)
+
+    def test_chvatal_bound_holds(self):
+        # Greedy within (1 + ln n) of optimal on random instances.
+        import math
+
+        for seed in range(10):
+            import random
+
+            rnd = random.Random(seed)
+            n = 8
+            sets = {
+                f"s{i}": frozenset(
+                    e for e in range(n) if rnd.random() < 0.4
+                )
+                for i in range(8)
+            }
+            covered = frozenset().union(*sets.values())
+            if covered != frozenset(range(n)):
+                sets["patch"] = frozenset(range(n)) - covered
+            inst = SetCoverInstance.from_sets(sets, universe=range(n))
+            g = len(greedy_set_cover(inst))
+            o = len(exact_set_cover(inst))
+            assert g <= (1 + math.log(n)) * o + 1e-9

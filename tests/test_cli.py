@@ -1,0 +1,72 @@
+"""Tests for the CLI and the ASCII plotting helpers."""
+
+import pytest
+
+from repro.analysis.plot import ascii_loglog, ascii_series
+from repro.cli import build_parser, main
+from repro.errors import ParameterError
+
+
+class TestPlots:
+    def test_loglog_renders_points_and_reference(self):
+        out = ascii_loglog([10, 100, 1000], [5, 50, 500], ref_slope=1.0, title="T")
+        assert out.startswith("T")
+        assert "*" in out
+        assert "." in out
+        assert "reference slope 1" in out
+
+    def test_loglog_validates(self):
+        with pytest.raises(ParameterError):
+            ascii_loglog([1], [1])
+        with pytest.raises(ParameterError):
+            ascii_loglog([1, 2], [0, 1])
+        with pytest.raises(ParameterError):
+            ascii_loglog([1, 2], [1, 2, 3])
+
+    def test_series_renders(self):
+        out = ascii_series([1, 2, 3, 4], [4.0, 3.0, 2.5, 2.4])
+        assert out.count("*") == 4
+
+    def test_series_validates(self):
+        with pytest.raises(ParameterError):
+            ascii_series([1], [1])
+
+
+class TestCli:
+    def test_parser_commands(self):
+        parser = build_parser()
+        for cmd in ("table1", "figure1", "scaling", "ksweep", "epssweep", "rounds", "demo"):
+            args = parser.parse_args([cmd])
+            assert args.command == cmd
+
+    def test_rounds_command(self, capsys):
+        rc = main(["rounds", "--n", "25", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "RemSpan" in out
+        assert "2r-1+2b" in out
+
+    def test_demo_command_exact(self, capsys):
+        rc = main(["demo", "--n", "60", "--epsilon", "1.0", "--k", "1", "--seed", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verified: True" in out
+
+    def test_demo_command_epsilon(self, capsys):
+        rc = main(["demo", "--n", "60", "--epsilon", "0.5", "--seed", "5"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "(1.5, 0)" in out
+
+    def test_figure1_command(self, capsys):
+        rc = main(["figure1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "(a) input UDG" in out
+        assert "witness" in out
+
+    def test_table1_command_small(self, capsys):
+        rc = main(["table1", "--n-any", "20", "--n-udg", "50", "--seed", "6"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Table 1" in out
