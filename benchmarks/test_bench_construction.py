@@ -3,6 +3,11 @@
 Calibrated pytest-benchmark timings (the rest of the suite is experiment
 regeneration; this file is where wall-clock performance is tracked).  A
 fixed 200-node UDG keeps numbers comparable across runs.
+
+The fixture graph is frozen up front, so the constructions ride the CSR
+adjacency backend exactly as ``build_from_trees`` does in production; the
+two ``test_bfs_*`` entries pin the set-backend vs CSR-backend single-BFS
+baseline (the batched comparison lives in ``test_bench_traversal.py``).
 """
 
 import pytest
@@ -24,11 +29,16 @@ from repro.paths import k_connecting_distance
 def udg():
     g_full, _pts = scaled_udg(200, target_degree=12.0, seed=99)
     g, _ids = largest_component(g_full)
+    g.freeze()
     return g
 
 
-def test_bfs(benchmark, udg):
-    benchmark(bfs_distances, udg, 0)
+def test_bfs_sets(benchmark, udg):
+    benchmark(bfs_distances, udg, 0, None, "sets")
+
+
+def test_bfs_csr(benchmark, udg):
+    benchmark(bfs_distances, udg, 0, None, "csr")
 
 
 def test_dom_tree_greedy(benchmark, udg):

@@ -1,0 +1,130 @@
+"""Traversal micro-benchmark: set backend vs CSR backend, head to head.
+
+The acceptance bar of the CSR subsystem (PR 1): ``batched_bfs`` must beat a
+loop of set-backend BFS runs by ≥ 2× on a unit-disk graph with n ≥ 2000.
+Beyond the assertion, the measured timings are persisted as
+``BENCH_traversal.json`` (in ``benchmarks/results/``; ``scripts/check.sh``
+copies it to the repo root) so future PRs have a perf trajectory to compare
+against.
+
+Timings here are hand-rolled ``perf_counter`` minima over a few rounds
+rather than pytest-benchmark calibration: the quantity of interest is the
+*ratio* between two code paths over an identical workload, and taking the
+minimum of paired rounds is the most noise-robust way to get it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.graph import batched_bfs, bfs_distances, bfs_parents, multi_source_distances
+from repro.experiments import largest_component, scaled_udg
+
+#: Acceptance bar for the batched CSR engine vs the per-source set loop.
+REQUIRED_SPEEDUP = 2.0
+ROUNDS = 3
+N_NODES = 2200
+TARGET_DEGREE = 12.0
+
+
+@pytest.fixture(scope="module")
+def udg():
+    g_full, _pts = scaled_udg(N_NODES, target_degree=TARGET_DEGREE, seed=99)
+    g, _ids = largest_component(g_full)
+    assert g.num_nodes >= 2000, "benchmark graph must keep n ≥ 2000"
+    return g
+
+
+def _best_of(fn, rounds: int = ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_batched_bfs_speedup(udg, record, results_dir, bench_rng):
+    g = udg
+    # ~550 random BFS sources, reproducible via the repro.rng-derived stream.
+    sources = sorted(
+        int(s) for s in bench_rng.choice(g.num_nodes, size=g.num_nodes // 4, replace=False)
+    )
+
+    def set_loop():
+        for s in sources:
+            bfs_distances(g, s, backend="sets")
+
+    def batched():
+        for _s, _d in batched_bfs(g, sources, backend="csr"):
+            pass
+
+    def csr_single_loop():
+        g.freeze()
+        for s in sources:
+            bfs_distances(g, s, backend="csr")
+
+    t_sets = _best_of(set_loop)
+    t_batched = _best_of(batched)
+    t_csr_single = _best_of(csr_single_loop)
+    # One cold conversion, measured separately: batched_bfs amortizes it.
+    g._csr = None
+    t_freeze = _best_of(lambda: g.freeze(), rounds=1)
+
+    speedup = t_sets / t_batched
+    payload = {
+        "graph": {"n": g.num_nodes, "m": g.num_edges, "kind": "udg", "seed": 99},
+        "sources": len(sources),
+        "seconds": {
+            "set_backend_loop": round(t_sets, 6),
+            "csr_single_source_loop": round(t_csr_single, 6),
+            "batched_bfs": round(t_batched, 6),
+            "freeze_conversion": round(t_freeze, 6),
+        },
+        "speedup_batched_vs_sets": round(speedup, 2),
+        "speedup_single_vs_sets": round(t_sets / t_csr_single, 2),
+        "required_speedup": REQUIRED_SPEEDUP,
+        "rounds": ROUNDS,
+    }
+    (results_dir / "BENCH_traversal.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    record(
+        "bench_traversal",
+        f"traversal n={g.num_nodes} m={g.num_edges} sources={len(sources)}: "
+        f"sets {t_sets * 1e3:.0f} ms, csr-single {t_csr_single * 1e3:.0f} ms, "
+        f"batched {t_batched * 1e3:.0f} ms -> {speedup:.1f}x "
+        f"(freeze {t_freeze * 1e3:.1f} ms)",
+    )
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"batched_bfs only {speedup:.2f}x faster than the set backend "
+        f"(need ≥ {REQUIRED_SPEEDUP}x): {payload}"
+    )
+
+
+def test_backends_agree_on_bench_graph(udg):
+    """The workload the speedup is claimed on is also checked for exactness."""
+    g = udg
+    sources = list(range(0, g.num_nodes, 97))
+    for s, dist in batched_bfs(g, sources, backend="csr"):
+        assert dist == bfs_distances(g, s, backend="sets")
+    s0 = sources[0]
+    assert bfs_parents(g, s0, backend="csr") == bfs_parents(g, s0, backend="sets")
+    assert multi_source_distances(g, sources, backend="csr") == multi_source_distances(
+        g, sources, backend="sets"
+    )
+
+
+# Calibrated single-call baselines (pytest-benchmark), for the -v tables.
+
+
+def test_bfs_single_sets(benchmark, udg):
+    benchmark(bfs_distances, udg, 0, None, "sets")
+
+
+def test_bfs_single_csr(benchmark, udg):
+    udg.freeze()
+    benchmark(bfs_distances, udg, 0, None, "csr")

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Repo check gate: collection -> tier-1 -> traversal perf artifact.
+#
+#   ./scripts/check.sh          # full gate
+#   SKIP_BENCH=1 ./scripts/check.sh   # tests only (e.g. on battery)
+#
+# Step 3 runs the traversal micro-benchmark and leaves its JSON artifact at
+# ./BENCH_traversal.json (copied from benchmarks/results/) so successive
+# PRs accumulate a perf trajectory.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== [1/3] collection gate (every test module must import) =="
+python -m pytest --collect-only -q tests > /dev/null
+
+echo "== [2/3] tier-1 test suite =="
+python -m pytest -q tests
+
+if [ "${SKIP_BENCH:-0}" = "1" ]; then
+    echo "== [3/3] traversal benchmark skipped (SKIP_BENCH=1) =="
+    exit 0
+fi
+
+echo "== [3/3] traversal micro-benchmark (writes BENCH_traversal.json) =="
+python -m pytest -q benchmarks/test_bench_traversal.py -p no:cacheprovider \
+    --benchmark-disable
+cp benchmarks/results/BENCH_traversal.json BENCH_traversal.json
+echo "perf artifact: ./BENCH_traversal.json"
+python - <<'EOF'
+import json
+d = json.load(open("BENCH_traversal.json"))
+print(
+    f"batched_bfs speedup vs set backend: "
+    f"{d['speedup_batched_vs_sets']}x (required {d['required_speedup']}x)"
+)
+EOF

@@ -34,9 +34,11 @@ from .errors import (
 )
 from .graph import (
     AugmentedView,
+    CSRGraph,
     Graph,
     augmented_distances,
     augmented_graph,
+    batched_bfs,
     bfs_distances,
     generators,
 )
@@ -73,6 +75,8 @@ __all__ = [
     "Graph",
     "augmented_distances",
     "augmented_graph",
+    "CSRGraph",
+    "batched_bfs",
     "bfs_distances",
     "generators",
     "DomTree",

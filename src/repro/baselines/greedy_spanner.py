@@ -14,7 +14,7 @@ comparable to the remote-spanner constructions in the benchmark tables.
 from __future__ import annotations
 
 from ..errors import ParameterError
-from ..graph import Graph, bfs_distances
+from ..graph import Graph, bounded_distance
 
 __all__ = ["greedy_spanner"]
 
@@ -23,24 +23,16 @@ def greedy_spanner(g: Graph, stretch: int) -> Graph:
     """The greedy (stretch, 0)-spanner of *g*; *stretch* = 2k−1 is canonical.
 
     Edge scan order is canonical (sorted pairs) so results are
-    deterministic.  Each kept-edge decision runs a cutoff BFS in the
-    partial spanner — O(m · m_H) worst case, fine at experiment scale.
+    deterministic.  Each kept-edge decision runs a target-early-exit cutoff
+    BFS in the partial spanner (:func:`~repro.graph.traversal.\
+bounded_distance` — it stays on the set backend because H mutates between
+    probes) — O(m · m_H) worst case, fine at experiment scale.
     """
     if stretch < 1:
         raise ParameterError(f"stretch must be ≥ 1, got {stretch}")
     h = Graph(g.num_nodes)
     for u, v in sorted(g.edges()):
         # Distance in the current partial spanner, capped at stretch.
-        dist = _bounded_distance(h, u, v, stretch)
-        if dist > stretch:
+        if bounded_distance(h, u, v, stretch) > stretch:
             h.add_edge(u, v)
     return h
-
-
-def _bounded_distance(h: Graph, s: int, t: int, cap: int) -> int:
-    """d_H(s, t), or cap+1 if it exceeds *cap* (early-exit BFS)."""
-    if s == t:
-        return 0
-    dist = bfs_distances(h, s, cutoff=cap)
-    d = dist[t]
-    return d if d >= 0 else cap + 1

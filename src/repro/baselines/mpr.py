@@ -104,6 +104,7 @@ def simulate_mpr_flooding(
     if k < 1:
         raise ParameterError(f"k must be ≥ 1, got {k}")
     g._check(source)
+    g.freeze()  # per-relay MPR selections below share one CSR snapshot
     if relays is None:
         relays = {}
 

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from ..errors import GraphError, ParameterError
-from ..graph import Graph, bfs_distances
+from ..graph import Graph, batched_bfs, bfs_distances
 from ..graph.traversal import bfs_layers
 
 __all__ = [
@@ -256,9 +256,11 @@ def induces_dominating_trees(h: Graph, g: Graph, r: int, beta: int) -> bool:
     """
     if r < 2:
         raise ParameterError(f"r must be ≥ 2, got {r}")
-    for u in g.nodes():
+    g.freeze()  # the cutoff-r BFS per node below rides the CSR snapshot
+    # Small chunk: the predicate early-exits on the first violating node,
+    # so at most chunk-1 prefetched BFS runs are discarded on failure.
+    for u, dist_h in batched_bfs(h, g.nodes(), chunk=16):
         dist_g = bfs_distances(g, u, cutoff=r)
-        dist_h = bfs_distances(h, u)
         for v in g.nodes():
             rp = dist_g[v]
             if rp < 2:
@@ -282,6 +284,7 @@ def induces_k_connecting_star_trees(h: Graph, g: Graph, k: int) -> bool:
     """
     if k < 1:
         raise ParameterError(f"k must be ≥ 1, got {k}")
+    g.freeze()  # per-node 2-ball BFS below rides the CSR snapshot
     for u in g.nodes():
         star = {w for w in g.neighbors(u) if h.has_edge(u, w)}
         layers = bfs_layers(g, u, cutoff=2)

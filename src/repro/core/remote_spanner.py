@@ -128,6 +128,10 @@ def build_from_trees(
     g: Graph, tree_fn: "Callable[[Graph, int], DomTree]", guarantee: StretchGuarantee, method: str
 ) -> RemoteSpanner:
     """Union of ``tree_fn(g, u)`` over all nodes — the Algorithm 3 assembly."""
+    # One CSR snapshot serves every per-node tree construction below: the
+    # BFS calls inside tree_fn (bfs_parents / bfs_layers) detect the fresh
+    # snapshot and run on flat arrays instead of per-node set scans.
+    g.freeze()
     trees: dict[int, DomTree] = {}
     h = Graph(g.num_nodes)
     for u in g.nodes():

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..errors import NotASubgraphError, ParameterError
-from ..graph import AugmentedView, Graph, bfs_distances
+from ..graph import AugmentedView, Graph, batched_bfs
 from ..paths import k_connecting_profile
 
 __all__ = [
@@ -55,9 +55,10 @@ def remote_spanner_violations(
     edge).  Restricting *sources* lets large-graph benches sample.
     """
     _check_subgraph(h, g)
+    h.freeze()  # every AugmentedView BFS below rides H's CSR snapshot
     bad: list = []
-    for u in sources if sources is not None else g.nodes():
-        dg = bfs_distances(g, u)
+    sources = sources if sources is not None else g.nodes()
+    for u, dg in batched_bfs(g, sources):
         dh = AugmentedView(h, g, u).distances_from(u)
         for v in g.nodes():
             if v == u or dg[v] < 2:
@@ -101,11 +102,11 @@ def remote_stretch_stats(
 ) -> RemoteStretchStats:
     """Measure remote stretch of H over (sampled) ordered nonadjacent pairs."""
     _check_subgraph(h, g)
+    h.freeze()
     stats = RemoteStretchStats()
     ratios_total = 0.0
     exact = 0
-    for u in sources if sources is not None else g.nodes():
-        dg = bfs_distances(g, u)
+    for u, dg in batched_bfs(g, sources if sources is not None else g.nodes()):
         dh = AugmentedView(h, g, u).distances_from(u)
         for v in g.nodes():
             if v == u or dg[v] < 2:

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import NotASubgraphError, ParameterError
-from ..graph import AugmentedView, Graph, bfs_distances
+from ..graph import AugmentedView, Graph, batched_bfs
 from .remote_spanner import StretchGuarantee
 
 __all__ = [
@@ -42,9 +42,7 @@ def spanner_violations(h: Graph, g: Graph, alpha: float, beta: float) -> list:
     if not h.is_spanning_subgraph_of(g):
         raise NotASubgraphError("H must be a spanning sub-graph of G")
     bad = []
-    for u in g.nodes():
-        dg = bfs_distances(g, u)
-        dh = bfs_distances(h, u)
+    for (u, dg), (_u2, dh) in zip(batched_bfs(g), batched_bfs(h)):
         for v in g.nodes():
             if v <= u or dg[v] < 1:
                 continue
@@ -111,9 +109,7 @@ def remote_advantage(h: Graph, g: Graph) -> RemoteAdvantage:
     if not h.is_spanning_subgraph_of(g):
         raise NotASubgraphError("H must be a spanning sub-graph of G")
     adv = RemoteAdvantage()
-    for u in g.nodes():
-        dg = bfs_distances(g, u)
-        dh = bfs_distances(h, u)
+    for (u, dg), (_u2, dh) in zip(batched_bfs(g), batched_bfs(h)):
         dhu = AugmentedView(h, g, u).distances_from(u)
         for v in g.nodes():
             if v == u or dg[v] < 2:

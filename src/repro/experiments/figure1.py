@@ -130,6 +130,8 @@ def build_figure1(points: "np.ndarray | None" = None) -> Figure1:
 def _find_exact_pair(h: Graph, g: Graph) -> "tuple[int, int, int]":
     """A nonadjacent pair with d_{H_u} = d_G where H misses a u-incident edge."""
     best: "tuple[int, int, int] | None" = None
+    g.freeze()
+    h.freeze()
     for u in g.nodes():
         dg = bfs_distances(g, u)
         dh = AugmentedView(h, g, u).distances_from(u)
@@ -146,6 +148,8 @@ def _find_worst_stretch_pair(h: Graph, g: Graph) -> "tuple[int, int, int, int]":
     """The pair maximizing d_{H_u}(u,v) − d_G(u,v) in the (2,−1) panel."""
     worst = (0, 0, 1, 1)
     worst_gap = -1
+    g.freeze()
+    h.freeze()
     for u in g.nodes():
         dg = bfs_distances(g, u)
         dh = AugmentedView(h, g, u).distances_from(u)

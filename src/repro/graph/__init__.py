@@ -7,18 +7,22 @@ is reserved for test oracles).
 """
 
 from .graph import Graph, canonical_edge
+from .csr import CSRGraph
 from .traversal import (
     UNREACHED,
     ball,
+    batched_bfs,
     bfs_distances,
     bfs_layers,
     bfs_parents,
+    bounded_distance,
     connected_components,
     is_connected,
     multi_source_distances,
     path_to_root,
     ring,
 )
+from .cache import cached_bfs_distances, distance_cache_info
 from .distances import (
     all_pairs_distances,
     diameter,
@@ -33,9 +37,14 @@ from . import generators, io
 
 __all__ = [
     "Graph",
+    "CSRGraph",
     "canonical_edge",
     "UNREACHED",
     "ball",
+    "batched_bfs",
+    "bounded_distance",
+    "cached_bfs_distances",
+    "distance_cache_info",
     "bfs_distances",
     "bfs_layers",
     "bfs_parents",

@@ -1,0 +1,70 @@
+"""A small LRU cache for BFS distance vectors.
+
+Several consumers ask for the same single-source distance vector many times
+over an unchanged graph — pair sampling probes ``bfs_distances(g, u)[v]``
+per candidate pair, routing stats revisit sources, experiment sweeps
+re-measure the same instance.  Recomputing an O(m) BFS for each probe is
+the dominant cost at experiment scale, so this module memoizes vectors
+keyed by ``(graph_version, source, cutoff)``:
+
+* ``graph_version`` is :attr:`Graph.version <repro.graph.graph.Graph.version>`
+  (bumped on every mutation) or the constant 0 of an immutable
+  :class:`~repro.graph.csr.CSRGraph` — a stale entry can therefore never be
+  returned, mutation invalidates by key mismatch and old entries age out of
+  the LRU;
+* the cache itself lives on the graph object (``_dist_cache`` slot), so it
+  is garbage-collected with the graph and never leaks across instances;
+* stored vectors are immutable tuples; callers receive a fresh list per
+  hit, preserving ``bfs_distances``'s "caller owns the result" contract.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .traversal import bfs_distances
+
+__all__ = ["cached_bfs_distances", "distance_cache_info", "DISTANCE_CACHE_SIZE"]
+
+#: Maximum number of distance vectors retained per graph.  At int-tuple
+#: size this bounds per-graph memory to ~``256 · n`` machine words.
+DISTANCE_CACHE_SIZE = 256
+
+
+def _cache_of(g) -> "OrderedDict | None":
+    cache = getattr(g, "_dist_cache", None)
+    if cache is None:
+        try:
+            g._dist_cache = cache = OrderedDict()
+        except AttributeError:  # duck-typed graph without the slot
+            return None
+    return cache
+
+
+def cached_bfs_distances(g, source: int, cutoff: "int | None" = None) -> list[int]:
+    """``bfs_distances(g, source, cutoff)`` through the per-graph LRU cache.
+
+    Exact same result as the uncached call (a fresh list the caller owns).
+    Objects without a ``_dist_cache`` slot or a ``version`` (e.g.
+    :class:`~repro.graph.views.AugmentedView`) fall through to a plain BFS.
+    """
+    cache = _cache_of(g)
+    version = getattr(g, "version", None)
+    if cache is None or version is None:
+        return bfs_distances(g, source, cutoff)
+    key = (version, source, cutoff)
+    hit = cache.get(key)
+    if hit is not None:
+        cache.move_to_end(key)
+        return list(hit)
+    dist = bfs_distances(g, source, cutoff)
+    cache[key] = tuple(dist)
+    while len(cache) > DISTANCE_CACHE_SIZE:
+        cache.popitem(last=False)
+    return dist
+
+
+def distance_cache_info(g) -> "tuple[int, int]":
+    """``(entries, capacity)`` of *g*'s distance cache (0 if never used)."""
+    cache = getattr(g, "_dist_cache", None)
+    return (len(cache) if cache else 0, DISTANCE_CACHE_SIZE)

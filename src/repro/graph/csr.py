@@ -1,0 +1,212 @@
+"""Compressed-sparse-row adjacency backend — the immutable fast twin of
+:class:`~repro.graph.graph.Graph`.
+
+Every construction in the paper reduces to repeated BFS balls and rings, so
+traversal is the hot path.  The mutable set-based :class:`Graph` is the
+right representation while a spanner is being *assembled* (``N(x) & S``
+algebra, cheap edge insertion), but its per-node Python sets are slow to
+scan.  :class:`CSRGraph` snapshots the adjacency into two flat
+``array('i')`` buffers:
+
+* ``indptr`` — ``n + 1`` row offsets;
+* ``indices`` — the ``2m`` neighbor ids, sorted ascending within each row
+  (the canonical order :func:`~repro.graph.traversal.bfs_parents` relies
+  on).
+
+The flat layout enables three access styles, all used by
+:mod:`repro.graph.traversal`:
+
+* ``neighbors_csr(u)`` — a zero-copy :class:`memoryview` slice of the row,
+  for pure-Python scanning without building sets;
+* ``numpy_arrays()`` — zero-copy :mod:`numpy` views for the vectorized
+  level-synchronous BFS engines (:func:`~repro.graph.traversal.batched_bfs`);
+* ``neighbors(u)`` — a *fresh* set per call, so existing set-algebra
+  callers keep working unchanged (contrast with ``Graph.neighbors``, which
+  returns its live internal set).
+
+Obtain one with :meth:`Graph.freeze` (cached, invalidated on mutation) or
+:meth:`CSRGraph.from_graph` (always rebuilds).  A ``CSRGraph`` is
+immutable: its :attr:`version` is a constant 0, which is what makes it a
+valid key component for the distance cache in :mod:`repro.graph.cache`.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import NodeNotFound
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """Immutable undirected graph in compressed-sparse-row form.
+
+    Supports the read-only subset of the :class:`~repro.graph.graph.Graph`
+    protocol (``num_nodes``, ``num_edges``, ``nodes``, ``neighbors``,
+    ``degree``, ``has_edge``, ``edges``, ``edge_set``) plus the flat-array
+    accessors the traversal engines consume.  Build via
+    :meth:`from_graph` / :meth:`Graph.freeze`.
+
+    Examples
+    --------
+    >>> from repro.graph import Graph
+    >>> c = Graph(4, [(0, 1), (1, 2), (2, 3)]).freeze()
+    >>> list(c.neighbors_csr(1))
+    [0, 2]
+    >>> c.edge_set() == {(0, 1), (1, 2), (2, 3)}
+    True
+    """
+
+    __slots__ = ("_n", "_m", "_indptr", "_indices", "_np_indptr", "_np_indices", "_dist_cache")
+
+    def __init__(self, n: int, indptr: array, indices: array) -> None:
+        if len(indptr) != n + 1:
+            raise ValueError(f"indptr must have n+1 = {n + 1} entries, got {len(indptr)}")
+        self._n = n
+        self._m = len(indices) // 2
+        self._indptr = indptr
+        self._indices = indices
+        # Zero-copy numpy views over the same buffers, for the vectorized
+        # BFS engines.  int64 indptr avoids overflow in offset arithmetic.
+        self._np_indptr = np.frombuffer(indptr, dtype=np.intc).astype(np.int64)
+        self._np_indices = (
+            np.frombuffer(indices, dtype=np.intc)
+            if len(indices)
+            else np.empty(0, dtype=np.intc)
+        )
+        self._dist_cache = None  # lazily created by repro.graph.cache
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_graph(cls, g) -> "CSRGraph":
+        """Snapshot any graph-like object (``num_nodes`` + ``neighbors``).
+
+        Rows are sorted ascending, so ``neighbors_csr`` yields the same
+        canonical order ``sorted(g.neighbors(u))`` the deterministic
+        constructions expand in.  Prefer :meth:`Graph.freeze`, which caches
+        the snapshot until the next mutation.
+        """
+        n = g.num_nodes
+        flat: list[int] = []
+        indptr = array("i", [0]) * (n + 1)
+        for u in range(n):
+            nbrs = sorted(g.neighbors(u))
+            flat.extend(nbrs)
+            indptr[u + 1] = len(flat)
+        return cls(n, indptr, array("i", flat))
+
+    def to_graph(self):
+        """Thaw back into a mutable set-based :class:`Graph`."""
+        from .graph import Graph
+
+        return Graph(self._n, self.edges())
+
+    # ------------------------------------------------------------------ #
+    # Graph protocol (read-only subset)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_nodes(self) -> int:
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        return self._m
+
+    @property
+    def version(self) -> int:
+        """Immutable snapshots are always at version 0 (see ``Graph.version``)."""
+        return 0
+
+    def nodes(self) -> range:
+        return range(self._n)
+
+    def neighbors(self, u: int) -> set:
+        """``N(u)`` as a **fresh** set (allocated per call).
+
+        Unlike ``Graph.neighbors`` there is no live internal set to share;
+        set-algebra callers work unchanged but pay one allocation.  Hot
+        loops should use :meth:`neighbors_csr` instead.
+        """
+        self._check(u)
+        return set(self._indices[self._indptr[u] : self._indptr[u + 1]])
+
+    def neighbors_csr(self, u: int) -> memoryview:
+        """``N(u)`` as a zero-copy sorted ``memoryview`` slice.
+
+        The public form of the flat-row access style; the traversal
+        engines inline the same slicing over one shared memoryview to
+        avoid per-node method-call overhead.
+        """
+        self._check(u)
+        return memoryview(self._indices)[self._indptr[u] : self._indptr[u + 1]]
+
+    def numpy_arrays(self) -> "tuple[np.ndarray, np.ndarray]":
+        """``(indptr, indices)`` numpy views (int64 offsets, int32 ids)."""
+        return self._np_indptr, self._np_indices
+
+    def degree(self, u: int) -> int:
+        self._check(u)
+        return self._indptr[u + 1] - self._indptr[u]
+
+    def max_degree(self) -> int:
+        if self._n == 0:
+            return 0
+        return int((self._np_indptr[1:] - self._np_indptr[:-1]).max())
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Edge test by binary search in the sorted row of *u*."""
+        self._check(u)
+        self._check(v)
+        lo, hi = self._indptr[u], self._indptr[u + 1]
+        pos = bisect_left(self._indices, v, lo, hi)
+        return pos < hi and self._indices[pos] == v
+
+    def edges(self) -> Iterator["tuple[int, int]"]:
+        indptr, indices = self._indptr, self._indices
+        for u in range(self._n):
+            for i in range(indptr[u], indptr[u + 1]):
+                v = indices[i]
+                if u < v:
+                    yield (u, v)
+
+    def edge_set(self) -> set["tuple[int, int]"]:
+        return set(self.edges())
+
+    # ------------------------------------------------------------------ #
+    # dunder protocol
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __contains__(self, u: object) -> bool:
+        return isinstance(u, int) and 0 <= u < self._n
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and self._indptr == other._indptr
+            and self._indices == other._indices
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CSRGraph(n={self._n}, m={self._m})"
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _check(self, u: int) -> None:
+        if not (0 <= u < self._n):
+            raise NodeNotFound(u, self._n)

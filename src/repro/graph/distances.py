@@ -10,8 +10,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..rng import ensure_rng
+from .cache import cached_bfs_distances
 from .graph import Graph
-from .traversal import bfs_distances
+from .traversal import batched_bfs, bfs_distances
 
 __all__ = [
     "all_pairs_distances",
@@ -24,19 +25,20 @@ __all__ = [
 
 
 def all_pairs_distances(g: Graph) -> list[list[int]]:
-    """APSP by n BFS runs; ``dist[u][v] == -1`` when unreachable.
+    """APSP by n batched BFS runs; ``dist[u][v] == -1`` when unreachable.
 
     O(n·m) — fine for the n ≤ a few thousand graphs of the experiments.
+    Runs on the CSR backend via :func:`~repro.graph.traversal.batched_bfs`.
     """
-    return [bfs_distances(g, u) for u in g.nodes()]
+    return [dist for _u, dist in batched_bfs(g)]
 
 
 def distance_matrix(g: Graph) -> np.ndarray:
     """APSP as an ``(n, n)`` int32 numpy array (``-1`` = unreachable)."""
     n = g.num_nodes
     out = np.empty((n, n), dtype=np.int32)
-    for u in g.nodes():
-        out[u] = bfs_distances(g, u)
+    for u, dist in batched_bfs(g):
+        out[u] = dist
     return out
 
 
@@ -49,7 +51,10 @@ def diameter(g: Graph) -> int:
     """Diameter of the (assumed connected) graph; 0 for n ≤ 1."""
     if g.num_nodes <= 1:
         return 0
-    return max(eccentricity(g, u) for u in g.nodes())
+    best = 0
+    for _u, dist in batched_bfs(g):
+        best = max(best, max(d for d in dist if d >= 0))
+    return best
 
 
 def nonadjacent_pairs(g: Graph) -> list["tuple[int, int]"]:
@@ -79,13 +84,17 @@ def sample_pairs(
     n = g.num_nodes
     if n < 2:
         return []
+    if require_connected:
+        g.freeze()  # connectivity probes below ride the CSR snapshot
     # Dense/small graphs: enumerate and choose.
     if n * (n - 1) // 2 <= 4 * count or n <= 64:
         pool = nonadjacent_pairs(g) if require_nonadjacent else [
             (u, v) for u in range(n) for v in range(u + 1, n)
         ]
         if require_connected:
-            pool = [p for p in pool if bfs_distances(g, p[0])[p[1]] >= 0]
+            # Consecutive pool entries share their first endpoint, so the
+            # LRU distance cache turns this from O(|pool|·m) into O(n·m).
+            pool = [p for p in pool if cached_bfs_distances(g, p[0])[p[1]] >= 0]
         if len(pool) <= count:
             return pool
         idx = rng.choice(len(pool), size=count, replace=False)
@@ -105,7 +114,7 @@ def sample_pairs(
             continue
         if require_nonadjacent and g.has_edge(u, v):
             continue
-        if require_connected and bfs_distances(g, u)[v] < 0:
+        if require_connected and cached_bfs_distances(g, u)[v] < 0:
             continue
         out.add((u, v))
     return sorted(out)

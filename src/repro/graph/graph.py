@@ -15,6 +15,12 @@ fixed at construction.  This matches how the algorithms use graphs (the node
 set of a spanner equals the node set of the input: ``V(H) = V(G)``) and lets
 sub-graphs share nothing with their parent while staying index-compatible.
 
+Two adjacency backends coexist: this mutable set-based class, and the
+immutable flat-array :class:`~repro.graph.csr.CSRGraph` produced by
+:meth:`Graph.freeze`.  Freeze a graph before running per-node BFS loops over
+it — the traversal primitives detect a fresh snapshot and take their fast
+CSR path automatically, falling back to set iteration otherwise.
+
 Graphs are value-comparable (``==`` compares node count and edge sets) and
 hash-free (mutable).
 """
@@ -56,7 +62,7 @@ class Graph:
     3
     """
 
-    __slots__ = ("_n", "_adj", "_m")
+    __slots__ = ("_n", "_adj", "_m", "_version", "_csr", "_dist_cache")
 
     def __init__(self, n: int, edges: "Iterable[tuple[int, int]] | None" = None) -> None:
         if n < 0:
@@ -64,6 +70,9 @@ class Graph:
         self._n = n
         self._adj: list[set[int]] = [set() for _ in range(n)]
         self._m = 0
+        self._version = 0  # bumped on every successful mutation
+        self._csr = None  # cached CSRGraph snapshot, dropped on mutation
+        self._dist_cache = None  # LRU distance cache (repro.graph.cache)
         if edges is not None:
             for u, v in edges:
                 self.add_edge(u, v)
@@ -82,6 +91,17 @@ class Graph:
         """Number of undirected edges ``m``."""
         return self._m
 
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped by every successful edge add/remove.
+
+        Together with :meth:`freeze` this gives cheap cache invalidation:
+        anything derived from the graph (the CSR snapshot, the LRU distance
+        cache in :mod:`repro.graph.cache`) is keyed by ``version`` and
+        silently expires when the graph changes.
+        """
+        return self._version
+
     def nodes(self) -> range:
         """The node ids, as a :class:`range` (cheap, re-iterable)."""
         return range(self._n)
@@ -89,9 +109,14 @@ class Graph:
     def neighbors(self, u: int) -> set[int]:
         """The adjacency set ``N(u)``.
 
-        The returned set is the live internal set — callers must not mutate
-        it.  (Returning it directly keeps ``N(x) & S`` loops allocation-free;
-        all library code treats it as read-only.)
+        **Live-set sharing contract.**  The returned set is the live
+        internal set — callers must not mutate it.  (Returning it directly
+        keeps ``N(x) & S`` loops allocation-free; all library code treats
+        it as read-only.)  The frozen backend differs here:
+        :meth:`CSRGraph.neighbors <repro.graph.csr.CSRGraph.neighbors>`
+        returns a *fresh* set per call because there is no internal set to
+        share.  Code written against the contract above (never mutate, never
+        rely on identity across calls) works with either backend.
         """
         self._check(u)
         return self._adj[u]
@@ -137,6 +162,8 @@ class Graph:
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._m += 1
+        self._version += 1
+        self._csr = None
         return True
 
     def add_edges(self, edges: Iterable["tuple[int, int]"]) -> int:
@@ -152,11 +179,34 @@ class Graph:
         self._adj[u].discard(v)
         self._adj[v].discard(u)
         self._m -= 1
+        self._version += 1
+        self._csr = None
         return True
 
     # ------------------------------------------------------------------ #
     # derived constructions
     # ------------------------------------------------------------------ #
+
+    def freeze(self):
+        """The CSR snapshot of the current adjacency (cached until mutation).
+
+        Returns a :class:`~repro.graph.csr.CSRGraph` sharing nothing with
+        ``self``.  While the snapshot is fresh (no mutation since), the BFS
+        primitives in :mod:`repro.graph.traversal` automatically route
+        through it — so per-node loops pay the O(n + m) conversion once:
+
+        >>> g = Graph(3, [(0, 1), (1, 2)])
+        >>> g.freeze() is g.freeze()          # cached
+        True
+        >>> _ = g.add_edge(0, 2)              # mutation invalidates
+        >>> g.freeze().has_edge(0, 2)
+        True
+        """
+        if self._csr is None:
+            from .csr import CSRGraph
+
+            self._csr = CSRGraph.from_graph(self)
+        return self._csr
 
     def copy(self) -> "Graph":
         """Deep copy."""

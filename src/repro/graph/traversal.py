@@ -9,15 +9,36 @@ Everything in the paper is phrased in terms of BFS by-products:
   implemented by walking parent pointers, which guarantees the union of the
   added paths is a tree (design decision 2 in DESIGN.md).
 
-The functions here are the hot path of every construction, so they use flat
-``array``-backed queues and integer distance arrays instead of dicts.
+The functions here are the hot path of every construction, so they run on
+two backends:
+
+* **sets** — the original pure-Python loops over ``g.neighbors(u)``; works
+  with any graph-like object (including :class:`~repro.graph.views.\
+AugmentedView`) and is the right choice while a graph is being mutated;
+* **csr** — flat-array loops over a :class:`~repro.graph.csr.CSRGraph`
+  snapshot: a vectorized level-synchronous frontier expansion (numpy
+  gathers over ``indptr``/``indices``) with a pure-Python small-frontier
+  path, plus preallocated ``array('i')`` queues for the canonical parent
+  forest.
+
+Backend selection is automatic: a ``CSRGraph`` argument, or a ``Graph``
+whose :meth:`~repro.graph.graph.Graph.freeze` snapshot is still fresh, takes
+the CSR path; everything else falls back to sets.  Pass ``backend="sets"``
+or ``backend="csr"`` to force one (the property tests assert exact
+agreement between the two).  For per-node loops — every Algorithm 1–5
+construction, stretch certification, APSP — use :func:`batched_bfs`, which
+freezes once and amortizes buffer allocation across sources.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from array import array
+from typing import Iterable, Iterator
+
+import numpy as np
 
 from ..errors import ParameterError
+from .csr import CSRGraph
 from .graph import Graph
 
 __all__ = [
@@ -28,6 +49,8 @@ __all__ = [
     "ring",
     "path_to_root",
     "multi_source_distances",
+    "bounded_distance",
+    "batched_bfs",
     "connected_components",
     "is_connected",
 ]
@@ -35,8 +58,175 @@ __all__ = [
 #: Sentinel distance for unreachable nodes in the arrays returned below.
 UNREACHED = -1
 
+#: Frontier size at or below which the vectorized engine expands in pure
+#: Python — numpy call overhead dominates on tiny frontiers (deep, skinny
+#: graphs like paths degenerate to one node per level).
+_SMALL_FRONTIER = 16
 
-def bfs_distances(g: Graph, source: int, cutoff: "int | None" = None) -> list[int]:
+#: Sources per chunk in :func:`batched_bfs`.  Small enough that the flat
+#: ``chunk * n`` distance buffer stays cache-friendly, large enough to
+#: amortize per-level numpy call overhead across sources (64 measured best
+#: on the 2200-node UDG of ``benchmarks/test_bench_traversal.py``).
+_BATCH_CHUNK = 64
+
+#: Below this node count the ``auto`` backend stays on sets: numpy call
+#: overhead exceeds the whole BFS on toy graphs (the property-test regime).
+#: ``backend="csr"`` overrides, and a ``CSRGraph`` argument is always CSR.
+_AUTO_MIN_NODES = 64
+
+
+# --------------------------------------------------------------------- #
+# backend selection
+# --------------------------------------------------------------------- #
+
+
+def _csr_of(g, backend: str) -> "CSRGraph | None":
+    """The CSR snapshot to use for *g*, or ``None`` for the set backend.
+
+    ``backend="auto"`` never *builds* a snapshot: it uses one only when it
+    is free (g already is a ``CSRGraph``, or carries a fresh cached
+    ``freeze()``), so mutation-heavy callers (e.g. the greedy spanner,
+    which BFS-probes a graph it is growing) keep the set backend without
+    pathological re-conversions.  ``backend="csr"`` forces a freeze.
+    """
+    if backend not in ("auto", "sets", "csr"):
+        raise ParameterError(f"unknown backend {backend!r} (want 'auto', 'sets' or 'csr')")
+    if backend == "sets":
+        return None
+    if isinstance(g, CSRGraph):
+        return g
+    if backend == "csr":
+        if hasattr(g, "freeze"):
+            return g.freeze()
+        raise ParameterError(
+            f"backend='csr' needs a Graph or CSRGraph, got {type(g).__name__}"
+        )
+    if isinstance(g, Graph) and g.num_nodes >= _AUTO_MIN_NODES:
+        return g._csr  # fresh cached snapshot or None
+    return None
+
+
+# --------------------------------------------------------------------- #
+# CSR engine: vectorized level-synchronous expansion
+# --------------------------------------------------------------------- #
+
+
+def _expand_levels(
+    csr: CSRGraph,
+    dist: np.ndarray,
+    frontier: list,
+    d: int,
+    cutoff: "int | None",
+    layers: "list[list[int]] | None",
+) -> None:
+    """Expand *frontier* (all nodes at distance *d*) until exhaustion/cutoff.
+
+    ``dist`` is an int32 numpy array with the seed distances already
+    written; discovered nodes get ``d+1, d+2, ...``.  When *layers* is a
+    list, each discovered level is appended to it as a list of ints.
+
+    Small frontiers walk the rows in Python through zero-copy memoryview
+    slices (numpy call overhead dominates otherwise); large frontiers use
+    one vectorized gather per level: ``starts/counts`` from ``indptr``, a
+    ``repeat`` + ``arange`` flat offset build, one fancy-index into
+    ``indices``, then a mask of unseen candidates.
+    """
+    indptr = csr._indptr
+    rows = memoryview(csr._indices)  # sliced per node, no copies
+    np_indptr, np_indices = csr.numpy_arrays()
+    np_frontier: "np.ndarray | None" = None
+    while True:
+        size = len(frontier) if np_frontier is None else int(np_frontier.size)
+        if size == 0 or (cutoff is not None and d >= cutoff):
+            return
+        d += 1
+        if size <= _SMALL_FRONTIER:
+            if np_frontier is not None:
+                frontier = np_frontier.tolist()
+                np_frontier = None
+            nxt: list[int] = []
+            for u in frontier:
+                for v in rows[indptr[u] : indptr[u + 1]]:
+                    if dist[v] < 0:
+                        dist[v] = d
+                        nxt.append(v)
+            frontier = nxt
+            if layers is not None and nxt:
+                layers.append(nxt)
+        else:
+            if np_frontier is None:
+                np_frontier = np.asarray(frontier, dtype=np.int64)
+            starts = np_indptr[np_frontier]
+            counts = np_indptr[np_frontier + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
+                return
+            cum = np.cumsum(counts)
+            offs = np.repeat(starts - cum + counts, counts) + np.arange(total)
+            cand = np_indices[offs]
+            cand = cand[dist[cand] < 0]
+            if cand.size == 0:
+                return
+            dist[cand] = d
+            np_frontier = np.flatnonzero(dist == d).astype(np.int64)
+            if layers is not None:
+                layers.append(np_frontier.tolist())
+
+
+def _csr_distances(
+    csr: CSRGraph, source: int, cutoff: "int | None", layers: "list[list[int]] | None" = None
+) -> np.ndarray:
+    dist = np.full(csr.num_nodes, UNREACHED, dtype=np.int32)
+    dist[source] = 0
+    _expand_levels(csr, dist, [source], 0, cutoff, layers)
+    return dist
+
+
+def _csr_parents(
+    csr: CSRGraph, source: int, cutoff: "int | None"
+) -> "tuple[list[int], list[int]]":
+    """Canonical parent forest on flat arrays with a preallocated queue.
+
+    CSR rows are sorted ascending, so plain row order reproduces the
+    ``sorted(g.neighbors(u))`` expansion of the set backend exactly —
+    identical ``(dist, parent)`` output, no per-node sort.
+    """
+    n = csr.num_nodes
+    indptr = csr._indptr
+    rows = memoryview(csr._indices)  # zero-copy row slices
+    dist = [UNREACHED] * n
+    parent = [UNREACHED] * n
+    dist[source] = 0
+    parent[source] = source
+    queue = array("i", [0]) * n  # preallocated: every node enqueues at most once
+    queue[0] = source
+    head, tail = 0, 1
+    d = 0
+    while head < tail:
+        if cutoff is not None and d >= cutoff:
+            break
+        d += 1
+        level_end = tail
+        while head < level_end:
+            u = queue[head]
+            head += 1
+            for v in rows[indptr[u] : indptr[u + 1]]:
+                if dist[v] == UNREACHED:
+                    dist[v] = d
+                    parent[v] = u
+                    queue[tail] = v
+                    tail += 1
+    return dist, parent
+
+
+# --------------------------------------------------------------------- #
+# public primitives
+# --------------------------------------------------------------------- #
+
+
+def bfs_distances(
+    g, source: int, cutoff: "int | None" = None, backend: str = "auto"
+) -> list[int]:
     """Distances from *source* to every node (``-1`` if unreachable).
 
     ``cutoff`` bounds the exploration radius: nodes further than *cutoff*
@@ -44,6 +234,9 @@ def bfs_distances(g: Graph, source: int, cutoff: "int | None" = None) -> list[in
     a node running ``DomTreeGdy_{r,β}`` only ever explores ``B_G(u, r+β)``.
     """
     g._check(source)
+    csr = _csr_of(g, backend)
+    if csr is not None:
+        return _csr_distances(csr, source, cutoff).tolist()
     dist = [UNREACHED] * g.num_nodes
     dist[source] = 0
     frontier = [source]
@@ -63,7 +256,7 @@ def bfs_distances(g: Graph, source: int, cutoff: "int | None" = None) -> list[in
 
 
 def bfs_parents(
-    g: Graph, source: int, cutoff: "int | None" = None
+    g, source: int, cutoff: "int | None" = None, backend: str = "auto"
 ) -> "tuple[list[int], list[int]]":
     """``(dist, parent)`` arrays of a BFS from *source*.
 
@@ -75,9 +268,14 @@ def bfs_parents(
     Neighbors are expanded in sorted order so the forest is a *canonical*
     function of the graph: two nodes with identical local views compute
     identical forests — the property that makes the distributed protocol's
-    trees match the centralized construction edge-for-edge.
+    trees match the centralized construction edge-for-edge.  (Both backends
+    realize the same order: the CSR path exploits that its rows are already
+    sorted.)
     """
     g._check(source)
+    csr = _csr_of(g, backend)
+    if csr is not None:
+        return _csr_parents(csr, source, cutoff)
     n = g.num_nodes
     dist = [UNREACHED] * n
     parent = [UNREACHED] * n
@@ -100,9 +298,20 @@ def bfs_parents(
     return dist, parent
 
 
-def bfs_layers(g: Graph, source: int, cutoff: "int | None" = None) -> list[list[int]]:
-    """BFS layers ``[ [source], ring(1), ring(2), ... ]`` up to *cutoff*."""
+def bfs_layers(
+    g, source: int, cutoff: "int | None" = None, backend: str = "auto"
+) -> list[list[int]]:
+    """BFS layers ``[ [source], ring(1), ring(2), ... ]`` up to *cutoff*.
+
+    Layer membership is backend-independent; the order of nodes *within* a
+    layer is not specified (callers treat layers as sets).
+    """
     g._check(source)
+    csr = _csr_of(g, backend)
+    if csr is not None:
+        layers: list[list[int]] = [[source]]
+        _csr_distances(csr, source, cutoff, layers=layers)
+        return layers
     seen = [False] * g.num_nodes
     seen[source] = True
     layers = [[source]]
@@ -124,21 +333,21 @@ def bfs_layers(g: Graph, source: int, cutoff: "int | None" = None) -> list[list[
     return layers
 
 
-def ball(g: Graph, center: int, radius: int) -> set[int]:
+def ball(g, center: int, radius: int, backend: str = "auto") -> set[int]:
     """``B_G(center, radius)`` — all nodes at distance ≤ radius (incl. center)."""
     if radius < 0:
         raise ParameterError(f"radius must be ≥ 0, got {radius}")
     out: set[int] = set()
-    for layer in bfs_layers(g, center, cutoff=radius):
+    for layer in bfs_layers(g, center, cutoff=radius, backend=backend):
         out.update(layer)
     return out
 
 
-def ring(g: Graph, center: int, radius: int) -> set[int]:
+def ring(g, center: int, radius: int, backend: str = "auto") -> set[int]:
     """Nodes at distance exactly *radius* from *center*."""
     if radius < 0:
         raise ParameterError(f"radius must be ≥ 0, got {radius}")
-    layers = bfs_layers(g, center, cutoff=radius)
+    layers = bfs_layers(g, center, cutoff=radius, backend=backend)
     if len(layers) <= radius:
         return set()
     return set(layers[radius])
@@ -159,11 +368,22 @@ def path_to_root(parent: list[int], node: int) -> list[int]:
 
 
 def multi_source_distances(
-    g: Graph, sources: Iterable[int], cutoff: "int | None" = None
+    g, sources: Iterable[int], cutoff: "int | None" = None, backend: str = "auto"
 ) -> list[int]:
     """Distance from each node to the nearest of *sources* (``-1`` beyond cutoff)."""
+    csr = _csr_of(g, backend)
+    if csr is not None:
+        dist = np.full(csr.num_nodes, UNREACHED, dtype=np.int32)
+        frontier: list[int] = []
+        for s in sources:
+            g._check(s)
+            if dist[s] < 0:
+                dist[s] = 0
+                frontier.append(s)
+        _expand_levels(csr, dist, frontier, 0, cutoff, None)
+        return dist.tolist()
     dist = [UNREACHED] * g.num_nodes
-    frontier: list[int] = []
+    frontier = []
     for s in sources:
         g._check(s)
         if dist[s] == UNREACHED:
@@ -184,7 +404,129 @@ def multi_source_distances(
     return dist
 
 
-def connected_components(g: Graph) -> list[list[int]]:
+def bounded_distance(g, s: int, t: int, cap: int) -> int:
+    """``d_G(s, t)`` if ≤ *cap*, else ``cap + 1`` — with early exit at *t*.
+
+    The incremental-spanner probe ("would this edge's endpoints already be
+    within the stretch budget?"): unlike ``bfs_distances(...)[t]`` it stops
+    the moment *t* is reached, and it never converts to CSR, so it stays
+    cheap on a graph that is being mutated between calls.
+    """
+    g._check(s)
+    g._check(t)
+    if cap < 0:
+        raise ParameterError(f"cap must be ≥ 0, got {cap}")
+    if s == t:
+        return 0
+    dist = [UNREACHED] * g.num_nodes
+    dist[s] = 0
+    frontier = [s]
+    d = 0
+    while frontier and d < cap:
+        nxt: list[int] = []
+        d += 1
+        for u in frontier:
+            for v in g.neighbors(u):
+                if dist[v] == UNREACHED:
+                    if v == t:
+                        return d
+                    dist[v] = d
+                    nxt.append(v)
+        frontier = nxt
+    return cap + 1
+
+
+# --------------------------------------------------------------------- #
+# batched multi-source engine
+# --------------------------------------------------------------------- #
+
+
+def batched_bfs(
+    g,
+    sources: "Iterable[int] | None" = None,
+    cutoff: "int | None" = None,
+    chunk: int = _BATCH_CHUNK,
+    backend: str = "auto",
+) -> Iterator["tuple[int, list[int]]"]:
+    """Yield ``(source, dist)`` for each source — the amortized per-node loop.
+
+    This is the engine behind every "for every node u: BFS from u" loop in
+    the paper (Algorithm 3's assembly, stretch certification, APSP).  It
+    freezes *g* once and runs *chunk* sources simultaneously on the flat
+    CSR arrays: one distance buffer of ``chunk × n`` int32 entries encodes
+    all BFS states, frontiers are flat ``source_slot * n + node`` keys, and
+    each level is a single vectorized gather — so numpy call overhead and
+    buffer allocation amortize across sources instead of recurring per
+    node.
+
+    Yields in the order of *sources* (default: all nodes).  Each ``dist``
+    is a fresh list the caller owns.  Results agree exactly with
+    ``bfs_distances(g, s, cutoff)`` — the property tests assert it.
+
+    On graphs below the auto threshold (``backend="auto"``) the engine is
+    skipped entirely and each source runs a plain set-backend BFS — the
+    vectorized machinery only pays off past toy sizes.
+    """
+    if chunk < 1:
+        raise ParameterError(f"chunk must be ≥ 1, got {chunk}")
+    if backend not in ("auto", "sets", "csr"):
+        raise ParameterError(f"unknown backend {backend!r} (want 'auto', 'sets' or 'csr')")
+    if backend == "sets" or (
+        backend == "auto"
+        and not isinstance(g, CSRGraph)
+        and g.num_nodes < _AUTO_MIN_NODES
+    ):
+        src_iter = range(g.num_nodes) if sources is None else sources
+        for s in src_iter:
+            yield int(s), bfs_distances(g, s, cutoff, backend="sets")
+        return
+    csr = g if isinstance(g, CSRGraph) else g.freeze()
+    n = csr.num_nodes
+    src_list = list(range(n)) if sources is None else list(sources)
+    for s in src_list:
+        csr._check(s)
+    np_indptr, np_indices = csr.numpy_arrays()
+    for lo in range(0, len(src_list), chunk):
+        srcs = np.asarray(src_list[lo : lo + chunk], dtype=np.int64)
+        b = len(srcs)
+        dist = np.full(b * n, UNREACHED, dtype=np.int32)
+        slots = np.arange(b, dtype=np.int64) * n
+        dist[slots + srcs] = 0
+        frontier = slots + srcs
+        d = 0
+        while frontier.size and (cutoff is None or d < cutoff):
+            d += 1
+            node = frontier % n
+            base = frontier - node
+            starts = np_indptr[node]
+            counts = np_indptr[node + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
+                break
+            cum = np.cumsum(counts)
+            offs = np.repeat(starts - cum + counts, counts) + np.arange(total)
+            cand = np.repeat(base, counts) + np_indices[offs]
+            cand = cand[dist[cand] < 0]
+            if cand.size == 0:
+                break
+            dist[cand] = d
+            # Deduplicate the new frontier: sort the (few) candidates when
+            # they are sparse, scan the flat buffer when they are dense.
+            if cand.size < (b * n) >> 4:
+                frontier = np.unique(cand)
+            else:
+                frontier = np.flatnonzero(dist == d)
+        rows = dist.reshape(b, n)
+        for i, s in enumerate(src_list[lo : lo + b]):
+            yield int(s), rows[i].tolist()
+
+
+# --------------------------------------------------------------------- #
+# connectivity
+# --------------------------------------------------------------------- #
+
+
+def connected_components(g) -> list[list[int]]:
     """Connected components as lists of node ids (each sorted ascending)."""
     seen = [False] * g.num_nodes
     comps: list[list[int]] = []
@@ -207,7 +549,7 @@ def connected_components(g: Graph) -> list[list[int]]:
     return comps
 
 
-def is_connected(g: Graph) -> bool:
+def is_connected(g) -> bool:
     """Whether the graph is connected (the empty graph counts as connected)."""
     if g.num_nodes == 0:
         return True

@@ -64,6 +64,11 @@ class AugmentedView:
         """The augmentation node *u*."""
         return self._u
 
+    def _check(self, x: int) -> None:
+        """Node-range check (graph-protocol parity with :class:`Graph`)."""
+        if not (0 <= x < self.num_nodes):
+            raise NodeNotFound(x, self.num_nodes)
+
     def neighbors(self, x: int) -> set[int]:
         """``N_{H_u}(x)``."""
         if x == self._u:
@@ -84,7 +89,25 @@ class AugmentedView:
         return False
 
     def distances_from(self, source: int, cutoff: "int | None" = None) -> list[int]:
-        """BFS distances in :math:`H_u` from *source* (``-1`` = unreachable)."""
+        """BFS distances in :math:`H_u` from *source* (``-1`` = unreachable).
+
+        When *source* is the augmentation node *u* itself (the case every
+        stretch predicate hits, once per node of G) and ``H`` carries a
+        fresh CSR snapshot, the BFS runs on the flat arrays: level 1 is
+        seeded with ``N_{H_u}(u)`` directly and the remaining expansion
+        never needs the grafted edges (they all lead back to *u*, already
+        settled at distance 0).  Freeze ``H`` once before a per-node
+        verification loop to enable this path.
+        """
+        from . import traversal
+
+        if (
+            source == self._u
+            and isinstance(self._h, Graph)
+            and self._h._csr is not None
+            and self._h.num_nodes >= traversal._AUTO_MIN_NODES
+        ):
+            return self._csr_distances_from_u(cutoff)
         n = self.num_nodes
         dist = [-1] * n
         dist[source] = 0
@@ -102,6 +125,23 @@ class AugmentedView:
                         nxt.append(y)
             frontier = nxt
         return dist
+
+    def _csr_distances_from_u(self, cutoff: "int | None") -> list[int]:
+        """Flat-array BFS from *u* on H's fresh CSR snapshot."""
+        import numpy as np
+
+        from .traversal import UNREACHED, _expand_levels
+
+        csr = self._h._csr
+        dist = np.full(csr.num_nodes, UNREACHED, dtype=np.int32)
+        dist[self._u] = 0
+        if cutoff is not None and cutoff < 1:
+            return dist.tolist()
+        level1 = self._h.neighbors(self._u) | self._extra
+        frontier = list(level1)
+        dist[frontier] = 1
+        _expand_levels(csr, dist, frontier, 1, cutoff, None)
+        return dist.tolist()
 
 
 def augmented_graph(h: Graph, g: Graph, u: int) -> Graph:

@@ -36,12 +36,16 @@ def derive_seed(seed: int, *tags: "int | str") -> int:
 
     Uses :class:`numpy.random.SeedSequence` entropy mixing, so distinct tag
     tuples give statistically independent streams.  Tags may be strings
-    (hashed stably via UTF-8 bytes) or ints.
+    (hashed stably via UTF-8 bytes — *all* of them, chunked into 64-bit
+    words, so long tags sharing a prefix still derive distinct seeds) or
+    ints.
     """
     mixed: list[int] = [seed]
     for tag in tags:
         if isinstance(tag, str):
-            mixed.append(int.from_bytes(tag.encode("utf-8")[:8].ljust(8, b"\0"), "little"))
+            data = tag.encode("utf-8")
+            for i in range(0, max(len(data), 1), 8):
+                mixed.append(int.from_bytes(data[i : i + 8].ljust(8, b"\0"), "little"))
         else:
             mixed.append(int(tag))
     return int(np.random.SeedSequence(mixed).generate_state(1)[0])

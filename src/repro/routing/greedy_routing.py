@@ -103,6 +103,7 @@ def route_all_pairs_stats(
         pairs = [(s, t) for s in range(n) for t in range(n) if s != t]
     stats = RoutingStats()
     stretch_total = 0.0
+    g.freeze()  # the per-source BFS probes below ride the CSR snapshot
     dist_cache: dict[int, list[int]] = {}
     for s, t in pairs:
         if s not in dist_cache:

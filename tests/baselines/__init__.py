@@ -1,0 +1,1 @@
+"""Test package marker — enables ``from ..conftest import ...`` relative imports."""

@@ -8,12 +8,12 @@ assert *exact* agreement rather than loose sanity.
 
 from __future__ import annotations
 
-import random
-
+import numpy as np
 import pytest
 from hypothesis import strategies as st
 
 from repro.graph import Graph
+from repro.rng import derive_seed, ensure_rng
 from repro.graph.generators import (
     cycle_graph,
     gnp_random_graph,
@@ -82,6 +82,13 @@ def zoo() -> dict:
     }
 
 
+#: Root seed for the fixture below — all test randomness derives from it
+#: through :mod:`repro.rng`, never the global :mod:`random` state.
+TEST_SEED = 12345
+
+
 @pytest.fixture
-def rng() -> random.Random:
-    return random.Random(12345)
+def rng(request) -> np.random.Generator:
+    """A deterministic per-test generator (stream keyed by the test id),
+    routed through ``repro.rng``."""
+    return ensure_rng(derive_seed(TEST_SEED, request.node.nodeid))
