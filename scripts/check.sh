@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# Repo check gate: collection -> tier-1 -> traversal perf artifact.
+# Repo check gate: collection -> tier-1 -> perf artifacts.
 #
 #   ./scripts/check.sh          # full gate
 #   SKIP_BENCH=1 ./scripts/check.sh   # tests only (e.g. on battery)
 #
-# Step 3 runs the traversal micro-benchmark and leaves its JSON artifact at
-# ./BENCH_traversal.json (copied from benchmarks/results/) so successive
-# PRs accumulate a perf trajectory.
+# Step 3 runs the traversal and dynamic-maintenance micro-benchmarks and
+# leaves their JSON artifacts at ./BENCH_traversal.json and
+# ./BENCH_dynamic.json (copied from benchmarks/results/) so successive
+# PRs accumulate a perf trajectory.  CI (.github/workflows/check.yml)
+# runs exactly this script.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -18,20 +20,26 @@ echo "== [2/3] tier-1 test suite =="
 python -m pytest -q tests
 
 if [ "${SKIP_BENCH:-0}" = "1" ]; then
-    echo "== [3/3] traversal benchmark skipped (SKIP_BENCH=1) =="
+    echo "== [3/3] perf benchmarks skipped (SKIP_BENCH=1) =="
     exit 0
 fi
 
-echo "== [3/3] traversal micro-benchmark (writes BENCH_traversal.json) =="
-python -m pytest -q benchmarks/test_bench_traversal.py -p no:cacheprovider \
-    --benchmark-disable
+echo "== [3/3] perf benchmarks (write BENCH_traversal.json, BENCH_dynamic.json) =="
+python -m pytest -q benchmarks/test_bench_traversal.py benchmarks/test_bench_dynamic.py \
+    -p no:cacheprovider --benchmark-disable
 cp benchmarks/results/BENCH_traversal.json BENCH_traversal.json
-echo "perf artifact: ./BENCH_traversal.json"
-python - <<'EOF'
+cp benchmarks/results/BENCH_dynamic.json BENCH_dynamic.json
+echo "perf artifacts: ./BENCH_traversal.json ./BENCH_dynamic.json"
+python - <<'PYEOF'
 import json
-d = json.load(open("BENCH_traversal.json"))
+t = json.load(open("BENCH_traversal.json"))
+d = json.load(open("BENCH_dynamic.json"))
 print(
     f"batched_bfs speedup vs set backend: "
-    f"{d['speedup_batched_vs_sets']}x (required {d['required_speedup']}x)"
+    f"{t['speedup_batched_vs_sets']}x (required {t['required_speedup']}x)"
 )
-EOF
+print(
+    f"incremental maintenance speedup vs rebuild-per-event: "
+    f"{d['speedup_incremental_vs_rebuild']}x (required {d['required_speedup']}x)"
+)
+PYEOF

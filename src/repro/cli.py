@@ -52,6 +52,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=100)
     p.add_argument("--seed", type=int, default=4)
 
+    p = sub.add_parser(
+        "churn", help="evolving-graph churn: incremental spanner maintenance"
+    )
+    p.add_argument(
+        "--scenario",
+        choices=("mobility", "failure", "growth", "all"),
+        default="all",
+        help="edge-event stream model (default: run all three)",
+    )
+    p.add_argument("--n", type=int, default=400)
+    p.add_argument("--events", type=int, default=120)
+    p.add_argument(
+        "--method", choices=("kcover", "kmis", "mis", "greedy"), default="kcover"
+    )
+    p.add_argument("--k", type=int, default=1, help="k for kcover/kmis")
+    p.add_argument("--epsilon", type=float, default=None, help="ε for mis/greedy")
+    p.add_argument("--rebuild-fraction", type=float, default=0.25)
+    p.add_argument(
+        "--check-every",
+        type=int,
+        default=0,
+        help="verify against a from-scratch build every N events (0: final state only)",
+    )
+    p.add_argument("--seed", type=int, default=2009)
+
     p = sub.add_parser("demo", help="build + verify a spanner on one UDG")
     p.add_argument("--n", type=int, default=250)
     p.add_argument("--degree", type=float, default=12.0)
@@ -190,6 +215,71 @@ def _cmd_rounds(args) -> int:
     return 0 if all(r[1] == r[2] for r in rows) else 1
 
 
+def _cmd_churn(args) -> int:
+    import time
+
+    from .dynamic import SCENARIO_NAMES, SpannerMaintainer, make_scenario
+
+    names = SCENARIO_NAMES if args.scenario == "all" else (args.scenario,)
+    rows = []
+    all_ok = True
+    for name in names:
+        scenario = make_scenario(name, args.n, args.events, seed=args.seed)
+        maintainer = SpannerMaintainer(
+            scenario.initial,
+            args.method,
+            k=args.k,
+            epsilon=args.epsilon,
+            rebuild_fraction=args.rebuild_fraction,
+        )
+        ok = True
+        checked_final = False
+        t0 = time.perf_counter()
+        reports = []
+        for i, event in enumerate(scenario.events, start=1):
+            reports.append(maintainer.apply(event))
+            if args.check_every and i % args.check_every == 0:
+                ok = ok and maintainer.spanner.graph == maintainer.rebuilt_from_scratch().graph
+                checked_final = i == scenario.num_events
+        elapsed = time.perf_counter() - t0
+        if not checked_final:  # final state always verified, but only once
+            ok = ok and maintainer.spanner.graph == maintainer.rebuilt_from_scratch().graph
+        all_ok = all_ok and ok
+        dirty = [r.dirty for r in reports if r.changed]
+        rows.append(
+            [
+                name,
+                len(reports),
+                maintainer.incremental_repairs,
+                maintainer.full_rebuilds,
+                round(sum(dirty) / len(dirty), 1) if dirty else 0.0,
+                round(elapsed * 1e3 / max(len(reports), 1), 2),
+                maintainer.spanner.num_edges,
+                ok,
+            ]
+        )
+    print(
+        render_table(
+            [
+                "scenario",
+                "events",
+                "incremental",
+                "rebuilds",
+                "mean dirty ball",
+                "ms/event",
+                "spanner edges",
+                "matches rebuild",
+            ],
+            rows,
+            title=(
+                f"churn — {args.method} maintenance, n={args.n}, "
+                f"{args.events} events, seed {args.seed}"
+            ),
+        )
+    )
+    return 0 if all_ok else 1
+
+
 def _cmd_demo(args) -> int:
     from .core import (
         build_k_connecting_spanner,
@@ -229,6 +319,7 @@ _COMMANDS = {
     "ksweep": _cmd_ksweep,
     "epssweep": _cmd_epssweep,
     "rounds": _cmd_rounds,
+    "churn": _cmd_churn,
     "demo": _cmd_demo,
 }
 

@@ -134,6 +134,26 @@ def remote_stretch_stats(
 # --------------------------------------------------------------------- #
 
 
+def _k1_distance_tables(
+    h: Graph, g: Graph, pairs: "Sequence[tuple[int, int]]"
+) -> "tuple[dict, dict]":
+    """``(d_G rows, d_{H_s} rows)`` for every node appearing in *pairs*.
+
+    The ``k = 1`` connecting distance is the plain shortest-path distance
+    (one path is internally disjoint from nothing), so the k = 1 layer of
+    the checkers needs no flow at all: one batched CSR BFS per distinct
+    endpoint in G, and one :class:`AugmentedView` BFS per endpoint in
+    :math:`H_s` (riding H's frozen snapshot).  This replaces a min-cost-flow
+    run per ordered pair — the dominant cost of the k-connecting benches.
+    """
+    g.freeze()
+    h.freeze()
+    sources = sorted({x for pair in pairs for x in pair})
+    dg = {s: dist for s, dist in batched_bfs(g, sources)}
+    dh = {s: AugmentedView(h, g, s).distances_from(s) for s in sources}
+    return dg, dh
+
+
 def k_connecting_violations_spanner(
     h: Graph,
     g: Graph,
@@ -162,6 +182,19 @@ def k_connecting_violations_spanner(
             (s, t) for s in range(n) for t in range(s + 1, n) if not g.has_edge(s, t)
         ]
     bad: list = []
+    if k == 1:  # flow-free: d¹ is the BFS distance, batched over sources
+        dg, dh = _k1_distance_tables(h, g, pairs)
+        for s, t in pairs:
+            if g.has_edge(s, t):
+                continue
+            for src, dst in ((s, t), (t, s)):
+                d_g = dg[src][dst]
+                if d_g < 0:
+                    continue  # unreachable in G: nothing to require
+                d_h: float = dh[src][dst] if dh[src][dst] >= 0 else math.inf
+                if d_h > alpha * d_g + beta + 1e-9:
+                    bad.append((src, dst, 1, d_g, d_h))
+        return bad
     for s, t in pairs:
         if g.has_edge(s, t):
             continue
@@ -215,6 +248,23 @@ def k_connecting_stretch_stats(
             (s, t) for s in range(n) for t in range(s + 1, n) if not g.has_edge(s, t)
         ]
     stats = KConnectingStats(k=k)
+    if k == 1:  # flow-free fast path (see _k1_distance_tables)
+        dg, dh = _k1_distance_tables(h, g, pairs)
+        for s, t in pairs:
+            if g.has_edge(s, t):
+                continue
+            for src, dst in ((s, t), (t, s)):
+                stats.pairs_checked += 1
+                d_g = dg[src][dst]
+                if d_g < 0:
+                    continue
+                if dh[src][dst] < 0:
+                    stats.infeasible_pairs += 1
+                    stats.connectivity_preserved = False
+                    continue
+                prev = stats.max_ratio_by_k.get(1, 0.0)
+                stats.max_ratio_by_k[1] = max(prev, dh[src][dst] / d_g)
+        return stats
     for s, t in pairs:
         if g.has_edge(s, t):
             continue

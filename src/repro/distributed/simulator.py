@@ -15,6 +15,14 @@ its ``links_advertised`` counter.
 
 Determinism: nodes are processed in id order and inboxes are sorted by
 (sender, repr(message)), so runs are bit-for-bit reproducible.
+
+The communication topology is snapshotted into CSR form at construction
+(:meth:`Graph.freeze <repro.graph.graph.Graph.freeze>`): flood-heavy
+protocols deliver every broadcast to every neighbor each round, so the
+delivery loop walks zero-copy CSR rows instead of hashing through Python
+sets.  The graph must not be mutated while a simulation runs — evolving
+topologies are the business of :mod:`repro.dynamic`, which replays churn
+as explicit event streams between runs.
 """
 
 from __future__ import annotations
@@ -40,6 +48,11 @@ class SyncNetwork:
             if node.ident != u:
                 raise ProtocolError(f"factory returned node with ident {node.ident} for {u}")
         self.stats = SimStats()
+        # CSR snapshot of the (fixed) topology: broadcast delivery is the
+        # hot loop, one neighbor scan per message per round.
+        csr = g.freeze() if hasattr(g, "freeze") else g
+        self._indptr = csr._indptr
+        self._rows = memoryview(csr._indices)
         # messages pending delivery this round: receiver -> [(sender, msg)]
         self._pending: dict[int, list] = {u: [] for u in g.nodes()}
 
@@ -63,11 +76,12 @@ class SyncNetwork:
             self.nodes[u].on_round(round_index, [m for _s, m in inbox])
         broadcasts = 0
         links = 0
+        indptr, rows = self._indptr, self._rows
         for u in sorted(self.nodes):
             for message in self.nodes[u].drain_outbox():
                 broadcasts += 1
                 links += size_in_links(message)
-                for v in self.graph.neighbors(u):
+                for v in rows[indptr[u] : indptr[u + 1]]:
                     self._pending[v].append((u, message))
         self.stats.record_round(messages=delivered, broadcasts=broadcasts, links=links)
 

@@ -1,0 +1,54 @@
+"""Dynamic-graph subsystem: churn scenarios + incremental spanner upkeep.
+
+The paper's central claim is *locality* — a node decides its remote-spanner
+edges from its bounded-radius neighborhood alone (Algorithms 1–5 never look
+past ``B_G(u, r−1+β)``).  The contrapositive is what this package exploits:
+a topology edit can only perturb the per-node trees rooted inside a bounded
+ball around the edited edge, so a spanner can be *maintained* across an
+edge-event stream by recomputing the dirty ball instead of rebuilding from
+scratch.
+
+* :mod:`repro.dynamic.events` — typed insert/delete edge events plus seeded
+  scenario generators (UDG node mobility, link failure/recovery,
+  incremental growth);
+* :mod:`repro.dynamic.maintainer` — the incremental remote-spanner
+  maintainer with dirty-ball detection and a full-rebuild fallback.
+
+Entry points: ``python -m repro churn`` drives a scenario from the shell;
+``benchmarks/test_bench_dynamic.py`` records the incremental-vs-rebuild
+speedup as ``BENCH_dynamic.json``.
+"""
+
+from .events import (
+    EdgeEvent,
+    Scenario,
+    apply_event,
+    apply_events,
+    failure_recovery_scenario,
+    growth_scenario,
+    make_scenario,
+    mobility_scenario,
+    SCENARIO_NAMES,
+)
+from .maintainer import (
+    EventReport,
+    SpannerMaintainer,
+    locality_radius,
+    resolve_construction,
+)
+
+__all__ = [
+    "EdgeEvent",
+    "Scenario",
+    "apply_event",
+    "apply_events",
+    "failure_recovery_scenario",
+    "growth_scenario",
+    "make_scenario",
+    "mobility_scenario",
+    "SCENARIO_NAMES",
+    "EventReport",
+    "SpannerMaintainer",
+    "locality_radius",
+    "resolve_construction",
+]

@@ -1,0 +1,315 @@
+"""Edge-event streams: the input model of the dynamic-graph subsystem.
+
+A *scenario* is an initial :class:`~repro.graph.Graph` plus a finite list of
+:class:`EdgeEvent` inserts/deletes; replaying the events onto the initial
+graph yields the scenario's ``final`` graph (an invariant the tests pin
+down).  Three generators cover the churn regimes a link-state network
+actually sees:
+
+* :func:`mobility_scenario` — UDG node mobility: points drift by reflected
+  Gaussian steps inside their square, and each tick emits the edge diff of
+  the two unit-disk graphs (radio links appearing/disappearing as nodes
+  move);
+* :func:`failure_recovery_scenario` — random link failure and recovery on a
+  fixed topology (flapping links, the classic OSPF churn source);
+* :func:`growth_scenario` — incremental growth: nodes of a target UDG are
+  revealed one at a time, each arrival inserting its edges to the nodes
+  already present.
+
+All randomness is seeded through :mod:`repro.rng`, so a ``(scenario, n,
+seed)`` triple names a bit-for-bit reproducible stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import GraphError, ParameterError
+from ..geometry import unit_disk_graph, uniform_points
+from ..graph import Graph, canonical_edge
+from ..rng import derive_seed, ensure_rng
+
+__all__ = [
+    "EdgeEvent",
+    "Scenario",
+    "apply_event",
+    "apply_events",
+    "mobility_scenario",
+    "failure_recovery_scenario",
+    "growth_scenario",
+    "make_scenario",
+    "SCENARIO_NAMES",
+]
+
+ADD = "add"
+REMOVE = "remove"
+
+
+@dataclass(frozen=True)
+class EdgeEvent:
+    """One topology edit: insert or delete the undirected edge ``uv``.
+
+    Stored in canonical ``u < v`` orientation; construct via :meth:`add` /
+    :meth:`remove` (or the constructor, which normalizes).
+    """
+
+    kind: str
+    u: int
+    v: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in (ADD, REMOVE):
+            raise ParameterError(f"unknown event kind {self.kind!r} (want 'add' or 'remove')")
+        if self.u == self.v:
+            raise ParameterError(f"self-loop event {self.u}-{self.v} not allowed")
+        if self.u > self.v:
+            a, b = canonical_edge(self.u, self.v)
+            object.__setattr__(self, "u", a)
+            object.__setattr__(self, "v", b)
+
+    @classmethod
+    def add(cls, u: int, v: int) -> "EdgeEvent":
+        return cls(ADD, u, v)
+
+    @classmethod
+    def remove(cls, u: int, v: int) -> "EdgeEvent":
+        return cls(REMOVE, u, v)
+
+    @property
+    def edge(self) -> "tuple[int, int]":
+        return (self.u, self.v)
+
+    def inverse(self) -> "EdgeEvent":
+        """The event undoing this one."""
+        return EdgeEvent(REMOVE if self.kind == ADD else ADD, self.u, self.v)
+
+
+def apply_event(g: Graph, event: EdgeEvent, strict: bool = True) -> bool:
+    """Apply one event to *g* in place; returns whether the graph changed.
+
+    ``strict`` (the scenario-replay contract) raises on a no-op — inserting
+    a present edge or deleting an absent one means the stream and the graph
+    have diverged.
+    """
+    changed = (
+        g.add_edge(event.u, event.v) if event.kind == ADD else g.remove_edge(event.u, event.v)
+    )
+    if strict and not changed:
+        raise GraphError(f"event {event} is a no-op on the current graph")
+    return changed
+
+
+def apply_events(g: Graph, events: Iterable[EdgeEvent], strict: bool = True) -> int:
+    """Replay *events* onto *g* in place; returns how many changed the graph."""
+    return sum(1 for ev in events if apply_event(g, ev, strict=strict))
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A churn scenario: initial graph + event stream (+ metadata).
+
+    ``final`` is the graph after the whole stream — generators produce it
+    independently, so ``replayed == final`` is a meaningful self-check.
+    """
+
+    name: str
+    initial: Graph
+    events: "tuple[EdgeEvent, ...]"
+    final: Graph
+    params: dict = field(default_factory=dict)
+
+    @property
+    def num_events(self) -> int:
+        return len(self.events)
+
+    def replay(self) -> Graph:
+        """The final graph, recomputed by replaying events onto a copy."""
+        g = self.initial.copy()
+        apply_events(g, self.events)
+        return g
+
+    def prefixes(self, every: int = 1) -> "Iterable[tuple[int, Graph]]":
+        """Yield ``(events_applied, graph)`` after every *every*-th event."""
+        if every < 1:
+            raise ParameterError(f"checkpoint stride must be ≥ 1, got {every}")
+        g = self.initial.copy()
+        for i, ev in enumerate(self.events, start=1):
+            apply_event(g, ev)
+            if i % every == 0 or i == len(self.events):
+                yield i, g
+
+
+def _udg_diff(old: Graph, new: Graph) -> "list[EdgeEvent]":
+    """Deterministic edge diff, deletions first then insertions (sorted)."""
+    old_e, new_e = old.edge_set(), new.edge_set()
+    events = [EdgeEvent(REMOVE, u, v) for u, v in sorted(old_e - new_e)]
+    events.extend(EdgeEvent(ADD, u, v) for u, v in sorted(new_e - old_e))
+    return events
+
+
+def mobility_scenario(
+    n: int,
+    num_events: int,
+    target_degree: float = 12.0,
+    step_size: float = 0.15,
+    seed: int = 0,
+) -> Scenario:
+    """UDG node mobility: Gaussian drift, reflected at the square's walls.
+
+    Each tick moves every point by ``N(0, step_size²)`` per axis (radio
+    radius 1), rebuilds the unit-disk graph and emits the edge diff; ticks
+    repeat until at least *num_events* events accumulated (the stream is
+    truncated to exactly *num_events*, so the recorded ``final`` graph is
+    the truncated replay, not necessarily a full tick boundary).
+    """
+    if n < 2:
+        raise ParameterError(f"mobility needs n ≥ 2 nodes, got {n}")
+    if num_events < 1:
+        raise ParameterError(f"need at least one event, got {num_events}")
+    if step_size <= 0:
+        raise ParameterError(f"step size must be > 0, got {step_size}")
+    from ..experiments.runner import side_for_degree
+
+    side = side_for_degree(n, target_degree)
+    rng = ensure_rng(derive_seed(seed, "mobility", n, num_events))
+    points = uniform_points(n, side, dim=2, seed=rng)
+    initial = unit_disk_graph(points, radius=1.0)
+    current = initial.copy()
+    events: list[EdgeEvent] = []
+    while len(events) < num_events:
+        points = points + rng.normal(0.0, step_size, size=points.shape)
+        # Reflect into [0, side]² (one bounce is enough for sane step sizes).
+        points = np.where(points < 0.0, -points, points)
+        points = np.where(points > side, 2.0 * side - points, points)
+        moved = unit_disk_graph(points, radius=1.0)
+        events.extend(_udg_diff(current, moved))
+        current = moved
+    events = events[:num_events]
+    final = initial.copy()
+    apply_events(final, events)
+    return Scenario(
+        name="mobility",
+        initial=initial,
+        events=tuple(events),
+        final=final,
+        params={"n": n, "target_degree": target_degree, "step_size": step_size, "seed": seed},
+    )
+
+
+def failure_recovery_scenario(
+    n: int,
+    num_events: int,
+    target_degree: float = 12.0,
+    fail_prob: float = 0.55,
+    seed: int = 0,
+) -> Scenario:
+    """Random link failure/recovery on a fixed UDG topology.
+
+    Each event flips one link: with probability *fail_prob* a uniformly
+    random live edge fails, otherwise a uniformly random failed edge
+    recovers (failing when nothing is down, recovering when nothing is up).
+    Low *fail_prob* churn keeps the graph near its initial state — the
+    regime the incremental maintainer is benchmarked in.
+    """
+    if num_events < 1:
+        raise ParameterError(f"need at least one event, got {num_events}")
+    if not (0.0 < fail_prob < 1.0):
+        raise ParameterError(f"fail_prob must be in (0, 1), got {fail_prob}")
+    from ..experiments.runner import side_for_degree
+
+    rng = ensure_rng(derive_seed(seed, "failure", n, num_events))
+    side = side_for_degree(n, target_degree)
+    points = uniform_points(n, side, dim=2, seed=rng)
+    initial = unit_disk_graph(points, radius=1.0)
+    if initial.num_edges == 0:
+        raise GraphError("failure scenario needs at least one initial edge")
+    live = sorted(initial.edges())
+    down: list[tuple[int, int]] = []
+    events: list[EdgeEvent] = []
+    for _ in range(num_events):
+        fail = down == [] or (live != [] and rng.random() < fail_prob)
+        pool = live if fail else down
+        idx = int(rng.integers(len(pool)))
+        pool[idx], pool[-1] = pool[-1], pool[idx]  # swap-pop: O(1) removal
+        edge = pool.pop()
+        (down if fail else live).append(edge)
+        events.append(EdgeEvent(REMOVE if fail else ADD, *edge))
+    final = initial.copy()
+    apply_events(final, events)
+    return Scenario(
+        name="failure",
+        initial=initial,
+        events=tuple(events),
+        final=final,
+        params={"n": n, "target_degree": target_degree, "fail_prob": fail_prob, "seed": seed},
+    )
+
+
+def growth_scenario(
+    n: int,
+    num_events: "int | None" = None,
+    target_degree: float = 12.0,
+    seed: int = 0,
+) -> Scenario:
+    """Incremental growth: reveal a target UDG node by node.
+
+    Nodes arrive in a random order; each arrival inserts the target graph's
+    edges from the newcomer to all previously arrived nodes (sorted, so the
+    stream is deterministic given the seed).  The initial graph is the
+    empty graph on the full node set — dense ids are allocated up front,
+    matching the library's fixed-``V(G)`` convention.  *num_events*
+    truncates the stream (default: the full reveal).
+    """
+    if n < 2:
+        raise ParameterError(f"growth needs n ≥ 2 nodes, got {n}")
+    from ..experiments.runner import side_for_degree
+
+    rng = ensure_rng(derive_seed(seed, "growth", n))
+    side = side_for_degree(n, target_degree)
+    points = uniform_points(n, side, dim=2, seed=rng)
+    target = unit_disk_graph(points, radius=1.0)
+    arrival = [int(x) for x in rng.permutation(n)]
+    arrived: set[int] = set()
+    events: list[EdgeEvent] = []
+    for node in arrival:
+        nbrs = sorted(w for w in target.neighbors(node) if w in arrived)
+        events.extend(EdgeEvent(ADD, node, w) for w in nbrs)
+        arrived.add(node)
+    if num_events is not None:
+        if num_events < 1:
+            raise ParameterError(f"need at least one event, got {num_events}")
+        events = events[:num_events]
+    initial = Graph(n)
+    final = initial.copy()
+    apply_events(final, events)
+    return Scenario(
+        name="growth",
+        initial=initial,
+        events=tuple(events),
+        final=final,
+        params={"n": n, "target_degree": target_degree, "seed": seed},
+    )
+
+
+#: Scenario registry for the CLI / bench dispatchers.
+SCENARIO_NAMES: "tuple[str, ...]" = ("mobility", "failure", "growth")
+
+
+def make_scenario(
+    name: str,
+    n: int,
+    num_events: int,
+    seed: int = 0,
+    **kwargs,
+) -> Scenario:
+    """Build a named scenario (see :data:`SCENARIO_NAMES`)."""
+    if name == "mobility":
+        return mobility_scenario(n, num_events, seed=seed, **kwargs)
+    if name == "failure":
+        return failure_recovery_scenario(n, num_events, seed=seed, **kwargs)
+    if name == "growth":
+        return growth_scenario(n, num_events, seed=seed, **kwargs)
+    raise ParameterError(f"unknown scenario {name!r} (want one of {SCENARIO_NAMES})")

@@ -12,6 +12,7 @@ from .traversal import (
     UNREACHED,
     ball,
     batched_bfs,
+    batched_bfs_parents,
     bfs_distances,
     bfs_layers,
     bfs_parents,
@@ -42,6 +43,7 @@ __all__ = [
     "UNREACHED",
     "ball",
     "batched_bfs",
+    "batched_bfs_parents",
     "bounded_distance",
     "cached_bfs_distances",
     "distance_cache_info",

@@ -10,10 +10,13 @@ set-cover over ``N(x)``).  :class:`Graph` therefore stores adjacency as a
 * dense ids let hot paths (BFS in :mod:`repro.graph.traversal`) use flat
   integer arrays rather than hashing arbitrary node objects.
 
-Mutation is restricted to :meth:`add_edge` / :meth:`remove_edge`; nodes are
-fixed at construction.  This matches how the algorithms use graphs (the node
-set of a spanner equals the node set of the input: ``V(H) = V(G)``) and lets
-sub-graphs share nothing with their parent while staying index-compatible.
+Mutation is through :meth:`add_edge` / :meth:`remove_edge` plus the churn
+mutators :meth:`add_node` / :meth:`remove_node` (node ids stay dense:
+``add_node`` appends id *n*, ``remove_node`` isolates — it never re-indexes,
+matching :func:`repro.graph.ops.remove_nodes`).  This keeps the algorithms'
+invariant (the node set of a spanner equals the node set of the input:
+``V(H) = V(G)``) and lets sub-graphs share nothing with their parent while
+staying index-compatible.
 
 Two adjacency backends coexist: this mutable set-based class, and the
 immutable flat-array :class:`~repro.graph.csr.CSRGraph` produced by
@@ -42,6 +45,16 @@ def canonical_edge(u: int, v: int) -> "tuple[int, int]":
     return (u, v) if u <= v else (v, u)
 
 
+def _patch_row_budget(n: int) -> int:
+    """How many dirty adjacency rows a delta re-freeze may patch.
+
+    Beyond roughly an eighth of the rows the bulk-copy spans fragment and a
+    plain :meth:`CSRGraph.from_graph` rebuild wins; the floor keeps small
+    graphs patchable through a handful of events.
+    """
+    return max(32, n >> 3)
+
+
 class Graph:
     """Simple undirected graph on nodes ``0 .. n-1``.
 
@@ -62,7 +75,16 @@ class Graph:
     3
     """
 
-    __slots__ = ("_n", "_adj", "_m", "_version", "_csr", "_dist_cache")
+    __slots__ = (
+        "_n",
+        "_adj",
+        "_m",
+        "_version",
+        "_csr",
+        "_csr_base",
+        "_csr_dirty",
+        "_dist_cache",
+    )
 
     def __init__(self, n: int, edges: "Iterable[tuple[int, int]] | None" = None) -> None:
         if n < 0:
@@ -72,6 +94,8 @@ class Graph:
         self._m = 0
         self._version = 0  # bumped on every successful mutation
         self._csr = None  # cached CSRGraph snapshot, dropped on mutation
+        self._csr_base = None  # previous snapshot kept as a patch base
+        self._csr_dirty = None  # rows mutated since _csr_base was current
         self._dist_cache = None  # LRU distance cache (repro.graph.cache)
         if edges is not None:
             for u, v in edges:
@@ -151,6 +175,23 @@ class Graph:
     # mutation
     # ------------------------------------------------------------------ #
 
+    def _touch(self, *rows: int) -> None:
+        """Record a successful mutation of *rows*: bump the version, drop the
+        fresh CSR snapshot (demoting it to a patch base) and track which
+        adjacency rows diverge from that base so :meth:`freeze` can patch
+        instead of rebuilding.  Once too many rows are dirty the base is
+        dropped — a full rebuild is cheaper than a near-total patch."""
+        self._version += 1
+        if self._csr is not None:
+            self._csr_base = self._csr
+            self._csr_dirty = set()
+            self._csr = None
+        if self._csr_dirty is not None:
+            self._csr_dirty.update(rows)
+            if len(self._csr_dirty) > _patch_row_budget(self._n):
+                self._csr_base = None
+                self._csr_dirty = None
+
     def add_edge(self, u: int, v: int) -> bool:
         """Insert edge uv.  Returns ``True`` if the edge was new."""
         self._check(u)
@@ -162,8 +203,7 @@ class Graph:
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._m += 1
-        self._version += 1
-        self._csr = None
+        self._touch(u, v)
         return True
 
     def add_edges(self, edges: Iterable["tuple[int, int]"]) -> int:
@@ -179,9 +219,53 @@ class Graph:
         self._adj[u].discard(v)
         self._adj[v].discard(u)
         self._m -= 1
+        self._touch(u, v)
+        return True
+
+    def add_node(self) -> int:
+        """Append a fresh isolated node and return its id (the new ``n-1``).
+
+        Dense ids are preserved — the new node is always the largest id.
+        The patch base is dropped (a snapshot of a smaller node set cannot
+        be patched into one row more).
+        """
+        u = self._n
+        self._n += 1
+        self._adj.append(set())
         self._version += 1
         self._csr = None
-        return True
+        self._csr_base = None
+        self._csr_dirty = None
+        return u
+
+    def add_nodes(self, count: int) -> range:
+        """Append *count* isolated nodes; returns their id range."""
+        if count < 0:
+            raise GraphError(f"node count must be non-negative, got {count}")
+        first = self._n
+        for _ in range(count):
+            self.add_node()
+        return range(first, self._n)
+
+    def remove_node(self, u: int) -> int:
+        """Isolate node *u*: delete every incident edge, keep the id space.
+
+        Returns the number of edges removed.  Ids are never re-indexed (the
+        convention of :func:`repro.graph.ops.remove_nodes`), so bookkeeping
+        indexed by node id stays valid across churn — an isolated id may be
+        re-populated later by :meth:`add_edge`.
+        """
+        self._check(u)
+        nbrs = self._adj[u]
+        if not nbrs:
+            return 0
+        for v in nbrs:
+            self._adj[v].discard(u)
+        removed = len(nbrs)
+        self._m -= removed
+        self._touch(u, *nbrs)
+        self._adj[u] = set()
+        return removed
 
     # ------------------------------------------------------------------ #
     # derived constructions
@@ -193,7 +277,16 @@ class Graph:
         Returns a :class:`~repro.graph.csr.CSRGraph` sharing nothing with
         ``self``.  While the snapshot is fresh (no mutation since), the BFS
         primitives in :mod:`repro.graph.traversal` automatically route
-        through it — so per-node loops pay the O(n + m) conversion once:
+        through it — so per-node loops pay the O(n + m) conversion once.
+
+        **Delta-aware re-freeze.**  When the graph was mutated in only a few
+        adjacency rows since the previous snapshot, the new snapshot is
+        built by :meth:`CSRGraph.patched <repro.graph.csr.CSRGraph.patched>`
+        — bulk-copying the unchanged row spans and re-sorting only the dirty
+        rows — instead of re-sorting the whole adjacency.  This is what
+        makes freeze-per-event affordable for the dynamic-graph subsystem
+        (:mod:`repro.dynamic`).  The result is bit-identical to a full
+        rebuild (property-tested).
 
         >>> g = Graph(3, [(0, 1), (1, 2)])
         >>> g.freeze() is g.freeze()          # cached
@@ -205,7 +298,12 @@ class Graph:
         if self._csr is None:
             from .csr import CSRGraph
 
-            self._csr = CSRGraph.from_graph(self)
+            if self._csr_base is not None and self._csr_dirty:
+                self._csr = CSRGraph.patched(self._csr_base, self, self._csr_dirty)
+                self._csr_base = None
+                self._csr_dirty = None
+            else:
+                self._csr = CSRGraph.from_graph(self)
         return self._csr
 
     def copy(self) -> "Graph":

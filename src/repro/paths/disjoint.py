@@ -63,17 +63,29 @@ def _build_network(g, s: int, t: int) -> "tuple[MinCostFlow, int, int, dict]":
     for w in range(n):
         capacity = 1 if w not in (s, t) else big
         net.add_arc(2 * w, 2 * w + 1, capacity, 0)
-    seen: set[tuple[int, int]] = set()
-    for u in range(n):
-        for v in _neighbors(g, u):
-            e = (u, v) if u < v else (v, u)
-            if e in seen:
-                continue
-            seen.add(e)
-            a1 = net.add_arc(2 * u + 1, 2 * v, 1, 1)
-            a2 = net.add_arc(2 * v + 1, 2 * u, 1, 1)
-            arc_edges[a1] = (u, v)
-            arc_edges[a2] = (v, u)
+    # CSR fast path: a CSRGraph (or a Graph carrying a fresh snapshot)
+    # enumerates canonical edges straight off the flat rows — no per-edge
+    # set hashing.  Duck-typed so the module stays free of graph imports.
+    csr = g if hasattr(g, "neighbors_csr") else getattr(g, "_csr", None)
+    if csr is not None:
+        edge_iter = csr.edges()
+    else:
+        seen: set[tuple[int, int]] = set()
+
+        def _dedup():
+            for uu in range(n):
+                for vv in _neighbors(g, uu):
+                    e = (uu, vv) if uu < vv else (vv, uu)
+                    if e not in seen:
+                        seen.add(e)
+                        yield e
+
+        edge_iter = _dedup()
+    for u, v in edge_iter:
+        a1 = net.add_arc(2 * u + 1, 2 * v, 1, 1)
+        a2 = net.add_arc(2 * v + 1, 2 * u, 1, 1)
+        arc_edges[a1] = (u, v)
+        arc_edges[a2] = (v, u)
     return net, 2 * s + 1, 2 * t, arc_edges
 
 

@@ -1,0 +1,114 @@
+"""Edge-event streams: determinism, replay consistency, scenario shapes."""
+
+import pytest
+
+from repro.dynamic import (
+    EdgeEvent,
+    SCENARIO_NAMES,
+    apply_event,
+    apply_events,
+    failure_recovery_scenario,
+    growth_scenario,
+    make_scenario,
+    mobility_scenario,
+)
+from repro.errors import GraphError, ParameterError
+from repro.graph import Graph
+
+
+class TestEdgeEvent:
+    def test_canonical_orientation(self):
+        ev = EdgeEvent.add(7, 3)
+        assert (ev.u, ev.v) == (3, 7)
+        assert ev.edge == (3, 7)
+
+    def test_inverse_round_trip(self):
+        ev = EdgeEvent.remove(1, 2)
+        assert ev.inverse() == EdgeEvent.add(1, 2)
+        assert ev.inverse().inverse() == ev
+
+    def test_rejects_bad_kind_and_self_loop(self):
+        with pytest.raises(ParameterError):
+            EdgeEvent("toggle", 0, 1)
+        with pytest.raises(ParameterError):
+            EdgeEvent.add(4, 4)
+
+    def test_apply_strict_no_op_raises(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            apply_event(g, EdgeEvent.add(0, 1))
+        with pytest.raises(GraphError):
+            apply_event(g, EdgeEvent.remove(1, 2))
+        assert apply_event(g, EdgeEvent.add(0, 1), strict=False) is False
+
+    def test_apply_events_counts_changes(self):
+        g = Graph(4)
+        events = [EdgeEvent.add(0, 1), EdgeEvent.add(1, 2), EdgeEvent.remove(0, 1)]
+        assert apply_events(g, events) == 3
+        assert g.edge_set() == {(1, 2)}
+
+
+@pytest.mark.parametrize("name", SCENARIO_NAMES)
+class TestScenarioContracts:
+    def test_replay_reaches_final(self, name):
+        sc = make_scenario(name, 50, 40, seed=11)
+        assert sc.replay() == sc.final
+        assert sc.num_events == 40
+
+    def test_deterministic_per_seed(self, name):
+        a = make_scenario(name, 40, 30, seed=5)
+        b = make_scenario(name, 40, 30, seed=5)
+        assert a.events == b.events
+        assert a.initial == b.initial and a.final == b.final
+        c = make_scenario(name, 40, 30, seed=6)
+        assert a.events != c.events  # independent streams per seed
+
+    def test_events_apply_strictly_in_order(self, name):
+        sc = make_scenario(name, 40, 35, seed=3)
+        g = sc.initial.copy()
+        apply_events(g, sc.events)  # strict: raises on any no-op
+        assert g == sc.final
+
+    def test_prefixes_checkpointing(self, name):
+        sc = make_scenario(name, 30, 20, seed=2)
+        seen = list(sc.prefixes(every=7))
+        assert [i for i, _g in seen] == [7, 14, 20]
+        assert seen[-1][1] == sc.final
+
+
+class TestScenarioShapes:
+    def test_growth_starts_empty_and_only_adds(self):
+        sc = growth_scenario(40, seed=4)
+        assert sc.initial.num_edges == 0
+        assert all(ev.kind == "add" for ev in sc.events)
+        assert sc.final.num_edges == sc.num_events
+
+    def test_growth_truncation(self):
+        full = growth_scenario(40, seed=4)
+        part = growth_scenario(40, num_events=10, seed=4)
+        assert part.events == full.events[:10]
+
+    def test_failure_recovery_toggles_initial_links_only(self):
+        sc = failure_recovery_scenario(60, 80, seed=9)
+        assert sc.final.is_spanning_subgraph_of(sc.initial)
+        initial_edges = sc.initial.edge_set()
+        assert all(ev.edge in initial_edges for ev in sc.events)
+
+    def test_mobility_emits_exact_event_count(self):
+        sc = mobility_scenario(50, 33, seed=1)
+        assert sc.num_events == 33
+        assert sc.initial.num_nodes == sc.final.num_nodes == 50
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ParameterError):
+            make_scenario("tectonic", 10, 5)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            mobility_scenario(1, 5)
+        with pytest.raises(ParameterError):
+            failure_recovery_scenario(30, 0)
+        with pytest.raises(ParameterError):
+            failure_recovery_scenario(30, 5, fail_prob=1.5)
+        with pytest.raises(ParameterError):
+            growth_scenario(20, num_events=0)

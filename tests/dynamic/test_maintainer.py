@@ -1,0 +1,144 @@
+"""Incremental maintenance vs from-scratch construction — exact agreement.
+
+The maintainer's contract is strong: after *every* event, the maintained
+spanner (graph **and** per-node trees) is bit-identical to a from-scratch
+build on the current graph.  This holds because every construction is a
+deterministic function of each root's induced locality ball, and the dirty
+region is a certified superset of the roots whose ball changed — so the
+tests compare exact equality, not just stretch validity.
+"""
+
+import pytest
+
+from repro.dynamic import (
+    EdgeEvent,
+    SCENARIO_NAMES,
+    SpannerMaintainer,
+    locality_radius,
+    make_scenario,
+    resolve_construction,
+)
+from repro.errors import ParameterError
+from repro.graph import Graph
+from repro.graph.generators import gnp_random_graph, random_connected_gnp
+
+
+def assert_matches_scratch(maintainer, context=""):
+    reference = maintainer.rebuilt_from_scratch()
+    assert maintainer.spanner.graph == reference.graph, f"spanner diverged {context}"
+    assert maintainer.spanner.trees == reference.trees, f"trees diverged {context}"
+
+
+def random_event_stream(n, num_events, seed, p=0.08):
+    """An arbitrary add/remove stream on a G(n, p) base (not a scenario)."""
+    from repro.rng import ensure_rng
+
+    rng = ensure_rng(seed)
+    g = gnp_random_graph(n, p, seed=rng)
+    initial = g.copy()
+    events = []
+    while len(events) < num_events:
+        u, v = (int(x) for x in rng.integers(0, n, 2))
+        if u == v:
+            continue
+        ev = EdgeEvent.remove(u, v) if g.has_edge(u, v) else EdgeEvent.add(u, v)
+        from repro.dynamic.events import apply_event
+
+        apply_event(g, ev)
+        events.append(ev)
+    return initial, events
+
+
+class TestEveryPrefix:
+    """The acceptance property: agreement after every prefix."""
+
+    def test_arbitrary_stream_every_prefix_kcover(self):
+        initial, events = random_event_stream(40, 100, seed=77)
+        m = SpannerMaintainer(initial, "kcover", rebuild_fraction=1.0)
+        for i, ev in enumerate(events, start=1):
+            m.apply(ev)
+            assert_matches_scratch(m, f"after event {i}")
+        assert m.full_rebuilds == 0 and m.events_applied == 100
+
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_scenarios_100_events_checkpointed(self, name):
+        sc = make_scenario(name, 60, 100, seed=13)
+        m = SpannerMaintainer(sc.initial, "kcover", rebuild_fraction=1.0)
+        for i, ev in enumerate(sc.events, start=1):
+            m.apply(ev)
+            if i % 5 == 0 or i == sc.num_events:
+                assert_matches_scratch(m, f"{name} after event {i}")
+        assert m.graph == sc.final
+
+    @pytest.mark.parametrize(
+        "method,kwargs",
+        [("mis", {"r": 3}), ("greedy", {"r": 2}), ("kmis", {"k": 2})],
+    )
+    def test_other_constructions_stay_exact(self, method, kwargs):
+        sc = make_scenario("failure", 40, 40, seed=21)
+        m = SpannerMaintainer(sc.initial, method, rebuild_fraction=1.0, **kwargs)
+        for i, ev in enumerate(sc.events, start=1):
+            m.apply(ev)
+            if i % 4 == 0 or i == sc.num_events:
+                assert_matches_scratch(m, f"{method} after event {i}")
+
+
+class TestFallbackAndReports:
+    def test_rebuild_fallback_fires_and_stays_exact(self):
+        sc = make_scenario("failure", 50, 30, seed=8)
+        m = SpannerMaintainer(sc.initial, "kcover", rebuild_fraction=0.01)
+        reports = m.apply_stream(sc.events)
+        assert m.full_rebuilds > 0
+        assert all(r.rebuilt == (r.dirty == m.graph.num_nodes) for r in reports if r.changed)
+        assert_matches_scratch(m, "after fallback-heavy stream")
+
+    def test_no_op_event_reports_unchanged(self):
+        g = random_connected_gnp(30, 0.1, seed=3)
+        m = SpannerMaintainer(g, "kcover")
+        before = m.spanner.graph.copy()
+        u, v = next(iter(g.edges()))
+        report = m.apply(EdgeEvent.add(u, v))  # already present
+        assert report.changed is False and report.dirty == 0
+        assert m.spanner.graph == before and m.events_applied == 0
+
+    def test_counters_accumulate(self):
+        initial, events = random_event_stream(40, 20, seed=5)
+        m = SpannerMaintainer(initial, "kcover", rebuild_fraction=1.0)
+        reports = m.apply_stream(events)
+        assert m.events_applied == 20
+        assert m.incremental_repairs == 20
+        assert m.trees_recomputed == sum(r.dirty for r in reports)
+        assert all(r.seconds >= 0.0 for r in reports)
+
+    def test_maintainer_owns_its_graph(self):
+        g = random_connected_gnp(30, 0.1, seed=4)
+        m = SpannerMaintainer(g, "kcover")
+        u, v = next(iter(g.edges()))
+        g.remove_edge(u, v)  # caller mutates their copy...
+        assert m.graph.has_edge(u, v)  # ...the maintainer's stays intact
+
+
+class TestConstructionRegistry:
+    def test_locality_radii(self):
+        assert locality_radius("kcover") == 2
+        assert locality_radius("kmis", k=2) == 2
+        assert locality_radius("mis", r=4) == 4
+        assert locality_radius("greedy", r=3) == 3
+        assert locality_radius("mis", epsilon=0.5) == 3  # r = ceil(1/eps)+1
+
+    def test_resolved_guarantees(self):
+        assert resolve_construction("kcover", k=2).guarantee.k == 2
+        kmis = resolve_construction("kmis")
+        assert (kmis.guarantee.alpha, kmis.guarantee.beta) == (2.0, -1.0)
+        mis = resolve_construction("mis", r=3)
+        assert mis.guarantee.alpha == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            resolve_construction("voronoi")
+        with pytest.raises(ParameterError):
+            resolve_construction("kcover", k=0)
+        with pytest.raises(ParameterError):
+            resolve_construction("mis", r=1)
+        with pytest.raises(ParameterError):
+            SpannerMaintainer(Graph(4), "kcover", rebuild_fraction=0.0)

@@ -1,0 +1,74 @@
+"""Batched canonical parent forests: exact agreement with ``bfs_parents``.
+
+The vectorized engine picks each discovered node's parent by first
+occurrence in the flattened frontier×sorted-row expansion — the claim is
+that this reproduces the sequential sorted-neighbor BFS *exactly* (same
+parents, same distances) for every source, cutoff and chunking.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import NodeNotFound, ParameterError
+from repro.graph import Graph, batched_bfs_parents, bfs_parents
+from repro.graph.generators import (
+    gnp_random_graph,
+    grid_graph,
+    path_graph,
+    random_connected_gnp,
+)
+
+from ..conftest import small_graphs
+
+
+def assert_agrees(g, sources=None, cutoff=None, chunk=64, backend="csr"):
+    src_list = list(range(g.num_nodes)) if sources is None else list(sources)
+    out = list(batched_bfs_parents(g, sources, cutoff=cutoff, chunk=chunk, backend=backend))
+    assert [s for s, _d, _p in out] == src_list  # yielded in source order
+    for s, dist, parent in out:
+        assert (dist, parent) == bfs_parents(g, s, cutoff, backend="sets")
+
+
+@settings(max_examples=40, deadline=None)
+@given(g=small_graphs(max_nodes=9))
+def test_small_graphs_exact(g):
+    assert_agrees(g, backend="csr", chunk=3)
+
+
+@pytest.mark.parametrize(
+    "g",
+    [
+        random_connected_gnp(80, 0.08, seed=1),
+        grid_graph(8, 12),
+        path_graph(70),
+        gnp_random_graph(90, 0.02, seed=5),  # disconnected
+    ],
+    ids=["gnp-connected", "grid", "path", "gnp-sparse"],
+)
+def test_mid_size_vectorized_path(g):
+    assert_agrees(g)  # auto backend takes CSR past the threshold
+    assert_agrees(g, sources=range(0, g.num_nodes, 7), chunk=5)
+    for cutoff in (0, 1, 3):
+        assert_agrees(g, cutoff=cutoff)
+
+
+def test_matches_csr_single_source_engine():
+    g = random_connected_gnp(100, 0.05, seed=9)
+    for s, dist, parent in batched_bfs_parents(g, backend="csr"):
+        assert (dist, parent) == bfs_parents(g, s, backend="csr")
+
+
+def test_sets_fallback_below_auto_threshold():
+    g = Graph(10, [(0, 1), (1, 2), (2, 3), (0, 4)])
+    out = list(batched_bfs_parents(g))  # auto: n < threshold stays on sets
+    assert out[0][1:] == bfs_parents(g, 0)
+
+
+def test_parameter_validation():
+    g = Graph(4, [(0, 1)])
+    with pytest.raises(ParameterError):
+        list(batched_bfs_parents(g, chunk=0))
+    with pytest.raises(ParameterError):
+        list(batched_bfs_parents(g, backend="simd"))
+    with pytest.raises(NodeNotFound):
+        list(batched_bfs_parents(g, sources=[9], backend="csr"))

@@ -1,0 +1,91 @@
+"""Distance cache under interleaved mutate/freeze/query sequences.
+
+The cache key is ``(graph_version, source, cutoff)``: stale hits must be
+impossible no matter how mutations, freezes and queries interleave —
+asserted here by comparing every cached answer against a fresh BFS on a
+pristine copy of the current graph.
+"""
+
+from repro.graph import (
+    Graph,
+    bfs_distances,
+    cached_bfs_distances,
+    distance_cache_info,
+)
+from repro.graph.cache import DISTANCE_CACHE_SIZE
+from repro.graph.generators import gnp_random_graph, path_graph
+
+
+class TestInterleavedSequences:
+    def test_mutate_freeze_query_roundtrips(self):
+        g = path_graph(12)
+        assert cached_bfs_distances(g, 0)[11] == 11
+        g.remove_edge(5, 6)  # split the path
+        assert cached_bfs_distances(g, 0)[11] == -1
+        g.freeze()  # freezing must not resurrect stale entries
+        assert cached_bfs_distances(g, 0)[11] == -1
+        g.add_edge(5, 6)
+        g.add_edge(0, 11)  # shortcut
+        assert cached_bfs_distances(g, 0)[11] == 1
+        g.remove_node(11)
+        assert cached_bfs_distances(g, 0)[11] == -1
+
+    def test_randomized_interleaving_never_stale(self, rng):
+        g = gnp_random_graph(25, 0.12, seed=rng)
+        for _step in range(120):
+            op = rng.random()
+            if op < 0.25:
+                u, v = (int(x) for x in rng.integers(0, g.num_nodes, 2))
+                if u != v:
+                    (g.remove_edge if g.has_edge(u, v) else g.add_edge)(u, v)
+            elif op < 0.35:
+                g.freeze()
+            elif op < 0.40:
+                g.remove_node(int(rng.integers(0, g.num_nodes)))
+            source = int(rng.integers(0, g.num_nodes))
+            cutoff = None if rng.random() < 0.6 else int(rng.integers(0, 5))
+            expected = bfs_distances(g.copy(), source, cutoff)  # pristine oracle
+            assert cached_bfs_distances(g, source, cutoff) == expected
+            # Second lookup is a hit off the same key and must agree too.
+            assert cached_bfs_distances(g, source, cutoff) == expected
+
+    def test_cutoff_is_part_of_the_key(self):
+        g = path_graph(8)
+        assert cached_bfs_distances(g, 0, cutoff=2)[5] == -1
+        assert cached_bfs_distances(g, 0)[5] == 5
+        assert cached_bfs_distances(g, 0, cutoff=2)[5] == -1  # still capped
+
+    def test_hits_return_fresh_lists(self):
+        g = path_graph(6)
+        first = cached_bfs_distances(g, 0)
+        first[3] = 999  # caller-owned: corrupting it must not poison the cache
+        assert cached_bfs_distances(g, 0)[3] == 3
+
+
+class TestRetentionAndEviction:
+    def test_entries_accumulate_across_versions(self):
+        g = path_graph(10)
+        cached_bfs_distances(g, 0)
+        g.add_edge(0, 9)
+        cached_bfs_distances(g, 0)
+        entries, cap = distance_cache_info(g)
+        assert entries == 2 and cap == DISTANCE_CACHE_SIZE  # distinct versions coexist
+
+    def test_lru_eviction_bounds_entries(self):
+        n = DISTANCE_CACHE_SIZE + 40
+        g = Graph(n, ((i, i + 1) for i in range(n - 1)))
+        for s in range(n):
+            cached_bfs_distances(g, s)
+        entries, cap = distance_cache_info(g)
+        assert entries == cap
+        # Oldest key evicted, newest retained: both still answer correctly.
+        assert cached_bfs_distances(g, 0) == bfs_distances(g, 0)
+        assert cached_bfs_distances(g, n - 1) == bfs_distances(g, n - 1)
+
+    def test_frozen_snapshot_has_its_own_cache(self):
+        g = path_graph(9)
+        csr = g.freeze()
+        assert cached_bfs_distances(csr, 0) == bfs_distances(g, 0)
+        g.add_edge(0, 8)  # mutating g must not disturb the snapshot's cache
+        assert cached_bfs_distances(csr, 0)[8] == 8
+        assert cached_bfs_distances(g, 0)[8] == 1

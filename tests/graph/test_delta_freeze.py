@@ -1,0 +1,112 @@
+"""Delta-aware ``Graph.freeze()``: patched snapshots equal full rebuilds.
+
+``CSRGraph.patched`` shares no code with ``CSRGraph.from_graph`` (bulk
+span copies + per-dirty-row re-sort vs whole-graph re-sort), so equality
+between the two over random mutate/freeze interleavings is a meaningful
+differential test of the whole dirty-row tracking pipeline.
+"""
+
+import pytest
+
+from repro.errors import NodeNotFound
+from repro.graph import CSRGraph, Graph
+from repro.graph.generators import gnp_random_graph
+from repro.graph.graph import _patch_row_budget
+
+
+def random_mutation(g, rng):
+    op = rng.random()
+    if op < 0.40 and g.num_edges:
+        edges = sorted(g.edges())
+        u, v = edges[int(rng.integers(len(edges)))]
+        g.remove_edge(u, v)
+    elif op < 0.85:
+        u, v = (int(x) for x in rng.integers(0, g.num_nodes, 2))
+        if u != v:
+            g.add_edge(u, v)
+    elif op < 0.93:
+        g.add_node()
+    else:
+        g.remove_node(int(rng.integers(0, g.num_nodes)))
+
+
+class TestPatchedFreezeAgreement:
+    def test_random_interleavings_match_full_rebuild(self, rng):
+        for _trial in range(8):
+            n = int(rng.integers(2, 70))
+            g = gnp_random_graph(n, 0.1, seed=rng)
+            g.freeze()
+            for _step in range(int(rng.integers(5, 40))):
+                random_mutation(g, rng)
+                if rng.random() < 0.5:
+                    assert g.freeze() == CSRGraph.from_graph(g)
+
+    def test_patch_path_actually_taken(self):
+        g = Graph(300, ((i, i + 1) for i in range(299)))
+        base = g.freeze()
+        g.add_edge(0, 150)
+        g.remove_edge(10, 11)
+        assert g._csr_base is base  # demoted snapshot is the patch base
+        snap = g.freeze()
+        assert g._csr_base is None  # base consumed by the patch
+        assert snap == CSRGraph.from_graph(g)
+        assert base.has_edge(10, 11) and not base.has_edge(0, 150)  # untouched
+
+    def test_budget_overflow_drops_base(self):
+        g = Graph(64, ((i, (i + 1) % 64) for i in range(64)))
+        g.freeze()
+        budget = _patch_row_budget(g.num_nodes)
+        for i in range(budget):  # touch more rows than the budget allows
+            g.add_edge(i, (i + 2) % 64)
+        assert g._csr_base is None and g._csr_dirty is None
+        assert g.freeze() == CSRGraph.from_graph(g)
+
+    def test_node_count_change_disables_patching(self):
+        g = Graph(10, [(0, 1), (5, 6)])
+        g.freeze()
+        g.add_node()
+        assert g._csr_base is None
+        assert g.freeze().num_nodes == 11
+
+    def test_cancelled_mutations_still_correct(self):
+        g = Graph(100, ((i, i + 1) for i in range(99)))
+        g.freeze()
+        g.remove_edge(3, 4)
+        g.add_edge(3, 4)  # net zero diff, rows 3 and 4 still dirty
+        assert g.freeze() == CSRGraph.from_graph(g)
+
+
+class TestPatchedConstructor:
+    def test_empty_dirty_set_returns_base(self):
+        g = Graph(5, [(0, 1), (2, 3)])
+        base = CSRGraph.from_graph(g)
+        assert CSRGraph.patched(base, g, set()) is base
+
+    def test_node_count_mismatch_falls_back(self):
+        small = Graph(3, [(0, 1)])
+        base = CSRGraph.from_graph(small)
+        grown = Graph(4, [(0, 1), (2, 3)])
+        snap = CSRGraph.patched(base, grown, {2, 3})
+        assert snap == CSRGraph.from_graph(grown)
+
+    def test_out_of_range_dirty_row_rejected(self):
+        g = Graph(4, [(0, 1)])
+        base = CSRGraph.from_graph(g)
+        with pytest.raises(NodeNotFound):
+            CSRGraph.patched(base, g, {7})
+
+    def test_dirty_superset_is_harmless(self):
+        g = Graph(6, [(0, 1), (1, 2), (4, 5)])
+        base = CSRGraph.from_graph(g)
+        g.remove_edge(1, 2)
+        # Claiming clean rows dirty costs work, never correctness.
+        snap = CSRGraph.patched(base, g, {0, 1, 2, 3, 4, 5})
+        assert snap == CSRGraph.from_graph(g)
+
+    def test_base_buffers_never_mutated(self):
+        g = Graph(8, ((i, i + 1) for i in range(7)))
+        base = CSRGraph.from_graph(g)
+        reference = CSRGraph.from_graph(g)
+        g.remove_node(3)
+        CSRGraph.patched(base, g, {2, 3, 4})
+        assert base == reference

@@ -35,7 +35,16 @@ class TestPlots:
 class TestCli:
     def test_parser_commands(self):
         parser = build_parser()
-        for cmd in ("table1", "figure1", "scaling", "ksweep", "epssweep", "rounds", "demo"):
+        for cmd in (
+            "table1",
+            "figure1",
+            "scaling",
+            "ksweep",
+            "epssweep",
+            "rounds",
+            "churn",
+            "demo",
+        ):
             args = parser.parse_args([cmd])
             assert args.command == cmd
 
@@ -45,6 +54,37 @@ class TestCli:
         assert rc == 0
         assert "RemSpan" in out
         assert "2r-1+2b" in out
+
+    def test_churn_command_all_scenarios_verified(self, capsys):
+        rc = main(
+            ["churn", "--n", "60", "--events", "25", "--check-every", "10", "--seed", "7"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0  # 0 iff every scenario's final spanner matches a rebuild
+        assert "matches rebuild" in out
+        for scenario in ("mobility", "failure", "growth"):
+            row = next(line for line in out.splitlines() if f"| {scenario}" in line)
+            assert row.rstrip(" |").endswith("yes"), row
+
+    def test_churn_command_single_scenario_mis(self, capsys):
+        rc = main(
+            [
+                "churn",
+                "--scenario",
+                "growth",
+                "--n",
+                "50",
+                "--events",
+                "30",
+                "--method",
+                "mis",
+                "--epsilon",
+                "0.5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "growth" in out and "mobility" not in out
 
     def test_demo_command_exact(self, capsys):
         rc = main(["demo", "--n", "60", "--epsilon", "1.0", "--k", "1", "--seed", "4"])
