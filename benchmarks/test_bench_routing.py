@@ -1,4 +1,4 @@
-"""Exp **E-routing** — greedy link-state routing quality and overhead.
+"""Exp **E-routing** — greedy link-state routing: quality, overhead, serving.
 
 Paper (§1): advertising a remote-spanner instead of the full topology
 keeps greedy routing within the spanner's stretch while flooding a
@@ -8,14 +8,70 @@ over three advertised sub-graphs and accounts the advertisement volume.
 Expected shape: (1,0)-remote-spanner routes with stretch exactly 1 at a
 strict advertisement discount; the ε-spanner stays within (1+ε)d + 1−2ε;
 MPR flooding reaches everyone with a large transmission discount.
+
+The serving half records ``benchmarks/results/BENCH_routing.json`` — the
+acceptance bars of the dynamic serving layer (PR 3):
+
+* the neighbor-sourced :func:`~repro.routing.tables.routing_table` kernel
+  must beat the per-destination-BFS reference by ≥ 3× at n ≥ 1500;
+* the incremental tables of :class:`~repro.dynamic.RoutingService` must
+  beat recompute-per-event by ≥ 5× over a 100-event churn stream at
+  n ≥ 1500 — while staying bit-identical to from-scratch tables.
 """
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
 
 from repro.analysis import render_table
 from repro.baselines import simulate_blind_flooding, simulate_mpr_flooding
 from repro.core import build_k_connecting_spanner, build_remote_spanner
+from repro.dynamic import RoutingService, SpannerMaintainer, failure_recovery_scenario
 from repro.experiments import largest_component, scaled_udg
 from repro.graph import sample_pairs
-from repro.routing import full_link_state_cost, route_all_pairs_stats, spanner_advertisement_cost
+from repro.routing import (
+    full_link_state_cost,
+    route_all_pairs_stats,
+    routing_table,
+    routing_table_scan,
+    spanner_advertisement_cost,
+)
+
+#: Serving-layer acceptance bars (ISSUE 3).
+REQUIRED_TABLE_SPEEDUP = 5.0  # incremental tables vs recompute-per-event
+REQUIRED_KERNEL_SPEEDUP = 3.0  # neighbor-sourced kernel vs per-destination scan
+N_DYN = 1500
+NUM_EVENTS = 100
+KERNEL_SOURCES = 3  # sources timed per kernel (the scan is the slow part)
+REFRESH_SAMPLE = 3  # full-refresh timings averaged for the baseline
+DYN_SEED = 20090525
+
+
+@pytest.fixture(scope="module")
+def dyn_scenario():
+    sc = failure_recovery_scenario(N_DYN, NUM_EVENTS, seed=DYN_SEED)
+    assert sc.initial.num_nodes >= 1500, "serving bench must keep n ≥ 1500"
+    return sc
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_artifact(results_dir):
+    # The artifact is merged per-key by the two serving benches below;
+    # start from scratch each run so a partial rerun can never mix
+    # measurements from different code states.
+    artifact = results_dir / "BENCH_routing.json"
+    if artifact.exists():
+        artifact.unlink()
+
+
+def _merge_artifact(results_dir, key, payload):
+    artifact = results_dir / "BENCH_routing.json"
+    data = json.loads(artifact.read_text()) if artifact.exists() else {}
+    data[key] = payload
+    artifact.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
 
 
 def _experiment():
@@ -80,3 +136,122 @@ def test_routing(benchmark, record):
     assert eps_stats.max_stretch <= 1.5 + 1e-9
     assert mpr.reached == blind.reached
     assert mpr.transmissions < blind.transmissions
+
+
+def test_routing_table_kernel_speedup(dyn_scenario, record, results_dir, bench_rng):
+    """Neighbor-sourced kernel vs per-destination scan — ≥ 3× at n ≥ 1500."""
+    g = dyn_scenario.initial
+    rs = build_k_connecting_spanner(g, k=1)
+    h = rs.graph
+    sources = sorted(
+        int(x) for x in bench_rng.choice(g.num_nodes, size=KERNEL_SOURCES, replace=False)
+    )
+
+    t0 = time.perf_counter()
+    fast = [routing_table(h, g, u) for u in sources]
+    t_fast = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    scan = [routing_table_scan(h, g, u) for u in sources]
+    t_scan = time.perf_counter() - t0
+
+    assert fast == scan, "kernels disagree — speed means nothing"
+    speedup = t_scan / t_fast if t_fast > 0 else float("inf")
+    payload = {
+        "graph": {"n": g.num_nodes, "m": g.num_edges, "m_spanner": h.num_edges},
+        "sources_timed": sources,
+        "seconds_per_table_neighbor": round(t_fast / KERNEL_SOURCES, 6),
+        "seconds_per_table_scan": round(t_scan / KERNEL_SOURCES, 6),
+        "speedup_neighbor_vs_scan": round(speedup, 2),
+        "required_speedup": REQUIRED_KERNEL_SPEEDUP,
+    }
+    _merge_artifact(results_dir, "kernel", payload)
+    record(
+        "bench_routing_kernel",
+        f"routing_table kernel n={g.num_nodes}: neighbor-sourced "
+        f"{t_fast / KERNEL_SOURCES * 1e3:.1f} ms/table, per-destination scan "
+        f"{t_scan / KERNEL_SOURCES * 1e3:.1f} ms/table -> {speedup:.0f}x",
+    )
+    assert speedup >= REQUIRED_KERNEL_SPEEDUP, (
+        f"neighbor-sourced kernel only {speedup:.2f}x faster than the scan "
+        f"(need ≥ {REQUIRED_KERNEL_SPEEDUP}x): {payload}"
+    )
+
+
+def test_incremental_tables_vs_recompute(dyn_scenario, record, results_dir, bench_rng):
+    """Incremental table maintenance vs recompute-per-event — ≥ 5×."""
+    sc = dyn_scenario
+    service = RoutingService(sc.initial, "kcover")
+
+    t0 = time.perf_counter()
+    reports = [service.apply(ev) for ev in sc.events]
+    t_incremental = time.perf_counter() - t0
+    assert service.maintainer.full_rebuilds == 0, "low churn must never trip the fallback"
+    rows_total = service.rows_recomputed
+    tables_total = service.tables_recomputed
+    entries_total = service.entries_updated
+
+    # Served tables must equal a from-scratch build — speed means nothing
+    # if the object diverged (spot-checked here; the full property lives in
+    # tests/dynamic/test_serving.py).
+    h, g = service.advertised, service.graph
+    for u in (int(x) for x in bench_rng.choice(g.num_nodes, size=12, replace=False)):
+        assert service.table(u) == routing_table(h, g, u), f"table of {u} diverged"
+
+    # Recompute-per-event baseline: the maintainer still repairs the
+    # spanner incrementally (its own bench covers rebuild-per-event), but
+    # every event re-derives all n tables from the live H — timed as the
+    # maintainer stream plus NUM_EVENTS sampled full refreshes, using the
+    # same fast kernel the service does (a strong baseline).
+    m = SpannerMaintainer(sc.initial, "kcover")
+    t0 = time.perf_counter()
+    m.apply_stream(sc.events)
+    t_maintainer = time.perf_counter() - t0
+    refresh_times = []
+    for _ in range(REFRESH_SAMPLE):
+        t0 = time.perf_counter()
+        service.refresh()
+        refresh_times.append(time.perf_counter() - t0)
+    mean_refresh = sum(refresh_times) / len(refresh_times)
+    t_recompute_est = t_maintainer + mean_refresh * NUM_EVENTS
+    speedup = t_recompute_est / t_incremental
+
+    dirty_rows = [r.dirty_rows for r in reports if r.changed]
+    payload = {
+        "graph": {
+            "n": sc.initial.num_nodes,
+            "m": sc.initial.num_edges,
+            "kind": "udg-failure-recovery",
+            "seed": DYN_SEED,
+        },
+        "events": NUM_EVENTS,
+        "seconds": {
+            "incremental_total": round(t_incremental, 6),
+            "incremental_per_event": round(t_incremental / NUM_EVENTS, 6),
+            "maintainer_stream": round(t_maintainer, 6),
+            "refresh_samples": [round(t, 6) for t in refresh_times],
+            "recompute_total_estimated": round(t_recompute_est, 6),
+        },
+        "serving_work": {
+            "rows_recomputed": rows_total,
+            "tables_recomputed": tables_total,
+            "entries_updated": entries_total,
+            "mean_dirty_rows_per_event": round(sum(dirty_rows) / len(dirty_rows), 1)
+            if dirty_rows
+            else 0.0,
+        },
+        "speedup_incremental_vs_recompute": round(speedup, 2),
+        "required_speedup": REQUIRED_TABLE_SPEEDUP,
+    }
+    _merge_artifact(results_dir, "incremental_tables", payload)
+    record(
+        "bench_routing_incremental",
+        f"serving n={sc.initial.num_nodes} events={NUM_EVENTS}: incremental "
+        f"{t_incremental:.2f} s ({t_incremental / NUM_EVENTS * 1e3:.1f} ms/event, "
+        f"mean dirty rows {payload['serving_work']['mean_dirty_rows_per_event']}), "
+        f"recompute-per-event ~{t_recompute_est:.1f} s -> {speedup:.0f}x",
+    )
+    assert speedup >= REQUIRED_TABLE_SPEEDUP, (
+        f"incremental tables only {speedup:.2f}x faster than recompute-per-event "
+        f"(need ≥ {REQUIRED_TABLE_SPEEDUP}x): {payload}"
+    )

@@ -4,11 +4,11 @@
 #   ./scripts/check.sh          # full gate
 #   SKIP_BENCH=1 ./scripts/check.sh   # tests only (e.g. on battery)
 #
-# Step 3 runs the traversal and dynamic-maintenance micro-benchmarks and
-# leaves their JSON artifacts at ./BENCH_traversal.json and
-# ./BENCH_dynamic.json (copied from benchmarks/results/) so successive
-# PRs accumulate a perf trajectory.  CI (.github/workflows/check.yml)
-# runs exactly this script.
+# Step 3 runs the traversal, dynamic-maintenance and routing-serving
+# micro-benchmarks and leaves their JSON artifacts at
+# ./BENCH_traversal.json, ./BENCH_dynamic.json and ./BENCH_routing.json
+# (copied from benchmarks/results/) so successive PRs accumulate a perf
+# trajectory.  CI (.github/workflows/check.yml) runs exactly this script.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -24,16 +24,18 @@ if [ "${SKIP_BENCH:-0}" = "1" ]; then
     exit 0
 fi
 
-echo "== [3/3] perf benchmarks (write BENCH_traversal.json, BENCH_dynamic.json) =="
+echo "== [3/3] perf benchmarks (write BENCH_traversal.json, BENCH_dynamic.json, BENCH_routing.json) =="
 python -m pytest -q benchmarks/test_bench_traversal.py benchmarks/test_bench_dynamic.py \
-    -p no:cacheprovider --benchmark-disable
+    benchmarks/test_bench_routing.py -p no:cacheprovider --benchmark-disable
 cp benchmarks/results/BENCH_traversal.json BENCH_traversal.json
 cp benchmarks/results/BENCH_dynamic.json BENCH_dynamic.json
-echo "perf artifacts: ./BENCH_traversal.json ./BENCH_dynamic.json"
+cp benchmarks/results/BENCH_routing.json BENCH_routing.json
+echo "perf artifacts: ./BENCH_traversal.json ./BENCH_dynamic.json ./BENCH_routing.json"
 python - <<'PYEOF'
 import json
 t = json.load(open("BENCH_traversal.json"))
 d = json.load(open("BENCH_dynamic.json"))
+r = json.load(open("BENCH_routing.json"))
 print(
     f"batched_bfs speedup vs set backend: "
     f"{t['speedup_batched_vs_sets']}x (required {t['required_speedup']}x)"
@@ -41,5 +43,15 @@ print(
 print(
     f"incremental maintenance speedup vs rebuild-per-event: "
     f"{d['speedup_incremental_vs_rebuild']}x (required {d['required_speedup']}x)"
+)
+print(
+    f"routing_table kernel speedup vs per-destination scan: "
+    f"{r['kernel']['speedup_neighbor_vs_scan']}x "
+    f"(required {r['kernel']['required_speedup']}x)"
+)
+print(
+    f"incremental tables speedup vs recompute-per-event: "
+    f"{r['incremental_tables']['speedup_incremental_vs_recompute']}x "
+    f"(required {r['incremental_tables']['required_speedup']}x)"
 )
 PYEOF

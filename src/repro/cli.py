@@ -7,6 +7,8 @@
     python -m repro scaling --quick        # the n^{4/3} sweep with a plot
     python -m repro ksweep | epssweep      # the k and ε sweeps
     python -m repro rounds                 # distributed round counts
+    python -m repro churn                  # incremental spanner maintenance
+    python -m repro serve --tick 5         # routing tables under node/edge churn
     python -m repro demo --n 250 --seed 7  # one-off build + verify + stats
 
 Each subcommand prints the same artifacts the benchmark suite records, so
@@ -52,30 +54,54 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=100)
     p.add_argument("--seed", type=int, default=4)
 
+    def add_churn_args(p, n_default: int, events_default: int) -> None:
+        # Literal twin of repro.dynamic.SCENARIO_NAMES: importing the real
+        # tuple here would pull numpy into every `repro --help` invocation
+        # (tests assert the two stay in sync).
+        scenarios = ("mobility", "failure", "growth", "nodechurn")
+        p.add_argument(
+            "--scenario",
+            choices=(*scenarios, "all"),
+            default="all",
+            help="event stream model (default: run every scenario)",
+        )
+        p.add_argument("--n", type=int, default=n_default)
+        p.add_argument("--events", type=int, default=events_default)
+        p.add_argument(
+            "--method", choices=("kcover", "kmis", "mis", "greedy"), default="kcover"
+        )
+        p.add_argument(
+            "--k",
+            type=int,
+            default=None,
+            help="connectivity k: kcover needs k ≥ 1 (default 1), kmis needs k ≥ 2 (default 2)",
+        )
+        p.add_argument("--epsilon", type=float, default=None, help="ε for mis/greedy")
+        p.add_argument("--rebuild-fraction", type=float, default=0.25)
+        p.add_argument(
+            "--check-every",
+            type=int,
+            default=0,
+            help="verify against a from-scratch build every N events (0: final state only)",
+        )
+        p.add_argument("--seed", type=int, default=2009)
+
     p = sub.add_parser(
         "churn", help="evolving-graph churn: incremental spanner maintenance"
     )
-    p.add_argument(
-        "--scenario",
-        choices=("mobility", "failure", "growth", "all"),
-        default="all",
-        help="edge-event stream model (default: run all three)",
+    add_churn_args(p, n_default=400, events_default=120)
+
+    p = sub.add_parser(
+        "serve",
+        help="dynamic serving soak: incremental routing tables under churn",
     )
-    p.add_argument("--n", type=int, default=400)
-    p.add_argument("--events", type=int, default=120)
+    add_churn_args(p, n_default=250, events_default=100)
     p.add_argument(
-        "--method", choices=("kcover", "kmis", "mis", "greedy"), default="kcover"
-    )
-    p.add_argument("--k", type=int, default=1, help="k for kcover/kmis")
-    p.add_argument("--epsilon", type=float, default=None, help="ε for mis/greedy")
-    p.add_argument("--rebuild-fraction", type=float, default=0.25)
-    p.add_argument(
-        "--check-every",
+        "--tick",
         type=int,
-        default=0,
-        help="verify against a from-scratch build every N events (0: final state only)",
+        default=1,
+        help="events per coalesced batch (1: apply singly)",
     )
-    p.add_argument("--seed", type=int, default=2009)
 
     p = sub.add_parser("demo", help="build + verify a spanner on one UDG")
     p.add_argument("--n", type=int, default=250)
@@ -280,6 +306,82 @@ def _cmd_churn(args) -> int:
     return 0 if all_ok else 1
 
 
+def _cmd_serve(args) -> int:
+    from .dynamic import RoutingService, SCENARIO_NAMES, make_scenario
+    from .routing import routing_table
+
+    names = SCENARIO_NAMES if args.scenario == "all" else (args.scenario,)
+    rows = []
+    all_ok = True
+    for name in names:
+        scenario = make_scenario(name, args.n, args.events, seed=args.seed)
+        service = RoutingService(
+            scenario.initial,
+            args.method,
+            k=args.k,
+            epsilon=args.epsilon,
+            rebuild_fraction=args.rebuild_fraction,
+        )
+
+        def tables_match() -> bool:
+            h, g = service.advertised, service.graph
+            return all(service.table(u) == routing_table(h, g, u) for u in g.nodes())
+
+        ok = True
+        events = list(scenario.events)
+        if args.check_every:
+            reports = []
+            applied = 0
+            for lo in range(0, len(events), args.tick):
+                tick = events[lo : lo + args.tick]
+                reports.extend(service.apply_stream(tick, tick=args.tick))
+                prev, applied = applied, applied + len(tick)
+                # Verify whenever the tick crossed a check-every boundary
+                # (ticks need not divide the cadence evenly).
+                if prev // args.check_every < applied // args.check_every:
+                    ok = ok and tables_match()
+        else:
+            reports = service.apply_stream(events, tick=args.tick)
+        # Serving cost only — the interleaved tables_match() verification
+        # rebuilds every table from scratch and would swamp ms/event.
+        elapsed = sum(r.seconds for r in reports)
+        ok = ok and tables_match()  # final state always verified
+        all_ok = all_ok and ok
+        ticks = max(len(reports), 1)
+        rows.append(
+            [
+                name,
+                len(events),
+                round(service.rows_recomputed / ticks, 1),
+                round(service.tables_recomputed / ticks, 1),
+                service.entries_updated,
+                service.full_refreshes,
+                round(elapsed * 1e3 / max(len(events), 1), 2),
+                ok,
+            ]
+        )
+    print(
+        render_table(
+            [
+                "scenario",
+                "events",
+                "rows/tick",
+                "tables/tick",
+                "entries upd",
+                "refreshes",
+                "ms/event",
+                "matches scratch",
+            ],
+            rows,
+            title=(
+                f"serve — incremental routing tables over {args.method} maintenance, "
+                f"n={args.n}, {args.events} events, tick {args.tick}, seed {args.seed}"
+            ),
+        )
+    )
+    return 0 if all_ok else 1
+
+
 def _cmd_demo(args) -> int:
     from .core import (
         build_k_connecting_spanner,
@@ -320,6 +422,7 @@ _COMMANDS = {
     "epssweep": _cmd_epssweep,
     "rounds": _cmd_rounds,
     "churn": _cmd_churn,
+    "serve": _cmd_serve,
     "demo": _cmd_demo,
 }
 

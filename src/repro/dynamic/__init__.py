@@ -1,26 +1,33 @@
-"""Dynamic-graph subsystem: churn scenarios + incremental spanner upkeep.
+"""Dynamic-graph subsystem: churn scenarios, incremental upkeep, serving.
 
 The paper's central claim is *locality* — a node decides its remote-spanner
 edges from its bounded-radius neighborhood alone (Algorithms 1–5 never look
 past ``B_G(u, r−1+β)``).  The contrapositive is what this package exploits:
 a topology edit can only perturb the per-node trees rooted inside a bounded
 ball around the edited edge, so a spanner can be *maintained* across an
-edge-event stream by recomputing the dirty ball instead of rebuilding from
-scratch.
+event stream by recomputing the dirty ball instead of rebuilding from
+scratch — and the routing tables served on top of it can be maintained the
+same way, recomputing only the sources (and destinations) whose answers
+moved.
 
-* :mod:`repro.dynamic.events` — typed insert/delete edge events plus seeded
-  scenario generators (UDG node mobility, link failure/recovery,
-  incremental growth);
+* :mod:`repro.dynamic.events` — typed insert/delete edge events and
+  join/leave node events, plus seeded scenario generators (UDG node
+  mobility, link failure/recovery, incremental growth, node churn);
 * :mod:`repro.dynamic.maintainer` — the incremental remote-spanner
-  maintainer with dirty-ball detection and a full-rebuild fallback.
+  maintainer with dirty-ball detection, batched (per-tick) coalescing and
+  a full-rebuild fallback;
+* :mod:`repro.dynamic.serving` — :class:`RoutingService`, next-hop tables
+  kept bit-identical to a from-scratch build after every event.
 
-Entry points: ``python -m repro churn`` drives a scenario from the shell;
-``benchmarks/test_bench_dynamic.py`` records the incremental-vs-rebuild
-speedup as ``BENCH_dynamic.json``.
+Entry points: ``python -m repro churn`` / ``python -m repro serve`` drive a
+scenario from the shell; ``benchmarks/test_bench_dynamic.py`` and
+``benchmarks/test_bench_routing.py`` record the incremental-vs-rebuild
+speedups as ``BENCH_dynamic.json`` / ``BENCH_routing.json``.
 """
 
 from .events import (
     EdgeEvent,
+    NodeEvent,
     Scenario,
     apply_event,
     apply_events,
@@ -28,17 +35,21 @@ from .events import (
     growth_scenario,
     make_scenario,
     mobility_scenario,
+    node_churn_scenario,
     SCENARIO_NAMES,
 )
 from .maintainer import (
+    BatchReport,
     EventReport,
     SpannerMaintainer,
     locality_radius,
     resolve_construction,
 )
+from .serving import RoutingService, ServeReport
 
 __all__ = [
     "EdgeEvent",
+    "NodeEvent",
     "Scenario",
     "apply_event",
     "apply_events",
@@ -46,9 +57,13 @@ __all__ = [
     "growth_scenario",
     "make_scenario",
     "mobility_scenario",
+    "node_churn_scenario",
     "SCENARIO_NAMES",
+    "BatchReport",
     "EventReport",
     "SpannerMaintainer",
     "locality_radius",
     "resolve_construction",
+    "RoutingService",
+    "ServeReport",
 ]

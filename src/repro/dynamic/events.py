@@ -1,10 +1,10 @@
-"""Edge-event streams: the input model of the dynamic-graph subsystem.
+"""Event streams: the input model of the dynamic-graph subsystem.
 
 A *scenario* is an initial :class:`~repro.graph.Graph` plus a finite list of
-:class:`EdgeEvent` inserts/deletes; replaying the events onto the initial
-graph yields the scenario's ``final`` graph (an invariant the tests pin
-down).  Three generators cover the churn regimes a link-state network
-actually sees:
+events — :class:`EdgeEvent` inserts/deletes and :class:`NodeEvent`
+joins/leaves — replaying the events onto the initial graph yields the
+scenario's ``final`` graph (an invariant the tests pin down).  Four
+generators cover the churn regimes a link-state network actually sees:
 
 * :func:`mobility_scenario` — UDG node mobility: points drift by reflected
   Gaussian steps inside their square, and each tick emits the edge diff of
@@ -14,7 +14,12 @@ actually sees:
   fixed topology (flapping links, the classic OSPF churn source);
 * :func:`growth_scenario` — incremental growth: nodes of a target UDG are
   revealed one at a time, each arrival inserting its edges to the nodes
-  already present.
+  already present;
+* :func:`node_churn_scenario` — node arrival/departure: radios power off
+  (a :class:`NodeEvent` leave severs every incident link, the id slot
+  stays, matching :meth:`Graph.remove_node <repro.graph.graph.Graph.\
+remove_node>`) and new radios power on at fresh dense ids (a join followed
+  by the edge inserts wiring it into the unit-disk graph).
 
 All randomness is seeded through :mod:`repro.rng`, so a ``(scenario, n,
 seed)`` triple names a bit-for-bit reproducible stream.
@@ -34,18 +39,22 @@ from ..rng import derive_seed, ensure_rng
 
 __all__ = [
     "EdgeEvent",
+    "NodeEvent",
     "Scenario",
     "apply_event",
     "apply_events",
     "mobility_scenario",
     "failure_recovery_scenario",
     "growth_scenario",
+    "node_churn_scenario",
     "make_scenario",
     "SCENARIO_NAMES",
 ]
 
 ADD = "add"
 REMOVE = "remove"
+JOIN = "join"
+LEAVE = "leave"
 
 
 @dataclass(frozen=True)
@@ -87,13 +96,60 @@ class EdgeEvent:
         return EdgeEvent(REMOVE if self.kind == ADD else ADD, self.u, self.v)
 
 
-def apply_event(g: Graph, event: EdgeEvent, strict: bool = True) -> bool:
+@dataclass(frozen=True)
+class NodeEvent:
+    """One node-churn edit: a node joins or leaves the topology.
+
+    ``join`` appends the node with the next dense id (the event's ``node``
+    must equal the graph's current node count, matching
+    :meth:`Graph.add_node <repro.graph.graph.Graph.add_node>`); ``leave``
+    severs every incident link but keeps the id slot (matching
+    :meth:`Graph.remove_node <repro.graph.graph.Graph.remove_node>`), so
+    bookkeeping indexed by node id stays valid across churn.  Edges wiring
+    a joined node in are separate :class:`EdgeEvent` inserts following the
+    join in the stream.
+    """
+
+    kind: str
+    node: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in (JOIN, LEAVE):
+            raise ParameterError(f"unknown event kind {self.kind!r} (want 'join' or 'leave')")
+        if self.node < 0:
+            raise ParameterError(f"node id must be non-negative, got {self.node}")
+
+    @classmethod
+    def join(cls, node: int) -> "NodeEvent":
+        return cls(JOIN, node)
+
+    @classmethod
+    def leave(cls, node: int) -> "NodeEvent":
+        return cls(LEAVE, node)
+
+
+def apply_event(g: Graph, event: "EdgeEvent | NodeEvent", strict: bool = True) -> bool:
     """Apply one event to *g* in place; returns whether the graph changed.
 
     ``strict`` (the scenario-replay contract) raises on a no-op — inserting
-    a present edge or deleting an absent one means the stream and the graph
-    have diverged.
+    a present edge, deleting an absent one, or a leave of an already
+    isolated node means the stream and the graph have diverged.  A join
+    whose id is not the graph's current node count is always an error
+    (dense ids join at the end).
     """
+    if isinstance(event, NodeEvent):
+        if event.kind == JOIN:
+            if event.node != g.num_nodes:
+                raise GraphError(
+                    f"join event for node {event.node} but graph has "
+                    f"{g.num_nodes} nodes (dense ids join at the end)"
+                )
+            g.add_node()
+            return True
+        changed = g.remove_node(event.node) > 0
+        if strict and not changed:
+            raise GraphError(f"event {event} is a no-op on the current graph")
+        return changed
     changed = (
         g.add_edge(event.u, event.v) if event.kind == ADD else g.remove_edge(event.u, event.v)
     )
@@ -102,7 +158,7 @@ def apply_event(g: Graph, event: EdgeEvent, strict: bool = True) -> bool:
     return changed
 
 
-def apply_events(g: Graph, events: Iterable[EdgeEvent], strict: bool = True) -> int:
+def apply_events(g: Graph, events: "Iterable[EdgeEvent | NodeEvent]", strict: bool = True) -> int:
     """Replay *events* onto *g* in place; returns how many changed the graph."""
     return sum(1 for ev in events if apply_event(g, ev, strict=strict))
 
@@ -117,7 +173,7 @@ class Scenario:
 
     name: str
     initial: Graph
-    events: "tuple[EdgeEvent, ...]"
+    events: "tuple[EdgeEvent | NodeEvent, ...]"
     final: Graph
     params: dict = field(default_factory=dict)
 
@@ -294,8 +350,71 @@ def growth_scenario(
     )
 
 
+def node_churn_scenario(
+    n: int,
+    num_events: int,
+    target_degree: float = 12.0,
+    leave_prob: float = 0.45,
+    seed: int = 0,
+) -> Scenario:
+    """Node arrival/departure on a UDG: radios power off and on.
+
+    Each step either makes a uniformly random *linked* node leave (one
+    :class:`NodeEvent` — its incident links all drop, the id slot stays
+    dormant), with probability *leave_prob*, or powers a new radio on at a
+    uniform position: a join event with the next dense id followed by the
+    :class:`EdgeEvent` inserts wiring it to every present node within
+    radio range (sorted, so the stream is deterministic).  The stream is
+    truncated to exactly *num_events* events, so a trailing join may land
+    with only part of its links — a consistent (if unlucky) topology.
+    """
+    if n < 2:
+        raise ParameterError(f"node churn needs n ≥ 2 nodes, got {n}")
+    if num_events < 1:
+        raise ParameterError(f"need at least one event, got {num_events}")
+    if not (0.0 < leave_prob < 1.0):
+        raise ParameterError(f"leave_prob must be in (0, 1), got {leave_prob}")
+    from ..experiments.runner import side_for_degree
+
+    rng = ensure_rng(derive_seed(seed, "nodechurn", n, num_events))
+    side = side_for_degree(n, target_degree)
+    points = uniform_points(n, side, dim=2, seed=rng)
+    initial = unit_disk_graph(points, radius=1.0)
+    current = initial.copy()
+    positions = [points[i] for i in range(n)]
+    present = set(range(n))
+    events: "list[EdgeEvent | NodeEvent]" = []
+    while len(events) < num_events:
+        linked = sorted(u for u in present if current.degree(u) > 0)
+        if linked and rng.random() < leave_prob:
+            u = linked[int(rng.integers(len(linked)))]
+            events.append(NodeEvent.leave(u))
+            present.discard(u)
+            current.remove_node(u)
+        else:
+            p = rng.uniform(0.0, side, size=2)
+            new_id = current.add_node()
+            positions.append(p)
+            present.add(new_id)
+            events.append(NodeEvent.join(new_id))
+            for w in sorted(present - {new_id}):
+                if float(np.linalg.norm(positions[w] - p)) <= 1.0:
+                    events.append(EdgeEvent.add(new_id, w))
+                    current.add_edge(new_id, w)
+    events = events[:num_events]
+    final = initial.copy()
+    apply_events(final, events)
+    return Scenario(
+        name="nodechurn",
+        initial=initial,
+        events=tuple(events),
+        final=final,
+        params={"n": n, "target_degree": target_degree, "leave_prob": leave_prob, "seed": seed},
+    )
+
+
 #: Scenario registry for the CLI / bench dispatchers.
-SCENARIO_NAMES: "tuple[str, ...]" = ("mobility", "failure", "growth")
+SCENARIO_NAMES: "tuple[str, ...]" = ("mobility", "failure", "growth", "nodechurn")
 
 
 def make_scenario(
@@ -312,4 +431,6 @@ def make_scenario(
         return failure_recovery_scenario(n, num_events, seed=seed, **kwargs)
     if name == "growth":
         return growth_scenario(n, num_events, seed=seed, **kwargs)
+    if name == "nodechurn":
+        return node_churn_scenario(n, num_events, seed=seed, **kwargs)
     raise ParameterError(f"unknown scenario {name!r} (want one of {SCENARIO_NAMES})")

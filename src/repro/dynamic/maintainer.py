@@ -1,4 +1,4 @@
-"""Incremental remote-spanner maintenance over an edge-event stream.
+"""Incremental remote-spanner maintenance over an event stream.
 
 Every construction in the paper is a union of per-node trees, and every
 tree ``T_u`` is a deterministic function of the *induced ball*
@@ -15,12 +15,23 @@ else's tree is provably bit-identical, so the maintained spanner equals a
 from-scratch build after every event (the property suite asserts exactly
 this, tree-for-tree).
 
+Node churn rides the same machinery: a :class:`~repro.dynamic.events.\
+NodeEvent` leave is the simultaneous deletion of every incident edge (the
+ball is seeded with the node and its former neighbors), and a join adds an
+isolated node whose only dirty root is itself.  :meth:`SpannerMaintainer.\
+apply_batch` coalesces a whole tick of events into **one** dirty region:
+the net edge diff of the tick seeds one old-snapshot and one new-snapshot
+bounded BFS, and each dirty root is recomputed once — events that cancel
+within the tick (a link flapping down and back up) cost nothing.
+
 The union is kept exact under recomputation with per-edge reference
 counts: an edge leaves the spanner only when the last tree contributing it
-does.  When churn is global (the dirty ball exceeds
-``rebuild_fraction · n``) the maintainer falls back to one full rebuild —
-the same escape hatch a router implementation would take on a topology
-reset.
+does.  Every repair also reports the *net spanner delta* (``h_added`` /
+``h_removed``) so layers stacked on top — the routing tables of
+:mod:`repro.dynamic.serving` — can localize their own damage.  When churn
+is global (the dirty region exceeds ``rebuild_fraction · n``) the
+maintainer falls back to one full rebuild — the same escape hatch a router
+implementation would take on a topology reset.
 """
 
 from __future__ import annotations
@@ -42,11 +53,12 @@ from ..core.remote_spanner import (
     epsilon_to_radius,
 )
 from ..errors import ParameterError
-from ..graph import Graph, multi_source_distances
-from .events import ADD, EdgeEvent, apply_event
+from ..graph import Graph, canonical_edge, multi_source_distances
+from .events import ADD, JOIN, EdgeEvent, NodeEvent, apply_event
 
 __all__ = [
     "CONSTRUCTION_NAMES",
+    "BatchReport",
     "EventReport",
     "SpannerMaintainer",
     "locality_radius",
@@ -70,7 +82,7 @@ class _Construction:
 def resolve_construction(
     method: str = "kcover",
     *,
-    k: int = 1,
+    k: "int | None" = None,
     epsilon: "float | None" = None,
     r: "int | None" = None,
 ) -> _Construction:
@@ -79,19 +91,26 @@ def resolve_construction(
     ``kcover``/``kmis`` are the Theorem 2/3 builders (2-ball local);
     ``mis``/``greedy`` are the Theorem 1 builders, parameterized by *r*
     directly or by *epsilon* through Proposition 1 (``r = ⌈1/ε⌉ + 1``,
-    default ε = 0.5).
+    default ε = 0.5).  ``k`` defaults per method — 1 for ``kcover``
+    (valid range ``k ≥ 1``), 2 for ``kmis`` (valid range ``k ≥ 2``:
+    Algorithm 5's trees are k-connecting for ``k ≥ 2`` only) — and an
+    explicit out-of-range value raises :class:`~repro.errors.\
+ParameterError` instead of being silently rewritten.
     """
     if method == "kcover":
-        if k < 1:
-            raise ParameterError(f"k must be ≥ 1, got {k}")
+        kk = 1 if k is None else k
+        if kk < 1:
+            raise ParameterError(f"kcover needs k ≥ 1, got {kk}")
         return _Construction(
-            label=f"kcover(k={k})",
-            tree_fn=lambda g, u: dom_tree_kcover(g, u, k),
-            guarantee=StretchGuarantee(alpha=1.0, beta=0.0, k=k),
+            label=f"kcover(k={kk})",
+            tree_fn=lambda g, u: dom_tree_kcover(g, u, kk),
+            guarantee=StretchGuarantee(alpha=1.0, beta=0.0, k=kk),
             radius=2,
         )
     if method == "kmis":
-        kk = 2 if k == 1 else k
+        kk = 2 if k is None else k
+        if kk < 2:
+            raise ParameterError(f"kmis needs k ≥ 2, got {kk}")
         return _Construction(
             label=f"kmis(k={kk})",
             tree_fn=lambda g, u: dom_tree_kmis(g, u, kk),
@@ -124,7 +143,7 @@ def resolve_construction(
 def locality_radius(
     method: str = "kcover",
     *,
-    k: int = 1,
+    k: "int | None" = None,
     epsilon: "float | None" = None,
     r: "int | None" = None,
 ) -> int:
@@ -136,25 +155,53 @@ def locality_radius(
 class EventReport:
     """What one :meth:`SpannerMaintainer.apply` call did."""
 
-    event: EdgeEvent
+    event: "EdgeEvent | NodeEvent"
     dirty: int  # roots whose tree was recomputed (n when rebuilt)
     rebuilt: bool  # True when the full-rebuild fallback fired
-    changed: bool  # False for a no-op event (edge already in target state)
+    changed: bool  # False for a no-op event (graph already in target state)
     seconds: float
+    #: Net spanner delta: edges that entered / left H in this repair.
+    h_added: "tuple[tuple[int, int], ...]" = ()
+    h_removed: "tuple[tuple[int, int], ...]" = ()
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """What one :meth:`SpannerMaintainer.apply_batch` call did.
+
+    The batch is summarized by its *net* effect: ``g_added``/``g_removed``
+    are the topology edges whose presence differs between the tick's start
+    and end (in-tick flaps cancel), ``nodes_joined`` the fresh ids, and
+    ``h_added``/``h_removed`` the net spanner delta — everything a serving
+    layer needs to localize its own recomputation.
+    """
+
+    events: int  # events submitted in the tick
+    applied: int  # events that actually changed the graph
+    g_added: "tuple[tuple[int, int], ...]" = ()
+    g_removed: "tuple[tuple[int, int], ...]" = ()
+    nodes_joined: "tuple[int, ...]" = ()
+    dirty: int = 0
+    rebuilt: bool = False
+    changed: bool = False
+    seconds: float = 0.0
+    h_added: "tuple[tuple[int, int], ...]" = ()
+    h_removed: "tuple[tuple[int, int], ...]" = ()
 
 
 class SpannerMaintainer:
-    """Hold a remote-spanner valid across an edge-event stream.
+    """Hold a remote-spanner valid across an event stream.
 
     Parameters
     ----------
     g:
         Initial topology.  The maintainer owns a private copy — callers
-        replay events through :meth:`apply`, never by mutating *g*.
+        replay events through :meth:`apply` / :meth:`apply_batch`, never by
+        mutating *g*.
     method, k, epsilon, r:
         Construction selection (see :func:`resolve_construction`).
     rebuild_fraction:
-        Dirty-ball size (as a fraction of n) beyond which incremental
+        Dirty-region size (as a fraction of n) beyond which incremental
         repair is abandoned for one full rebuild.
 
     The live spanner is exposed as :attr:`spanner` (graph + trees +
@@ -166,7 +213,7 @@ class SpannerMaintainer:
         g: Graph,
         method: str = "kcover",
         *,
-        k: int = 1,
+        k: "int | None" = None,
         epsilon: "float | None" = None,
         r: "int | None" = None,
         rebuild_fraction: float = 0.25,
@@ -179,6 +226,7 @@ class SpannerMaintainer:
         self.graph = g.copy()
         self.rebuild_fraction = rebuild_fraction
         self.events_applied = 0
+        self.batches_applied = 0
         self.incremental_repairs = 0
         self.full_rebuilds = 0
         self.trees_recomputed = 0
@@ -229,65 +277,230 @@ class SpannerMaintainer:
     # event application
     # ------------------------------------------------------------------ #
 
-    def apply(self, event: EdgeEvent) -> EventReport:
-        """Apply one edge event and repair the spanner's dirty ball."""
+    def apply(self, event: "EdgeEvent | NodeEvent") -> EventReport:
+        """Apply one event and repair the spanner's dirty region."""
         t0 = time.perf_counter()
+        if isinstance(event, NodeEvent):
+            return self._apply_node(event, t0)
         g = self.graph
         present = g.has_edge(event.u, event.v)
         if (event.kind == ADD) == present:  # already in the target state
-            return EventReport(event, dirty=0, rebuilt=False, changed=False, seconds=0.0)
-        radius = self._construction.radius
-        # Roots seeing the edge through *old* distances (deletion may then
-        # push them out of range — they must still be repaired)...
-        g.freeze()
-        dirty = self._ball(event, radius)
-        apply_event(g, event)
-        # ... and through *new* distances (insertion pulls new roots in).
-        g.freeze()  # delta-patched: only two adjacency rows changed
-        dirty.update(self._ball(event, radius))
-        self.events_applied += 1
-        if len(dirty) > self.rebuild_fraction * g.num_nodes:
-            self._rebuild()
-            self.full_rebuilds += 1
-            self.trees_recomputed += g.num_nodes
+            self.events_applied += 1
             return EventReport(
                 event,
-                dirty=g.num_nodes,
-                rebuilt=True,
+                dirty=0,
+                rebuilt=False,
+                changed=False,
+                seconds=time.perf_counter() - t0,
+            )
+        seeds = (event.u, event.v)
+        # Roots seeing the edge through *old* distances (deletion may then
+        # push them out of range — they must still be repaired)...
+        dirty = self._ball(g.freeze(), seeds)
+        apply_event(g, event)
+        # ... and through *new* distances (insertion pulls new roots in).
+        dirty |= self._ball(g.freeze(), seeds)  # delta-patched: 2 rows changed
+        self.events_applied += 1
+        rebuilt, h_added, h_removed = self._repair(dirty)
+        return EventReport(
+            event,
+            dirty=g.num_nodes if rebuilt else len(dirty),
+            rebuilt=rebuilt,
+            changed=True,
+            seconds=time.perf_counter() - t0,
+            h_added=h_added,
+            h_removed=h_removed,
+        )
+
+    def _apply_node(self, event: NodeEvent, t0: float) -> EventReport:
+        """Node churn through the :meth:`Graph.add_node`/``remove_node`` mutators."""
+        g = self.graph
+        if event.kind == JOIN:
+            apply_event(g, event)  # validates the dense-id contract
+            self._h.add_node()
+            self.events_applied += 1
+            # The newcomer is isolated: no existing R-ball gains it, so the
+            # only dirty root is the new node itself (its trivial tree).
+            rebuilt, h_added, h_removed = self._repair({event.node})
+            return EventReport(
+                event,
+                dirty=g.num_nodes if rebuilt else 1,
+                rebuilt=rebuilt,
                 changed=True,
                 seconds=time.perf_counter() - t0,
+                h_added=h_added,
+                h_removed=h_removed,
+            )
+        former = sorted(g.neighbors(event.node))
+        if not former:  # leave of an already isolated node: no-op
+            self.events_applied += 1
+            return EventReport(
+                event,
+                dirty=0,
+                rebuilt=False,
+                changed=False,
+                seconds=time.perf_counter() - t0,
+            )
+        # A leave deletes every incident edge at once; the dirty region is
+        # the union of the per-edge balls, i.e. one bounded BFS seeded with
+        # the node and all its former neighbors, on both snapshots.
+        seeds = (event.node, *former)
+        dirty = self._ball(g.freeze(), seeds)
+        g.remove_node(event.node)
+        dirty |= self._ball(g.freeze(), seeds)
+        self.events_applied += 1
+        rebuilt, h_added, h_removed = self._repair(dirty)
+        return EventReport(
+            event,
+            dirty=g.num_nodes if rebuilt else len(dirty),
+            rebuilt=rebuilt,
+            changed=True,
+            seconds=time.perf_counter() - t0,
+            h_added=h_added,
+            h_removed=h_removed,
+        )
+
+    def apply_batch(self, events: "Sequence[EdgeEvent | NodeEvent]") -> BatchReport:
+        """Apply one tick's events with a single coalesced repair.
+
+        The tick is replayed onto the graph first, tracking each touched
+        edge's presence at tick start vs end; the *net* diff (flaps cancel)
+        seeds one old-snapshot and one new-snapshot bounded BFS, and each
+        dirty root is recomputed exactly once — instead of per-event ball
+        detection and tree churn.  No-op events inside the tick are
+        tolerated (the per-event stream contract is the caller's business);
+        a join with a non-dense id is always an error.
+        """
+        t0 = time.perf_counter()
+        events = list(events)
+        g = self.graph
+        old_n = g.num_nodes
+        old_csr = g.freeze() if events else None
+        touched: "dict[tuple[int, int], bool]" = {}
+        joined: list[int] = []
+        applied = 0
+        try:
+            for ev in events:
+                if isinstance(ev, NodeEvent):
+                    if ev.kind == JOIN:
+                        apply_event(g, ev)  # validates the dense-id contract
+                        joined.append(ev.node)
+                        applied += 1
+                    else:
+                        former = list(g.neighbors(ev.node))
+                        for w in former:
+                            touched.setdefault(canonical_edge(ev.node, w), True)
+                        if g.remove_node(ev.node):
+                            applied += 1
+                else:
+                    if ev.edge not in touched:
+                        touched[ev.edge] = g.has_edge(*ev.edge)
+                    if apply_event(g, ev, strict=False):
+                        applied += 1
+        except Exception:
+            # A malformed mid-batch event (non-dense join id, out-of-range
+            # endpoint) already mutated the graph; restore the spanner ==
+            # from-scratch invariant over whatever got applied, then let
+            # the caller see the error.
+            self._rebuild()
+            self.full_rebuilds += 1
+            raise
+        self.events_applied += len(events)
+        self.batches_applied += 1
+        for _ in joined:
+            self._h.add_node()
+        g_added = tuple(sorted(e for e, was in touched.items() if not was and g.has_edge(*e)))
+        g_removed = tuple(sorted(e for e, was in touched.items() if was and not g.has_edge(*e)))
+        if not g_added and not g_removed and not joined:
+            return BatchReport(
+                events=len(events),
+                applied=applied,
+                seconds=time.perf_counter() - t0,
+            )
+        seeds_new = {x for e in (*g_added, *g_removed) for x in e}
+        seeds_old = {x for x in seeds_new if x < old_n}
+        dirty = self._ball(old_csr, seeds_old) if seeds_old else set()
+        if seeds_new:
+            dirty |= self._ball(g.freeze(), seeds_new)
+        dirty |= set(joined)
+        rebuilt, h_added, h_removed = self._repair(dirty)
+        return BatchReport(
+            events=len(events),
+            applied=applied,
+            g_added=g_added,
+            g_removed=g_removed,
+            nodes_joined=tuple(joined),
+            dirty=g.num_nodes if rebuilt else len(dirty),
+            rebuilt=rebuilt,
+            changed=True,
+            seconds=time.perf_counter() - t0,
+            h_added=h_added,
+            h_removed=h_removed,
+        )
+
+    def apply_stream(
+        self, events: "Sequence[EdgeEvent | NodeEvent] | Iterable[EdgeEvent | NodeEvent]"
+    ) -> "list[EventReport]":
+        """Apply a whole stream event by event; returns the per-event reports."""
+        return [self.apply(ev) for ev in events]
+
+    # ------------------------------------------------------------------ #
+    # repair machinery
+    # ------------------------------------------------------------------ #
+
+    def _ball(self, snapshot, seeds: Iterable[int]) -> set[int]:
+        """``{u : d(u, seeds) ≤ R}`` on a (frozen) snapshot."""
+        dist = multi_source_distances(snapshot, seeds, cutoff=self._construction.radius)
+        return {u for u, d in enumerate(dist) if d >= 0}
+
+    def _repair(
+        self, dirty: set[int]
+    ) -> "tuple[bool, tuple[tuple[int, int], ...], tuple[tuple[int, int], ...]]":
+        """Recompute the dirty roots' trees; returns (rebuilt, ΔH⁺, ΔH⁻).
+
+        The spanner delta is *net* over the whole repair: an edge dropped
+        by one root's old tree and re-contributed by another's new tree in
+        the same repair cancels out.
+        """
+        g = self.graph
+        if len(dirty) > self.rebuild_fraction * g.num_nodes:
+            old_edges = self._h.edge_set()
+            self._rebuild()
+            new_edges = self._h.edge_set()
+            self.full_rebuilds += 1
+            self.trees_recomputed += g.num_nodes
+            return (
+                True,
+                tuple(sorted(new_edges - old_edges)),
+                tuple(sorted(old_edges - new_edges)),
             )
         tree_fn = self._construction.tree_fn
         refs = self._edge_refs
         h = self._h
+        h_added: set[tuple[int, int]] = set()
+        h_removed: set[tuple[int, int]] = set()
         for u in sorted(dirty):
-            old_tree = self._trees[u]
+            old_tree = self._trees.get(u)  # a joined node has no old tree
             new_tree = tree_fn(g, u)
             self._trees[u] = new_tree
-            for e in old_tree.edges():
-                refs[e] -= 1
-                if refs[e] == 0:
-                    del refs[e]
-                    h.remove_edge(*e)
+            if old_tree is not None:
+                for e in old_tree.edges():
+                    refs[e] -= 1
+                    if refs[e] == 0:
+                        del refs[e]
+                        h.remove_edge(*e)
+                        if e in h_added:
+                            h_added.discard(e)
+                        else:
+                            h_removed.add(e)
             for e in new_tree.edges():
                 refs[e] += 1
                 if refs[e] == 1:
                     h.add_edge(*e)
+                    if e in h_removed:
+                        h_removed.discard(e)
+                    else:
+                        h_added.add(e)
         self.incremental_repairs += 1
         self.trees_recomputed += len(dirty)
-        return EventReport(
-            event,
-            dirty=len(dirty),
-            rebuilt=False,
-            changed=True,
-            seconds=time.perf_counter() - t0,
-        )
-
-    def apply_stream(self, events: "Sequence[EdgeEvent] | Iterable[EdgeEvent]") -> "list[EventReport]":
-        """Apply a whole stream; returns the per-event reports."""
-        return [self.apply(ev) for ev in events]
-
-    def _ball(self, event: EdgeEvent, radius: int) -> set[int]:
-        """``{u : min(d(u,a), d(u,b)) ≤ radius}`` on the current graph."""
-        dist = multi_source_distances(self.graph, (event.u, event.v), cutoff=radius)
-        return {u for u, d in enumerate(dist) if d >= 0}
+        return False, tuple(sorted(h_added)), tuple(sorted(h_removed))

@@ -1,0 +1,372 @@
+"""Dynamic serving layer: incremental routing tables over the maintainer.
+
+The paper's point is *serving*: a node routes on its advertised view
+:math:`H_u`, forwarding to the neighbor closest to the destination.  After
+the maintainer keeps H valid under churn, this module keeps the **next-hop
+tables** valid too — without recomputing any table whose answers cannot
+have moved.
+
+The load-bearing identity (valid whenever ``H ⊆ G``, which every
+maintained remote-spanner satisfies): for ``v ≠ u``,
+
+    ``argmin_{w ∈ N_G(u)} d_{H_u}(w, v)  =  argmin_{w ∈ N_G(u)} d_H(w, v)``
+
+including the smallest-id tie-break.  Any :math:`H_u`-path using a grafted
+star edge passes through *u* and costs at least ``2 + min_w d_H(w, v)``,
+which a plain H-path from the minimizing neighbor already beats; and since
+``N_H(u) ⊆ N_G(u)``, a destination H-unreachable from every G-neighbor is
+:math:`H_u`-unreachable from them too.  So **all n tables are projections
+of one object** — the n×n matrix ``D[w, v] = d_H(w, v)`` — and an event's
+table damage decomposes exactly:
+
+* **rows** of D change only for sources whose H-BFS changed.  With the
+  maintainer's net spanner delta (ΔH⁺/ΔH⁻) in hand, row *w* is provably
+  unchanged unless some removed edge was *tight* from w
+  (``|D[w,x] − D[w,y]| = 1`` — it lay on a shortest path) or some inserted
+  edge is *improving* (``|D[w,x] − D[w,y]| > 1`` with unreachable = ∞ — it
+  shortcuts).  One vectorized scan over the old matrix finds the dirty
+  rows; one batched BFS on the new frozen H recomputes exactly those.
+* **tables** change only for sources with a dirty-row neighbor (their
+  argmin inputs moved) or whose G-star itself changed (event endpoints,
+  leavers and their former neighbors, joiners) — and within a table, only
+  at destinations whose neighbor-row entries actually changed (the
+  accumulated changed-column mask), recomputed by a masked vectorized
+  argmin.
+
+:class:`RoutingService` owns a :class:`~repro.dynamic.maintainer.\
+SpannerMaintainer` and applies events singly (:meth:`RoutingService.apply`)
+or as coalesced ticks (:meth:`RoutingService.apply_batch` →
+:meth:`SpannerMaintainer.apply_batch`).  After every event the served
+tables are bit-identical to a from-scratch
+:func:`~repro.routing.tables.routing_table` on the live (H, G) — the
+property suite in ``tests/dynamic/test_serving.py`` asserts exactly this,
+entry for entry, across edge *and* node churn.  ``python -m repro serve``
+soaks the service from the shell; ``benchmarks/test_bench_routing.py``
+records the incremental-vs-recompute speedup as ``BENCH_routing.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import NodeNotFound, ParameterError
+from ..graph import Graph, batched_bfs
+from ..routing.tables import _FAR, _argmin_hops
+from .events import LEAVE, EdgeEvent, NodeEvent
+from .maintainer import SpannerMaintainer
+
+__all__ = ["RoutingService", "ServeReport"]
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """What one :meth:`RoutingService.apply`/``apply_batch`` call did."""
+
+    events: int  # events submitted
+    changed: bool  # False when nothing (graph, H, tables) moved
+    refreshed: bool  # True when the full-refresh fallback fired
+    dirty_rows: int  # H-distance rows recomputed (BFS runs)
+    dirty_tables: int  # per-source tables re-argmin'd
+    entries_updated: int  # table cells whose next hop actually changed
+    seconds: float
+
+
+class RoutingService:
+    """Serve next-hop routing tables that stay exact under churn.
+
+    Parameters mirror :class:`~repro.dynamic.maintainer.SpannerMaintainer`
+    (construction selection + ``rebuild_fraction``); the service owns its
+    maintainer and must be driven exclusively through :meth:`apply` /
+    :meth:`apply_batch`.
+
+    State is two dense int32 matrices: ``D[w, v] = d_H(w, v)`` (−1 for
+    unreachable) and ``T[u, v] =`` next hop of *u* toward *v* (−1 for
+    unroutable or ``v == u``).  :meth:`table` projects a row of T into the
+    dict shape :func:`~repro.routing.tables.routing_table` returns.
+    """
+
+    def __init__(
+        self,
+        g: Graph,
+        method: str = "kcover",
+        *,
+        k: "int | None" = None,
+        epsilon: "float | None" = None,
+        r: "int | None" = None,
+        rebuild_fraction: float = 0.25,
+    ) -> None:
+        self.maintainer = SpannerMaintainer(
+            g, method, k=k, epsilon=epsilon, r=r, rebuild_fraction=rebuild_fraction
+        )
+        self.events_applied = 0
+        self.rows_recomputed = 0
+        self.tables_recomputed = 0
+        self.entries_updated = 0
+        self.full_refreshes = 0
+        self._dist = np.empty((0, 0), dtype=np.int32)
+        self._tables = np.empty((0, 0), dtype=np.int32)
+        self.refresh()
+        # Counters measure *serving* work: zero out the initial population.
+        self.rows_recomputed = 0
+        self.tables_recomputed = 0
+        self.entries_updated = 0
+        self.full_refreshes = 0
+
+    # ------------------------------------------------------------------ #
+    # read side
+    # ------------------------------------------------------------------ #
+
+    @property
+    def graph(self) -> Graph:
+        """The live topology G (read-only — drive churn through apply)."""
+        return self.maintainer.graph
+
+    @property
+    def advertised(self) -> Graph:
+        """The live advertised sub-graph H (the maintained spanner)."""
+        return self.maintainer.spanner.graph
+
+    def table(self, u: int) -> dict:
+        """Node *u*'s next-hop table, in :func:`routing_table`'s dict shape."""
+        self.graph._check(u)
+        row = self._tables[u]
+        return {int(v): int(row[v]) for v in np.flatnonzero(row >= 0)}
+
+    def next_hop(self, u: int, v: int) -> "int | None":
+        """The served next hop of *u* toward *v* (None when unroutable)."""
+        g = self.graph
+        g._check(u)
+        if u == v:
+            raise ParameterError("source equals target")
+        if not (0 <= v < g.num_nodes):
+            raise NodeNotFound(v, g.num_nodes)
+        hop = int(self._tables[u, v])
+        return hop if hop >= 0 else None
+
+    # ------------------------------------------------------------------ #
+    # write side
+    # ------------------------------------------------------------------ #
+
+    def apply(self, event: "EdgeEvent | NodeEvent") -> ServeReport:
+        """Apply one event; repair spanner, distance rows and tables."""
+        t0 = time.perf_counter()
+        star_changed = self._star_damage(event)
+        report = self.maintainer.apply(event)
+        self.events_applied += 1
+        if not report.changed:
+            return ServeReport(1, False, False, 0, 0, 0, time.perf_counter() - t0)
+        stats = self._ingest(report.h_added, report.h_removed, star_changed, report.rebuilt)
+        return ServeReport(1, True, *stats, seconds=time.perf_counter() - t0)
+
+    def apply_batch(self, events: "Sequence[EdgeEvent | NodeEvent]") -> ServeReport:
+        """Apply one tick of events with a single coalesced repair."""
+        t0 = time.perf_counter()
+        events = list(events)
+        try:
+            report = self.maintainer.apply_batch(events)
+        except Exception:
+            # A malformed mid-batch event made the maintainer rebuild over
+            # the partially-applied tick; resync (and resize) the matrices
+            # to the rebuilt spanner before surfacing the error.
+            self.refresh()
+            raise
+        self.events_applied += len(events)
+        if not report.changed:
+            return ServeReport(len(events), False, False, 0, 0, 0, time.perf_counter() - t0)
+        star_changed = {x for e in (*report.g_added, *report.g_removed) for x in e}
+        stats = self._ingest(report.h_added, report.h_removed, star_changed, report.rebuilt)
+        return ServeReport(len(events), True, *stats, seconds=time.perf_counter() - t0)
+
+    def apply_stream(
+        self, events: "Iterable[EdgeEvent | NodeEvent]", tick: int = 1
+    ) -> "list[ServeReport]":
+        """Apply a stream, singly (``tick=1``) or in coalesced ticks."""
+        if tick < 1:
+            raise ParameterError(f"tick must be ≥ 1, got {tick}")
+        events = list(events)
+        if tick == 1:
+            return [self.apply(ev) for ev in events]
+        return [
+            self.apply_batch(events[lo : lo + tick]) for lo in range(0, len(events), tick)
+        ]
+
+    def refresh(self) -> None:
+        """Recompute every distance row and table from scratch (fallback)."""
+        g = self.maintainer.graph
+        n = g.num_nodes
+        h = self.advertised.freeze()
+        dist = np.full((n, n), -1, dtype=np.int32)
+        for s, row in batched_bfs(h, arrays=True):
+            dist[s] = row
+        self._dist = dist
+        if self._tables.shape != (n, n):
+            self._tables = np.full((n, n), -1, dtype=np.int32)
+        # Re-project in place so entries_updated keeps counting only cells
+        # whose next hop actually changed, refresh or not.
+        for u in range(n):
+            self._project_table(u, None)
+        self.full_refreshes += 1
+        self.rows_recomputed += n
+        self.tables_recomputed += n
+
+    # ------------------------------------------------------------------ #
+    # incremental machinery
+    # ------------------------------------------------------------------ #
+
+    def _star_damage(self, event: "EdgeEvent | NodeEvent") -> set[int]:
+        """Sources whose G-neighborhood this event edits (pre-application).
+
+        A leave severs every incident G edge, so the leaver *and all its
+        former neighbors* lose an argmin candidate — even when H never
+        carried those edges and no distance row moves.
+        """
+        if isinstance(event, NodeEvent):
+            if event.kind == LEAVE:
+                return {event.node, *self.maintainer.graph.neighbors(event.node)}
+            return set()  # a joined node is covered as a fresh row/table
+        return {event.u, event.v}
+
+    def _ingest(
+        self,
+        h_added: "tuple[tuple[int, int], ...]",
+        h_removed: "tuple[tuple[int, int], ...]",
+        star_changed: set[int],
+        rebuilt: bool,
+    ) -> "tuple[bool, int, int, int]":
+        """Fold one repair's deltas into the matrices.
+
+        Returns ``(refreshed, dirty_rows, dirty_tables, entries_updated)``.
+        """
+        g = self.maintainer.graph
+        n = g.num_nodes
+        old_dim = self._dist.shape[0]
+        if n != old_dim:  # node churn grew the id space: pad with -1
+            dist = np.full((n, n), -1, dtype=np.int32)
+            dist[:old_dim, :old_dim] = self._dist
+            self._dist = dist
+            tables = np.full((n, n), -1, dtype=np.int32)
+            tables[:old_dim, :old_dim] = self._tables
+            self._tables = tables
+        if rebuilt:  # global churn: the maintainer rebuilt, so do we
+            before = self.entries_updated
+            self.refresh()
+            return True, n, n, self.entries_updated - before
+        new_nodes = range(old_dim, n)
+        dirty_rows = self._dirty_rows(h_added, h_removed)
+        dirty_rows.update(new_nodes)
+        changed_cols: "dict[int, np.ndarray]" = {}
+        if dirty_rows:
+            h = self.advertised.freeze()
+            order = sorted(dirty_rows)
+            for s, new_row in batched_bfs(h, order, arrays=True):
+                mask = new_row != self._dist[s]
+                if mask.any():
+                    changed_cols[s] = mask
+                self._dist[s] = new_row
+            self.rows_recomputed += len(order)
+        # A table moves only if its argmin inputs did: a neighbor's row
+        # changed, or its own G-star changed (None mask = all destinations).
+        damage: "dict[int, np.ndarray | None]" = {u: None for u in star_changed}
+        for v in new_nodes:
+            damage[v] = None
+        for w, mask in changed_cols.items():
+            for u in g.neighbors(w):
+                current = damage.get(u, False)
+                if current is None:
+                    continue
+                if current is False:
+                    damage[u] = mask.copy()
+                else:
+                    current |= mask
+        entries_before = self.entries_updated
+        tables_touched = 0
+        for u, mask in damage.items():
+            cols = None if mask is None else np.flatnonzero(mask)
+            if cols is not None and cols.size == 0:
+                continue
+            self._project_table(u, cols)
+            tables_touched += 1
+        self.tables_recomputed += tables_touched
+        return False, len(dirty_rows), tables_touched, self.entries_updated - entries_before
+
+    def _dirty_rows(
+        self,
+        h_added: "tuple[tuple[int, int], ...]",
+        h_removed: "tuple[tuple[int, int], ...]",
+    ) -> set[int]:
+        """Sources whose H-BFS row may have changed, from the old matrix.
+
+        Certified complement — a row failing every test below kept all its
+        distances.  Inserted edges shrink row *w* only when they shortcut
+        it (``|D[w,x] − D[w,y]| > 1`` with unreachable = ∞).  A removed
+        edge stretches row *w* only when it was *tight*
+        (``D[w,x] + 1 = D[w,y]``) **and** the farther endpoint has no
+        surviving equally-tight parent: any shortest path that crossed
+        ``xy`` reroutes through an alternative parent ``z`` with
+        ``D[w,z] + 1 = D[w,y]`` and ``zy`` still in H, level by level, so
+        the whole row is preserved (the alternative-parent induction of
+        dynamic SSSP).  The joint evaluation on the *old* matrix is exact:
+        rows passing the deletion tests keep their distances through all
+        deletions, making the insertion test's baseline valid.
+        """
+        d = self._dist
+        n = d.shape[0]
+        if n == 0 or (not h_added and not h_removed):
+            return set()
+        h = self.advertised  # post-repair H: alternatives must survive
+        dirty = np.zeros(n, dtype=bool)
+        for x, y in h_removed:
+            dx = d[:, x].astype(np.int64)
+            dy = d[:, y].astype(np.int64)
+            for near, far, far_node in ((dx, dy, y), (dy, dx, x)):
+                tight = (near >= 0) & (near + 1 == far)
+                if not tight.any():
+                    continue
+                alts = sorted(h.neighbors(far_node))
+                if alts:
+                    block = d[:, alts].astype(np.int64)
+                    rescued = ((block >= 0) & (block + 1 == far[:, None])).any(axis=1)
+                    tight &= ~rescued
+                dirty |= tight
+            # Defensive: mixed reachability should be impossible for an old
+            # H edge; treat it as dirty rather than provably clean.
+            dirty |= (dx < 0) != (dy < 0)
+        for x, y in h_added:
+            dx = np.where(d[:, x] < 0, _FAR, d[:, x]).astype(np.int64)
+            dy = np.where(d[:, y] < 0, _FAR, d[:, y]).astype(np.int64)
+            # The new edge shortcuts w's view of one endpoint → row shrinks.
+            dirty |= np.abs(dx - dy) > 1
+        return {int(w) for w in np.flatnonzero(dirty)}
+
+    def _project_table(self, u: int, cols: "np.ndarray | None") -> None:
+        """Re-argmin table row *u* (restricted to destination *cols*)."""
+        g = self.maintainer.graph
+        row = self._tables[u]
+        nbrs = sorted(g.neighbors(u))
+        if cols is None:
+            old = row.copy()
+            if not nbrs:
+                row[:] = -1
+                self.entries_updated += int((old != row).sum())
+                return
+            block = self._dist[nbrs]
+        else:
+            old = row[cols].copy()
+            if not nbrs:
+                row[cols] = -1
+                self.entries_updated += int((old != row[cols]).sum())
+                return
+            block = self._dist[np.ix_(nbrs, cols)]
+        hops = _argmin_hops(block, nbrs)
+        if cols is None:
+            row[:] = hops
+            row[u] = -1
+            self.entries_updated += int((old != row).sum())
+        else:
+            row[cols] = hops
+            row[u] = -1
+            self.entries_updated += int((old != row[cols]).sum())

@@ -448,6 +448,7 @@ def batched_bfs(
     cutoff: "int | None" = None,
     chunk: int = _BATCH_CHUNK,
     backend: str = "auto",
+    arrays: bool = False,
 ) -> Iterator["tuple[int, list[int]]"]:
     """Yield ``(source, dist)`` for each source — the amortized per-node loop.
 
@@ -461,8 +462,11 @@ def batched_bfs(
     node.
 
     Yields in the order of *sources* (default: all nodes).  Each ``dist``
-    is a fresh list the caller owns.  Results agree exactly with
-    ``bfs_distances(g, s, cutoff)`` — the property tests assert it.
+    is a fresh list the caller owns — or, with ``arrays=True``, a
+    read-only int32 ndarray (a view into the chunk buffer: numpy consumers
+    like the routing-table kernels skip the list round-trip; copy before
+    mutating).  Results agree exactly with ``bfs_distances(g, s, cutoff)``
+    — the property tests assert it.
 
     On graphs below the auto threshold (``backend="auto"``) the engine is
     skipped entirely and each source runs a plain set-backend BFS — the
@@ -479,7 +483,8 @@ def batched_bfs(
     ):
         src_iter = range(g.num_nodes) if sources is None else sources
         for s in src_iter:
-            yield int(s), bfs_distances(g, s, cutoff, backend="sets")
+            dist = bfs_distances(g, s, cutoff, backend="sets")
+            yield int(s), (np.asarray(dist, dtype=np.int32) if arrays else dist)
         return
     csr = g if isinstance(g, CSRGraph) else g.freeze()
     n = csr.num_nodes
@@ -519,7 +524,7 @@ def batched_bfs(
                 frontier = np.flatnonzero(dist == d)
         rows = dist.reshape(b, n)
         for i, s in enumerate(src_list[lo : lo + b]):
-            yield int(s), rows[i].tolist()
+            yield int(s), (rows[i] if arrays else rows[i].tolist())
 
 
 def batched_bfs_parents(

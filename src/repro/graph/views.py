@@ -126,6 +126,26 @@ class AugmentedView:
             frontier = nxt
         return dist
 
+    def freeze(self):
+        """Materialize :math:`H_u` as an immutable CSR snapshot.
+
+        Only node *u*'s adjacency row and the rows of its grafted
+        neighbors ``N_G(u) \\ N_H(u)`` differ from ``H``, so the snapshot
+        is built by patching H's own frozen snapshot
+        (:meth:`CSRGraph.patched <repro.graph.csr.CSRGraph.patched>`):
+        O(deg_G(u)) row re-sorts plus bulk span copies instead of a full
+        O(n + m) conversion.  When nothing is grafted the result *is* H's
+        snapshot.  This is what lets per-node BFS loops over :math:`H_u`
+        (the routing-table kernel in :mod:`repro.routing.tables`) run on
+        the batched flat-array engine.
+        """
+        from .csr import CSRGraph
+
+        base = self._h.freeze() if isinstance(self._h, Graph) else CSRGraph.from_graph(self._h)
+        if not self._extra:
+            return base
+        return CSRGraph.patched(base, self, {self._u, *self._extra})
+
     def _csr_distances_from_u(self, cutoff: "int | None") -> list[int]:
         """Flat-array BFS from *u* on H's fresh CSR snapshot."""
         import numpy as np

@@ -1,9 +1,10 @@
-"""Edge-event streams: determinism, replay consistency, scenario shapes."""
+"""Event streams: determinism, replay consistency, scenario shapes."""
 
 import pytest
 
 from repro.dynamic import (
     EdgeEvent,
+    NodeEvent,
     SCENARIO_NAMES,
     apply_event,
     apply_events,
@@ -11,6 +12,7 @@ from repro.dynamic import (
     growth_scenario,
     make_scenario,
     mobility_scenario,
+    node_churn_scenario,
 )
 from repro.errors import GraphError, ParameterError
 from repro.graph import Graph
@@ -46,6 +48,38 @@ class TestEdgeEvent:
         events = [EdgeEvent.add(0, 1), EdgeEvent.add(1, 2), EdgeEvent.remove(0, 1)]
         assert apply_events(g, events) == 3
         assert g.edge_set() == {(1, 2)}
+
+
+class TestNodeEvent:
+    def test_kind_and_node_validation(self):
+        with pytest.raises(ParameterError):
+            NodeEvent("teleport", 3)
+        with pytest.raises(ParameterError):
+            NodeEvent.join(-1)
+
+    def test_join_appends_dense_id(self):
+        g = Graph(3, [(0, 1)])
+        assert apply_event(g, NodeEvent.join(3)) is True
+        assert g.num_nodes == 4 and g.degree(3) == 0
+
+    def test_join_with_non_dense_id_rejected(self):
+        g = Graph(3)
+        with pytest.raises(GraphError):
+            apply_event(g, NodeEvent.join(5))
+        with pytest.raises(GraphError):
+            apply_event(g, NodeEvent.join(1))
+
+    def test_leave_isolates_but_keeps_id_slot(self):
+        g = Graph(4, [(0, 1), (1, 2), (1, 3)])
+        assert apply_event(g, NodeEvent.leave(1)) is True
+        assert g.num_nodes == 4 and g.num_edges == 0
+        assert g.degree(1) == 0
+
+    def test_leave_of_isolated_node_is_strict_noop(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            apply_event(g, NodeEvent.leave(2))
+        assert apply_event(g, NodeEvent.leave(2), strict=False) is False
 
 
 @pytest.mark.parametrize("name", SCENARIO_NAMES)
@@ -99,6 +133,36 @@ class TestScenarioShapes:
         assert sc.num_events == 33
         assert sc.initial.num_nodes == sc.final.num_nodes == 50
 
+    def test_node_churn_mixes_joins_leaves_and_wiring(self):
+        sc = node_churn_scenario(40, 60, seed=12)
+        kinds = {type(ev).__name__ for ev in sc.events}
+        assert kinds == {"NodeEvent", "EdgeEvent"}
+        joins = [ev for ev in sc.events if isinstance(ev, NodeEvent) and ev.kind == "join"]
+        leaves = [ev for ev in sc.events if isinstance(ev, NodeEvent) and ev.kind == "leave"]
+        assert joins and leaves
+        # Joins claim consecutive dense ids starting at the initial n.
+        assert [ev.node for ev in joins] == list(range(40, 40 + len(joins)))
+        assert sc.final.num_nodes == 40 + len(joins)
+        # Every edge event wires a joined node to an already present one.
+        joined = {ev.node for ev in joins}
+        assert all(ev.v in joined for ev in sc.events if isinstance(ev, EdgeEvent))
+
+    def test_node_churn_left_ids_stay_isolated(self):
+        sc = node_churn_scenario(30, 40, seed=7)
+        left: set[int] = set()
+        for ev in sc.events:
+            if isinstance(ev, NodeEvent):
+                # A left id slot stays dormant: it never joins again (joins
+                # always claim a fresh dense id) and is never re-wired.
+                assert ev.node not in left
+                if ev.kind == "leave":
+                    left.add(ev.node)
+            else:
+                assert ev.u not in left and ev.v not in left
+        assert left
+        for u in left:
+            assert sc.final.degree(u) == 0
+
     def test_unknown_scenario_rejected(self):
         with pytest.raises(ParameterError):
             make_scenario("tectonic", 10, 5)
@@ -112,3 +176,7 @@ class TestScenarioShapes:
             failure_recovery_scenario(30, 5, fail_prob=1.5)
         with pytest.raises(ParameterError):
             growth_scenario(20, num_events=0)
+        with pytest.raises(ParameterError):
+            node_churn_scenario(1, 5)
+        with pytest.raises(ParameterError):
+            node_churn_scenario(20, 5, leave_prob=0.0)

@@ -12,13 +12,14 @@ import pytest
 
 from repro.dynamic import (
     EdgeEvent,
+    NodeEvent,
     SCENARIO_NAMES,
     SpannerMaintainer,
     locality_radius,
     make_scenario,
     resolve_construction,
 )
-from repro.errors import ParameterError
+from repro.errors import GraphError, ParameterError
 from repro.graph import Graph
 from repro.graph.generators import gnp_random_graph, random_connected_gnp
 
@@ -92,14 +93,19 @@ class TestFallbackAndReports:
         assert all(r.rebuilt == (r.dirty == m.graph.num_nodes) for r in reports if r.changed)
         assert_matches_scratch(m, "after fallback-heavy stream")
 
-    def test_no_op_event_reports_unchanged(self):
+    def test_no_op_event_reports_unchanged_but_counted(self):
         g = random_connected_gnp(30, 0.1, seed=3)
         m = SpannerMaintainer(g, "kcover")
         before = m.spanner.graph.copy()
         u, v = next(iter(g.edges()))
         report = m.apply(EdgeEvent.add(u, v))  # already present
         assert report.changed is False and report.dirty == 0
-        assert m.spanner.graph == before and m.events_applied == 0
+        assert m.spanner.graph == before
+        # No-ops still count as applied events and report real elapsed time
+        # (a hardcoded 0.0 would skew churn-report per-event averages).
+        assert m.events_applied == 1
+        assert report.seconds > 0.0
+        assert report.h_added == () and report.h_removed == ()
 
     def test_counters_accumulate(self):
         initial, events = random_event_stream(40, 20, seed=5)
@@ -116,6 +122,125 @@ class TestFallbackAndReports:
         u, v = next(iter(g.edges()))
         g.remove_edge(u, v)  # caller mutates their copy...
         assert m.graph.has_edge(u, v)  # ...the maintainer's stays intact
+
+
+class TestNodeEvents:
+    def test_join_then_wire_then_leave_stays_exact(self):
+        g = random_connected_gnp(25, 0.12, seed=6)
+        m = SpannerMaintainer(g, "kcover", rebuild_fraction=1.0)
+        report = m.apply(NodeEvent.join(25))
+        assert report.changed and report.dirty == 1
+        assert m.graph.num_nodes == 26 == m.spanner.graph.num_nodes
+        assert_matches_scratch(m, "after join")
+        for w in (0, 3, 7):
+            m.apply(EdgeEvent.add(25, w))
+            assert_matches_scratch(m, f"after wiring 25-{w}")
+        report = m.apply(NodeEvent.leave(25))
+        assert report.changed and report.dirty >= 1
+        assert m.graph.degree(25) == 0  # isolated, id slot kept
+        assert m.graph.num_nodes == 26
+        assert_matches_scratch(m, "after leave")
+
+    def test_join_requires_dense_id(self):
+        m = SpannerMaintainer(Graph(5), "kcover")
+        with pytest.raises(GraphError):
+            m.apply(NodeEvent.join(7))
+        with pytest.raises(GraphError):
+            m.apply(NodeEvent.join(3))
+
+    def test_leave_of_isolated_node_is_noop(self):
+        g = Graph(6, [(0, 1), (1, 2)])
+        m = SpannerMaintainer(g, "kcover")
+        report = m.apply(NodeEvent.leave(5))
+        assert report.changed is False and report.dirty == 0
+        assert m.events_applied == 1
+
+    def test_leave_dirty_region_covers_all_severed_edges(self):
+        # A high-degree leaver must dirty roots around *every* former link.
+        sc = make_scenario("nodechurn", 50, 60, seed=19)
+        m = SpannerMaintainer(sc.initial, "kcover", rebuild_fraction=1.0)
+        for i, ev in enumerate(sc.events, start=1):
+            m.apply(ev)
+            if isinstance(ev, NodeEvent) or i == sc.num_events:
+                assert_matches_scratch(m, f"nodechurn after event {i}")
+        assert m.graph == sc.final
+
+
+class TestBatchedApplication:
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_ticks_match_scratch_after_every_batch(self, name):
+        sc = make_scenario(name, 40, 60, seed=23)
+        m = SpannerMaintainer(sc.initial, "kcover", rebuild_fraction=1.0)
+        events = list(sc.events)
+        for lo in range(0, len(events), 7):
+            report = m.apply_batch(events[lo : lo + 7])
+            assert report.events == len(events[lo : lo + 7])
+            assert_matches_scratch(m, f"{name} after tick at {lo}")
+        assert m.graph == sc.final
+        assert m.events_applied == len(events)
+
+    def test_batch_equals_sequential_application(self):
+        sc = make_scenario("failure", 40, 50, seed=4)
+        seq = SpannerMaintainer(sc.initial, "kcover", rebuild_fraction=1.0)
+        seq.apply_stream(sc.events)
+        bat = SpannerMaintainer(sc.initial, "kcover", rebuild_fraction=1.0)
+        bat.apply_batch(list(sc.events))
+        assert seq.spanner.graph == bat.spanner.graph
+        assert seq.spanner.trees == bat.spanner.trees
+        # One coalesced repair recomputes each dirty root at most once.
+        assert bat.trees_recomputed <= seq.trees_recomputed
+
+    def test_flapping_link_cancels_in_batch(self):
+        g = random_connected_gnp(30, 0.12, seed=11)
+        m = SpannerMaintainer(g, "kcover")
+        u, v = next(iter(g.edges()))
+        before = m.trees_recomputed
+        report = m.apply_batch([EdgeEvent.remove(u, v), EdgeEvent.add(u, v)])
+        assert report.changed is False
+        assert report.g_added == () and report.g_removed == ()
+        assert m.trees_recomputed == before  # no net change → no tree churn
+        assert m.events_applied == 2
+
+    def test_batch_reports_net_deltas(self):
+        g = Graph(6, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        m = SpannerMaintainer(g, "kcover", rebuild_fraction=1.0)
+        report = m.apply_batch(
+            [
+                EdgeEvent.remove(3, 4),
+                NodeEvent.join(6),
+                EdgeEvent.add(5, 6),
+                EdgeEvent.add(0, 6),
+            ]
+        )
+        assert report.g_removed == ((3, 4),)
+        assert report.g_added == ((0, 6), (5, 6))
+        assert report.nodes_joined == (6,)
+        assert_matches_scratch(m, "after mixed batch")
+
+    def test_empty_batch_is_noop(self):
+        m = SpannerMaintainer(Graph(4, [(0, 1)]), "kcover")
+        report = m.apply_batch([])
+        assert report.changed is False and report.events == 0
+
+    def test_mid_batch_error_restores_exactness(self):
+        # A malformed event mid-batch must not leave the spanner silently
+        # diverged from the (partially mutated) graph.
+        g = random_connected_gnp(25, 0.12, seed=14)
+        m = SpannerMaintainer(g, "kcover")
+        u, v = next((u, v) for u in g.nodes() for v in g.nodes() if u < v and not g.has_edge(u, v))
+        with pytest.raises(GraphError):
+            m.apply_batch([EdgeEvent.add(u, v), NodeEvent.join(999)])
+        assert m.graph.has_edge(u, v)  # the valid prefix was applied
+        assert_matches_scratch(m, "after failed batch")
+
+    def test_batch_fallback_stays_exact(self):
+        sc = make_scenario("failure", 50, 40, seed=8)
+        m = SpannerMaintainer(sc.initial, "kcover", rebuild_fraction=0.01)
+        events = list(sc.events)
+        for lo in range(0, len(events), 10):
+            m.apply_batch(events[lo : lo + 10])
+        assert m.full_rebuilds > 0
+        assert_matches_scratch(m, "after fallback-heavy batches")
 
 
 class TestConstructionRegistry:
@@ -142,3 +267,12 @@ class TestConstructionRegistry:
             resolve_construction("mis", r=1)
         with pytest.raises(ParameterError):
             SpannerMaintainer(Graph(4), "kcover", rebuild_fraction=0.0)
+
+    def test_kmis_rejects_k_below_two(self):
+        # k=1 used to be silently rewritten to 2; now it is a loud error.
+        with pytest.raises(ParameterError, match="k ≥ 2"):
+            resolve_construction("kmis", k=1)
+        with pytest.raises(ParameterError):
+            SpannerMaintainer(Graph(4), "kmis", k=1)
+        # The per-method default is still the valid k=2.
+        assert resolve_construction("kmis").label == "kmis(k=2)"

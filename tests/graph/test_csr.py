@@ -217,6 +217,19 @@ class TestBatchedBfs:
         assert list(batched_bfs(Graph(0))) == []
         assert list(batched_bfs(path_graph(3), [])) == []
 
+    def test_arrays_option_matches_lists_on_both_paths(self):
+        import numpy as np
+
+        # Engine path (CSR) and small-graph sets fallback must both yield
+        # int32 ndarray rows identical to the list form.
+        for g in (random_connected_gnp(80, 0.06, seed=4), path_graph(9)):
+            for (s, dist), (s2, row) in zip(
+                batched_bfs(g, cutoff=3), batched_bfs(g, cutoff=3, arrays=True)
+            ):
+                assert s == s2
+                assert isinstance(row, np.ndarray) and row.dtype == np.int32
+                assert row.tolist() == dist
+
 
 # --------------------------------------------------------------------- #
 # bounded_distance and the LRU distance cache

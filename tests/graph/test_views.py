@@ -73,6 +73,39 @@ class TestAugmentedGraph:
         assert h.num_edges == 0
 
 
+class TestViewFreeze:
+    def test_frozen_view_equals_materialized_csr(self):
+        from repro.graph.csr import CSRGraph
+
+        g = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+        h = g.spanning_subgraph([(1, 2), (3, 4)])
+        for u in g.nodes():
+            frozen = AugmentedView(h, g, u).freeze()
+            assert frozen == CSRGraph.from_graph(augmented_graph(h, g, u))
+
+    def test_nothing_grafted_reuses_h_snapshot(self):
+        g = path_graph(5)
+        h = g.copy()  # H already carries every edge of G
+        snap = h.freeze()
+        assert AugmentedView(h, g, 2).freeze() is snap
+
+    def test_freeze_leaves_h_unchanged(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        h = g.spanning_subgraph([(1, 2)])
+        AugmentedView(h, g, 0).freeze()
+        assert h.edge_set() == {(1, 2)}
+
+
+@given(graph_with_subgraph())
+def test_frozen_view_matches_materialized_csr_property(pair):
+    from repro.graph.csr import CSRGraph
+
+    g, h = pair
+    for u in g.nodes():
+        frozen = AugmentedView(h, g, u).freeze()
+        assert frozen == CSRGraph.from_graph(augmented_graph(h, g, u))
+
+
 @given(graph_with_subgraph())
 def test_augmented_distances_equal_materialized_bfs(pair):
     g, h = pair

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.core import build_k_connecting_spanner, build_remote_spanner
 from repro.errors import ParameterError
-from repro.graph import bfs_distances
+from repro.graph import Graph, bfs_distances
 from repro.graph.generators import (
     cycle_graph,
     grid_graph,
@@ -19,10 +19,11 @@ from repro.routing import (
     route,
     route_all_pairs_stats,
     routing_table,
+    routing_table_scan,
     spanner_advertisement_cost,
 )
 
-from ..conftest import connected_graphs
+from ..conftest import connected_graphs, graph_with_subgraph
 
 
 class TestNextHop:
@@ -44,6 +45,58 @@ class TestNextHop:
         rs = build_k_connecting_spanner(g, k=1)
         table = routing_table(rs.graph, g, 0)
         assert set(table) == {v for v in g.nodes() if v != 0}
+
+    def test_source_equals_target_rejected(self):
+        # u == v used to raise NodeNotFound for a node that exists; the
+        # error now matches route()'s contract.
+        g = grid_graph(3, 3)
+        with pytest.raises(ParameterError, match="source equals target"):
+            next_hop(g, g, 4, 4)
+
+
+class TestTableKernels:
+    """The neighbor-sourced kernel must equal the per-destination scan."""
+
+    @given(graph_with_subgraph(min_nodes=2, max_nodes=10))
+    @settings(max_examples=60, deadline=None)
+    def test_kernels_agree_on_arbitrary_subgraphs(self, pair):
+        g, h = pair
+        for u in g.nodes():
+            assert routing_table(h, g, u) == routing_table_scan(h, g, u)
+
+    def test_kernels_agree_on_udg_spanner(self):
+        from repro.experiments import largest_component, scaled_udg
+
+        g_full, _pts = scaled_udg(120, target_degree=10.0, seed=44)
+        g, _ids = largest_component(g_full)
+        rs = build_remote_spanner(g, epsilon=0.5)
+        for u in range(0, g.num_nodes, 7):
+            assert routing_table(rs.graph, g, u) == routing_table_scan(rs.graph, g, u)
+
+    def test_isolated_source_has_empty_table(self):
+        g = Graph(4, [(1, 2), (2, 3)])
+        h = g.spanning_subgraph([(1, 2)])
+        assert routing_table(h, g, 0) == {}
+        assert routing_table_scan(h, g, 0) == {}
+
+    def test_table_next_hop_and_route_agree(self):
+        """table[v] == next_hop(u, v) == route's first hop, pointwise."""
+        from repro.experiments import largest_component, scaled_udg
+
+        g_full, _pts = scaled_udg(80, target_degree=9.0, seed=45)
+        g, _ids = largest_component(g_full)
+        rs = build_k_connecting_spanner(g, k=1)
+        h = rs.graph
+        for u in range(0, g.num_nodes, 11):
+            table = routing_table(h, g, u)
+            for v in g.nodes():
+                if v == u:
+                    continue
+                hop = next_hop(h, g, u, v)
+                assert table.get(v) == hop
+                if hop is not None:
+                    res = route(h, g, u, v)
+                    assert res.path[1] == hop
 
 
 class TestGreedyRoute:

@@ -43,6 +43,7 @@ class TestCli:
             "epssweep",
             "rounds",
             "churn",
+            "serve",
             "demo",
         ):
             args = parser.parse_args([cmd])
@@ -65,6 +66,52 @@ class TestCli:
         for scenario in ("mobility", "failure", "growth"):
             row = next(line for line in out.splitlines() if f"| {scenario}" in line)
             assert row.rstrip(" |").endswith("yes"), row
+
+    def test_scenario_choices_match_registry(self):
+        # The parser hardcodes its scenario list to keep `--help` free of
+        # the repro.dynamic import chain; it must mirror SCENARIO_NAMES.
+        from repro.dynamic import SCENARIO_NAMES
+
+        parser = build_parser()
+        for cmd in ("churn", "serve"):
+            args = parser.parse_args([cmd])
+            assert args.command == cmd
+        for name in SCENARIO_NAMES:
+            assert parser.parse_args(["serve", "--scenario", name]).scenario == name
+            assert parser.parse_args(["churn", "--scenario", name]).scenario == name
+        with pytest.raises(SystemExit):
+            parser.parse_args(["serve", "--scenario", "tectonic"])
+
+    def test_serve_command_verified(self, capsys):
+        rc = main(
+            ["serve", "--n", "50", "--events", "20", "--check-every", "10", "--seed", "7"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0  # 0 iff served tables match from-scratch routing_table
+        assert "matches scratch" in out
+        for scenario in ("mobility", "failure", "growth", "nodechurn"):
+            row = next(line for line in out.splitlines() if f"| {scenario}" in line)
+            assert row.rstrip(" |").endswith("yes"), row
+
+    def test_serve_command_batched_nodechurn(self, capsys):
+        rc = main(
+            [
+                "serve",
+                "--scenario",
+                "nodechurn",
+                "--n",
+                "40",
+                "--events",
+                "15",
+                "--tick",
+                "5",
+                "--seed",
+                "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "tick 5" in out and "nodechurn" in out
 
     def test_churn_command_single_scenario_mis(self, capsys):
         rc = main(
