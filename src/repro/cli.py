@@ -9,6 +9,8 @@
     python -m repro rounds                 # distributed round counts
     python -m repro churn                  # incremental spanner maintenance
     python -m repro serve --tick 5         # routing tables under node/edge churn
+    python -m repro serve --workers 4      # sharded: repairs fan out over a pool
+    python -m repro tune                   # calibrate traversal tuning knobs
     python -m repro demo --n 250 --seed 7  # one-off build + verify + stats
 
 Each subcommand prints the same artifacts the benchmark suite records, so
@@ -85,6 +87,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="verify against a from-scratch build every N events (0: final state only)",
         )
         p.add_argument("--seed", type=int, default=2009)
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="fan work out over N worker processes (repro.parallel); "
+            "default: single-process",
+        )
 
     p = sub.add_parser(
         "churn", help="evolving-graph churn: incremental spanner maintenance"
@@ -102,6 +111,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="events per coalesced batch (1: apply singly)",
     )
+    p.add_argument(
+        "--verify",
+        action="store_true",
+        help="check tables against a from-scratch build after every tick "
+        "(the final state is always checked)",
+    )
+
+    p = sub.add_parser(
+        "tune",
+        help="measure traversal tuning crossovers on this hardware "
+        "(repro.tuning: batch chunk, sets-vs-CSR threshold)",
+    )
+    p.add_argument("--n", type=int, default=1500, help="APSP calibration size")
+    p.add_argument("--quick", action="store_true", help="smaller, faster sweep")
+    p.add_argument("--seed", type=int, default=2009)
 
     p = sub.add_parser("demo", help="build + verify a spanner on one UDG")
     p.add_argument("--n", type=int, default=250)
@@ -245,6 +269,32 @@ def _cmd_churn(args) -> int:
     import time
 
     from .dynamic import SCENARIO_NAMES, SpannerMaintainer, make_scenario
+    from .graph import Graph
+
+    pool = None
+    if args.workers:
+        from .parallel import WorkerPool
+
+        pool = WorkerPool(args.workers)
+
+    def matches_rebuild(maintainer) -> bool:
+        # With --workers the from-scratch reference spanner is assembled by
+        # the pool: workers build the per-root trees on a shared CSR of the
+        # live graph, the parent unions the edges (parallel construction).
+        if pool is None:
+            return maintainer.spanner.graph == maintainer.rebuilt_from_scratch().graph
+        from .parallel import parallel_tree_edges
+
+        trees = parallel_tree_edges(
+            maintainer.graph,
+            args.method,
+            dict(k=args.k, epsilon=args.epsilon),
+            pool,
+        )
+        union = Graph(
+            maintainer.graph.num_nodes, (e for edges in trees.values() for e in edges)
+        )
+        return union == maintainer.spanner.graph
 
     names = SCENARIO_NAMES if args.scenario == "all" else (args.scenario,)
     rows = []
@@ -265,11 +315,11 @@ def _cmd_churn(args) -> int:
         for i, event in enumerate(scenario.events, start=1):
             reports.append(maintainer.apply(event))
             if args.check_every and i % args.check_every == 0:
-                ok = ok and maintainer.spanner.graph == maintainer.rebuilt_from_scratch().graph
+                ok = ok and matches_rebuild(maintainer)
                 checked_final = i == scenario.num_events
         elapsed = time.perf_counter() - t0
         if not checked_final:  # final state always verified, but only once
-            ok = ok and maintainer.spanner.graph == maintainer.rebuilt_from_scratch().graph
+            ok = ok and matches_rebuild(maintainer)
         all_ok = all_ok and ok
         dirty = [r.dirty for r in reports if r.changed]
         rows.append(
@@ -300,28 +350,46 @@ def _cmd_churn(args) -> int:
             title=(
                 f"churn — {args.method} maintenance, n={args.n}, "
                 f"{args.events} events, seed {args.seed}"
+                + (f", verified on {args.workers} workers" if args.workers else "")
             ),
         )
     )
+    if pool is not None:
+        pool.close()
     return 0 if all_ok else 1
 
 
 def _cmd_serve(args) -> int:
     from .dynamic import RoutingService, SCENARIO_NAMES, make_scenario
-    from .routing import routing_table
+    from .graph import distance_cache_info, sample_pairs
+    from .rng import derive_seed
+    from .routing import route_all_pairs_stats, routing_table
 
     names = SCENARIO_NAMES if args.scenario == "all" else (args.scenario,)
     rows = []
     all_ok = True
+    cache_lines = []
     for name in names:
         scenario = make_scenario(name, args.n, args.events, seed=args.seed)
-        service = RoutingService(
-            scenario.initial,
-            args.method,
-            k=args.k,
-            epsilon=args.epsilon,
-            rebuild_fraction=args.rebuild_fraction,
-        )
+        if args.workers:
+            from .parallel import ShardedRoutingService
+
+            service = ShardedRoutingService(
+                scenario.initial,
+                args.method,
+                workers=args.workers,
+                k=args.k,
+                epsilon=args.epsilon,
+                rebuild_fraction=args.rebuild_fraction,
+            )
+        else:
+            service = RoutingService(
+                scenario.initial,
+                args.method,
+                k=args.k,
+                epsilon=args.epsilon,
+                rebuild_fraction=args.rebuild_fraction,
+            )
 
         def tables_match() -> bool:
             h, g = service.advertised, service.graph
@@ -329,7 +397,8 @@ def _cmd_serve(args) -> int:
 
         ok = True
         events = list(scenario.events)
-        if args.check_every:
+        cadence = 1 if args.verify else args.check_every
+        if cadence:
             reports = []
             applied = 0
             for lo in range(0, len(events), args.tick):
@@ -338,7 +407,7 @@ def _cmd_serve(args) -> int:
                 prev, applied = applied, applied + len(tick)
                 # Verify whenever the tick crossed a check-every boundary
                 # (ticks need not divide the cadence evenly).
-                if prev // args.check_every < applied // args.check_every:
+                if prev // cadence < applied // cadence:
                     ok = ok and tables_match()
         else:
             reports = service.apply_stream(events, tick=args.tick)
@@ -348,6 +417,25 @@ def _cmd_serve(args) -> int:
         ok = ok and tables_match()  # final state always verified
         all_ok = all_ok and ok
         ticks = max(len(reports), 1)
+        mem = service.memory_stats()
+        # Route a sample of live traffic over the final (H, G): exercises
+        # the greedy forwarding path end-to-end, and its G-distance probes
+        # (plus sample_pairs' connectivity checks) run through the BFS
+        # distance cache whose counters are surfaced below.
+        pairs = sample_pairs(
+            service.graph,
+            60,
+            seed=derive_seed(args.seed, "serve-sample", name),
+            require_nonadjacent=False,
+        )
+        routed = route_all_pairs_stats(service.advertised, service.graph, pairs=pairs)
+        cache = distance_cache_info(service.graph)
+        cache_lines.append(
+            f"  {name}: routed {routed.delivered}/{routed.pairs} sampled pairs "
+            f"(max stretch {routed.max_stretch:.2f}); distance cache "
+            f"{cache.entries}/{cache.capacity} entries, {cache.hits} hits / "
+            f"{cache.misses} misses / {cache.evictions} evictions"
+        )
         rows.append(
             [
                 name,
@@ -357,9 +445,13 @@ def _cmd_serve(args) -> int:
                 service.entries_updated,
                 service.full_refreshes,
                 round(elapsed * 1e3 / max(len(events), 1), 2),
+                round(mem.total_bytes / 1e6, 2),
+                mem.dormant,
                 ok,
             ]
         )
+        if args.workers:
+            service.close()
     print(
         render_table(
             [
@@ -370,16 +462,58 @@ def _cmd_serve(args) -> int:
                 "entries upd",
                 "refreshes",
                 "ms/event",
+                "matrix MB",
+                "dormant ids",
                 "matches scratch",
             ],
             rows,
             title=(
                 f"serve — incremental routing tables over {args.method} maintenance, "
                 f"n={args.n}, {args.events} events, tick {args.tick}, seed {args.seed}"
+                + (f", {args.workers} workers" if args.workers else "")
             ),
         )
     )
+    print("\n".join(cache_lines))
     return 0 if all_ok else 1
+
+
+def _cmd_tune(args) -> int:
+    from . import tuning
+
+    result = tuning.calibrate(n=args.n, seed=args.seed, quick=args.quick)
+    cross = result["auto_min_nodes"]
+    print(
+        render_table(
+            ["n", "sets ms", "csr ms"],
+            [
+                [r["n"], round(r["sets_s"] * 1e3, 3), round(r["csr_s"] * 1e3, 3)]
+                for r in cross["rows"]
+            ],
+            title="sets vs CSR backend — one BFS per 4th node",
+        )
+    )
+    print()
+    chunk = result["batch_chunk"]
+    print(
+        render_table(
+            ["chunk", "APSP s"],
+            [[r["chunk"], round(r["apsp_s"], 3)] for r in chunk["rows"]],
+            title=f"batched_bfs chunk sweep — full APSP at n={chunk['n']}",
+        )
+    )
+    active = result["active"]
+    print()
+    print(
+        f"recommended: auto_min_nodes={cross['recommended']} "
+        f"(active {active.auto_min_nodes}), batch_chunk={chunk['recommended']} "
+        f"(active {active.batch_chunk})"
+    )
+    print("apply with:")
+    print(f"  export REPRO_AUTO_MIN_NODES={cross['recommended']}")
+    print(f"  export REPRO_BATCH_CHUNK={chunk['recommended']}")
+    print("or repro.tuning.configure(batch_chunk=..., auto_min_nodes=...)")
+    return 0
 
 
 def _cmd_demo(args) -> int:
@@ -423,6 +557,7 @@ _COMMANDS = {
     "rounds": _cmd_rounds,
     "churn": _cmd_churn,
     "serve": _cmd_serve,
+    "tune": _cmd_tune,
     "demo": _cmd_demo,
 }
 

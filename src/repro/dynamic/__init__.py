@@ -45,7 +45,7 @@ from .maintainer import (
     locality_radius,
     resolve_construction,
 )
-from .serving import RoutingService, ServeReport
+from .serving import MemoryStats, RoutingService, ServeReport
 
 __all__ = [
     "EdgeEvent",
@@ -64,6 +64,7 @@ __all__ = [
     "SpannerMaintainer",
     "locality_radius",
     "resolve_construction",
+    "MemoryStats",
     "RoutingService",
     "ServeReport",
 ]

@@ -40,9 +40,25 @@ or as coalesced ticks (:meth:`RoutingService.apply_batch` →
 tables are bit-identical to a from-scratch
 :func:`~repro.routing.tables.routing_table` on the live (H, G) — the
 property suite in ``tests/dynamic/test_serving.py`` asserts exactly this,
-entry for entry, across edge *and* node churn.  ``python -m repro serve``
-soaks the service from the shell; ``benchmarks/test_bench_routing.py``
-records the incremental-vs-recompute speedup as ``BENCH_routing.json``.
+entry for entry, across edge *and* node churn.
+
+The three inner stages — matrix (re)sizing, distance-row recompute, table
+projection — are overridable hooks (:meth:`_resize_matrices`,
+:meth:`_recompute_rows`, :meth:`_project_tables`): the multiprocess
+:class:`~repro.parallel.sharded.ShardedRoutingService` reuses every damage
+-tracking decision here and swaps only those stages for shared-memory
+fan-outs, which is what keeps it bit-identical by construction.
+
+Long-horizon memory control: joins grow the id space monotonically (a
+leave keeps its id slot), so the n×n matrices only ever grow.
+:meth:`memory_stats` reports the live matrix footprint and the dormant
+(degree-0) id count — also stamped on every :class:`ServeReport` — and
+:meth:`compact` renumbers the live ids densely, shedding the dormant rows
+and columns in one refresh.
+
+``python -m repro serve`` soaks the service from the shell;
+``benchmarks/test_bench_routing.py`` records the incremental-vs-recompute
+speedup as ``BENCH_routing.json``.
 """
 
 from __future__ import annotations
@@ -55,11 +71,11 @@ import numpy as np
 
 from ..errors import NodeNotFound, ParameterError
 from ..graph import Graph, batched_bfs
-from ..routing.tables import _FAR, _argmin_hops
+from ..routing.tables import _FAR, project_table_row
 from .events import LEAVE, EdgeEvent, NodeEvent
 from .maintainer import SpannerMaintainer
 
-__all__ = ["RoutingService", "ServeReport"]
+__all__ = ["RoutingService", "ServeReport", "MemoryStats"]
 
 
 @dataclass(frozen=True)
@@ -73,6 +89,22 @@ class ServeReport:
     dirty_tables: int  # per-source tables re-argmin'd
     entries_updated: int  # table cells whose next hop actually changed
     seconds: float
+    matrix_bytes: int = 0  # live D+T footprint after the call
+    dormant_ids: int = 0  # degree-0 id slots (compaction candidates)
+
+
+@dataclass(frozen=True)
+class MemoryStats:
+    """Serving-matrix footprint (see :meth:`RoutingService.memory_stats`)."""
+
+    nodes: int  # current id-space size n (matrix dimension)
+    dormant: int  # ids with no incident G edge (left nodes, empty slots)
+    dist_bytes: int  # D matrix footprint
+    table_bytes: int  # T matrix footprint
+
+    @property
+    def total_bytes(self) -> int:
+        return self.dist_bytes + self.table_bytes
 
 
 class RoutingService:
@@ -99,6 +131,7 @@ class RoutingService:
         r: "int | None" = None,
         rebuild_fraction: float = 0.25,
     ) -> None:
+        self._ctor = dict(method=method, k=k, epsilon=epsilon, r=r)
         self.maintainer = SpannerMaintainer(
             g, method, k=k, epsilon=epsilon, r=r, rebuild_fraction=rebuild_fraction
         )
@@ -107,6 +140,8 @@ class RoutingService:
         self.tables_recomputed = 0
         self.entries_updated = 0
         self.full_refreshes = 0
+        self.compactions = 0
+        self._mem_cache: "tuple | None" = None  # (graph, version, MemoryStats)
         self._dist = np.empty((0, 0), dtype=np.int32)
         self._tables = np.empty((0, 0), dtype=np.int32)
         self.refresh()
@@ -147,6 +182,31 @@ class RoutingService:
         hop = int(self._tables[u, v])
         return hop if hop >= 0 else None
 
+    def memory_stats(self) -> MemoryStats:
+        """Current matrix footprint + dormant-id count.
+
+        The O(n) dormant scan is memoized on ``Graph.version``, so the
+        per-event report stamping costs one scan per *mutating* event and
+        nothing for no-ops or repeated reads.
+        """
+        g = self.maintainer.graph
+        cached = self._mem_cache
+        if cached is not None and cached[0] is g and cached[1] == g.version:
+            return cached[2]
+        stats = MemoryStats(
+            nodes=g.num_nodes,
+            dormant=sum(not adj for adj in g._adj),
+            dist_bytes=self._matrix_bytes(self._dist),
+            table_bytes=self._matrix_bytes(self._tables),
+        )
+        self._mem_cache = (g, g.version, stats)
+        return stats
+
+    def _matrix_bytes(self, matrix: "np.ndarray") -> int:
+        """Real footprint of one serving matrix (logical bytes here; the
+        sharded service overrides with the shared blocks' capacity)."""
+        return int(matrix.nbytes)
+
     # ------------------------------------------------------------------ #
     # write side
     # ------------------------------------------------------------------ #
@@ -158,9 +218,9 @@ class RoutingService:
         report = self.maintainer.apply(event)
         self.events_applied += 1
         if not report.changed:
-            return ServeReport(1, False, False, 0, 0, 0, time.perf_counter() - t0)
+            return self._report(1, False, (False, 0, 0, 0), t0)
         stats = self._ingest(report.h_added, report.h_removed, star_changed, report.rebuilt)
-        return ServeReport(1, True, *stats, seconds=time.perf_counter() - t0)
+        return self._report(1, True, stats, t0)
 
     def apply_batch(self, events: "Sequence[EdgeEvent | NodeEvent]") -> ServeReport:
         """Apply one tick of events with a single coalesced repair."""
@@ -176,10 +236,27 @@ class RoutingService:
             raise
         self.events_applied += len(events)
         if not report.changed:
-            return ServeReport(len(events), False, False, 0, 0, 0, time.perf_counter() - t0)
+            return self._report(len(events), False, (False, 0, 0, 0), t0)
         star_changed = {x for e in (*report.g_added, *report.g_removed) for x in e}
         stats = self._ingest(report.h_added, report.h_removed, star_changed, report.rebuilt)
-        return ServeReport(len(events), True, *stats, seconds=time.perf_counter() - t0)
+        return self._report(len(events), True, stats, t0)
+
+    def _report(
+        self, events: int, changed: bool, stats: "tuple[bool, int, int, int]", t0: float
+    ) -> ServeReport:
+        mem = self.memory_stats()
+        refreshed, dirty_rows, dirty_tables, entries = stats
+        return ServeReport(
+            events=events,
+            changed=changed,
+            refreshed=refreshed,
+            dirty_rows=dirty_rows,
+            dirty_tables=dirty_tables,
+            entries_updated=entries,
+            seconds=time.perf_counter() - t0,
+            matrix_bytes=mem.total_bytes,
+            dormant_ids=mem.dormant,
+        )
 
     def apply_stream(
         self, events: "Iterable[EdgeEvent | NodeEvent]", tick: int = 1
@@ -195,23 +272,113 @@ class RoutingService:
         ]
 
     def refresh(self) -> None:
-        """Recompute every distance row and table from scratch (fallback)."""
-        g = self.maintainer.graph
-        n = g.num_nodes
-        h = self.advertised.freeze()
-        dist = np.full((n, n), -1, dtype=np.int32)
-        for s, row in batched_bfs(h, arrays=True):
-            dist[s] = row
-        self._dist = dist
-        if self._tables.shape != (n, n):
-            self._tables = np.full((n, n), -1, dtype=np.int32)
-        # Re-project in place so entries_updated keeps counting only cells
-        # whose next hop actually changed, refresh or not.
-        for u in range(n):
-            self._project_table(u, None)
+        """Recompute every distance row and table from scratch (fallback).
+
+        Re-projects in place so ``entries_updated`` keeps counting only
+        cells whose next hop actually changed, refresh or not.
+        """
+        n = self.maintainer.graph.num_nodes
+        self._resize_matrices(n)
+        self._recompute_rows(range(n), track=False)
+        self._project_tables({u: None for u in range(n)})
         self.full_refreshes += 1
         self.rows_recomputed += n
         self.tables_recomputed += n
+
+    def compact(self) -> "dict[int, int]":
+        """Renumber live ids densely, dropping dormant (degree-0) slots.
+
+        Long-horizon node churn grows the id space monotonically (leaves
+        keep their slot), so the n×n matrices grow without bound unless the
+        dormant ids are reclaimed.  ``compact()`` remaps the ``deg > 0``
+        nodes onto ``0..k-1`` (preserving relative order), rebuilds the
+        maintainer on the remapped topology and refreshes the matrices at
+        the smaller dimension.  Returns the ``{old_id: new_id}`` mapping —
+        **callers must translate any node ids they held**; cumulative
+        counters survive, but ``entries_updated`` deltas across a compact
+        compare renumbered cells and are only indicative.
+
+        The spanner is rebuilt from scratch on the renumbered graph (ids
+        participate in tie-breaks, so the old trees need not survive the
+        renumbering); served tables again match :func:`routing_table`
+        bit-for-bit — the property tests assert it.
+        """
+        g = self.maintainer.graph
+        keep = [u for u in g.nodes() if g.neighbors(u)]
+        mapping = {old: new for new, old in enumerate(keep)}
+        if len(keep) == g.num_nodes:
+            return mapping  # nothing dormant: no-op
+        new_g = Graph(len(keep), ((mapping[u], mapping[v]) for u, v in g.edges()))
+        old = self.maintainer
+        self.maintainer = SpannerMaintainer(
+            new_g, rebuild_fraction=old.rebuild_fraction, **self._ctor
+        )
+        # Cumulative counters continue across the swap (the fresh build
+        # itself is accounted by the refresh below, like any fallback).
+        self.maintainer.events_applied = old.events_applied
+        self.maintainer.batches_applied = old.batches_applied
+        self.maintainer.incremental_repairs = old.incremental_repairs
+        self.maintainer.full_rebuilds = old.full_rebuilds
+        self.maintainer.trees_recomputed = old.trees_recomputed
+        self.compactions += 1
+        self.refresh()
+        return mapping
+
+    # ------------------------------------------------------------------ #
+    # overridable stages (the sharded service swaps these)
+    # ------------------------------------------------------------------ #
+
+    def _resize_matrices(self, n: int) -> None:
+        """Bring D and T to shape ``(n, n)``, keeping overlapping content
+        and padding fresh cells with −1 (new ids are unreachable until
+        their rows are recomputed)."""
+        old = self._dist.shape[0]
+        if n == old:
+            return
+        k = min(old, n)
+        dist = np.full((n, n), -1, dtype=np.int32)
+        dist[:k, :k] = self._dist[:k, :k]
+        self._dist = dist
+        tables = np.full((n, n), -1, dtype=np.int32)
+        tables[:k, :k] = self._tables[:k, :k]
+        self._tables = tables
+
+    def _recompute_rows(self, order: Iterable[int], track: bool = True) -> "dict[int, np.ndarray]":
+        """BFS-recompute the given D rows on the freshly frozen H.
+
+        Returns ``{row: changed-destination mask}`` for rows that actually
+        moved (empty when *track* is false — the refresh path needs no
+        damage propagation).
+        """
+        order = list(order)
+        if not order:
+            return {}
+        h = self.advertised.freeze()
+        changed: "dict[int, np.ndarray]" = {}
+        for s, new_row in batched_bfs(h, order, arrays=True):
+            if track:
+                mask = new_row != self._dist[s]
+                if mask.any():
+                    changed[s] = mask
+            self._dist[s] = new_row
+        return changed
+
+    def _project_tables(self, damage: "dict[int, np.ndarray | None]") -> int:
+        """Re-argmin the damaged table rows (``None`` mask = all columns).
+
+        Returns how many tables were actually touched; adds every changed
+        cell to ``entries_updated``.
+        """
+        g = self.maintainer.graph
+        touched = 0
+        for u, mask in damage.items():
+            cols = None if mask is None else np.flatnonzero(mask)
+            if cols is not None and cols.size == 0:
+                continue
+            nbrs = sorted(g.neighbors(u))
+            self.entries_updated += project_table_row(self._dist, self._tables, nbrs, u, cols)
+            touched += 1
+        return touched
 
     # ------------------------------------------------------------------ #
     # incremental machinery
@@ -245,12 +412,7 @@ class RoutingService:
         n = g.num_nodes
         old_dim = self._dist.shape[0]
         if n != old_dim:  # node churn grew the id space: pad with -1
-            dist = np.full((n, n), -1, dtype=np.int32)
-            dist[:old_dim, :old_dim] = self._dist
-            self._dist = dist
-            tables = np.full((n, n), -1, dtype=np.int32)
-            tables[:old_dim, :old_dim] = self._tables
-            self._tables = tables
+            self._resize_matrices(n)
         if rebuilt:  # global churn: the maintainer rebuilt, so do we
             before = self.entries_updated
             self.refresh()
@@ -258,16 +420,8 @@ class RoutingService:
         new_nodes = range(old_dim, n)
         dirty_rows = self._dirty_rows(h_added, h_removed)
         dirty_rows.update(new_nodes)
-        changed_cols: "dict[int, np.ndarray]" = {}
-        if dirty_rows:
-            h = self.advertised.freeze()
-            order = sorted(dirty_rows)
-            for s, new_row in batched_bfs(h, order, arrays=True):
-                mask = new_row != self._dist[s]
-                if mask.any():
-                    changed_cols[s] = mask
-                self._dist[s] = new_row
-            self.rows_recomputed += len(order)
+        changed_cols = self._recompute_rows(sorted(dirty_rows)) if dirty_rows else {}
+        self.rows_recomputed += len(dirty_rows)
         # A table moves only if its argmin inputs did: a neighbor's row
         # changed, or its own G-star changed (None mask = all destinations).
         damage: "dict[int, np.ndarray | None]" = {u: None for u in star_changed}
@@ -283,13 +437,7 @@ class RoutingService:
                 else:
                     current |= mask
         entries_before = self.entries_updated
-        tables_touched = 0
-        for u, mask in damage.items():
-            cols = None if mask is None else np.flatnonzero(mask)
-            if cols is not None and cols.size == 0:
-                continue
-            self._project_table(u, cols)
-            tables_touched += 1
+        tables_touched = self._project_tables(damage)
         self.tables_recomputed += tables_touched
         return False, len(dirty_rows), tables_touched, self.entries_updated - entries_before
 
@@ -341,32 +489,3 @@ class RoutingService:
             # The new edge shortcuts w's view of one endpoint → row shrinks.
             dirty |= np.abs(dx - dy) > 1
         return {int(w) for w in np.flatnonzero(dirty)}
-
-    def _project_table(self, u: int, cols: "np.ndarray | None") -> None:
-        """Re-argmin table row *u* (restricted to destination *cols*)."""
-        g = self.maintainer.graph
-        row = self._tables[u]
-        nbrs = sorted(g.neighbors(u))
-        if cols is None:
-            old = row.copy()
-            if not nbrs:
-                row[:] = -1
-                self.entries_updated += int((old != row).sum())
-                return
-            block = self._dist[nbrs]
-        else:
-            old = row[cols].copy()
-            if not nbrs:
-                row[cols] = -1
-                self.entries_updated += int((old != row[cols]).sum())
-                return
-            block = self._dist[np.ix_(nbrs, cols)]
-        hops = _argmin_hops(block, nbrs)
-        if cols is None:
-            row[:] = hops
-            row[u] = -1
-            self.entries_updated += int((old != row).sum())
-        else:
-            row[cols] = hops
-            row[u] = -1
-            self.entries_updated += int((old != row[cols]).sum())

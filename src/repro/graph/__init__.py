@@ -23,7 +23,12 @@ from .traversal import (
     path_to_root,
     ring,
 )
-from .cache import cached_bfs_distances, distance_cache_info
+from .cache import (
+    CacheInfo,
+    cached_bfs_distances,
+    distance_cache_info,
+    set_distance_cache_capacity,
+)
 from .distances import (
     all_pairs_distances,
     diameter,
@@ -45,8 +50,10 @@ __all__ = [
     "batched_bfs",
     "batched_bfs_parents",
     "bounded_distance",
+    "CacheInfo",
     "cached_bfs_distances",
     "distance_cache_info",
+    "set_distance_cache_capacity",
     "bfs_distances",
     "bfs_layers",
     "bfs_parents",

@@ -1,4 +1,4 @@
-"""A small LRU cache for BFS distance vectors.
+"""A small LRU cache for BFS distance vectors, with usage counters.
 
 Several consumers ask for the same single-source distance vector many times
 over an unchanged graph — pair sampling probes ``bfs_distances(g, u)[v]``
@@ -16,26 +16,76 @@ keyed by ``(graph_version, source, cutoff)``:
   is garbage-collected with the graph and never leaks across instances;
 * stored vectors are immutable tuples; callers receive a fresh list per
   hit, preserving ``bfs_distances``'s "caller owns the result" contract.
+
+Each per-graph cache records its **hits, misses and evictions**, reported
+by :func:`distance_cache_info` (and surfaced by the ``python -m repro
+serve`` soak summary).  Capacity defaults to :data:`DISTANCE_CACHE_SIZE`
+and can be resized per graph with :func:`set_distance_cache_capacity` —
+e.g. grow it for a dense pair-sampling sweep, shrink it on a
+memory-constrained soak.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import NamedTuple
 
+from ..errors import ParameterError
 from .traversal import bfs_distances
 
-__all__ = ["cached_bfs_distances", "distance_cache_info", "DISTANCE_CACHE_SIZE"]
+__all__ = [
+    "cached_bfs_distances",
+    "distance_cache_info",
+    "set_distance_cache_capacity",
+    "CacheInfo",
+    "DISTANCE_CACHE_SIZE",
+]
 
-#: Maximum number of distance vectors retained per graph.  At int-tuple
+#: Default number of distance vectors retained per graph.  At int-tuple
 #: size this bounds per-graph memory to ~``256 · n`` machine words.
+#: Override per graph with :func:`set_distance_cache_capacity`.
 DISTANCE_CACHE_SIZE = 256
 
 
-def _cache_of(g) -> "OrderedDict | None":
+class CacheInfo(NamedTuple):
+    """One graph's distance-cache statistics (all counters cumulative)."""
+
+    entries: int
+    capacity: int
+    hits: int
+    misses: int
+    evictions: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when never used)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class _DistanceCache(OrderedDict):
+    """The per-graph LRU store: an OrderedDict plus counters + capacity."""
+
+    __slots__ = ("capacity", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: int = DISTANCE_CACHE_SIZE) -> None:
+        super().__init__()
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def shrink_to_capacity(self) -> None:
+        while len(self) > self.capacity:
+            self.popitem(last=False)
+            self.evictions += 1
+
+
+def _cache_of(g) -> "_DistanceCache | None":
     cache = getattr(g, "_dist_cache", None)
     if cache is None:
         try:
-            g._dist_cache = cache = OrderedDict()
+            g._dist_cache = cache = _DistanceCache()
         except AttributeError:  # duck-typed graph without the slot
             return None
     return cache
@@ -55,16 +105,45 @@ def cached_bfs_distances(g, source: int, cutoff: "int | None" = None) -> list[in
     key = (version, source, cutoff)
     hit = cache.get(key)
     if hit is not None:
+        cache.hits += 1
         cache.move_to_end(key)
         return list(hit)
+    cache.misses += 1
     dist = bfs_distances(g, source, cutoff)
     cache[key] = tuple(dist)
-    while len(cache) > DISTANCE_CACHE_SIZE:
-        cache.popitem(last=False)
+    cache.shrink_to_capacity()
     return dist
 
 
-def distance_cache_info(g) -> "tuple[int, int]":
-    """``(entries, capacity)`` of *g*'s distance cache (0 if never used)."""
+def set_distance_cache_capacity(g, capacity: int) -> None:
+    """Resize *g*'s distance cache (evicting LRU entries when shrinking).
+
+    The override sticks to the graph object for its lifetime; other graphs
+    keep the :data:`DISTANCE_CACHE_SIZE` default.  Raises
+    :class:`~repro.errors.ParameterError` for a non-positive capacity or a
+    graph object without a cache slot.
+    """
+    if capacity < 1:
+        raise ParameterError(f"cache capacity must be ≥ 1, got {capacity}")
+    cache = _cache_of(g)
+    if cache is None:
+        raise ParameterError(
+            f"{type(g).__name__} has no distance-cache slot; cannot set a capacity"
+        )
+    cache.capacity = capacity
+    cache.shrink_to_capacity()
+
+
+def distance_cache_info(g) -> CacheInfo:
+    """*g*'s distance-cache statistics as a :class:`CacheInfo`.
+
+    ``(entries, capacity)`` keep their historical leading positions (the
+    result still unpacks as a tuple); ``hits``/``misses``/``evictions``
+    are cumulative over the graph's lifetime.  A graph that never went
+    through :func:`cached_bfs_distances` reports all zeros except the
+    default capacity.
+    """
     cache = getattr(g, "_dist_cache", None)
-    return (len(cache) if cache else 0, DISTANCE_CACHE_SIZE)
+    if cache is None or not isinstance(cache, _DistanceCache):
+        return CacheInfo(0, DISTANCE_CACHE_SIZE, 0, 0, 0)
+    return CacheInfo(len(cache), cache.capacity, cache.hits, cache.misses, cache.evictions)

@@ -62,7 +62,16 @@ class CSRGraph:
     True
     """
 
-    __slots__ = ("_n", "_m", "_indptr", "_indices", "_np_indptr", "_np_indices", "_dist_cache")
+    __slots__ = (
+        "_n",
+        "_m",
+        "_indptr",
+        "_indices",
+        "_np_indptr",
+        "_np_indices",
+        "_dist_cache",
+        "_pin",
+    )
 
     def __init__(self, n: int, indptr: array, indices: array) -> None:
         if len(indptr) != n + 1:
@@ -80,6 +89,7 @@ class CSRGraph:
             else np.empty(0, dtype=np.intc)
         )
         self._dist_cache = None  # lazily created by repro.graph.cache
+        self._pin = None  # keeps a shared-memory attachment alive (repro.parallel)
 
     # ------------------------------------------------------------------ #
     # construction
@@ -165,6 +175,61 @@ freeze>` for the dynamic-graph workloads.
         return Graph(self._n, self.edges())
 
     # ------------------------------------------------------------------ #
+    # shared-memory export (repro.parallel)
+    # ------------------------------------------------------------------ #
+
+    def share(self, *, capacity_nodes: "int | None" = None, capacity_indices: "int | None" = None):
+        """Export this snapshot into :mod:`multiprocessing.shared_memory`.
+
+        Returns a :class:`~repro.parallel.shm.SharedCSR` owner whose
+        picklable ``handle`` lets worker processes :meth:`attach` with
+        zero copies — the workers' numpy views alias the very same shared
+        buffers.  The owner also supports *delta publishing*: a patched
+        re-freeze ships only the dirty row spans to an already-attached
+        pool (see :meth:`SharedCSR.publish <repro.parallel.shm.SharedCSR.\
+publish>`).  Capacity headroom (defaulting to ~25% slack) lets churn grow
+        the graph without reallocating the blocks.
+        """
+        from ..parallel.shm import SharedCSR
+
+        return SharedCSR(self, capacity_nodes=capacity_nodes, capacity_indices=capacity_indices)
+
+    @classmethod
+    def attach(cls, handle) -> "CSRGraph":
+        """Materialize a shared snapshot exported by :meth:`share`.
+
+        *handle* is a :class:`~repro.parallel.shm.SharedCSRHandle` (or the
+        worker-side attachment that carries one).  The returned graph's
+        flat arrays are **zero-copy views into the shared blocks** — no
+        bytes move; the attaching process must keep the underlying
+        attachment open for the graph's lifetime (the worker pool does this
+        bookkeeping automatically).
+        """
+        from ..parallel.shm import attach_csr
+
+        return attach_csr(handle)
+
+    @classmethod
+    def _wrap_views(cls, n: int, np_indptr: "np.ndarray", np_indices: "np.ndarray") -> "CSRGraph":
+        """Build a graph around existing int64/int32 views without copying.
+
+        The zero-copy twin of ``__init__`` used by :meth:`attach`: the
+        python-level accessors index the numpy views directly (memoryview
+        slicing and :func:`bisect.bisect_left` accept them), so shared and
+        private snapshots behave identically everywhere.
+        """
+        self = cls.__new__(cls)
+        self._n = n
+        self._m = len(np_indices) // 2
+        self._indptr = np_indptr
+        self._indices = np_indices
+        self._np_indptr = np_indptr
+        self._np_indices = np_indices
+        self._dist_cache = None
+        self._pin = None
+        return self
+
+    # ------------------------------------------------------------------ #
     # Graph protocol (read-only subset)
     # ------------------------------------------------------------------ #
 
@@ -192,7 +257,9 @@ freeze>` for the dynamic-graph workloads.
         loops should use :meth:`neighbors_csr` instead.
         """
         self._check(u)
-        return set(self._indices[self._indptr[u] : self._indptr[u + 1]])
+        # .tolist() exists on both the array('i') buffer and the numpy view
+        # of a shared snapshot, and yields plain ints in either case.
+        return set(self._indices[self._indptr[u] : self._indptr[u + 1]].tolist())
 
     def neighbors_csr(self, u: int) -> memoryview:
         """``N(u)`` as a zero-copy sorted ``memoryview`` slice.
@@ -249,10 +316,12 @@ freeze>` for the dynamic-graph workloads.
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, CSRGraph):
             return NotImplemented
+        # Compare through the numpy views so private (array-backed) and
+        # shared (view-backed) snapshots are mutually comparable.
         return (
             self._n == other._n
-            and self._indptr == other._indptr
-            and self._indices == other._indices
+            and np.array_equal(self._np_indptr, other._np_indptr)
+            and np.array_equal(self._np_indices, other._np_indices)
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

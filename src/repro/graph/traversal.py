@@ -37,6 +37,7 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from .. import tuning
 from ..errors import ParameterError
 from .csr import CSRGraph
 from .graph import Graph
@@ -64,16 +65,24 @@ UNREACHED = -1
 #: graphs like paths degenerate to one node per level).
 _SMALL_FRONTIER = 16
 
-#: Sources per chunk in :func:`batched_bfs`.  Small enough that the flat
-#: ``chunk * n`` distance buffer stays cache-friendly, large enough to
-#: amortize per-level numpy call overhead across sources (64 measured best
-#: on the 2200-node UDG of ``benchmarks/test_bench_traversal.py``).
-_BATCH_CHUNK = 64
+def _batch_chunk() -> int:
+    """Sources per chunk in :func:`batched_bfs` (``None`` chunk argument).
 
-#: Below this node count the ``auto`` backend stays on sets: numpy call
-#: overhead exceeds the whole BFS on toy graphs (the property-test regime).
-#: ``backend="csr"`` overrides, and a ``CSRGraph`` argument is always CSR.
-_AUTO_MIN_NODES = 64
+    Small enough that the flat ``chunk * n`` distance buffer stays
+    cache-friendly, large enough to amortize per-level numpy call overhead
+    across sources.  Tunable via :mod:`repro.tuning` (``REPRO_BATCH_CHUNK``
+    or ``python -m repro tune`` to calibrate).
+    """
+    return tuning.get().batch_chunk
+
+
+def _auto_min_nodes() -> int:
+    """Below this node count the ``auto`` backend stays on sets: numpy call
+    overhead exceeds the whole BFS on toy graphs (the property-test regime).
+    ``backend="csr"`` overrides, and a ``CSRGraph`` argument is always CSR.
+    Tunable via :mod:`repro.tuning` (``REPRO_AUTO_MIN_NODES``).
+    """
+    return tuning.get().auto_min_nodes
 
 
 # --------------------------------------------------------------------- #
@@ -102,7 +111,7 @@ def _csr_of(g, backend: str) -> "CSRGraph | None":
         raise ParameterError(
             f"backend='csr' needs a Graph or CSRGraph, got {type(g).__name__}"
         )
-    if isinstance(g, Graph) and g.num_nodes >= _AUTO_MIN_NODES:
+    if isinstance(g, Graph) and g.num_nodes >= _auto_min_nodes():
         return g._csr  # fresh cached snapshot or None
     return None
 
@@ -446,9 +455,10 @@ def batched_bfs(
     g,
     sources: "Iterable[int] | None" = None,
     cutoff: "int | None" = None,
-    chunk: int = _BATCH_CHUNK,
+    chunk: "int | None" = None,
     backend: str = "auto",
     arrays: bool = False,
+    workers=None,
 ) -> Iterator["tuple[int, list[int]]"]:
     """Yield ``(source, dist)`` for each source — the amortized per-node loop.
 
@@ -471,7 +481,16 @@ def batched_bfs(
     On graphs below the auto threshold (``backend="auto"``) the engine is
     skipped entirely and each source runs a plain set-backend BFS — the
     vectorized machinery only pays off past toy sizes.
+
+    ``workers`` fans the sources out across a :class:`~repro.parallel.pool.\
+WorkerPool` of processes attached to a shared-memory copy of the CSR
+    snapshot — pass an int, ``"auto"`` (engages only past
+    ``tuning.parallel_min_nodes``, resolved from the CPU count), or an
+    existing pool to reuse.  Results are identical to the serial engine's
+    in every mode (the workers run this very engine).
     """
+    if chunk is None:
+        chunk = _batch_chunk()
     if chunk < 1:
         raise ParameterError(f"chunk must be ≥ 1, got {chunk}")
     if backend not in ("auto", "sets", "csr"):
@@ -479,7 +498,7 @@ def batched_bfs(
     if backend == "sets" or (
         backend == "auto"
         and not isinstance(g, CSRGraph)
-        and g.num_nodes < _AUTO_MIN_NODES
+        and g.num_nodes < _auto_min_nodes()
     ):
         src_iter = range(g.num_nodes) if sources is None else sources
         for s in src_iter:
@@ -491,6 +510,14 @@ def batched_bfs(
     src_list = list(range(n)) if sources is None else list(sources)
     for s in src_list:
         csr._check(s)
+    if workers is not None:
+        from ..parallel.fanout import maybe_parallel_bfs
+
+        rows = maybe_parallel_bfs(csr, src_list, cutoff, workers)
+        if rows is not None:
+            for i, s in enumerate(src_list):
+                yield int(s), (rows[i] if arrays else rows[i].tolist())
+            return
     np_indptr, np_indices = csr.numpy_arrays()
     for lo in range(0, len(src_list), chunk):
         srcs = np.asarray(src_list[lo : lo + chunk], dtype=np.int64)
@@ -531,7 +558,7 @@ def batched_bfs_parents(
     g,
     sources: "Iterable[int] | None" = None,
     cutoff: "int | None" = None,
-    chunk: int = _BATCH_CHUNK,
+    chunk: "int | None" = None,
     backend: str = "auto",
 ) -> Iterator["tuple[int, list[int], list[int]]"]:
     """Yield ``(source, dist, parent)`` per source — canonical forests, batched.
@@ -551,6 +578,8 @@ def batched_bfs_parents(
     of the additive baseline).  Small graphs under ``backend="auto"`` fall
     back to per-source :func:`bfs_parents`, exactly like :func:`batched_bfs`.
     """
+    if chunk is None:
+        chunk = _batch_chunk()
     if chunk < 1:
         raise ParameterError(f"chunk must be ≥ 1, got {chunk}")
     if backend not in ("auto", "sets", "csr"):
@@ -558,7 +587,7 @@ def batched_bfs_parents(
     if backend == "sets" or (
         backend == "auto"
         and not isinstance(g, CSRGraph)
-        and g.num_nodes < _AUTO_MIN_NODES
+        and g.num_nodes < _auto_min_nodes()
     ):
         src_iter = range(g.num_nodes) if sources is None else sources
         for s in src_iter:

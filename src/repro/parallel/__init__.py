@@ -1,0 +1,62 @@
+"""Parallel subsystem: shared-memory snapshots, worker pools, sharded serving.
+
+The single-process serving stack (PRs 1–3) left every hot path on one
+core.  This package adds the multi-core layer the ROADMAP's "sharded
+serving" item calls for, in three tiers:
+
+* :mod:`repro.parallel.shm` — **data plane**: CSR snapshots
+  (:meth:`CSRGraph.share <repro.graph.csr.CSRGraph.share>` /
+  :meth:`CSRGraph.attach <repro.graph.csr.CSRGraph.attach>`) and dense
+  serving matrices in :mod:`multiprocessing.shared_memory`, with
+  delta publishing (only dirty row spans cross the bus) and capacity
+  headroom for churn;
+* :mod:`repro.parallel.pool` — **control plane**: :class:`WorkerPool`,
+  W persistent fork/spawn-safe processes attached to the published
+  objects, fed small task messages (:data:`~repro.parallel.pool.TASKS`),
+  seeded via :mod:`repro.rng`, restart-transparent;
+* :mod:`repro.parallel.sharded` — **the serving application**:
+  :class:`ShardedRoutingService`, the incremental routing tables of
+  :class:`~repro.dynamic.serving.RoutingService` with rows and tables
+  partitioned ``u % W`` across shards — property-tested bit-identical to
+  the serial service after every event.
+
+One-shot fan-outs (:mod:`repro.parallel.fanout`) back the ``workers=``
+parameter of :func:`~repro.graph.traversal.batched_bfs`, the APSP helpers
+and :func:`~repro.routing.tables.routing_table`.
+
+``benchmarks/test_bench_parallel.py`` records the W = 1, 2, 4 repair
+-throughput curve and the publish costs as ``BENCH_parallel.json``
+(degrading to a W = 1 measurement on single-core runners).
+"""
+
+from .pool import TASKS, WorkerError, WorkerPool, resolve_workers
+from .shm import (
+    AttachedCSR,
+    AttachedMatrix,
+    PublishStats,
+    SharedCSR,
+    SharedCSRHandle,
+    SharedMatrix,
+    SharedMatrixHandle,
+    attach_csr,
+)
+from .fanout import maybe_parallel_bfs, parallel_tree_edges
+from .sharded import ShardedRoutingService
+
+__all__ = [
+    "TASKS",
+    "WorkerError",
+    "WorkerPool",
+    "resolve_workers",
+    "AttachedCSR",
+    "AttachedMatrix",
+    "PublishStats",
+    "SharedCSR",
+    "SharedCSRHandle",
+    "SharedMatrix",
+    "SharedMatrixHandle",
+    "attach_csr",
+    "maybe_parallel_bfs",
+    "parallel_tree_edges",
+    "ShardedRoutingService",
+]

@@ -1,0 +1,499 @@
+"""Persistent worker pool: the control plane of the parallel subsystem.
+
+:class:`WorkerPool` keeps W long-lived processes attached to the shared
+-memory objects of :mod:`repro.parallel.shm` and feeds them small task
+messages; all bulk data (CSR snapshots, distance/table matrices) moves
+through shared memory, so a task costs one queue round-trip regardless of
+graph size.  The design follows the message-passing model of the related
+distributed-construction literature: partition the sources, exchange only
+summaries.
+
+* **Publishing** — ``publish_csr(name, csr, dirty_rows=...)`` exports or
+  delta-updates a named snapshot; ``matrix(name, rows, cols)`` allocates a
+  named shared matrix.  Every published object is rebroadcast to freshly
+  (re)started workers, which makes :meth:`restart` (and crash recovery)
+  transparent to callers.
+* **Dispatch** — ``run(fn, payloads)`` scatters payloads round-robin (or
+  to explicit worker ids, for shard-owned state) and gathers the results;
+  task functions are entries of the module-level :data:`TASKS` registry
+  (importable top-level functions, which is what makes the pool safe under
+  both ``fork`` and ``spawn`` start methods).
+* **Seeding** — each worker derives its stream via
+  :func:`repro.rng.derive_seed`, so randomized tasks stay reproducible
+  per ``(pool seed, worker id)``.
+
+``workers="auto"`` resolves from the CPU count (and the
+``tuning.parallel_min_nodes`` gate, applied by callers such as
+:func:`~repro.graph.traversal.batched_bfs`); a single-core host resolves
+to one worker, which keeps every code path exercised while adding no
+parallelism — the graceful-degradation mode the benchmark gate records on
+such runners.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+import time
+import traceback
+
+import numpy as np
+
+from ..errors import ParameterError, ReproError
+from ..rng import derive_seed, ensure_rng
+from .shm import AttachedCSR, AttachedMatrix, PublishStats, SharedCSR, SharedMatrix
+
+__all__ = ["WorkerPool", "WorkerError", "resolve_workers", "TASKS"]
+
+#: Cap for ``workers="auto"`` — beyond this the serving fan-out is queue
+#: -bound, and benchmark boxes rarely give more truly-free cores.
+_AUTO_MAX_WORKERS = 4
+
+
+class WorkerError(ReproError):
+    """A task raised inside a worker; carries the remote traceback."""
+
+
+def resolve_workers(workers, *, cpu_count: "int | None" = None) -> int:
+    """Resolve a ``workers`` spec to a concrete count.
+
+    ``None``/``1`` → 1 (serial), ``"auto"`` → ``min(4, cpu_count)``, an int
+    is validated and passed through.  A :class:`WorkerPool` instance
+    resolves to its own size.
+    """
+    if workers is None:
+        return 1
+    if isinstance(workers, WorkerPool):
+        return workers.workers
+    if workers == "auto":
+        cpus = os.cpu_count() or 1 if cpu_count is None else cpu_count
+        return max(1, min(_AUTO_MAX_WORKERS, cpus))
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ParameterError(f"workers must be an int, 'auto', None or a WorkerPool, got {workers!r}")
+    if workers < 1:
+        raise ParameterError(f"workers must be ≥ 1, got {workers}")
+    return workers
+
+
+# --------------------------------------------------------------------- #
+# worker-side task functions
+# --------------------------------------------------------------------- #
+
+
+class _WorkerState:
+    """Per-worker context: attachments, identity, seeded rng."""
+
+    def __init__(self, worker_id: int, num_workers: int, seed: int) -> None:
+        self.worker_id = worker_id
+        self.num_workers = num_workers
+        self.rng = ensure_rng(derive_seed(seed, "worker", worker_id))
+        self.csrs: dict[str, AttachedCSR] = {}
+        self.matrices: dict[str, AttachedMatrix] = {}
+        self._thawed: dict = {}  # (name, version) -> mutable Graph
+
+    def csr(self, name: str):
+        return self.csrs[name].graph
+
+    def matrix(self, name: str) -> np.ndarray:
+        return self.matrices[name].array
+
+    def thawed(self, name: str):
+        """A mutable :class:`Graph` twin of snapshot *name* (cached per version)."""
+        key = (name, self.csrs[name].version)
+        g = self._thawed.get(key)
+        if g is None:
+            self._thawed = {k: v for k, v in self._thawed.items() if k[0] != name}
+            self._thawed[key] = g = self.csrs[name].graph.to_graph()
+        return g
+
+    def close(self) -> None:
+        for a in self.csrs.values():
+            a.close()
+        for a in self.matrices.values():
+            a.close()
+        self.csrs.clear()
+        self.matrices.clear()
+        self._thawed.clear()
+
+
+def _task_echo(state: _WorkerState, payload):
+    """Liveness/identity probe used by the tests."""
+    return (state.worker_id, os.getpid(), payload)
+
+
+def _task_bfs_rows(state: _WorkerState, payload):
+    """Multi-source BFS rows into a shared output matrix.
+
+    ``payload = (graph, out, sources, slots, cutoff)`` — run the batched
+    engine on the attached snapshot and write row *slots[i]* of the shared
+    *out* matrix with the distances from ``sources[i]``.
+    """
+    from ..graph.traversal import batched_bfs
+
+    graph, out, sources, slots, cutoff = payload
+    g = state.csr(graph)
+    dest = state.matrix(out)
+    slot_of = dict(zip(sources, slots))
+    for s, row in batched_bfs(g, sources, cutoff, arrays=True):
+        dest[slot_of[s]] = row
+    return len(sources)
+
+
+def _task_serve_rows(state: _WorkerState, payload):
+    """Recompute H-distance rows of the shared serving matrix.
+
+    ``payload = (h, dist, sources)`` — for each source (a row this worker's
+    shard owns) recompute the BFS row on the attached H snapshot, diff it
+    against the current shared row, overwrite it, and report
+    ``(source, packed-change-mask)`` for rows that actually moved — the
+    only bytes that cross the queue.
+    """
+    from ..graph.traversal import batched_bfs
+
+    h_name, dist_name, sources = payload
+    h = state.csr(h_name)
+    dist = state.matrix(dist_name)
+    changed = []
+    for s, row in batched_bfs(h, sources, arrays=True):
+        mask = row != dist[s]
+        if mask.any():
+            changed.append((s, np.packbits(mask).tobytes()))
+            dist[s] = row
+    return changed
+
+
+def _task_serve_tables(state: _WorkerState, payload):
+    """Re-project next-hop table rows this worker's shard owns.
+
+    ``payload = (g, dist, tables, jobs)`` with ``jobs = [(u, packed-mask |
+    None)]`` — identical math to the serial service: argmin over the
+    G-neighbors' shared distance rows, restricted to the changed
+    destinations.  Returns the number of table entries that changed.
+    """
+    from ..routing.tables import project_table_row
+
+    g_name, dist_name, tab_name, jobs = payload
+    g = state.csr(g_name)
+    dist = state.matrix(dist_name)
+    tables = state.matrix(tab_name)
+    n = dist.shape[1]
+    entries_changed = 0
+    for u, packed in jobs:
+        if packed is None:
+            cols = None
+        else:
+            mask = np.unpackbits(np.frombuffer(packed, dtype=np.uint8), count=n).astype(bool)
+            cols = np.flatnonzero(mask)
+        nbrs = g.neighbors_csr(u).tolist()  # sorted ascending == sorted(N_G(u))
+        entries_changed += project_table_row(dist, tables, nbrs, u, cols)
+    return entries_changed
+
+
+def _task_tree_edges(state: _WorkerState, payload):
+    """Build dominating trees for a chunk of roots (parallel construction).
+
+    ``payload = (graph, method, kwargs, roots)`` — resolves the
+    construction in-process and returns each root's tree edge tuple; the
+    parent unions them into the spanner (used by the ``churn --workers``
+    parallel verification).
+    """
+    from ..dynamic.maintainer import resolve_construction
+
+    graph, method, kwargs, roots = payload
+    construction = resolve_construction(method, **kwargs)
+    g = state.thawed(graph)
+    out = []
+    for u in roots:
+        tree = construction.tree_fn(g, u)
+        out.append((u, tuple(sorted(tree.edges()))))
+    return out
+
+
+#: Registry of functions a task message may name.  Top-level functions
+#: only — the registry is rebuilt by import in every worker, so entries
+#: survive both ``fork`` and ``spawn``.
+TASKS = {
+    "echo": _task_echo,
+    "bfs_rows": _task_bfs_rows,
+    "serve_rows": _task_serve_rows,
+    "serve_tables": _task_serve_tables,
+    "tree_edges": _task_tree_edges,
+}
+
+
+def _worker_main(worker_id: int, num_workers: int, seed: int, task_q, result_q) -> None:
+    """Worker process entry point: attach, loop, answer, clean up."""
+    state = _WorkerState(worker_id, num_workers, seed)
+    try:
+        while True:
+            msg = task_q.get()
+            kind = msg[0]
+            try:
+                if kind == "stop":
+                    break
+                if kind == "csr":
+                    _, name, handle = msg
+                    if name in state.csrs:
+                        state.csrs[name].refresh(handle)
+                    else:
+                        state.csrs[name] = AttachedCSR(handle)
+                elif kind == "matrix":
+                    _, name, handle = msg
+                    if name in state.matrices:
+                        state.matrices[name].refresh(handle)
+                    else:
+                        state.matrices[name] = AttachedMatrix(handle)
+                elif kind == "drop":
+                    _, name = msg
+                    for book in (state.csrs, state.matrices):
+                        if name in book:
+                            book.pop(name).close()
+                elif kind == "task":
+                    _, task_id, fn, payload = msg
+                    result = TASKS[fn](state, payload)
+                    result_q.put((worker_id, task_id, True, result))
+            except BaseException:
+                task_id = msg[1] if kind == "task" else -1
+                result_q.put((worker_id, task_id, False, traceback.format_exc()))
+    finally:
+        state.close()
+
+
+# --------------------------------------------------------------------- #
+# parent-side pool
+# --------------------------------------------------------------------- #
+
+
+class WorkerPool:
+    """W persistent worker processes sharing memory with this process.
+
+    Parameters
+    ----------
+    workers:
+        ``"auto"``, an int ≥ 1, or ``None`` (resolves to 1).
+    start_method:
+        ``"fork"`` (default where available — instant start), ``"spawn"``
+        (portable, re-imports the package) or ``"forkserver"``.
+    seed:
+        Root of the per-worker :mod:`repro.rng` streams.
+    task_timeout:
+        Seconds to wait for any single gather before declaring the pool
+        wedged (dead workers are detected sooner).
+
+    Workers start lazily on the first :meth:`run`; published objects are
+    replayed to workers on every (re)start, so :meth:`restart` — or a
+    worker crash — never loses shared state.  Use as a context manager or
+    call :meth:`close`, which also frees every published shared-memory
+    block.
+    """
+
+    def __init__(
+        self,
+        workers="auto",
+        *,
+        start_method: "str | None" = None,
+        seed: int = 0,
+        task_timeout: float = 300.0,
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self.start_method = start_method
+        self.seed = seed
+        self.task_timeout = task_timeout
+        self._ctx = multiprocessing.get_context(start_method)
+        self._procs: list = []
+        self._task_qs: list = []
+        self._result_q = None
+        self._shared: dict[str, tuple[str, object]] = {}  # name -> (kind, owner)
+        self._next_task_id = 0
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    @property
+    def alive(self) -> bool:
+        return bool(self._procs) and all(p.is_alive() for p in self._procs)
+
+    def _ensure_started(self) -> None:
+        if self._closed:
+            raise ParameterError("WorkerPool is closed")
+        if self.alive:
+            return
+        if self._procs:  # a worker died (or was torn down): restart cleanly
+            self._stop_workers(graceful=False)
+        self._result_q = self._ctx.Queue()
+        self._task_qs = [self._ctx.Queue() for _ in range(self.workers)]
+        self._procs = []
+        for wid in range(self.workers):
+            p = self._ctx.Process(
+                target=_worker_main,
+                args=(wid, self.workers, self.seed, self._task_qs[wid], self._result_q),
+                daemon=True,
+            )
+            p.start()
+            self._procs.append(p)
+        # Replay every published object so fresh workers see current state.
+        for name, (kind, owner) in self._shared.items():
+            self._broadcast((kind, name, owner.handle))
+
+    def _broadcast(self, msg) -> None:
+        for q in self._task_qs:
+            q.put(msg)
+
+    def restart(self) -> None:
+        """Stop the worker processes; the next task transparently respawns
+        them and replays all published shared objects."""
+        self._stop_workers(graceful=True)
+
+    def _stop_workers(self, graceful: bool) -> None:
+        if graceful:
+            for q in self._task_qs:
+                try:
+                    q.put(("stop",))
+                except Exception:  # pragma: no cover
+                    pass
+        deadline = time.monotonic() + (5.0 if graceful else 0.5)
+        for p in self._procs:
+            p.join(timeout=max(0.0, deadline - time.monotonic()))
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=5.0)
+        for q in (*self._task_qs, *( [self._result_q] if self._result_q else [] )):
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except Exception:  # pragma: no cover
+                pass
+        self._procs, self._task_qs, self._result_q = [], [], None
+
+    def close(self) -> None:
+        """Stop the workers and free every published shared-memory block."""
+        if self._closed:
+            return
+        self._stop_workers(graceful=True)
+        for _name, (_kind, owner) in self._shared.items():
+            owner.close()
+        self._shared.clear()
+        self._closed = True
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- shared objects -------------------------------------------------- #
+
+    def publish_csr(self, name: str, csr, dirty_rows=None) -> PublishStats:
+        """Export or delta-update snapshot *name*; broadcasts to workers."""
+        if self._closed:
+            raise ParameterError("WorkerPool is closed")
+        entry = self._shared.get(name)
+        if entry is None:
+            owner = SharedCSR(csr)
+            self._shared[name] = ("csr", owner)
+            stats = PublishStats(0, -1, True, owner.version)
+        else:
+            kind, owner = entry
+            if kind != "csr":
+                raise ParameterError(f"shared object {name!r} is a {kind}, not a csr")
+            stats = owner.publish(csr, dirty_rows=dirty_rows)
+        if self._procs:
+            self._broadcast(("csr", name, owner.handle))
+        return stats
+
+    def matrix(self, name: str, rows: int, cols: int, *, fill: "int | None" = None) -> np.ndarray:
+        """Create (or resize) shared matrix *name*; returns the live view.
+
+        An existing matrix is resized only when the requested shape
+        differs; *fill* initializes fresh cells.  The returned numpy view
+        aliases the workers' — drop it before the next resize.
+        """
+        if self._closed:
+            raise ParameterError("WorkerPool is closed")
+        entry = self._shared.get(name)
+        if entry is None:
+            owner = SharedMatrix(rows, cols, fill=fill)
+            self._shared[name] = ("matrix", owner)
+        else:
+            kind, owner = entry
+            if kind != "matrix":
+                raise ParameterError(f"shared object {name!r} is a {kind}, not a matrix")
+            if (owner.rows, owner.cols) != (rows, cols):
+                owner.resize(rows, cols, fill=fill)
+        if self._procs:
+            self._broadcast(("matrix", name, owner.handle))
+        return owner.array
+
+    def matrix_owner(self, name: str) -> SharedMatrix:
+        kind, owner = self._shared[name]
+        if kind != "matrix":
+            raise ParameterError(f"shared object {name!r} is a {kind}, not a matrix")
+        return owner
+
+    def drop(self, name: str) -> None:
+        """Unpublish *name*: workers unmap it, the parent frees the blocks."""
+        entry = self._shared.pop(name, None)
+        if entry is None:
+            return
+        if self._procs:
+            self._broadcast(("drop", name))
+        entry[1].close()
+
+    # -- dispatch --------------------------------------------------------- #
+
+    def run(self, fn: str, payloads, *, to=None) -> list:
+        """Scatter *payloads* to the workers and gather results in order.
+
+        ``to`` optionally names the worker id per payload (shard-owned
+        dispatch); default is round-robin.  Raises :class:`WorkerError`
+        with the remote traceback if any task fails, and detects dead
+        workers instead of hanging.
+        """
+        if fn not in TASKS:
+            raise ParameterError(f"unknown task {fn!r} (want one of {sorted(TASKS)})")
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        self._ensure_started()
+        if to is None:
+            to = [i % self.workers for i in range(len(payloads))]
+        elif len(to) != len(payloads):
+            raise ParameterError("`to` must match payloads in length")
+        index_of = {}
+        for payload, wid in zip(payloads, to):
+            if not (0 <= wid < self.workers):
+                raise ParameterError(f"worker id {wid} out of range (pool size {self.workers})")
+            task_id = self._next_task_id
+            self._next_task_id += 1
+            index_of[task_id] = len(index_of)
+            self._task_qs[wid].put(("task", task_id, fn, payload))
+        results = [None] * len(payloads)
+        deadline = time.monotonic() + self.task_timeout
+        pending = len(payloads)
+        while pending:
+            try:
+                wid, task_id, ok, res = self._result_q.get(timeout=1.0)
+            except queue_mod.Empty:
+                if not self.alive:
+                    raise WorkerError("a worker process died mid-task") from None
+                if time.monotonic() > deadline:
+                    raise WorkerError(
+                        f"pool wedged: no result within {self.task_timeout}s"
+                    ) from None
+                continue
+            if not ok:
+                raise WorkerError(f"task failed in worker {wid}:\n{res}")
+            if task_id in index_of:  # ignore strays from a prior failed gather
+                results[index_of.pop(task_id)] = res
+                pending -= 1
+        return results

@@ -1,0 +1,235 @@
+"""Sharded routing service: the serving layer fanned out over a worker pool.
+
+:class:`ShardedRoutingService` partitions the n H-distance rows (and the n
+next-hop tables) across the W workers of a :class:`~repro.parallel.pool.\
+WorkerPool` by ``owner(u) = u % W`` — stable under id growth, balanced
+under churn.  Both serving matrices and both graph snapshots (H for the
+BFS rows, G for the argmin stars) live in shared memory
+(:mod:`repro.parallel.shm`), so the per-event protocol exchanges only
+summaries:
+
+1. the parent runs the damage analysis of the base class unchanged
+   (dirty-row certification against the old matrix, star damage, table
+   damage masks) — it reads the same shared ``D`` the workers write;
+2. dirty rows fan out **shard-local**: each worker BFS-recomputes only the
+   rows it owns, writes them straight into shared ``D``, and sends back
+   just ``(row id, packed changed-destination mask)`` for rows that moved;
+3. damaged tables fan out shard-local the same way, each worker
+   re-argmin-ing its own table rows in shared ``T`` via the exact kernel
+   (:func:`~repro.routing.tables.project_table_row`) the serial service
+   uses, returning only changed-entry counts.
+
+Because every stage reuses the serial implementation's math on the same
+bytes, the served tables are **bit-identical** to
+:class:`~repro.dynamic.serving.RoutingService` after every event — the
+property suite in ``tests/parallel/test_sharded.py`` asserts it for
+W ∈ {1, 2, 4} across all four churn scenarios and every construction.
+
+Snapshot publishing is delta-aware: the service accumulates the rows whose
+H/G adjacency changed since the last publish (the maintainer's net spanner
+delta, the event's star damage) and ships only those spans
+(:meth:`SharedCSR.publish <repro.parallel.shm.SharedCSR.publish>`).  A
+full refresh (fallback, compaction, mid-batch error resync) clears the
+hints and republishes wholesale.
+
+The pool outlives events and survives restarts: published objects are
+replayed to respawned workers, so :meth:`WorkerPool.restart <repro.\
+parallel.pool.WorkerPool.restart>` (or a worker crash) mid-stream is
+transparent.  Close the service (context manager) to free the workers and
+the shared blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dynamic.serving import RoutingService
+from ..graph import Graph
+from .pool import WorkerPool
+
+__all__ = ["ShardedRoutingService"]
+
+_EMPTY = np.empty((0, 0), dtype=np.int32)
+
+#: Shared-object names used by one service on its pool.
+_H, _G, _DIST, _TABLES = "serve:h", "serve:g", "serve:dist", "serve:tables"
+
+
+class ShardedRoutingService(RoutingService):
+    """A :class:`RoutingService` whose repair stages run on a worker pool.
+
+    Parameters
+    ----------
+    g, method, k, epsilon, r, rebuild_fraction:
+        Exactly as :class:`~repro.dynamic.serving.RoutingService`.
+    workers:
+        Pool size spec (int, ``"auto"`` or ``None``) — ignored when *pool*
+        is given.
+    start_method:
+        Forwarded to :class:`~repro.parallel.pool.WorkerPool` (``fork`` /
+        ``spawn`` / ``forkserver``).
+    pool:
+        An existing pool to run on; the service then does **not** close it
+        (but does publish its shared objects there — one service per pool).
+    seed:
+        Root for the workers' :mod:`repro.rng` streams.
+    """
+
+    def __init__(
+        self,
+        g: Graph,
+        method: str = "kcover",
+        *,
+        workers="auto",
+        start_method: "str | None" = None,
+        pool: "WorkerPool | None" = None,
+        seed: int = 0,
+        k: "int | None" = None,
+        epsilon: "float | None" = None,
+        r: "int | None" = None,
+        rebuild_fraction: float = 0.25,
+    ) -> None:
+        if pool is not None:
+            self._pool, self._owns_pool = pool, False
+        else:
+            self._pool = WorkerPool(workers, start_method=start_method, seed=seed)
+            self._owns_pool = True
+        self._hints: "dict[str, set[int]]" = {}
+        self._shared_ready = False
+        self._closed = False
+        super().__init__(
+            g, method, k=k, epsilon=epsilon, r=r, rebuild_fraction=rebuild_fraction
+        )
+
+    # ------------------------------------------------------------------ #
+    # pool plumbing
+    # ------------------------------------------------------------------ #
+
+    @property
+    def workers(self) -> int:
+        """Number of shards (= pool workers)."""
+        return self._pool.workers
+
+    def owner(self, u: int) -> int:
+        """The shard owning row/table *u* (stable as the id space grows)."""
+        return u % self._pool.workers
+
+    def close(self) -> None:
+        """Release the shared matrices (and the pool, when owned)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._dist = self._tables = _EMPTY  # drop buffer exports first
+        if self._owns_pool:
+            self._pool.close()
+        else:
+            for name in (_H, _G, _DIST, _TABLES):
+                self._pool.drop(name)
+
+    def __enter__(self) -> "ShardedRoutingService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _matrix_bytes(self, matrix) -> int:
+        # Report the shared blocks' *capacity* — the memory actually
+        # reserved (headroom and high-water growth included), not the
+        # logical view the serial service would report.
+        if not self._shared_ready:
+            return int(matrix.nbytes)
+        name = _DIST if matrix is self._dist else _TABLES
+        return self._pool.matrix_owner(name).capacity_bytes
+
+    def _note_hint(self, name: str, rows: "set[int]") -> None:
+        """Accumulate a delta-publish certificate until the next publish."""
+        hint = self._hints.get(name)
+        if hint is None:
+            self._hints[name] = set(rows)
+        else:
+            hint.update(rows)
+
+    def _shard(self, items) -> "tuple[list, list[int]]":
+        """Group *items* (ints or ``(u, ...)`` pairs) by owning worker."""
+        w = self._pool.workers
+        buckets: "list[list]" = [[] for _ in range(w)]
+        for item in items:
+            u = item if isinstance(item, int) else item[0]
+            buckets[u % w].append(item)
+        payload_items, to = [], []
+        for wid, bucket in enumerate(buckets):
+            if bucket:
+                payload_items.append(bucket)
+                to.append(wid)
+        return payload_items, to
+
+    # ------------------------------------------------------------------ #
+    # overridden stages
+    # ------------------------------------------------------------------ #
+
+    def _resize_matrices(self, n: int) -> None:
+        if self._shared_ready and self._dist.shape[0] == n:
+            return
+        self._dist = self._tables = _EMPTY  # release exports before resize
+        self._dist = self._pool.matrix(_DIST, n, n, fill=-1)
+        self._tables = self._pool.matrix(_TABLES, n, n, fill=-1)
+        self._shared_ready = True
+
+    def _recompute_rows(self, order, track: bool = True) -> "dict[int, np.ndarray]":
+        order = list(order)
+        if not order:
+            return {}
+        h = self.advertised.freeze()
+        self._pool.publish_csr(_H, h, dirty_rows=self._hints.pop(_H, None))
+        buckets, to = self._shard(order)
+        payloads = [(_H, _DIST, bucket) for bucket in buckets]
+        results = self._pool.run("serve_rows", payloads, to=to)
+        if not track:
+            return {}
+        n = self._dist.shape[1]
+        changed: "dict[int, np.ndarray]" = {}
+        for chunk in results:
+            for s, packed in chunk:
+                mask = np.unpackbits(np.frombuffer(packed, dtype=np.uint8), count=n)
+                changed[s] = mask.astype(bool)
+        return changed
+
+    def _project_tables(self, damage: "dict[int, np.ndarray | None]") -> int:
+        jobs = []
+        for u, mask in damage.items():
+            if mask is None:
+                jobs.append((u, None))
+            elif mask.any():
+                jobs.append((u, np.packbits(mask).tobytes()))
+        if not jobs:
+            return 0
+        g_csr = self.graph.freeze()
+        self._pool.publish_csr(_G, g_csr, dirty_rows=self._hints.pop(_G, None))
+        buckets, to = self._shard(jobs)
+        payloads = [(_G, _DIST, _TABLES, bucket) for bucket in buckets]
+        self.entries_updated += sum(self._pool.run("serve_tables", payloads, to=to))
+        return len(jobs)
+
+    # ------------------------------------------------------------------ #
+    # hint bookkeeping around the base machinery
+    # ------------------------------------------------------------------ #
+
+    def _ingest(self, h_added, h_removed, star_changed, rebuilt):
+        old_dim = self._dist.shape[0]
+        n = self.maintainer.graph.num_nodes
+        new_rows = set(range(old_dim, n))
+        self._note_hint(_H, {x for e in (*h_added, *h_removed) for x in e} | new_rows)
+        self._note_hint(_G, set(star_changed) | new_rows)
+        return super()._ingest(h_added, h_removed, star_changed, rebuilt)
+
+    def refresh(self) -> None:
+        # Unknown delta (init, fallback, error resync, compaction): drop the
+        # certificates so both snapshots republish wholesale.
+        self._hints.clear()
+        super().refresh()

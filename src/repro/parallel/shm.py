@@ -1,0 +1,465 @@
+"""Shared-memory transport: CSR snapshots and dense matrices across processes.
+
+The worker pool's data plane.  Graph snapshots and the serving matrices are
+far too large to pickle per task, so they live in
+:mod:`multiprocessing.shared_memory` blocks that every worker maps once:
+
+* :class:`SharedCSR` — a :class:`~repro.graph.csr.CSRGraph` exported as two
+  blocks (``int64`` row offsets, ``int32`` neighbor ids).  Workers attach
+  with **zero copies** (:func:`attach_csr`, surfaced as
+  :meth:`CSRGraph.attach <repro.graph.csr.CSRGraph.attach>`); re-publishing
+  after a delta re-freeze ships **only the dirty row spans** when row sizes
+  are unchanged, or the suffix from the first resized row otherwise —
+  never more than the snapshot, usually a few cache lines.
+* :class:`SharedMatrix` — a dense int32 matrix (the serving layer's
+  ``D``/``T``) with capacity headroom so node churn can grow ``n`` without
+  reallocating; parent and workers read and write the *same* bytes, so
+  "sending a row" to a worker costs nothing.
+
+Both owners allocate **capacity slack** (~25%) and reallocate into fresh
+blocks only when outgrown; every publish bumps a ``version`` so the pool's
+control plane (:mod:`repro.parallel.pool`) can tell workers to re-wrap
+their views.  Block lifetime: the creating process ``unlink``s (POSIX
+semantics keep existing mappings valid), attachers only ``close``.
+
+CPython ≤ 3.12 registers *attached* segments with the resource tracker,
+which would unlink them when the attaching worker exits (bpo-39959);
+:func:`_attach_block` unregisters the attachment to keep ownership with
+the creator.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass, replace
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..graph.csr import CSRGraph
+
+__all__ = [
+    "SharedCSR",
+    "SharedCSRHandle",
+    "SharedMatrix",
+    "SharedMatrixHandle",
+    "PublishStats",
+    "attach_csr",
+    "AttachedCSR",
+    "AttachedMatrix",
+]
+
+_PTR_DTYPE = np.int64
+_IDX_DTYPE = np.intc
+_MAT_DTYPE = np.int32
+
+
+def _headroom(size: int) -> int:
+    """Capacity with ~25% slack (at least a small fixed floor)."""
+    return max(64, size + (size >> 2))
+
+
+def _create_block(nbytes: int) -> shared_memory.SharedMemory:
+    """A fresh named block; the short random suffix keeps names collision-free."""
+    name = f"repro-{secrets.token_hex(6)}"
+    return shared_memory.SharedMemory(name=name, create=True, size=max(nbytes, 1))
+
+
+def _attach_block(name: str) -> shared_memory.SharedMemory:
+    """Open an existing block without adopting ownership of its lifetime.
+
+    CPython ≤ 3.12 registers attachments with the (shared) resource
+    tracker exactly like creations (bpo-39959), which would double-book
+    the block and unlink it under the owner.  Suppressing registration for
+    the attach (the 3.13 ``track=False`` semantics) keeps the creator the
+    sole owner; worker processes are single-threaded, so the temporary
+    patch cannot race.
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+@dataclass(frozen=True)
+class PublishStats:
+    """What one :meth:`SharedCSR.publish` shipped."""
+
+    bytes_written: int
+    rows_rewritten: int  # -1 means "suffix copy" (row sizes changed)
+    reallocated: bool
+    version: int
+
+
+@dataclass(frozen=True)
+class SharedCSRHandle:
+    """Picklable coordinates of a :class:`SharedCSR` (what workers attach)."""
+
+    indptr_name: str
+    indices_name: str
+    n: int
+    num_indices: int
+    capacity_nodes: int
+    capacity_indices: int
+    version: int
+
+
+@dataclass(frozen=True)
+class SharedMatrixHandle:
+    """Picklable coordinates of a :class:`SharedMatrix`."""
+
+    name: str
+    rows: int
+    cols: int
+    capacity_rows: int
+    capacity_cols: int
+    version: int
+
+
+class SharedCSR:
+    """Parent-side owner of a CSR snapshot living in shared memory.
+
+    Create via :meth:`CSRGraph.share`.  ``publish(new_csr, dirty_rows=...)``
+    updates the blocks in place (delta when possible) and bumps
+    ``version``; when the new snapshot outgrows the capacity the blocks are
+    reallocated under fresh names (``reallocated=True`` in the returned
+    stats — the pool then rebroadcasts the handle).  Call :meth:`close`
+    (idempotent) to free the blocks; the owner also unlinks on GC as a
+    safety net.
+    """
+
+    def __init__(
+        self,
+        csr: CSRGraph,
+        *,
+        capacity_nodes: "int | None" = None,
+        capacity_indices: "int | None" = None,
+    ) -> None:
+        np_indptr, np_indices = csr.numpy_arrays()
+        n, m2 = csr.num_nodes, len(np_indices)
+        cap_n = _headroom(n) if capacity_nodes is None else capacity_nodes
+        cap_i = _headroom(m2) if capacity_indices is None else capacity_indices
+        if cap_n < n or cap_i < m2:
+            raise ParameterError(
+                f"capacity ({cap_n} nodes / {cap_i} indices) below snapshot "
+                f"size ({n} / {m2})"
+            )
+        self._shm_indptr = _create_block((cap_n + 1) * np.dtype(_PTR_DTYPE).itemsize)
+        self._shm_indices = _create_block(cap_i * np.dtype(_IDX_DTYPE).itemsize)
+        self._cap_n, self._cap_i = cap_n, cap_i
+        self._closed = False
+        self.version = 0
+        self._write_full(np_indptr, np_indices)
+        self.n, self.num_indices = n, m2
+
+    # -- views over the blocks ----------------------------------------- #
+
+    def _ptr_view(self, count: int) -> np.ndarray:
+        return np.ndarray((count,), dtype=_PTR_DTYPE, buffer=self._shm_indptr.buf)
+
+    def _idx_view(self, count: int) -> np.ndarray:
+        return np.ndarray((count,), dtype=_IDX_DTYPE, buffer=self._shm_indices.buf)
+
+    @property
+    def handle(self) -> SharedCSRHandle:
+        return SharedCSRHandle(
+            indptr_name=self._shm_indptr.name,
+            indices_name=self._shm_indices.name,
+            n=self.n,
+            num_indices=self.num_indices,
+            capacity_nodes=self._cap_n,
+            capacity_indices=self._cap_i,
+            version=self.version,
+        )
+
+    def graph(self) -> CSRGraph:
+        """A zero-copy :class:`CSRGraph` over the parent's own mapping."""
+        return CSRGraph._wrap_views(
+            self.n, self._ptr_view(self.n + 1), self._idx_view(self.num_indices)
+        )
+
+    # -- publishing ----------------------------------------------------- #
+
+    def _write_full(self, np_indptr: np.ndarray, np_indices: np.ndarray) -> int:
+        self._ptr_view(len(np_indptr))[:] = np_indptr
+        if len(np_indices):
+            self._idx_view(len(np_indices))[:] = np_indices
+        return np_indptr.nbytes + np_indices.nbytes
+
+    def publish(self, csr: CSRGraph, dirty_rows=None) -> PublishStats:
+        """Ship snapshot *csr* into the blocks; delta when *dirty_rows* given.
+
+        *dirty_rows* is the caller's certificate that every other row is
+        byte-identical to the currently published snapshot (exactly the set
+        a delta re-freeze patched).  With it, unchanged-degree updates
+        write only the dirty rows' index spans; degree-changing updates
+        write the indptr plus the index suffix from the first dirty row
+        (everything behind it shifted).  Without it, the whole snapshot is
+        rewritten.  Growing past capacity reallocates fresh blocks
+        (``reallocated=True`` — attachment handles change).
+        """
+        self._ensure_open()
+        np_indptr, np_indices = csr.numpy_arrays()
+        n, m2 = csr.num_nodes, len(np_indices)
+        if n > self._cap_n or m2 > self._cap_i:
+            old_ptr, old_idx = self._shm_indptr, self._shm_indices
+            self._cap_n = max(_headroom(n), self._cap_n)
+            self._cap_i = max(_headroom(m2), self._cap_i)
+            self._shm_indptr = _create_block((self._cap_n + 1) * np.dtype(_PTR_DTYPE).itemsize)
+            self._shm_indices = _create_block(self._cap_i * np.dtype(_IDX_DTYPE).itemsize)
+            written = self._write_full(np_indptr, np_indices)
+            self.n, self.num_indices = n, m2
+            self.version += 1
+            for shm in (old_ptr, old_idx):  # mappings stay valid until closed
+                shm.close()
+                shm.unlink()
+            return PublishStats(written, -1, True, self.version)
+        old_n = self.n
+        dirty = None if dirty_rows is None else sorted({int(u) for u in dirty_rows})
+        self.n, self.num_indices = n, m2
+        self.version += 1
+        if dirty is not None and (not dirty or dirty[0] < 0 or dirty[-1] >= n):
+            dirty = None if dirty else []
+        if dirty == [] and n == old_n:  # certified no-op: nothing moved
+            return PublishStats(0, 0, False, self.version)
+        if not dirty or n != old_n:
+            return PublishStats(self._write_full(np_indptr, np_indices), -1, False, self.version)
+        ptr = self._ptr_view(n + 1)
+        idx = self._idx_view(self._cap_i)
+        if np.array_equal(ptr, np_indptr):  # degrees unchanged: true row delta
+            written = 0
+            for u in dirty:
+                lo, hi = int(np_indptr[u]), int(np_indptr[u + 1])
+                if hi > lo:
+                    idx[lo:hi] = np_indices[lo:hi]
+                    written += (hi - lo) * np.dtype(_IDX_DTYPE).itemsize
+            return PublishStats(written, len(dirty), False, self.version)
+        first = dirty[0]
+        start = min(int(ptr[first]), int(np_indptr[first]))
+        ptr[first:] = np_indptr[first:]
+        if m2 > start:
+            idx[start:m2] = np_indices[start:m2]
+        written = (n + 1 - first) * np.dtype(_PTR_DTYPE).itemsize
+        written += max(m2 - start, 0) * np.dtype(_IDX_DTYPE).itemsize
+        return PublishStats(written, -1, False, self.version)
+
+    # -- lifetime -------------------------------------------------------- #
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ParameterError("SharedCSR is closed")
+
+    def close(self) -> None:
+        """Free both blocks (idempotent; attached workers keep their maps)."""
+        if self._closed:
+            return
+        self._closed = True
+        for shm in (self._shm_indptr, self._shm_indices):
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class AttachedCSR:
+    """Worker-side attachment of a :class:`SharedCSR`.
+
+    Keeps the mapped blocks open and re-wraps the :class:`CSRGraph` view
+    when the publisher announces a new version (:meth:`refresh`).  If the
+    announced handle names different blocks (the publisher reallocated),
+    the old maps are closed and the new ones attached.
+    """
+
+    def __init__(self, handle: SharedCSRHandle) -> None:
+        self._handle = handle
+        self._shm_indptr = _attach_block(handle.indptr_name)
+        self._shm_indices = _attach_block(handle.indices_name)
+        self._wrap()
+
+    def _wrap(self) -> None:
+        h = self._handle
+        indptr = np.ndarray((h.n + 1,), dtype=_PTR_DTYPE, buffer=self._shm_indptr.buf)
+        indices = np.ndarray((h.num_indices,), dtype=_IDX_DTYPE, buffer=self._shm_indices.buf)
+        self.graph = CSRGraph._wrap_views(h.n, indptr, indices)
+
+    @property
+    def version(self) -> int:
+        return self._handle.version
+
+    def refresh(self, handle: SharedCSRHandle) -> None:
+        if handle.indptr_name != self._handle.indptr_name:
+            self.close()
+            self._shm_indptr = _attach_block(handle.indptr_name)
+            self._shm_indices = _attach_block(handle.indices_name)
+        self._handle = handle
+        self._wrap()
+
+    def close(self) -> None:
+        self.graph = None
+        for shm in (self._shm_indptr, self._shm_indices):
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover
+                pass
+
+
+def attach_csr(handle) -> CSRGraph:
+    """One-shot zero-copy attach (the :meth:`CSRGraph.attach` entry point).
+
+    Accepts a :class:`SharedCSRHandle` or an :class:`AttachedCSR`.  The
+    returned graph aliases the shared buffers; with a bare handle the
+    attachment is pinned on the graph object so the mapping outlives it.
+    """
+    if isinstance(handle, AttachedCSR):
+        return handle.graph
+    if not isinstance(handle, SharedCSRHandle):
+        raise ParameterError(
+            f"attach needs a SharedCSRHandle or AttachedCSR, got {type(handle).__name__}"
+        )
+    attachment = AttachedCSR(handle)
+    g = attachment.graph
+    g._pin = attachment  # pin the mapping to the graph's lifetime
+    return g
+
+
+class SharedMatrix:
+    """Parent-side owner of a dense int32 matrix in shared memory.
+
+    The logical shape is ``(rows, cols)`` inside a ``(cap_rows, cap_cols)``
+    allocation, so growth within capacity is free (bump the shape, fill the
+    fresh border).  ``resize`` reallocates when outgrown, preserving the
+    overlapping content; both cases bump ``version`` for the control plane.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        *,
+        capacity_rows: "int | None" = None,
+        capacity_cols: "int | None" = None,
+        fill: "int | None" = None,
+    ) -> None:
+        self._cap_r = _headroom(rows) if capacity_rows is None else capacity_rows
+        self._cap_c = _headroom(cols) if capacity_cols is None else capacity_cols
+        if self._cap_r < rows or self._cap_c < cols:
+            raise ParameterError("matrix capacity below initial shape")
+        itemsize = np.dtype(_MAT_DTYPE).itemsize
+        self._shm = _create_block(self._cap_r * self._cap_c * itemsize)
+        self.rows, self.cols = rows, cols
+        self.version = 0
+        self._closed = False
+        if fill is not None:
+            self.array[:] = fill
+
+    @property
+    def handle(self) -> SharedMatrixHandle:
+        return SharedMatrixHandle(
+            name=self._shm.name,
+            rows=self.rows,
+            cols=self.cols,
+            capacity_rows=self._cap_r,
+            capacity_cols=self._cap_c,
+            version=self.version,
+        )
+
+    @property
+    def array(self) -> np.ndarray:
+        """The live ``(rows, cols)`` view (writes are visible to workers)."""
+        base = np.ndarray((self._cap_r, self._cap_c), dtype=_MAT_DTYPE, buffer=self._shm.buf)
+        return base[: self.rows, : self.cols]
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Bytes actually reserved (capacity, not logical shape)."""
+        return self._cap_r * self._cap_c * np.dtype(_MAT_DTYPE).itemsize
+
+    def resize(self, rows: int, cols: int, *, fill: "int | None" = None) -> bool:
+        """Change the logical shape; returns ``True`` when blocks moved.
+
+        Within capacity this costs one border fill.  Beyond it, fresh
+        blocks are allocated and the overlapping content copied.  *fill*
+        initializes any newly exposed cells (also on shrink-then-grow).
+        """
+        if self._closed:
+            raise ParameterError("SharedMatrix is closed")
+        old_rows, old_cols = self.rows, self.cols
+        reallocated = rows > self._cap_r or cols > self._cap_c
+        if reallocated:
+            old_shm, old_view = self._shm, self.array
+            self._cap_r = max(_headroom(rows), self._cap_r)
+            self._cap_c = max(_headroom(cols), self._cap_c)
+            itemsize = np.dtype(_MAT_DTYPE).itemsize
+            self._shm = _create_block(self._cap_r * self._cap_c * itemsize)
+            self.rows, self.cols = rows, cols
+            if fill is not None:
+                self.array[:] = fill
+            keep_r, keep_c = min(old_rows, rows), min(old_cols, cols)
+            self.array[:keep_r, :keep_c] = old_view[:keep_r, :keep_c]
+            del old_view  # drop the buffer export so the mmap can close
+            old_shm.close()
+            old_shm.unlink()
+        else:
+            self.rows, self.cols = rows, cols
+            if fill is not None:
+                a = self.array
+                if rows > old_rows:
+                    a[old_rows:, :] = fill
+                if cols > old_cols:
+                    a[:, old_cols:] = fill
+        self.version += 1
+        return reallocated
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover
+            pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class AttachedMatrix:
+    """Worker-side attachment of a :class:`SharedMatrix`."""
+
+    def __init__(self, handle: SharedMatrixHandle) -> None:
+        self._handle = handle
+        self._shm = _attach_block(handle.name)
+
+    @property
+    def array(self) -> np.ndarray:
+        h = self._handle
+        base = np.ndarray((h.capacity_rows, h.capacity_cols), dtype=_MAT_DTYPE, buffer=self._shm.buf)
+        return base[: h.rows, : h.cols]
+
+    def refresh(self, handle: SharedMatrixHandle) -> None:
+        if handle.name != self._handle.name:
+            self.close()
+            self._shm = _attach_block(handle.name)
+        self._handle = handle
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+        except Exception:  # pragma: no cover
+            pass

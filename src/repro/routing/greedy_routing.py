@@ -96,7 +96,7 @@ def route_all_pairs_stats(
     h: Graph, g: Graph, pairs: "list[tuple[int, int]] | None" = None
 ) -> RoutingStats:
     """Route (sampled) ordered pairs and aggregate stretch + invariants."""
-    from ..graph import bfs_distances
+    from ..graph import cached_bfs_distances
 
     if pairs is None:
         n = g.num_nodes
@@ -104,10 +104,13 @@ def route_all_pairs_stats(
     stats = RoutingStats()
     stretch_total = 0.0
     g.freeze()  # the per-source BFS probes below ride the CSR snapshot
+    # Local memo keeps the per-pair lookup O(1); the shared LRU layer
+    # underneath persists the vectors (and its hit/miss accounting) across
+    # calls on the same graph version.
     dist_cache: dict[int, list[int]] = {}
     for s, t in pairs:
         if s not in dist_cache:
-            dist_cache[s] = bfs_distances(g, s)
+            dist_cache[s] = cached_bfs_distances(g, s)
         d_g = dist_cache[s][t]
         if d_g < 1:
             continue

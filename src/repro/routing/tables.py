@@ -30,7 +30,7 @@ import numpy as np
 from ..errors import ParameterError
 from ..graph import AugmentedView, Graph, batched_bfs
 
-__all__ = ["next_hop", "routing_table", "routing_table_scan"]
+__all__ = ["next_hop", "routing_table", "routing_table_scan", "project_table_row"]
 
 #: Stand-in for "unreachable" in the vectorized argmins here and in the
 #: serving layer (:mod:`repro.dynamic.serving`).  Any value larger than
@@ -58,6 +58,39 @@ def _argmin_hops(block: "np.ndarray", nbrs: "list[int]") -> "np.ndarray":
     return hops
 
 
+def project_table_row(
+    dist: "np.ndarray", tables: "np.ndarray", nbrs: "list[int]", u: int, cols: "np.ndarray | None"
+) -> int:
+    """Re-argmin table row *u* in place; returns how many entries changed.
+
+    The projection kernel of the serving layer, shared verbatim by the
+    single-process :class:`~repro.dynamic.serving.RoutingService` and the
+    worker processes of :class:`~repro.parallel.sharded.\
+ShardedRoutingService` — one implementation is what makes the two
+    bit-identical by construction.  ``dist`` is the ``d_H`` matrix,
+    ``tables`` the next-hop matrix, ``nbrs`` the sorted G-neighbors of
+    *u*, ``cols`` the destinations to refresh (``None`` = all).
+    """
+    row = tables[u]
+    if cols is None:
+        old = row.copy()
+        if not nbrs:
+            row[:] = -1
+            return int((old != row).sum())
+        hops = _argmin_hops(dist[nbrs], nbrs)
+        row[:] = hops
+        row[u] = -1
+        return int((old != row).sum())
+    old = row[cols].copy()
+    if not nbrs:
+        row[cols] = -1
+        return int((old != row[cols]).sum())
+    hops = _argmin_hops(dist[np.ix_(nbrs, cols)], nbrs)
+    row[cols] = hops
+    row[u] = -1
+    return int((old != row[cols]).sum())
+
+
 def next_hop(h: Graph, g: Graph, u: int, v: int) -> "int | None":
     """The neighbor of *u* (in G) closest to *v* in :math:`H_u`.
 
@@ -82,7 +115,7 @@ def next_hop(h: Graph, g: Graph, u: int, v: int) -> "int | None":
     return best
 
 
-def routing_table(h: Graph, g: Graph, u: int) -> dict:
+def routing_table(h: Graph, g: Graph, u: int, *, workers=None) -> dict:
     """Full next-hop table for *u*: destination -> closest neighbor.
 
     Runs ``deg_G(u)`` neighbor-sourced batched BFS runs on the frozen CSR
@@ -92,13 +125,17 @@ def routing_table(h: Graph, g: Graph, u: int) -> dict:
     neighbor order, so ``np.argmin``'s first-occurrence rule *is* the
     smallest-neighbor-id tie-break of :func:`next_hop`.  Destinations
     unreachable from every neighbor (and *u* itself) are omitted.
+
+    ``workers`` forwards to :func:`~repro.graph.traversal.batched_bfs` —
+    the neighbor-sourced BFS block fans out across a worker pool (worth it
+    for high-degree sources on large advertised graphs).
     """
     view = AugmentedView(h, g, u)
     nbrs = sorted(g.neighbors(u))
     if not nbrs:
         return {}
     csr = view.freeze()
-    block = np.array([row for _s, row in batched_bfs(csr, nbrs, arrays=True)])
+    block = np.array([row for _s, row in batched_bfs(csr, nbrs, arrays=True, workers=workers)])
     hops = _argmin_hops(block, nbrs)
     table: dict[int, int] = {}
     for v in range(g.num_nodes):

@@ -1,0 +1,201 @@
+"""Runtime-tunable performance knobs for the traversal and parallel engines.
+
+The CSR traversal engine has two crossover constants that used to be frozen
+module constants in :mod:`repro.graph.traversal`:
+
+* ``batch_chunk`` — sources expanded simultaneously per
+  :func:`~repro.graph.traversal.batched_bfs` chunk (cache-friendliness vs
+  numpy call amortization);
+* ``auto_min_nodes`` — node count below which ``backend="auto"`` stays on
+  the set backend (numpy call overhead exceeds the whole BFS on toy
+  graphs).
+
+Their best values depend on the hardware (cache sizes, numpy build), so
+they are now runtime-configurable, three ways, in increasing precedence:
+
+1. **defaults** — the values measured on the reference 2200-node UDG;
+2. **environment** — ``REPRO_BATCH_CHUNK``, ``REPRO_AUTO_MIN_NODES``,
+   ``REPRO_PARALLEL_MIN_NODES`` (read once at first use);
+3. **programmatic** — :func:`configure` (persistent) or the
+   :func:`overridden` context manager (scoped, exception-safe — what the
+   tests use).
+
+``parallel_min_nodes`` is the analogous gate for the multiprocessing fan
+-out of :mod:`repro.parallel`: below it, ``workers="auto"`` never engages
+(the per-task IPC overhead exceeds the whole BFS).
+
+``python -m repro tune`` measures the crossovers on the current hardware
+(:func:`calibrate`) and prints recommended values plus the matching
+``export`` lines.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+
+from .errors import ParameterError
+
+__all__ = [
+    "Tuning",
+    "get",
+    "configure",
+    "reset",
+    "overridden",
+    "calibrate",
+    "DEFAULT_BATCH_CHUNK",
+    "DEFAULT_AUTO_MIN_NODES",
+    "DEFAULT_PARALLEL_MIN_NODES",
+]
+
+#: Sources per :func:`~repro.graph.traversal.batched_bfs` chunk (64 measured
+#: best on the 2200-node UDG of ``benchmarks/test_bench_traversal.py``).
+DEFAULT_BATCH_CHUNK = 64
+
+#: Below this node count ``backend="auto"`` stays on sets.
+DEFAULT_AUTO_MIN_NODES = 64
+
+#: Below this node count ``workers="auto"`` stays single-process.
+DEFAULT_PARALLEL_MIN_NODES = 768
+
+_ENV_VARS = {
+    "batch_chunk": "REPRO_BATCH_CHUNK",
+    "auto_min_nodes": "REPRO_AUTO_MIN_NODES",
+    "parallel_min_nodes": "REPRO_PARALLEL_MIN_NODES",
+}
+
+
+@dataclass(frozen=True)
+class Tuning:
+    """One immutable snapshot of every tunable (see module docstring)."""
+
+    batch_chunk: int = DEFAULT_BATCH_CHUNK
+    auto_min_nodes: int = DEFAULT_AUTO_MIN_NODES
+    parallel_min_nodes: int = DEFAULT_PARALLEL_MIN_NODES
+
+    def __post_init__(self) -> None:
+        for name in _ENV_VARS:
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                raise ParameterError(f"{name} must be a positive int, got {value!r}")
+
+
+def _from_env() -> Tuning:
+    kwargs = {}
+    for field, var in _ENV_VARS.items():
+        raw = os.environ.get(var)
+        if raw is None:
+            continue
+        try:
+            kwargs[field] = int(raw)
+        except ValueError:
+            raise ParameterError(f"{var} must be an int, got {raw!r}") from None
+    return Tuning(**kwargs)
+
+
+_active: "Tuning | None" = None  # lazily initialized from the environment
+
+
+def get() -> Tuning:
+    """The active tuning snapshot (defaults + env + :func:`configure`)."""
+    global _active
+    if _active is None:
+        _active = _from_env()
+    return _active
+
+
+def configure(**kwargs: int) -> Tuning:
+    """Persistently override tunables; returns the new active snapshot.
+
+    Unknown names raise :class:`~repro.errors.ParameterError`; values are
+    validated like the dataclass fields.  Applies process-wide from the next
+    ``get()`` on (worker processes of :mod:`repro.parallel` inherit the
+    environment, not programmatic overrides).
+    """
+    global _active
+    unknown = set(kwargs) - set(_ENV_VARS)
+    if unknown:
+        raise ParameterError(f"unknown tunables {sorted(unknown)} (want {sorted(_ENV_VARS)})")
+    _active = replace(get(), **kwargs)
+    return _active
+
+
+def reset() -> None:
+    """Drop every programmatic override (environment applies again)."""
+    global _active
+    _active = None
+
+
+@contextmanager
+def overridden(**kwargs: int):
+    """Scoped :func:`configure` — restores the previous snapshot on exit."""
+    global _active
+    previous = get()
+    try:
+        yield configure(**kwargs)
+    finally:
+        _active = previous
+
+
+# --------------------------------------------------------------------- #
+# hardware calibration (python -m repro tune)
+# --------------------------------------------------------------------- #
+
+
+def _time_best(fn, repeats: int = 3) -> float:
+    """Best-of-*repeats* wall time of ``fn()`` (min filters scheduler noise)."""
+    import time
+
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def calibrate(n: int = 1500, seed: int = 2009, quick: bool = False) -> dict:
+    """Measure the crossover points on the current hardware.
+
+    Returns a dict with the per-size set-vs-CSR timings, the per-chunk
+    batched-APSP timings, and the recommended ``auto_min_nodes`` /
+    ``batch_chunk`` values.  Drives ``python -m repro tune``; uses only
+    seeded generators so two runs on the same machine agree.
+    """
+    from .graph.generators import random_connected_gnp
+    from .graph.traversal import batched_bfs, bfs_distances
+    from .rng import derive_seed
+
+    # -- auto_min_nodes: smallest n where one CSR BFS beats one set BFS.
+    sizes = (16, 32, 64, 128, 256) if quick else (16, 32, 64, 128, 256, 512)
+    crossover_rows = []
+    recommended_min = sizes[-1] * 2  # pessimistic default: csr never won
+    for size in sizes:
+        g = random_connected_gnp(size, min(1.0, 4.0 / size), seed=derive_seed(seed, "tune", size))
+        csr = g.freeze()
+        t_sets = _time_best(lambda: [bfs_distances(g, s, backend="sets") for s in range(0, size, 4)])
+        t_csr = _time_best(lambda: [bfs_distances(csr, s) for s in range(0, size, 4)])
+        crossover_rows.append({"n": size, "sets_s": t_sets, "csr_s": t_csr})
+        if t_csr < t_sets and recommended_min > size:
+            recommended_min = size
+
+    # -- batch_chunk: fastest chunk for a full batched APSP at ~n nodes.
+    apsp_n = max(256, n // 4) if quick else n
+    g = random_connected_gnp(apsp_n, 4.0 / apsp_n, seed=derive_seed(seed, "tune-apsp"))
+    csr = g.freeze()
+    chunk_rows = []
+    best_chunk, best_time = DEFAULT_BATCH_CHUNK, float("inf")
+    for chunk in (16, 32, 64, 128, 256):
+        t = _time_best(
+            lambda c=chunk: [None for _ in batched_bfs(csr, chunk=c, arrays=True)], repeats=2
+        )
+        chunk_rows.append({"chunk": chunk, "apsp_s": t})
+        if t < best_time:
+            best_chunk, best_time = chunk, t
+
+    return {
+        "auto_min_nodes": {"rows": crossover_rows, "recommended": recommended_min},
+        "batch_chunk": {"n": apsp_n, "rows": chunk_rows, "recommended": best_chunk},
+        "active": get(),
+    }

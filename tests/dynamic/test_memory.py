@@ -1,0 +1,129 @@
+"""Serving-matrix memory control: stats, compaction, bounded long-horizon growth.
+
+Joins grow the id space monotonically (a leave keeps its slot), so the
+n×n serving matrices would grow without bound over a long node-churn soak.
+:meth:`RoutingService.memory_stats` exposes the footprint (also stamped on
+every :class:`ServeReport`) and :meth:`RoutingService.compact` reclaims the
+dormant ids; driven periodically it must keep the matrix dimension pinned
+to the live population plus one compaction window — asserted here over a
+closed-loop churn drive.
+"""
+
+import numpy as np
+
+from repro.dynamic import EdgeEvent, NodeEvent, RoutingService
+from repro.graph.generators import random_connected_gnp
+from repro.rng import derive_seed, ensure_rng
+from repro.routing import routing_table
+
+from ..conftest import TEST_SEED
+
+
+def assert_tables_match_scratch(service, context=""):
+    h, g = service.advertised, service.graph
+    for u in g.nodes():
+        assert service.table(u) == routing_table(h, g, u), f"table of {u} diverged {context}"
+
+
+def churn_step(service, rng, *, join_bias=0.5, wire=3) -> None:
+    """One closed-loop node-churn event against the live id space."""
+    g = service.graph
+    live = [u for u in g.nodes() if g.neighbors(u)]
+    if rng.random() >= join_bias and len(live) > 10:
+        service.apply(NodeEvent.leave(int(rng.choice(live))))
+        return
+    nid = g.num_nodes
+    service.apply(NodeEvent.join(nid))
+    targets = rng.choice(live, size=min(wire, len(live)), replace=False)
+    for t in targets:
+        service.apply(EdgeEvent.add(nid, int(t)))
+
+
+class TestMemoryStats:
+    def test_stats_shape_and_report_fields(self):
+        g = random_connected_gnp(30, 0.12, seed=5)
+        service = RoutingService(g, "kcover", rebuild_fraction=1.0)
+        stats = service.memory_stats()
+        assert stats.nodes == 30 and stats.dormant == 0
+        assert stats.dist_bytes == stats.table_bytes == 30 * 30 * 4
+        assert stats.total_bytes == stats.dist_bytes + stats.table_bytes
+        report = service.apply(NodeEvent.leave(3))
+        assert report.dormant_ids == 1
+        assert report.matrix_bytes == service.memory_stats().total_bytes
+
+    def test_join_grows_matrices_monotonically(self):
+        g = random_connected_gnp(25, 0.15, seed=7)
+        service = RoutingService(g, "kcover", rebuild_fraction=1.0)
+        before = service.memory_stats().total_bytes
+        service.apply(NodeEvent.join(25))
+        grown = service.memory_stats().total_bytes
+        assert grown > before
+        service.apply(NodeEvent.leave(25))  # leave does NOT shrink
+        assert service.memory_stats().total_bytes == grown
+
+
+class TestCompact:
+    def test_compact_remaps_and_stays_exact(self):
+        g = random_connected_gnp(30, 0.12, seed=9)
+        service = RoutingService(g, "kcover", rebuild_fraction=1.0)
+        for u in (2, 11, 23):
+            service.apply(NodeEvent.leave(u))
+        before = service.memory_stats()
+        assert before.dormant == 3
+        old_edges = service.graph.edge_set()
+        mapping = service.compact()
+        after = service.memory_stats()
+        assert after.nodes == before.nodes - 3 and after.dormant == 0
+        assert after.total_bytes < before.total_bytes
+        assert sorted(mapping.values()) == list(range(after.nodes))
+        # Compaction is a pure renumbering of the live topology.
+        assert service.graph.edge_set() == {
+            tuple(sorted((mapping[u], mapping[v]))) for u, v in old_edges
+        }
+        assert_tables_match_scratch(service, "after compact")
+        assert service.compactions == 1
+
+    def test_compact_without_dormant_is_noop(self):
+        g = random_connected_gnp(20, 0.2, seed=3)
+        service = RoutingService(g, "kcover")
+        maintainer = service.maintainer
+        mapping = service.compact()
+        assert mapping == {u: u for u in range(20)}
+        assert service.maintainer is maintainer  # untouched
+        assert service.compactions == 0
+
+    def test_service_keeps_working_after_compact(self):
+        g = random_connected_gnp(25, 0.15, seed=11)
+        service = RoutingService(g, "kcover", rebuild_fraction=1.0)
+        service.apply(NodeEvent.leave(5))
+        service.compact()
+        rng = ensure_rng(derive_seed(TEST_SEED, "post-compact"))
+        for _ in range(10):
+            churn_step(service, rng)
+        assert_tables_match_scratch(service, "churn after compact")
+
+
+class TestLongHorizonBoundedGrowth:
+    def test_periodic_compaction_bounds_the_matrices(self):
+        interval = 20
+        g = random_connected_gnp(30, 0.15, seed=13)
+        service = RoutingService(g, "kcover", rebuild_fraction=1.0)
+        rng = ensure_rng(derive_seed(TEST_SEED, "long-horizon"))
+        peak_nodes = 0
+        for step in range(1, 121):
+            churn_step(service, rng, join_bias=0.55)
+            peak_nodes = max(peak_nodes, service.memory_stats().nodes)
+            if step % interval == 0:
+                live_before = service.memory_stats()
+                service.compact()
+                after = service.memory_stats()
+                assert after.dormant == 0
+                assert after.nodes == live_before.nodes - live_before.dormant
+                # Bounded growth: between compactions the dimension can
+                # exceed the live population by at most one window of joins.
+                assert peak_nodes <= after.nodes + interval
+                peak_nodes = 0
+        # The per-window invariant above caps the matrix at
+        # (live + window)^2; without compaction the dimension would be the
+        # initial n plus every join of the whole soak.
+        assert_tables_match_scratch(service, "end of soak")

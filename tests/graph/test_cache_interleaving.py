@@ -6,11 +6,15 @@ asserted here by comparing every cached answer against a fresh BFS on a
 pristine copy of the current graph.
 """
 
+import pytest
+
+from repro.errors import ParameterError
 from repro.graph import (
     Graph,
     bfs_distances,
     cached_bfs_distances,
     distance_cache_info,
+    set_distance_cache_capacity,
 )
 from repro.graph.cache import DISTANCE_CACHE_SIZE
 from repro.graph.generators import gnp_random_graph, path_graph
@@ -68,16 +72,18 @@ class TestRetentionAndEviction:
         cached_bfs_distances(g, 0)
         g.add_edge(0, 9)
         cached_bfs_distances(g, 0)
-        entries, cap = distance_cache_info(g)
-        assert entries == 2 and cap == DISTANCE_CACHE_SIZE  # distinct versions coexist
+        info = distance_cache_info(g)
+        assert info.entries == 2  # distinct versions coexist
+        assert info.capacity == DISTANCE_CACHE_SIZE
 
     def test_lru_eviction_bounds_entries(self):
         n = DISTANCE_CACHE_SIZE + 40
         g = Graph(n, ((i, i + 1) for i in range(n - 1)))
         for s in range(n):
             cached_bfs_distances(g, s)
-        entries, cap = distance_cache_info(g)
-        assert entries == cap
+        info = distance_cache_info(g)
+        assert info.entries == info.capacity
+        assert info.evictions == n - info.capacity
         # Oldest key evicted, newest retained: both still answer correctly.
         assert cached_bfs_distances(g, 0) == bfs_distances(g, 0)
         assert cached_bfs_distances(g, n - 1) == bfs_distances(g, n - 1)
@@ -89,3 +95,54 @@ class TestRetentionAndEviction:
         g.add_edge(0, 8)  # mutating g must not disturb the snapshot's cache
         assert cached_bfs_distances(csr, 0)[8] == 8
         assert cached_bfs_distances(g, 0)[8] == 1
+
+
+class TestObservabilityAndSizing:
+    def test_hit_miss_counters(self):
+        g = path_graph(12)
+        cached_bfs_distances(g, 0)  # miss
+        cached_bfs_distances(g, 0)  # hit
+        cached_bfs_distances(g, 1)  # miss
+        info = distance_cache_info(g)
+        assert (info.hits, info.misses, info.evictions) == (1, 2, 0)
+        assert info.hit_rate == pytest.approx(1 / 3)
+
+    def test_counters_survive_mutation_and_count_version_misses(self):
+        g = path_graph(8)
+        cached_bfs_distances(g, 0)
+        g.add_edge(0, 7)  # version bump: same source now misses again
+        cached_bfs_distances(g, 0)
+        info = distance_cache_info(g)
+        assert info.misses == 2 and info.hits == 0
+
+    def test_per_graph_capacity_override(self):
+        g = path_graph(40)
+        set_distance_cache_capacity(g, 4)
+        for s in range(10):
+            cached_bfs_distances(g, s)
+        info = distance_cache_info(g)
+        assert info.entries == info.capacity == 4
+        assert info.evictions == 6
+        # Another graph keeps the module default.
+        assert distance_cache_info(path_graph(3)).capacity == DISTANCE_CACHE_SIZE
+
+    def test_shrinking_capacity_evicts_lru(self):
+        g = path_graph(20)
+        for s in range(6):
+            cached_bfs_distances(g, s)
+        set_distance_cache_capacity(g, 2)
+        info = distance_cache_info(g)
+        assert info.entries == 2 and info.evictions == 4
+        # The two most recent keys survive.
+        cached_bfs_distances(g, 4)
+        cached_bfs_distances(g, 5)
+        assert distance_cache_info(g).hits == 2
+
+    def test_capacity_validation(self):
+        g = path_graph(5)
+        with pytest.raises(ParameterError):
+            set_distance_cache_capacity(g, 0)
+
+    def test_untracked_graph_reports_zeros(self):
+        info = distance_cache_info(object())
+        assert info == (0, DISTANCE_CACHE_SIZE, 0, 0, 0)

@@ -258,8 +258,9 @@ class TestDistanceCache:
         b = cached_bfs_distances(g, 0)
         assert a == b == bfs_distances(g, 0)
         assert a is not b  # caller owns the result
-        entries, cap = distance_cache_info(g)
-        assert entries == 1 and cap >= 1
+        info = distance_cache_info(g)
+        assert info.entries == 1 and info.capacity >= 1
+        assert info.hits == 1 and info.misses == 1
 
     def test_mutation_invalidates_by_version(self):
         g = path_graph(6)
@@ -280,8 +281,8 @@ class TestDistanceCache:
         g = gnp_random_graph(DISTANCE_CACHE_SIZE + 40, 0.01, seed=3)
         for u in g.nodes():
             cached_bfs_distances(g, u)
-        entries, cap = distance_cache_info(g)
-        assert entries == cap == DISTANCE_CACHE_SIZE
+        info = distance_cache_info(g)
+        assert info.entries == info.capacity == DISTANCE_CACHE_SIZE
 
     def test_duck_typed_graph_falls_through(self):
         g = random_connected_gnp(20, 0.2, seed=1)

@@ -1,0 +1,168 @@
+"""ShardedRoutingService ≡ RoutingService, bit for bit, event for event.
+
+The sharded service claims it is the serial service with the row/table
+stages fanned out — nothing more.  The suite pins that as a bit-level
+property: after every event (and every tick), the shared D and T matrices
+equal the serial twin's, for W ∈ {1, 2, 4}, across all four churn
+scenarios, every construction, the full-refresh fallback, pool restarts
+mid-stream, and both start methods.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.dynamic import RoutingService, SCENARIO_NAMES, make_scenario
+from repro.parallel import ShardedRoutingService, WorkerPool
+from repro.routing import routing_table
+
+START_METHODS = [
+    m for m in ("fork", "spawn") if m in multiprocessing.get_all_start_methods()
+]
+
+
+def assert_twins_agree(sharded, serial, context=""):
+    assert np.array_equal(sharded._dist, serial._dist), f"D diverged {context}"
+    assert np.array_equal(sharded._tables, serial._tables), f"T diverged {context}"
+
+
+def assert_matches_scratch(service, context=""):
+    h, g = service.advertised, service.graph
+    for u in g.nodes():
+        assert service.table(u) == routing_table(h, g, u), f"table of {u} diverged {context}"
+
+
+class TestBitIdenticalToSerial:
+    """The acceptance property of the parallel serving tentpole."""
+
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_scenarios_every_event(self, name, workers):
+        sc = make_scenario(name, 35, 25, seed=17)
+        serial = RoutingService(sc.initial, "kcover", rebuild_fraction=1.0)
+        with ShardedRoutingService(
+            sc.initial, "kcover", workers=workers, rebuild_fraction=1.0
+        ) as sharded:
+            for i, ev in enumerate(sc.events, start=1):
+                serial.apply(ev)
+                report = sharded.apply(ev)
+                assert report.events == 1
+                assert_twins_agree(sharded, serial, f"{name} W={workers} after event {i}")
+            assert sharded.graph == sc.final
+            assert_matches_scratch(sharded, f"{name} W={workers} final")
+            # Work accounting is part of "identical": same damage decisions.
+            assert sharded.rows_recomputed == serial.rows_recomputed
+            assert sharded.tables_recomputed == serial.tables_recomputed
+            assert sharded.entries_updated == serial.entries_updated
+
+    @pytest.mark.parametrize(
+        "method,kwargs",
+        [("mis", {"r": 3}), ("greedy", {"r": 2}), ("kmis", {"k": 2})],
+    )
+    def test_other_constructions_stay_exact(self, method, kwargs):
+        sc = make_scenario("nodechurn", 30, 20, seed=21)
+        serial = RoutingService(sc.initial, method, rebuild_fraction=1.0, **kwargs)
+        with ShardedRoutingService(
+            sc.initial, method, workers=2, rebuild_fraction=1.0, **kwargs
+        ) as sharded:
+            for i, ev in enumerate(sc.events, start=1):
+                serial.apply(ev)
+                sharded.apply(ev)
+                assert_twins_agree(sharded, serial, f"{method} after event {i}")
+            assert_matches_scratch(sharded, f"{method} final")
+
+    def test_batched_ticks_match(self):
+        sc = make_scenario("mobility", 35, 30, seed=29)
+        serial = RoutingService(sc.initial, "kcover", rebuild_fraction=1.0)
+        events = list(sc.events)
+        with ShardedRoutingService(
+            sc.initial, "kcover", workers=2, rebuild_fraction=1.0
+        ) as sharded:
+            for lo in range(0, len(events), 6):
+                tick = events[lo : lo + 6]
+                serial.apply_batch(tick)
+                sharded.apply_batch(tick)
+                assert_twins_agree(sharded, serial, f"after tick at {lo}")
+            assert_matches_scratch(sharded, "final ticked state")
+
+    def test_fallback_refresh_path_stays_exact(self):
+        # A tiny rebuild fraction forces the maintainer rebuild + full
+        # refresh on nearly every event — the wholesale-republish path.
+        sc = make_scenario("nodechurn", 30, 20, seed=13)
+        serial = RoutingService(sc.initial, "kcover", rebuild_fraction=0.01)
+        with ShardedRoutingService(
+            sc.initial, "kcover", workers=2, rebuild_fraction=0.01
+        ) as sharded:
+            for i, ev in enumerate(sc.events, start=1):
+                serial.apply(ev)
+                sharded.apply(ev)
+                assert_twins_agree(sharded, serial, f"after event {i}")
+            assert sharded.maintainer.full_rebuilds > 0
+            assert sharded.full_refreshes == serial.full_refreshes > 0
+
+    def test_compact_drops_dormant_ids_and_stays_exact(self):
+        sc = make_scenario("nodechurn", 30, 25, seed=31)
+        with ShardedRoutingService(
+            sc.initial, "kcover", workers=2, rebuild_fraction=1.0
+        ) as sharded:
+            for ev in sc.events:
+                sharded.apply(ev)
+            before = sharded.memory_stats()
+            mapping = sharded.compact()
+            after = sharded.memory_stats()
+            assert after.dormant == 0
+            assert after.nodes == before.nodes - before.dormant
+            assert len(mapping) == after.nodes
+            assert_matches_scratch(sharded, "after compact")
+
+
+class TestPoolLifecycle:
+    def test_pool_restart_mid_stream_is_transparent(self):
+        sc = make_scenario("failure", 35, 24, seed=41)
+        serial = RoutingService(sc.initial, "kcover", rebuild_fraction=1.0)
+        with ShardedRoutingService(
+            sc.initial, "kcover", workers=2, rebuild_fraction=1.0
+        ) as sharded:
+            for i, ev in enumerate(sc.events, start=1):
+                if i % 8 == 0:  # kill the workers mid-stream
+                    sharded._pool.restart()
+                serial.apply(ev)
+                sharded.apply(ev)
+                assert_twins_agree(sharded, serial, f"after event {i} (restarts)")
+            assert_matches_scratch(sharded, "final after restarts")
+
+    def test_external_pool_is_reused_not_closed(self):
+        sc = make_scenario("failure", 30, 10, seed=43)
+        pool = WorkerPool(2)
+        try:
+            with ShardedRoutingService(sc.initial, "kcover", pool=pool) as sharded:
+                for ev in sc.events:
+                    sharded.apply(ev)
+                assert_matches_scratch(sharded, "external pool")
+            # The service released its shared objects but left the pool up.
+            assert pool.run("echo", ["alive"])[0][2] == "alive"
+        finally:
+            pool.close()
+
+    def test_workers_property_and_owner_map(self):
+        from repro.graph.generators import random_connected_gnp
+
+        g = random_connected_gnp(30, 0.12, seed=1)
+        with ShardedRoutingService(g, "kcover", workers=3) as sharded:
+            assert sharded.workers == 3
+            assert [sharded.owner(u) for u in range(6)] == [0, 1, 2, 0, 1, 2]
+
+
+@pytest.mark.parametrize("method", START_METHODS)
+def test_start_method_matrix_small_stream(method):
+    sc = make_scenario("failure", 30, 6, seed=3)
+    serial = RoutingService(sc.initial, "kcover", rebuild_fraction=1.0)
+    with ShardedRoutingService(
+        sc.initial, "kcover", workers=2, start_method=method, rebuild_fraction=1.0
+    ) as sharded:
+        for ev in sc.events:
+            serial.apply(ev)
+            sharded.apply(ev)
+        assert_twins_agree(sharded, serial, f"start method {method}")
+        assert_matches_scratch(sharded, f"start method {method}")

@@ -1,0 +1,214 @@
+"""Shared-memory transport: share/attach exactness, delta publish, matrices.
+
+The data plane's contract is byte-level: an attached snapshot must be
+indistinguishable from the original (``share()``/``attach()`` round-trip),
+and a delta publish must leave attached readers seeing exactly the new
+snapshot while shipping fewer bytes than a full rewrite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph import CSRGraph, Graph, bfs_distances
+from repro.graph.generators import gnp_random_graph, path_graph, random_connected_gnp
+from repro.parallel import SharedCSR, SharedMatrix, attach_csr
+
+
+@pytest.fixture
+def shared_cleanup():
+    owners = []
+    yield owners.append
+    for owner in owners:
+        owner.close()
+
+
+class TestShareAttachRoundTrip:
+    def test_round_trip_is_exact(self, shared_cleanup):
+        g = random_connected_gnp(60, 0.12, seed=5)
+        csr = g.freeze()
+        shared = csr.share()
+        shared_cleanup(shared)
+        attached = CSRGraph.attach(shared.handle)
+        assert attached == csr
+        assert attached.num_nodes == csr.num_nodes
+        assert attached.num_edges == csr.num_edges
+        assert attached.edge_set() == csr.edge_set()
+        for u in csr.nodes():
+            assert attached.neighbors(u) == csr.neighbors(u)
+            assert list(attached.neighbors_csr(u)) == list(csr.neighbors_csr(u))
+
+    def test_attached_graph_runs_the_csr_engine(self, shared_cleanup):
+        g = random_connected_gnp(80, 0.08, seed=9)
+        csr = g.freeze()
+        shared = csr.share()
+        shared_cleanup(shared)
+        attached = CSRGraph.attach(shared.handle)
+        for s in (0, 7, 41):
+            assert bfs_distances(attached, s) == bfs_distances(csr, s)
+
+    def test_attach_is_zero_copy(self, shared_cleanup):
+        # Writing through the owner must be visible through the attachment:
+        # both alias the same shared buffer.
+        csr = path_graph(10).freeze()
+        shared = csr.share()
+        shared_cleanup(shared)
+        attached = CSRGraph.attach(shared.handle)
+        indptr, indices = attached.numpy_arrays()
+        assert not indices.flags.owndata  # a view, not a copy
+        shared._idx_view(1)[0] = 7  # poke the shared buffer directly
+        assert indices[0] == 7
+
+    def test_attach_rejects_garbage(self):
+        with pytest.raises(ParameterError):
+            CSRGraph.attach("not-a-handle")
+
+    def test_empty_and_edgeless_graphs(self, shared_cleanup):
+        for g in (Graph(0), Graph(5)):
+            shared = g.freeze().share()
+            shared_cleanup(shared)
+            attached = attach_csr(shared.handle)
+            assert attached == g.freeze()
+
+
+class TestDeltaPublish:
+    def _published_pair(self, g, shared_cleanup):
+        csr = g.freeze()
+        shared = csr.share()
+        shared_cleanup(shared)
+        return shared, CSRGraph.attach(shared.handle)
+
+    def test_full_publish_updates_readers(self, shared_cleanup):
+        g = random_connected_gnp(40, 0.15, seed=3)
+        shared, _old = self._published_pair(g, shared_cleanup)
+        g.add_edge(0, g.num_nodes - 1) if not g.has_edge(0, g.num_nodes - 1) else g.remove_edge(
+            0, g.num_nodes - 1
+        )
+        stats = shared.publish(g.freeze())
+        assert not stats.reallocated
+        assert CSRGraph.attach(shared.handle) == g.freeze()
+
+    def test_degree_preserving_delta_writes_only_dirty_rows(self, shared_cleanup):
+        # A 2-swap (remove ab, cd; add ac, bd) preserves every degree, so
+        # the delta path must write just the four dirty rows' spans.
+        g = path_graph(200)
+        shared, _ = self._published_pair(g, shared_cleanup)
+        g.remove_edge(10, 11)
+        g.remove_edge(100, 101)
+        g.add_edge(10, 100)
+        g.add_edge(11, 101)
+        csr = g.freeze()
+        full_bytes = csr.numpy_arrays()[0].nbytes + csr.numpy_arrays()[1].nbytes
+        stats = shared.publish(csr, dirty_rows=[10, 11, 100, 101])
+        assert stats.rows_rewritten == 4
+        assert stats.bytes_written == 8 * np.dtype(np.intc).itemsize  # 4 rows × 2 ids
+        assert stats.bytes_written < full_bytes // 10
+        assert CSRGraph.attach(shared.handle) == csr
+
+    def test_suffix_delta_when_degrees_change(self, shared_cleanup):
+        g = path_graph(400)
+        shared, _ = self._published_pair(g, shared_cleanup)
+        g.add_edge(390, 395)  # late rows: only a short suffix shifts
+        csr = g.freeze()
+        full_bytes = csr.numpy_arrays()[0].nbytes + csr.numpy_arrays()[1].nbytes
+        stats = shared.publish(csr, dirty_rows=[390, 395])
+        assert stats.bytes_written < full_bytes // 4
+        assert CSRGraph.attach(shared.handle) == csr
+
+    def test_publish_without_hint_is_full_and_exact(self, shared_cleanup):
+        g = random_connected_gnp(50, 0.1, seed=11)
+        shared, _ = self._published_pair(g, shared_cleanup)
+        g.add_edge(0, 2) if not g.has_edge(0, 2) else g.remove_edge(0, 2)
+        stats = shared.publish(g.freeze())
+        assert stats.rows_rewritten == -1  # full rewrite
+        assert CSRGraph.attach(shared.handle) == g.freeze()
+
+    def test_growth_reallocates_and_stays_exact(self, shared_cleanup):
+        g = path_graph(30)
+        csr = g.freeze()
+        shared = SharedCSR(csr, capacity_nodes=31, capacity_indices=60)
+        shared_cleanup(shared)
+        old_handle = shared.handle
+        g.add_nodes(200)
+        for i in range(30, 229):
+            g.add_edge(i, i + 1)
+        stats = shared.publish(g.freeze())
+        assert stats.reallocated
+        assert shared.handle.indptr_name != old_handle.indptr_name
+        assert CSRGraph.attach(shared.handle) == g.freeze()
+
+    def test_publish_sequence_random_churn(self, shared_cleanup, rng):
+        # Many rounds of random edits with accurate dirty hints: the
+        # attached view must equal a fresh freeze after every publish.
+        g = gnp_random_graph(35, 0.1, seed=14)
+        shared, _ = self._published_pair(g, shared_cleanup)
+        for _round in range(25):
+            dirty = set()
+            for _ in range(int(rng.integers(1, 4))):
+                u, v = (int(x) for x in rng.integers(0, g.num_nodes, 2))
+                if u == v:
+                    continue
+                (g.remove_edge if g.has_edge(u, v) else g.add_edge)(u, v)
+                dirty |= {u, v}
+            shared.publish(g.freeze(), dirty_rows=dirty)
+            assert CSRGraph.attach(shared.handle) == g.freeze()
+
+    def test_closed_owner_rejects_publish(self):
+        g = path_graph(5)
+        shared = g.freeze().share()
+        shared.close()
+        with pytest.raises(ParameterError):
+            shared.publish(g.freeze())
+        shared.close()  # idempotent
+
+
+class TestSharedMatrix:
+    def test_round_trip_and_aliasing(self):
+        m = SharedMatrix(4, 6, fill=-1)
+        try:
+            from repro.parallel import AttachedMatrix
+
+            att = AttachedMatrix(m.handle)
+            view = att.array
+            assert view.shape == (4, 6)
+            assert (view == -1).all()
+            m.array[2, 3] = 42
+            assert view[2, 3] == 42  # same bytes
+            view[0, 0] = 7
+            assert m.array[0, 0] == 7
+            att.close()
+        finally:
+            m.close()
+
+    def test_grow_within_capacity_keeps_content(self):
+        m = SharedMatrix(3, 3, capacity_rows=10, capacity_cols=10, fill=0)
+        try:
+            m.array[:] = np.arange(9).reshape(3, 3)
+            assert m.resize(5, 5, fill=-1) is False  # no reallocation
+            assert (m.array[:3, :3] == np.arange(9).reshape(3, 3)).all()
+            assert (m.array[3:, :] == -1).all()
+            assert (m.array[:, 3:] == -1).all()
+        finally:
+            m.close()
+
+    def test_grow_past_capacity_reallocates_and_copies(self):
+        m = SharedMatrix(3, 3, capacity_rows=3, capacity_cols=3)
+        try:
+            m.array[:] = 5
+            old_name = m.handle.name
+            assert m.resize(8, 8, fill=-1) is True
+            assert m.handle.name != old_name
+            assert (m.array[:3, :3] == 5).all()
+            assert (m.array[3:, :] == -1).all()
+        finally:
+            m.close()
+
+    def test_shrink_then_grow_refills_border(self):
+        m = SharedMatrix(6, 6, fill=9)
+        try:
+            m.resize(3, 3)
+            m.resize(6, 6, fill=-1)
+            assert (m.array[:3, :3] == 9).all()
+            assert (m.array[3:, :] == -1).all()
+        finally:
+            m.close()

@@ -1,0 +1,96 @@
+"""repro.tuning: env/programmatic overrides and the calibration harness."""
+
+import pytest
+
+from repro import tuning
+from repro.errors import ParameterError
+from repro.graph import batched_bfs
+from repro.graph.generators import path_graph
+
+
+@pytest.fixture(autouse=True)
+def _clean_tuning():
+    tuning.reset()
+    yield
+    tuning.reset()
+
+
+class TestOverrides:
+    def test_defaults(self):
+        t = tuning.get()
+        assert t.batch_chunk == tuning.DEFAULT_BATCH_CHUNK
+        assert t.auto_min_nodes == tuning.DEFAULT_AUTO_MIN_NODES
+        assert t.parallel_min_nodes == tuning.DEFAULT_PARALLEL_MIN_NODES
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_CHUNK", "17")
+        monkeypatch.setenv("REPRO_AUTO_MIN_NODES", "5")
+        tuning.reset()
+        t = tuning.get()
+        assert t.batch_chunk == 17 and t.auto_min_nodes == 5
+
+    def test_env_garbage_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_CHUNK", "lots")
+        tuning.reset()
+        with pytest.raises(ParameterError):
+            tuning.get()
+
+    def test_configure_and_reset(self):
+        tuning.configure(batch_chunk=8)
+        assert tuning.get().batch_chunk == 8
+        tuning.reset()
+        assert tuning.get().batch_chunk == tuning.DEFAULT_BATCH_CHUNK
+
+    def test_configure_rejects_unknown_and_invalid(self):
+        with pytest.raises(ParameterError):
+            tuning.configure(warp_factor=9)
+        with pytest.raises(ParameterError):
+            tuning.configure(batch_chunk=0)
+
+    def test_overridden_context_restores_on_error(self):
+        before = tuning.get()
+        with pytest.raises(RuntimeError):
+            with tuning.overridden(auto_min_nodes=2):
+                assert tuning.get().auto_min_nodes == 2
+                raise RuntimeError("boom")
+        assert tuning.get() == before
+
+
+class TestKnobsSteerTheEngines:
+    def test_auto_min_nodes_flips_backend(self):
+        # With the threshold above n, `auto` picks sets even on a frozen
+        # graph; below n it rides the cached snapshot.  Results agree
+        # (that's the backends' property); here we check the dispatch knob
+        # actually moves by probing the internal selector.
+        from repro.graph.traversal import _csr_of
+
+        g = path_graph(30)
+        g.freeze()
+        with tuning.overridden(auto_min_nodes=100):
+            assert _csr_of(g, "auto") is None
+        with tuning.overridden(auto_min_nodes=10):
+            assert _csr_of(g, "auto") is g.freeze()
+
+    def test_batch_chunk_default_comes_from_tuning(self):
+        g = path_graph(40)
+        with tuning.overridden(batch_chunk=3, auto_min_nodes=1):
+            a = list(batched_bfs(g))
+        b = list(batched_bfs(g))
+        assert a == b  # chunking never changes results
+
+
+class TestCalibrate:
+    def test_calibrate_quick_shape(self):
+        result = tuning.calibrate(n=256, seed=7, quick=True)
+        assert result["auto_min_nodes"]["recommended"] >= 1
+        assert result["batch_chunk"]["recommended"] in (16, 32, 64, 128, 256)
+        assert len(result["auto_min_nodes"]["rows"]) == 5
+        assert all(r["apsp_s"] > 0 for r in result["batch_chunk"]["rows"])
+
+    def test_tune_cli_prints_recommendations(self, capsys):
+        from repro.cli import main
+
+        assert main(["tune", "--quick", "--n", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "REPRO_AUTO_MIN_NODES" in out and "REPRO_BATCH_CHUNK" in out
+        assert "recommended:" in out
