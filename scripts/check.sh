@@ -1,47 +1,57 @@
 #!/usr/bin/env bash
-# Repo check gate: collection -> tier-1 -> perf artifacts.
+# Repo check gate: collection -> tier-1 -> perf artifacts -> regression guard.
 #
-#   ./scripts/check.sh          # full gate
-#   SKIP_BENCH=1 ./scripts/check.sh   # tests only (e.g. on battery)
+#   ./scripts/check.sh                 # full gate
+#   SKIP_BENCH=1 ./scripts/check.sh    # tests only (e.g. on battery)
+#   BENCH_GUARD_SKIP=1 ./scripts/check.sh   # record benches, skip the guard
 #
-# Step 3 runs the traversal, dynamic-maintenance, routing-serving and
-# parallel-serving micro-benchmarks and leaves their JSON artifacts at
-# ./BENCH_traversal.json, ./BENCH_dynamic.json, ./BENCH_routing.json and
-# ./BENCH_parallel.json (copied from benchmarks/results/) so successive
-# PRs accumulate a perf trajectory.  The parallel bench degrades
-# gracefully on single-core runners: it records the W=1 measurement and
-# a "degraded" marker instead of asserting the 4-worker speedup bar.
+# Step 3 runs the traversal, dynamic-maintenance, routing-serving,
+# parallel-serving and query-serving micro-benchmarks and leaves their JSON
+# artifacts at ./BENCH_traversal.json, ./BENCH_dynamic.json,
+# ./BENCH_routing.json, ./BENCH_parallel.json and ./BENCH_queries.json
+# (copied from benchmarks/results/) so successive PRs accumulate a perf
+# trajectory.  The parallel and query benches degrade gracefully on
+# single-core runners: they record the measurement and a "degraded" marker
+# instead of asserting the multi-core speedup bars.
+#
+# Step 4 compares the freshly recorded speedups against the artifacts
+# committed at HEAD with a tolerance band (scripts/bench_guard.py) and
+# fails loudly on a structural perf regression.
 # CI (.github/workflows/check.yml) runs exactly this script.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/3] collection gate (every test module must import) =="
+echo "== [1/4] collection gate (every test module must import) =="
 python -m pytest --collect-only -q tests > /dev/null
 
-echo "== [2/3] tier-1 test suite =="
+echo "== [2/4] tier-1 test suite =="
 python -m pytest -q tests
 
 if [ "${SKIP_BENCH:-0}" = "1" ]; then
-    echo "== [3/3] perf benchmarks skipped (SKIP_BENCH=1) =="
+    echo "== [3/4] perf benchmarks skipped (SKIP_BENCH=1) =="
+    echo "== [4/4] bench regression guard skipped (SKIP_BENCH=1) =="
     exit 0
 fi
 
-echo "== [3/3] perf benchmarks (write BENCH_traversal.json, BENCH_dynamic.json, BENCH_routing.json, BENCH_parallel.json) =="
+echo "== [3/4] perf benchmarks (write BENCH_{traversal,dynamic,routing,parallel,queries}.json) =="
 python -m pytest -q benchmarks/test_bench_traversal.py benchmarks/test_bench_dynamic.py \
     benchmarks/test_bench_routing.py benchmarks/test_bench_parallel.py \
+    benchmarks/test_bench_queries.py \
     -p no:cacheprovider --benchmark-disable
 cp benchmarks/results/BENCH_traversal.json BENCH_traversal.json
 cp benchmarks/results/BENCH_dynamic.json BENCH_dynamic.json
 cp benchmarks/results/BENCH_routing.json BENCH_routing.json
 cp benchmarks/results/BENCH_parallel.json BENCH_parallel.json
-echo "perf artifacts: ./BENCH_traversal.json ./BENCH_dynamic.json ./BENCH_routing.json ./BENCH_parallel.json"
+cp benchmarks/results/BENCH_queries.json BENCH_queries.json
+echo "perf artifacts: ./BENCH_traversal.json ./BENCH_dynamic.json ./BENCH_routing.json ./BENCH_parallel.json ./BENCH_queries.json"
 python - <<'PYEOF'
 import json
 t = json.load(open("BENCH_traversal.json"))
 d = json.load(open("BENCH_dynamic.json"))
 r = json.load(open("BENCH_routing.json"))
 p = json.load(open("BENCH_parallel.json"))
+q = json.load(open("BENCH_queries.json"))
 print(
     f"batched_bfs speedup vs set backend: "
     f"{t['speedup_batched_vs_sets']}x (required {t['required_speedup']}x)"
@@ -71,4 +81,21 @@ else:
         f"sharded repair 4-vs-1 worker speedup: {sharded['speedup_4_vs_1']}x "
         f"(required {sharded['required_speedup']}x; {curve})"
     )
+qt = q["query_throughput"]
+line = (
+    f"served route queries vs per-hop BFS: {qt['speedup_served_vs_bfs']}x "
+    f"(required {qt['required_speedup']}x; "
+    f"{qt['route_served']['queries_per_second']} q/s served)"
+)
+print(line + (f" [{qt['degraded']}]" if qt.get("degraded") else ""))
+rd = q["read_during_repair"]
+print(
+    f"concurrent reads during repair: {rd['reads_per_second']}/s, "
+    f"p50 {rd['latency_us']['p50']}us p99 {rd['latency_us']['p99']}us, "
+    f"{rd['torn_retries']} seqlock retries"
+    + (f" [{rd['degraded']}]" if rd.get("degraded") else "")
+)
 PYEOF
+
+echo "== [4/4] benchmark-regression guard (fresh vs committed, tolerance band) =="
+python scripts/bench_guard.py

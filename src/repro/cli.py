@@ -10,6 +10,7 @@
     python -m repro churn                  # incremental spanner maintenance
     python -m repro serve --tick 5         # routing tables under node/edge churn
     python -m repro serve --workers 4      # sharded: repairs fan out over a pool
+    python -m repro traffic                # route-request soak between churn ticks
     python -m repro tune                   # calibrate traversal tuning knobs
     python -m repro demo --n 250 --seed 7  # one-off build + verify + stats
 
@@ -26,6 +27,23 @@ from .analysis import render_table
 from .analysis.plot import ascii_loglog, ascii_series
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for counts that must be ≥ 1 (worker pools, ticks).
+
+    Rejects at parse time what used to die deep inside :class:`~repro.\
+parallel.pool.WorkerPool` (negative counts) or silently fall through to
+    the serial path (``--workers 0`` looked falsy to the truthiness
+    checks below).
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer (≥ 1), got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,16 +74,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=100)
     p.add_argument("--seed", type=int, default=4)
 
-    def add_churn_args(p, n_default: int, events_default: int) -> None:
+    def add_churn_args(
+        p,
+        n_default: int,
+        events_default: int,
+        scenario_default: str = "all",
+        check_every: bool = True,
+    ) -> None:
         # Literal twin of repro.dynamic.SCENARIO_NAMES: importing the real
         # tuple here would pull numpy into every `repro --help` invocation
         # (tests assert the two stay in sync).
         scenarios = ("mobility", "failure", "growth", "nodechurn")
         p.add_argument(
             "--scenario",
-            choices=(*scenarios, "all"),
-            default="all",
-            help="event stream model (default: run every scenario)",
+            choices=(*scenarios, "all") if scenario_default == "all" else scenarios,
+            default=scenario_default,
+            help="event stream model"
+            + (" (default: run every scenario)" if scenario_default == "all" else ""),
         )
         p.add_argument("--n", type=int, default=n_default)
         p.add_argument("--events", type=int, default=events_default)
@@ -80,19 +105,21 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--epsilon", type=float, default=None, help="ε for mis/greedy")
         p.add_argument("--rebuild-fraction", type=float, default=0.25)
-        p.add_argument(
-            "--check-every",
-            type=int,
-            default=0,
-            help="verify against a from-scratch build every N events (0: final state only)",
-        )
+        if check_every:
+            p.add_argument(
+                "--check-every",
+                type=int,
+                default=0,
+                help="verify against a from-scratch build every N events (0: final state only)",
+            )
         p.add_argument("--seed", type=int, default=2009)
         p.add_argument(
             "--workers",
-            type=int,
+            type=_positive_int,
             default=None,
-            help="fan work out over N worker processes (repro.parallel); "
-            "default: single-process",
+            metavar="N",
+            help="fan work out over N ≥ 1 worker processes (repro.parallel); "
+            "omit the flag entirely for the single-process serial path",
         )
 
     p = sub.add_parser(
@@ -107,7 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_churn_args(p, n_default=250, events_default=100)
     p.add_argument(
         "--tick",
-        type=int,
+        type=_positive_int,
         default=1,
         help="events per coalesced batch (1: apply singly)",
     )
@@ -116,6 +143,44 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="check tables against a from-scratch build after every tick "
         "(the final state is always checked)",
+    )
+
+    p = sub.add_parser(
+        "traffic",
+        help="query-serving soak: route requests off the maintained tables "
+        "between churn ticks",
+    )
+    add_churn_args(
+        p, n_default=250, events_default=60, scenario_default="failure", check_every=False
+    )
+    # Literal twin of repro.dynamic.WORKLOAD_NAMES (same import-weight
+    # rationale as the scenario list above; tests pin the sync).
+    workloads = ("uniform", "zipf", "locality")
+    p.add_argument(
+        "--workload",
+        choices=(*workloads, "all"),
+        default="all",
+        help="request model (default: run every workload)",
+    )
+    p.add_argument(
+        "--tick",
+        type=_positive_int,
+        default=5,
+        help="events coalesced between request batches",
+    )
+    p.add_argument(
+        "--queries",
+        type=_positive_int,
+        default=40,
+        help="route requests served after each tick",
+    )
+    p.add_argument(
+        "--compare-bfs",
+        type=int,
+        default=25,
+        metavar="PAIRS",
+        help="also route PAIRS sampled requests with the per-hop-BFS "
+        "reference on the final state and report the speedup (0: skip)",
     )
 
     p = sub.add_parser(
@@ -478,6 +543,125 @@ def _cmd_serve(args) -> int:
     return 0 if all_ok else 1
 
 
+def _cmd_traffic(args) -> int:
+    import time
+
+    from .dynamic import RoutingService, WORKLOAD_NAMES, make_scenario, make_workload
+    from .routing import route, route_served
+    from .rng import derive_seed, ensure_rng
+
+    kinds = WORKLOAD_NAMES if args.workload == "all" else (args.workload,)
+    scenario = make_scenario(args.scenario, args.n, args.events, seed=args.seed)
+    rows = []
+    all_ok = True
+    for kind in kinds:
+        workload = make_workload(
+            kind, scenario, queries_per_tick=args.queries, tick=args.tick, seed=args.seed
+        )
+        if args.workers:
+            from .parallel import RouteReader, ShardedRoutingService
+
+            service = ShardedRoutingService(
+                scenario.initial,
+                args.method,
+                workers=args.workers,
+                k=args.k,
+                epsilon=args.epsilon,
+                rebuild_fraction=args.rebuild_fraction,
+            )
+            # Queries ride the concurrent read path: a RouteReader over the
+            # shared matrices, exactly what a detached frontend would hold.
+            endpoint = RouteReader(service.reader_handle())
+        else:
+            service = RoutingService(
+                scenario.initial,
+                args.method,
+                k=args.k,
+                epsilon=args.epsilon,
+                rebuild_fraction=args.rebuild_fraction,
+            )
+            endpoint = service
+        served = delivered = 0
+        hops_total = 0
+        t_repair = t_serve = 0.0
+        for tick in workload.ticks:
+            if tick.events:
+                t0 = time.perf_counter()
+                service.apply_batch(tick.events)
+                t_repair += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            for s, t in tick.queries:
+                res = route_served(endpoint, s, t)
+                served += 1
+                if res.delivered:
+                    delivered += 1
+                    hops_total += res.hops
+            t_serve += time.perf_counter() - t0
+        # Per-hop-BFS reference on the final state: correctness spot-check
+        # (served journeys must be identical) + the speedup column.
+        ok = True
+        bfs_qps = speedup = None
+        if args.compare_bfs > 0:
+            h, g = service.advertised, service.graph
+            rng = ensure_rng(derive_seed(args.seed, "traffic-compare", kind))
+            sample = list(workload.ticks[-1].queries)
+            extra = [q for tick in workload.ticks for q in tick.queries]
+            while len(sample) < args.compare_bfs and extra:
+                sample.append(extra[int(rng.integers(len(extra)))])
+            sample = sample[: args.compare_bfs]
+            t0 = time.perf_counter()
+            reference = [route(h, g, s, t) for s, t in sample]
+            t_bfs = time.perf_counter() - t0
+            for (s, t), ref in zip(sample, reference):
+                res = route_served(endpoint, s, t)
+                ok = ok and res.path == ref.path and res.delivered == ref.delivered
+            bfs_qps = len(sample) / t_bfs if t_bfs > 0 else float("inf")
+            serve_qps_now = served / t_serve if t_serve > 0 else float("inf")
+            speedup = serve_qps_now / bfs_qps if bfs_qps else None
+        all_ok = all_ok and ok
+        rows.append(
+            [
+                kind,
+                len(workload.ticks),
+                served,
+                f"{100 * delivered / max(served, 1):.0f}%",
+                round(hops_total / max(delivered, 1), 2),
+                round(served / t_serve, 0) if t_serve > 0 else "-",
+                round(t_repair * 1e3 / max(workload.num_events, 1), 2),
+                round(bfs_qps, 1) if bfs_qps is not None else "-",
+                round(speedup, 1) if speedup is not None else "-",
+                ok,
+            ]
+        )
+        if args.workers:
+            endpoint.close()
+            service.close()
+    print(
+        render_table(
+            [
+                "workload",
+                "ticks",
+                "queries",
+                "delivered",
+                "mean hops",
+                "serve q/s",
+                "repair ms/ev",
+                "bfs q/s",
+                "speedup",
+                "matches route",
+            ],
+            rows,
+            title=(
+                f"traffic — served route queries over {args.method} maintenance, "
+                f"{args.scenario} scenario, n={args.n}, {args.events} events, "
+                f"tick {args.tick}, seed {args.seed}"
+                + (f", {args.workers} workers" if args.workers else "")
+            ),
+        )
+    )
+    return 0 if all_ok else 1
+
+
 def _cmd_tune(args) -> int:
     from . import tuning
 
@@ -557,6 +741,7 @@ _COMMANDS = {
     "rounds": _cmd_rounds,
     "churn": _cmd_churn,
     "serve": _cmd_serve,
+    "traffic": _cmd_traffic,
     "tune": _cmd_tune,
     "demo": _cmd_demo,
 }

@@ -17,12 +17,18 @@ moved.
   maintainer with dirty-ball detection, batched (per-tick) coalescing and
   a full-rebuild fallback;
 * :mod:`repro.dynamic.serving` — :class:`RoutingService`, next-hop tables
-  kept bit-identical to a from-scratch build after every event.
+  kept bit-identical to a from-scratch build after every event;
+* :mod:`repro.dynamic.traffic` — seeded route-request workloads (uniform,
+  Zipf-hotspot, locality) interleaved with the churn ticks: the *query*
+  side of the serving stack, served by
+  :func:`~repro.routing.greedy_routing.route_served`.
 
-Entry points: ``python -m repro churn`` / ``python -m repro serve`` drive a
-scenario from the shell; ``benchmarks/test_bench_dynamic.py`` and
-``benchmarks/test_bench_routing.py`` record the incremental-vs-rebuild
-speedups as ``BENCH_dynamic.json`` / ``BENCH_routing.json``.
+Entry points: ``python -m repro churn`` / ``python -m repro serve`` /
+``python -m repro traffic`` drive a scenario from the shell;
+``benchmarks/test_bench_dynamic.py``, ``benchmarks/test_bench_routing.py``
+and ``benchmarks/test_bench_queries.py`` record the incremental-vs-rebuild
+and served-vs-BFS speedups as ``BENCH_dynamic.json`` /
+``BENCH_routing.json`` / ``BENCH_queries.json``.
 """
 
 from .events import (
@@ -46,6 +52,7 @@ from .maintainer import (
     resolve_construction,
 )
 from .serving import MemoryStats, RoutingService, ServeReport
+from .traffic import TrafficTick, TrafficWorkload, WORKLOAD_NAMES, make_workload
 
 __all__ = [
     "EdgeEvent",
@@ -67,4 +74,8 @@ __all__ = [
     "MemoryStats",
     "RoutingService",
     "ServeReport",
+    "TrafficTick",
+    "TrafficWorkload",
+    "WORKLOAD_NAMES",
+    "make_workload",
 ]

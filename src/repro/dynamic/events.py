@@ -197,6 +197,20 @@ class Scenario:
             if i % every == 0 or i == len(self.events):
                 yield i, g
 
+    def ticks(self, size: int) -> "Iterable[tuple[EdgeEvent | NodeEvent, ...]]":
+        """Partition the stream into consecutive chunks of ≤ *size* events.
+
+        The tick boundaries the batched consumers share —
+        :meth:`RoutingService.apply_batch <repro.dynamic.serving.\
+RoutingService.apply_batch>` soaks and the traffic workloads of
+        :mod:`repro.dynamic.traffic` interleave on exactly these chunks,
+        so their views of "the graph after tick i" coincide.
+        """
+        if size < 1:
+            raise ParameterError(f"tick size must be ≥ 1, got {size}")
+        for lo in range(0, len(self.events), size):
+            yield self.events[lo : lo + size]
+
 
 def _udg_diff(old: Graph, new: Graph) -> "list[EdgeEvent]":
     """Deterministic edge diff, deletions first then insertions (sorted)."""

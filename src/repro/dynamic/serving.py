@@ -165,6 +165,26 @@ class RoutingService:
         """The live advertised sub-graph H (the maintained spanner)."""
         return self.maintainer.spanner.graph
 
+    @property
+    def num_nodes(self) -> int:
+        """Current id-space size n (the serving matrices' dimension)."""
+        return self.maintainer.graph.num_nodes
+
+    def distance(self, u: int, v: int) -> "int | None":
+        """The served H-distance ``d_H(u, v)`` (None when unreachable).
+
+        Read straight off the maintained D matrix — with
+        :meth:`next_hop` this is everything
+        :func:`~repro.routing.greedy_routing.route_served` needs to
+        forward packets and track the per-hop potential without a BFS.
+        """
+        g = self.graph
+        g._check(u)
+        if not (0 <= v < g.num_nodes):
+            raise NodeNotFound(v, g.num_nodes)
+        d = int(self._dist[u, v])
+        return d if d >= 0 else None
+
     def table(self, u: int) -> dict:
         """Node *u*'s next-hop table, in :func:`routing_table`'s dict shape."""
         self.graph._check(u)

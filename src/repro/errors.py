@@ -47,3 +47,13 @@ class InfeasibleError(ReproError):
 
 class ProtocolError(ReproError):
     """A distributed protocol was driven in an unsupported way."""
+
+
+class TornReadError(ReproError):
+    """A seqlock-protected shared-memory read could not stabilize.
+
+    Concurrent readers retry while a writer holds a row (odd version) or
+    moved it mid-read; exhausting the retry budget means the writer is
+    gone — in practice a worker died mid-write, leaving the row version
+    permanently odd.
+    """

@@ -18,7 +18,10 @@ serving" item calls for, in three tiers:
   :class:`ShardedRoutingService`, the incremental routing tables of
   :class:`~repro.dynamic.serving.RoutingService` with rows and tables
   partitioned ``u % W`` across shards — property-tested bit-identical to
-  the serial service after every event.
+  the serial service after every event — plus :class:`RouteReader`, a
+  read-only query endpoint any process can attach over the seqlock
+  -versioned shared matrices to serve ``next_hop``/``route`` lookups
+  *while* the shards repair (torn-read-free, property-tested).
 
 One-shot fan-outs (:mod:`repro.parallel.fanout`) back the ``workers=``
 parameter of :func:`~repro.graph.traversal.batched_bfs`, the APSP helpers
@@ -32,16 +35,18 @@ and :func:`~repro.routing.tables.routing_table`.
 from .pool import TASKS, WorkerError, WorkerPool, resolve_workers
 from .shm import (
     AttachedCSR,
+    AttachedDirectory,
     AttachedMatrix,
     PublishStats,
     SharedCSR,
     SharedCSRHandle,
+    SharedDirectory,
     SharedMatrix,
     SharedMatrixHandle,
     attach_csr,
 )
 from .fanout import maybe_parallel_bfs, parallel_tree_edges
-from .sharded import ShardedRoutingService
+from .sharded import RouteReader, ShardedRoutingService
 
 __all__ = [
     "TASKS",
@@ -49,14 +54,17 @@ __all__ = [
     "WorkerPool",
     "resolve_workers",
     "AttachedCSR",
+    "AttachedDirectory",
     "AttachedMatrix",
     "PublishStats",
     "SharedCSR",
     "SharedCSRHandle",
+    "SharedDirectory",
     "SharedMatrix",
     "SharedMatrixHandle",
     "attach_csr",
     "maybe_parallel_bfs",
     "parallel_tree_edges",
+    "RouteReader",
     "ShardedRoutingService",
 ]

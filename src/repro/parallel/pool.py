@@ -147,19 +147,24 @@ def _task_serve_rows(state: _WorkerState, payload):
     shard owns) recompute the BFS row on the attached H snapshot, diff it
     against the current shared row, overwrite it, and report
     ``(source, packed-change-mask)`` for rows that actually moved — the
-    only bytes that cross the queue.
+    only bytes that cross the queue.  On a versioned matrix each row write
+    is bracketed by the seqlock counters, so concurrent readers
+    (:class:`~repro.parallel.sharded.RouteReader`) never observe a torn row.
     """
     from ..graph.traversal import batched_bfs
 
     h_name, dist_name, sources = payload
     h = state.csr(h_name)
-    dist = state.matrix(dist_name)
+    attached = state.matrices[dist_name]
+    dist = attached.array
     changed = []
     for s, row in batched_bfs(h, sources, arrays=True):
         mask = row != dist[s]
         if mask.any():
             changed.append((s, np.packbits(mask).tobytes()))
+            attached.begin_row_write(s)
             dist[s] = row
+            attached.end_row_write(s)
     return changed
 
 
@@ -176,7 +181,8 @@ def _task_serve_tables(state: _WorkerState, payload):
     g_name, dist_name, tab_name, jobs = payload
     g = state.csr(g_name)
     dist = state.matrix(dist_name)
-    tables = state.matrix(tab_name)
+    attached = state.matrices[tab_name]
+    tables = attached.array
     n = dist.shape[1]
     entries_changed = 0
     for u, packed in jobs:
@@ -186,7 +192,9 @@ def _task_serve_tables(state: _WorkerState, payload):
             mask = np.unpackbits(np.frombuffer(packed, dtype=np.uint8), count=n).astype(bool)
             cols = np.flatnonzero(mask)
         nbrs = g.neighbors_csr(u).tolist()  # sorted ascending == sorted(N_G(u))
+        attached.begin_row_write(u)
         entries_changed += project_table_row(dist, tables, nbrs, u, cols)
+        attached.end_row_write(u)
     return entries_changed
 
 
@@ -411,18 +419,28 @@ class WorkerPool:
             self._broadcast(("csr", name, owner.handle))
         return stats
 
-    def matrix(self, name: str, rows: int, cols: int, *, fill: "int | None" = None) -> np.ndarray:
+    def matrix(
+        self,
+        name: str,
+        rows: int,
+        cols: int,
+        *,
+        fill: "int | None" = None,
+        versioned: bool = False,
+    ) -> np.ndarray:
         """Create (or resize) shared matrix *name*; returns the live view.
 
         An existing matrix is resized only when the requested shape
-        differs; *fill* initializes fresh cells.  The returned numpy view
-        aliases the workers' — drop it before the next resize.
+        differs; *fill* initializes fresh cells.  ``versioned`` (creation
+        only) adds the per-row seqlock counters concurrent readers need.
+        The returned numpy view aliases the workers' — drop it before the
+        next resize.
         """
         if self._closed:
             raise ParameterError("WorkerPool is closed")
         entry = self._shared.get(name)
         if entry is None:
-            owner = SharedMatrix(rows, cols, fill=fill)
+            owner = SharedMatrix(rows, cols, fill=fill, versioned=versioned)
             self._shared[name] = ("matrix", owner)
         else:
             kind, owner = entry

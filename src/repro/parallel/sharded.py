@@ -37,17 +37,33 @@ replayed to respawned workers, so :meth:`WorkerPool.restart <repro.\
 parallel.pool.WorkerPool.restart>` (or a worker crash) mid-stream is
 transparent.  Close the service (context manager) to free the workers and
 the shared blocks.
+
+**Concurrent reads.**  The shared D/T matrices are created *versioned*
+(one seqlock counter per row, :mod:`repro.parallel.shm`), and after every
+apply/refresh the service posts the current matrix handles to a
+:class:`~repro.parallel.shm.SharedDirectory`.  Any process holding
+:meth:`ShardedRoutingService.reader_handle` can construct a
+:class:`RouteReader` over the same bytes and serve ``next_hop`` /
+``table`` / ``route`` lookups *while the shard workers repair*: writers
+bracket each row write with the version counters, readers retry a moved
+row, so every observed row is bit-identical to a state the service
+actually committed — the torn-read property suite in
+``tests/parallel/test_torn_reads.py`` pins exactly that.
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..dynamic.serving import RoutingService
+from ..errors import NodeNotFound, ParameterError, TornReadError
 from ..graph import Graph
 from .pool import WorkerPool
+from .shm import AttachedDirectory, AttachedMatrix, SharedDirectory
 
-__all__ = ["ShardedRoutingService"]
+__all__ = ["ShardedRoutingService", "RouteReader"]
 
 _EMPTY = np.empty((0, 0), dtype=np.int32)
 
@@ -97,6 +113,7 @@ class ShardedRoutingService(RoutingService):
         self._hints: "dict[str, set[int]]" = {}
         self._shared_ready = False
         self._closed = False
+        self._directory = SharedDirectory()
         super().__init__(
             g, method, k=k, epsilon=epsilon, r=r, rebuild_fraction=rebuild_fraction
         )
@@ -114,12 +131,22 @@ class ShardedRoutingService(RoutingService):
         """The shard owning row/table *u* (stable as the id space grows)."""
         return u % self._pool.workers
 
+    def reader_handle(self) -> str:
+        """The directory address concurrent readers attach to.
+
+        A plain string — pass it to any process (fork or spawn) and build
+        a :class:`RouteReader` there; the reader then follows every matrix
+        resize/reallocation through the directory on its own.
+        """
+        return self._directory.name
+
     def close(self) -> None:
         """Release the shared matrices (and the pool, when owned)."""
         if self._closed:
             return
         self._closed = True
         self._dist = self._tables = _EMPTY  # drop buffer exports first
+        self._directory.close()
         if self._owns_pool:
             self._pool.close()
         else:
@@ -176,10 +203,31 @@ class ShardedRoutingService(RoutingService):
     def _resize_matrices(self, n: int) -> None:
         if self._shared_ready and self._dist.shape[0] == n:
             return
+        had_shared = self._shared_ready
+        old_names = (
+            (
+                self._pool.matrix_owner(_DIST).handle.name,
+                self._pool.matrix_owner(_TABLES).handle.name,
+            )
+            if had_shared
+            else None
+        )
         self._dist = self._tables = _EMPTY  # release exports before resize
-        self._dist = self._pool.matrix(_DIST, n, n, fill=-1)
-        self._tables = self._pool.matrix(_TABLES, n, n, fill=-1)
+        self._dist = self._pool.matrix(_DIST, n, n, fill=-1, versioned=True)
+        self._tables = self._pool.matrix(_TABLES, n, n, fill=-1, versioned=True)
         self._shared_ready = True
+        new_names = (
+            self._pool.matrix_owner(_DIST).handle.name,
+            self._pool.matrix_owner(_TABLES).handle.name,
+        )
+        if old_names != new_names:
+            # The resize reallocated — the old blocks are unlinked, so the
+            # directory must stop naming them *now* (not at event end):
+            # otherwise a reader attaching mid-event dials a freed block,
+            # and a failed apply would leave the stale names posted
+            # forever.  The copied-plus-−1-padding state it exposes is a
+            # committed state (the serial service passes through it too).
+            self._publish_directory()
 
     def _recompute_rows(self, order, track: bool = True) -> "dict[int, np.ndarray]":
         order = list(order)
@@ -233,3 +281,171 @@ class ShardedRoutingService(RoutingService):
         # certificates so both snapshots republish wholesale.
         self._hints.clear()
         super().refresh()
+        self._publish_directory()
+
+    # ------------------------------------------------------------------ #
+    # concurrent-read directory
+    # ------------------------------------------------------------------ #
+
+    def _publish_directory(self) -> None:
+        """Post the current matrix handles for detached readers.
+
+        Posted only at *quiescent* points — after a completed apply, batch,
+        refresh or compaction — so a reader that re-syncs mid-event keeps
+        reading the previous committed shape; individual row updates within
+        an event are covered by the per-row seqlock counters instead.
+        """
+        if not self._shared_ready or self._closed:
+            return
+        self._directory.post(
+            (self._pool.matrix_owner(_DIST).handle, self._pool.matrix_owner(_TABLES).handle)
+        )
+
+    def apply(self, event):
+        report = super().apply(event)
+        self._publish_directory()
+        return report
+
+    def apply_batch(self, events):
+        # The mid-batch error path refreshes (and therefore republishes)
+        # before the exception surfaces, so readers never see the resync gap.
+        report = super().apply_batch(events)
+        self._publish_directory()
+        return report
+
+
+class RouteReader:
+    """Read-only serving endpoint over a :class:`ShardedRoutingService`.
+
+    Construct from :meth:`ShardedRoutingService.reader_handle` in *any*
+    process.  The reader attaches the shared D/T matrices and answers
+    :meth:`next_hop`, :meth:`distance`, :meth:`table` — and, through
+    :func:`~repro.routing.greedy_routing.route_served`, whole packet
+    journeys — while the service's shard workers repair concurrently:
+
+    * every row/cell read follows the seqlock protocol, so the observed
+      bytes are always a state the writers committed (``torn_retries``
+      counts discarded capture attempts — retried, never returned);
+    * before every lookup the reader polls the service's directory
+      generation (one int64 load) and re-wraps its views when the service
+      resized or reallocated, so node churn is followed automatically;
+    * between directory posts the reader serves the *previous* committed
+      state — lookups never block on an in-flight repair.
+
+    Readers hold no locks and write nothing: any number of them may run
+    against one service.  Close the reader before the service goes away to
+    release the mappings promptly (a closed service's blocks stay readable
+    until detached, POSIX semantics).
+    """
+
+    def __init__(self, directory: str) -> None:
+        self._dir = AttachedDirectory(directory)
+        self._gen = -1
+        self._dist: "AttachedMatrix | None" = None
+        self._tables: "AttachedMatrix | None" = None
+        self._sync()
+
+    def _sync(self) -> None:
+        """Re-wrap the matrix views when the service posted a new state.
+
+        A posted handle can go stale in the instant between the service
+        unlinking a reallocated block and reposting (or if we raced a
+        newer reallocation): attaching then raises ``FileNotFoundError``.
+        The directory is re-read and the attach retried — the service
+        reposts immediately after every reallocation, so the window is
+        transient by construction.
+        """
+        gen = self._dir.generation()
+        if gen == self._gen:
+            return
+        for attempt in range(64):
+            (dist_handle, tables_handle), gen = self._dir.read()
+            try:
+                if self._dist is None:
+                    dist = AttachedMatrix(dist_handle)
+                    try:
+                        tables = AttachedMatrix(tables_handle)
+                    except FileNotFoundError:
+                        dist.close()
+                        raise
+                    self._dist, self._tables = dist, tables
+                else:
+                    self._dist.refresh(dist_handle)
+                    self._tables.refresh(tables_handle)
+            except FileNotFoundError:
+                time.sleep(0.001 * min(attempt + 1, 10))
+                continue
+            self._gen = gen
+            return
+        raise TornReadError("directory kept naming freed blocks (service died mid-resize?)")
+
+    @property
+    def num_nodes(self) -> int:
+        """Current id-space size n, per the latest directory post."""
+        self._sync()
+        return self._tables.rows
+
+    @property
+    def torn_retries(self) -> int:
+        """Seqlock captures discarded so far (torn states observed, retried)."""
+        total = 0
+        for attached in (self._dist, self._tables):
+            if attached is not None:
+                total += attached.torn_retries
+        return total
+
+    def _check_pair(self, u: int, v: int) -> None:
+        if u == v:
+            raise ParameterError("source equals target")
+        n = self._tables.rows
+        for node in (u, v):
+            if not (0 <= node < n):
+                raise NodeNotFound(node, n)
+
+    def next_hop(self, u: int, v: int) -> "int | None":
+        """The served next hop of *u* toward *v* (None when unroutable)."""
+        self._sync()
+        self._check_pair(u, v)
+        hop = self._tables.read_cell(u, v)
+        return hop if hop >= 0 else None
+
+    def distance(self, u: int, v: int) -> "int | None":
+        """The served H-distance ``d_H(u, v)`` (None when unreachable)."""
+        self._sync()
+        n = self._dist.rows
+        for node in (u, v):
+            if not (0 <= node < n):
+                raise NodeNotFound(node, n)
+        d = self._dist.read_cell(u, v)
+        return d if d >= 0 else None
+
+    def table(self, u: int) -> dict:
+        """Node *u*'s next-hop table, in :func:`routing_table`'s dict shape."""
+        row = self.table_row(u)
+        return {int(v): int(row[v]) for v in np.flatnonzero(row >= 0)}
+
+    def table_row(self, u: int) -> np.ndarray:
+        """A stable private copy of T's row *u* (the raw −1-padded array)."""
+        self._sync()
+        if not (0 <= u < self._tables.rows):
+            raise NodeNotFound(u, self._tables.rows)
+        return self._tables.read_row(u)
+
+    def distance_row(self, u: int) -> np.ndarray:
+        """A stable private copy of D's row *u* (−1 for unreachable)."""
+        self._sync()
+        if not (0 <= u < self._dist.rows):
+            raise NodeNotFound(u, self._dist.rows)
+        return self._dist.read_row(u)
+
+    def close(self) -> None:
+        for attached in (self._dist, self._tables):
+            if attached is not None:
+                attached.close()
+        self._dir.close()
+
+    def __enter__(self) -> "RouteReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -15,6 +15,27 @@ far too large to pickle per task, so they live in
   ``D``/``T``) with capacity headroom so node churn can grow ``n`` without
   reallocating; parent and workers read and write the *same* bytes, so
   "sending a row" to a worker costs nothing.
+* **Concurrent readers** — a matrix created with ``versioned=True`` carries
+  one seqlock-style version counter per row: writers bracket every row
+  write with :meth:`begin_row_write <AttachedMatrix.begin_row_write>` /
+  :meth:`end_row_write <AttachedMatrix.end_row_write>` (odd = write in
+  progress), and :meth:`AttachedMatrix.read_row` /
+  :meth:`~AttachedMatrix.read_cell` retry until they capture a row whose
+  version was even and unchanged across the copy — so a reader process can
+  serve lookups *while* shard workers repair, and only ever observes row
+  states the writers actually committed (never a torn half-write).
+
+  .. note:: Pure Python offers no cross-process memory fence, so the
+     protocol relies on the platform's total-store-order guarantee (x86 /
+     x86-64: stores become visible in program order) plus CPython's own
+     synchronization around the eval loop.  On weakly-ordered CPUs
+     (aarch64) the counter stores could in principle be observed out of
+     order with the row data; deployments there should treat the torn-read
+     property suite as the arbiter on the actual target hardware.
+* :class:`SharedDirectory` — a tiny fixed-size control block publishing
+  the current matrix handles under the same seqlock discipline, so a
+  detached reader can follow resizes/reallocations without talking to the
+  owning process.
 
 Both owners allocate **capacity slack** (~25%) and reallocate into fresh
 blocks only when outgrown; every publish bumps a ``version`` so the pool's
@@ -30,13 +51,15 @@ the creator.
 
 from __future__ import annotations
 
+import pickle
 import secrets
-from dataclasses import dataclass, replace
+import time
+from dataclasses import dataclass
 from multiprocessing import shared_memory
 
 import numpy as np
 
-from ..errors import ParameterError
+from ..errors import ParameterError, TornReadError
 from ..graph.csr import CSRGraph
 
 __all__ = [
@@ -44,6 +67,8 @@ __all__ = [
     "SharedCSRHandle",
     "SharedMatrix",
     "SharedMatrixHandle",
+    "SharedDirectory",
+    "AttachedDirectory",
     "PublishStats",
     "attach_csr",
     "AttachedCSR",
@@ -53,6 +78,25 @@ __all__ = [
 _PTR_DTYPE = np.int64
 _IDX_DTYPE = np.intc
 _MAT_DTYPE = np.int32
+_VER_DTYPE = np.int64
+
+#: Retry budget for seqlock reads — generous enough to ride out any live
+#: writer (writers hold a row for microseconds; the reader yields the CPU
+#: while spinning), small enough to surface a dead writer within seconds.
+_SEQLOCK_MAX_TRIES = 200_000
+
+
+def _spin(attempt: int) -> None:
+    """Back off inside a seqlock retry loop without starving the writer.
+
+    The first few retries busy-spin (the writer is mid-row), then the
+    reader yields its timeslice, then parks briefly — essential on
+    single-core hosts where reader and writer time-share one CPU.
+    """
+    if attempt >= 1024:
+        time.sleep(0.0001)
+    elif attempt >= 16:
+        time.sleep(0)
 
 
 def _headroom(size: int) -> int:
@@ -119,6 +163,7 @@ class SharedMatrixHandle:
     capacity_rows: int
     capacity_cols: int
     version: int
+    versions_name: "str | None" = None  # per-row seqlock block, when versioned
 
 
 class SharedCSR:
@@ -341,6 +386,11 @@ class SharedMatrix:
     allocation, so growth within capacity is free (bump the shape, fill the
     fresh border).  ``resize`` reallocates when outgrown, preserving the
     overlapping content; both cases bump ``version`` for the control plane.
+
+    ``versioned=True`` adds one int64 seqlock counter per row (a second
+    shared block) so writer processes can publish row updates that
+    concurrent readers observe atomically — see the module docstring and
+    :meth:`AttachedMatrix.read_row`.
     """
 
     def __init__(
@@ -351,6 +401,7 @@ class SharedMatrix:
         capacity_rows: "int | None" = None,
         capacity_cols: "int | None" = None,
         fill: "int | None" = None,
+        versioned: bool = False,
     ) -> None:
         self._cap_r = _headroom(rows) if capacity_rows is None else capacity_rows
         self._cap_c = _headroom(cols) if capacity_cols is None else capacity_cols
@@ -358,6 +409,11 @@ class SharedMatrix:
             raise ParameterError("matrix capacity below initial shape")
         itemsize = np.dtype(_MAT_DTYPE).itemsize
         self._shm = _create_block(self._cap_r * self._cap_c * itemsize)
+        self._shm_ver = (
+            _create_block(self._cap_r * np.dtype(_VER_DTYPE).itemsize) if versioned else None
+        )
+        if self._shm_ver is not None:
+            self.row_versions[:] = 0
         self.rows, self.cols = rows, cols
         self.version = 0
         self._closed = False
@@ -373,7 +429,27 @@ class SharedMatrix:
             capacity_rows=self._cap_r,
             capacity_cols=self._cap_c,
             version=self.version,
+            versions_name=None if self._shm_ver is None else self._shm_ver.name,
         )
+
+    @property
+    def row_versions(self) -> "np.ndarray | None":
+        """The per-row seqlock counters (None when not versioned)."""
+        if self._shm_ver is None:
+            return None
+        return np.ndarray((self._cap_r,), dtype=_VER_DTYPE, buffer=self._shm_ver.buf)
+
+    def begin_row_write(self, u: int) -> None:
+        """Mark row *u* as mid-write (odd version); no-op when unversioned."""
+        ver = self.row_versions
+        if ver is not None:
+            ver[u] += 1
+
+    def end_row_write(self, u: int) -> None:
+        """Commit row *u* (even version again); no-op when unversioned."""
+        ver = self.row_versions
+        if ver is not None:
+            ver[u] += 1
 
     @property
     def array(self) -> np.ndarray:
@@ -399,18 +475,31 @@ class SharedMatrix:
         reallocated = rows > self._cap_r or cols > self._cap_c
         if reallocated:
             old_shm, old_view = self._shm, self.array
+            old_ver_shm, old_ver = self._shm_ver, self.row_versions
+            old_cap_r = self._cap_r
             self._cap_r = max(_headroom(rows), self._cap_r)
             self._cap_c = max(_headroom(cols), self._cap_c)
             itemsize = np.dtype(_MAT_DTYPE).itemsize
             self._shm = _create_block(self._cap_r * self._cap_c * itemsize)
+            if old_ver_shm is not None:
+                # Carry the counters over so attached readers comparing
+                # versions across the swap never see them move backwards.
+                self._shm_ver = _create_block(self._cap_r * np.dtype(_VER_DTYPE).itemsize)
+                new_ver = self.row_versions
+                new_ver[:] = 0
+                new_ver[:old_cap_r] = old_ver
             self.rows, self.cols = rows, cols
             if fill is not None:
                 self.array[:] = fill
             keep_r, keep_c = min(old_rows, rows), min(old_cols, cols)
             self.array[:keep_r, :keep_c] = old_view[:keep_r, :keep_c]
             del old_view  # drop the buffer export so the mmap can close
+            del old_ver
             old_shm.close()
             old_shm.unlink()
+            if old_ver_shm is not None:
+                old_ver_shm.close()
+                old_ver_shm.unlink()
         else:
             self.rows, self.cols = rows, cols
             if fill is not None:
@@ -421,6 +510,193 @@ class SharedMatrix:
                     a[:, old_cols:] = fill
         self.version += 1
         return reallocated
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        blocks = [self._shm] if self._shm_ver is None else [self._shm, self._shm_ver]
+        for shm in blocks:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class AttachedMatrix:
+    """Worker/reader-side attachment of a :class:`SharedMatrix`.
+
+    Writers (shard workers) bracket row updates with
+    :meth:`begin_row_write`/:meth:`end_row_write`; readers in other
+    processes use :meth:`read_row`/:meth:`read_cell`, which follow the
+    seqlock protocol — capture the row version (retry while odd), copy the
+    data, re-check the version, retry on any movement.  ``torn_retries``
+    counts how many captures had to be retried (i.e. torn states that were
+    *observed and discarded*, never returned).
+    """
+
+    def __init__(self, handle: SharedMatrixHandle) -> None:
+        self._handle = handle
+        self._shm = _attach_block(handle.name)
+        self._shm_ver = (
+            _attach_block(handle.versions_name) if handle.versions_name else None
+        )
+        self.torn_retries = 0
+        self._rewrap()
+
+    def _rewrap(self) -> None:
+        h = self._handle
+        base = np.ndarray(
+            (h.capacity_rows, h.capacity_cols), dtype=_MAT_DTYPE, buffer=self._shm.buf
+        )
+        self._arr = base[: h.rows, : h.cols]
+        self._ver = (
+            None
+            if self._shm_ver is None
+            else np.ndarray((h.capacity_rows,), dtype=_VER_DTYPE, buffer=self._shm_ver.buf)
+        )
+
+    @property
+    def array(self) -> np.ndarray:
+        return self._arr
+
+    @property
+    def rows(self) -> int:
+        return self._handle.rows
+
+    @property
+    def cols(self) -> int:
+        return self._handle.cols
+
+    @property
+    def versions(self) -> "np.ndarray | None":
+        """The per-row seqlock counters (None when the matrix is unversioned)."""
+        return self._ver
+
+    def begin_row_write(self, u: int) -> None:
+        """Mark row *u* mid-write (odd); no-op when unversioned."""
+        if self._ver is not None:
+            self._ver[u] += 1
+
+    def end_row_write(self, u: int) -> None:
+        """Commit row *u* (even again); no-op when unversioned."""
+        if self._ver is not None:
+            self._ver[u] += 1
+
+    def read_row(self, u: int, cols: "np.ndarray | None" = None) -> np.ndarray:
+        """A stable private copy of row *u* (optionally only *cols*).
+
+        Seqlock read: the returned array is bit-identical to a state some
+        writer committed — a concurrent half-written row is retried, never
+        returned.  Unversioned matrices copy without the protocol (their
+        callers guarantee no concurrent writers).
+        """
+        ver = self._ver
+        if ver is None:
+            return np.array(self._arr[u] if cols is None else self._arr[u, cols])
+        for attempt in range(_SEQLOCK_MAX_TRIES):
+            v0 = int(ver[u])
+            if v0 & 1:
+                self.torn_retries += 1
+                _spin(attempt)
+                continue
+            row = np.array(self._arr[u] if cols is None else self._arr[u, cols])
+            if int(ver[u]) == v0:
+                return row
+            self.torn_retries += 1
+            _spin(attempt)
+        raise TornReadError(f"row {u} never stabilized (writer died mid-write?)")
+
+    def read_cell(self, u: int, v: int) -> int:
+        """A stable read of one cell, under the same seqlock protocol."""
+        ver = self._ver
+        if ver is None:
+            return int(self._arr[u, v])
+        for attempt in range(_SEQLOCK_MAX_TRIES):
+            v0 = int(ver[u])
+            if v0 & 1:
+                self.torn_retries += 1
+                _spin(attempt)
+                continue
+            value = int(self._arr[u, v])
+            if int(ver[u]) == v0:
+                return value
+            self.torn_retries += 1
+            _spin(attempt)
+        raise TornReadError(f"cell ({u}, {v}) never stabilized (writer died mid-write?)")
+
+    def refresh(self, handle: SharedMatrixHandle) -> None:
+        if handle.name != self._handle.name:
+            # Attach the new blocks *before* releasing the old ones: if the
+            # new names are already gone (we raced a newer reallocation),
+            # the attachment stays consistent with its previous handle and
+            # the caller can re-read the directory and retry.
+            new_shm = _attach_block(handle.name)
+            new_ver = _attach_block(handle.versions_name) if handle.versions_name else None
+            self.close()
+            self._shm, self._shm_ver = new_shm, new_ver
+        self._handle = handle
+        self._rewrap()
+
+    def close(self) -> None:
+        self._arr = self._ver = None  # drop buffer exports before unmapping
+        blocks = [self._shm] if self._shm_ver is None else [self._shm, self._shm_ver]
+        for shm in blocks:
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover
+                pass
+
+
+class SharedDirectory:
+    """A tiny seqlock-published control block naming the live shared state.
+
+    The owning service :meth:`post`\\ s a small picklable payload (the
+    current :class:`SharedMatrixHandle`\\ s) after every mutation; detached
+    reader processes poll :meth:`AttachedDirectory.generation` and re-read
+    the payload only when it moved — which is how readers follow matrix
+    resizes and reallocations without any channel to the owner.
+    """
+
+    _SIZE = 4096  # plenty for a pickled pair of handles
+    _HEADER = 16  # int64 generation + int64 payload length
+
+    def __init__(self) -> None:
+        self._shm = _create_block(self._SIZE)
+        self._closed = False
+        self._header()[:] = 0
+
+    def _header(self) -> np.ndarray:
+        return np.ndarray((2,), dtype=np.int64, buffer=self._shm.buf)
+
+    @property
+    def name(self) -> str:
+        """The block name — the picklable address readers attach to."""
+        return self._shm.name
+
+    def post(self, payload) -> int:
+        """Publish *payload* (pickled) atomically; returns the generation."""
+        if self._closed:
+            raise ParameterError("SharedDirectory is closed")
+        data = pickle.dumps(payload)
+        if len(data) > self._SIZE - self._HEADER:
+            raise ParameterError(
+                f"directory payload of {len(data)} bytes exceeds the "
+                f"{self._SIZE - self._HEADER}-byte block"
+            )
+        hdr = self._header()
+        hdr[0] += 1  # odd: write in progress
+        self._shm.buf[self._HEADER : self._HEADER + len(data)] = data
+        hdr[1] = len(data)
+        hdr[0] += 1  # even: committed
+        return int(hdr[0])
 
     def close(self) -> None:
         if self._closed:
@@ -439,24 +715,30 @@ class SharedMatrix:
             pass
 
 
-class AttachedMatrix:
-    """Worker-side attachment of a :class:`SharedMatrix`."""
+class AttachedDirectory:
+    """Reader-side attachment of a :class:`SharedDirectory`."""
 
-    def __init__(self, handle: SharedMatrixHandle) -> None:
-        self._handle = handle
-        self._shm = _attach_block(handle.name)
+    def __init__(self, name: str) -> None:
+        self._shm = _attach_block(name)
 
-    @property
-    def array(self) -> np.ndarray:
-        h = self._handle
-        base = np.ndarray((h.capacity_rows, h.capacity_cols), dtype=_MAT_DTYPE, buffer=self._shm.buf)
-        return base[: h.rows, : h.cols]
+    def generation(self) -> int:
+        """The current publish generation (cheap: one int64 load)."""
+        return int(np.ndarray((2,), dtype=np.int64, buffer=self._shm.buf)[0])
 
-    def refresh(self, handle: SharedMatrixHandle) -> None:
-        if handle.name != self._handle.name:
-            self.close()
-            self._shm = _attach_block(handle.name)
-        self._handle = handle
+    def read(self) -> "tuple[object, int]":
+        """The latest committed payload and its generation (seqlock read)."""
+        hdr = np.ndarray((2,), dtype=np.int64, buffer=self._shm.buf)
+        for attempt in range(_SEQLOCK_MAX_TRIES):
+            g0 = int(hdr[0])
+            if g0 & 1:
+                _spin(attempt)
+                continue
+            length = int(hdr[1])
+            data = bytes(self._shm.buf[SharedDirectory._HEADER : SharedDirectory._HEADER + length])
+            if int(hdr[0]) == g0:
+                return pickle.loads(data), g0
+            _spin(attempt)
+        raise TornReadError("directory never stabilized (owner died mid-post?)")
 
     def close(self) -> None:
         try:

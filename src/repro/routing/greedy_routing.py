@@ -12,6 +12,13 @@ holds at every hop, so the packet arrives in at most
 stretch (α, β).  :func:`route` simulates the forwarding and records the
 per-hop potential so tests can check the invariant itself, not just
 arrival.
+
+:func:`route_served` is the *production* twin: the same journey decided by
+table lookups against a maintained :class:`~repro.dynamic.serving.\
+RoutingService` (or a concurrent :class:`~repro.parallel.sharded.\
+RouteReader`) instead of a fresh :class:`AugmentedView` BFS per hop —
+identical path, delivery and potentials (property-tested), at query cost
+O(hops) instead of O(hops · m).
 """
 
 from __future__ import annotations
@@ -21,7 +28,7 @@ from dataclasses import dataclass, field
 from ..errors import NodeNotFound, ParameterError
 from ..graph import AugmentedView, Graph
 
-__all__ = ["RouteResult", "RoutingStats", "route", "route_all_pairs_stats"]
+__all__ = ["RouteResult", "RoutingStats", "route", "route_served", "route_all_pairs_stats"]
 
 
 @dataclass
@@ -34,16 +41,26 @@ class RouteResult:
 
     @property
     def hops(self) -> int:
-        return len(self.path) - 1
+        # An empty/default result has no source yet — zero hops, not −1.
+        return max(0, len(self.path) - 1)
 
 
 def route(h: Graph, g: Graph, source: int, target: int, max_hops: "int | None" = None) -> RouteResult:
     """Simulate greedy forwarding of one packet from *source* to *target*.
 
     Every visited node recomputes the decision on its own :math:`H_x`
-    (this is what real link-state routers do — no source routing).  The
-    loop guard ``max_hops`` defaults to n; the theory says the journey is
-    monotone so the guard only trips on non-remote-spanner inputs.
+    (this is what real link-state routers do — no source routing).
+
+    ``max_hops`` bounds the number of *forwarding steps* simulated, not
+    the number of nodes visited; when ``None`` it defaults to
+    ``g.num_nodes``.  That default is a pure loop guard: on a true
+    remote-spanner input the potential :math:`d_{H_x}(x, v)` starts at
+    most ``n − 1`` and drops by at least 1 per hop, so the journey ends
+    (delivered or unroutable) strictly before the guard — it can only
+    trip, leaving ``delivered=False`` with a length-``max_hops`` journey,
+    on inputs where H is *not* a remote-spanner of G and the packet
+    cycles.  ``max_hops=0`` simulates no step at all: the result is the
+    bare source path with no potential recorded.
     """
     if source == target:
         raise ParameterError("source equals target")
@@ -80,6 +97,52 @@ def route(h: Graph, g: Graph, source: int, target: int, max_hops: "int | None" =
     return result
 
 
+def route_served(service, source: int, target: int, max_hops: "int | None" = None) -> RouteResult:
+    """Forward one packet hop-by-hop off maintained next-hop tables.
+
+    The serving fast path: where :func:`route` re-derives every decision
+    with a fresh :class:`AugmentedView` BFS (O(m) per hop), each hop here
+    is one table lookup against *service* — a
+    :class:`~repro.dynamic.serving.RoutingService`,
+    :class:`~repro.parallel.sharded.ShardedRoutingService`, or a
+    concurrent :class:`~repro.parallel.sharded.RouteReader` riding the
+    shared matrices while repairs run.  Anything exposing ``num_nodes``,
+    ``next_hop(u, v)`` and ``distance(u, v)`` works.
+
+    The journey is *identical* to :func:`route` on the service's live
+    ``(H, G)`` — same path, same delivery, same potentials, same
+    tie-breaks — because the served table realizes the same argmin
+    (``T[u, v] = argmin_{w∈N_G(u)} d_H(w, v)``) and the potential
+    :math:`d_{H_u}(u, v)` equals ``1 + d_H(T[u, v], v)``: a shortest
+    :math:`H_u`-path leaves *u* through a G-neighbor, star edge or not.
+    ``max_hops`` has :func:`route`'s exact default-guard semantics
+    (``None`` → ``num_nodes`` forwarding steps).
+    """
+    if source == target:
+        raise ParameterError("source equals target")
+    n = service.num_nodes
+    if not (0 <= target < n):
+        raise NodeNotFound(target, n)
+    if max_hops is None:
+        max_hops = n
+    result = RouteResult(path=[source])
+    current = source
+    for _ in range(max_hops):
+        hop = service.next_hop(current, target)
+        if hop is None:
+            result.potentials.append(float("inf"))
+            return result  # unroutable from here
+        d_hop = service.distance(hop, target)
+        result.potentials.append(d_hop + 1 if d_hop is not None else float("inf"))
+        result.path.append(hop)
+        current = hop
+        if current == target:
+            result.delivered = True
+            result.potentials.append(0)
+            return result
+    return result
+
+
 @dataclass
 class RoutingStats:
     """Aggregate greedy-routing quality over a pair population."""
@@ -93,11 +156,30 @@ class RoutingStats:
 
 
 def route_all_pairs_stats(
-    h: Graph, g: Graph, pairs: "list[tuple[int, int]] | None" = None
+    h: "Graph | None" = None,
+    g: "Graph | None" = None,
+    pairs: "list[tuple[int, int]] | None" = None,
+    *,
+    service=None,
 ) -> RoutingStats:
-    """Route (sampled) ordered pairs and aggregate stretch + invariants."""
+    """Route (sampled) ordered pairs and aggregate stretch + invariants.
+
+    Two modes: with ``(h, g)`` every journey is simulated by :func:`route`
+    (per-hop BFS, the reference); with ``service=`` (a
+    :class:`~repro.dynamic.serving.RoutingService` or sharded twin) the
+    journeys ride :func:`route_served` off the maintained tables instead —
+    same statistics, query-rate cost.  In served mode ``h``/``g`` default
+    to the service's live advertised/topology graphs.
+    """
     from ..graph import cached_bfs_distances
 
+    if service is not None:
+        if h is None:
+            h = service.advertised
+        if g is None:
+            g = service.graph
+    if h is None or g is None:
+        raise ParameterError("route_all_pairs_stats needs (h, g) or service=")
     if pairs is None:
         n = g.num_nodes
         pairs = [(s, t) for s in range(n) for t in range(n) if s != t]
@@ -115,7 +197,7 @@ def route_all_pairs_stats(
         if d_g < 1:
             continue
         stats.pairs += 1
-        res = route(h, g, s, t)
+        res = route_served(service, s, t) if service is not None else route(h, g, s, t)
         if not res.delivered:
             continue
         stats.delivered += 1

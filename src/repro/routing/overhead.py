@@ -30,9 +30,14 @@ class AdvertisementCost:
     max_single_advert: int  # largest single advertisement
 
     def ratio_to(self, other: "AdvertisementCost") -> float:
-        """This cost as a fraction of *other* (e.g. vs full link state)."""
+        """This cost as a fraction of *other* (e.g. vs full link state).
+
+        Against an empty baseline (zero entries — an edgeless topology
+        advertises nothing) any nonzero cost is infinitely worse, not
+        free: the ratio is ``inf`` unless this cost is also zero.
+        """
         if other.entries_per_period == 0:
-            return 0.0
+            return 0.0 if self.entries_per_period == 0 else float("inf")
         return self.entries_per_period / other.entries_per_period
 
 

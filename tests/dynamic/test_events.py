@@ -180,3 +180,18 @@ class TestScenarioShapes:
             node_churn_scenario(1, 5)
         with pytest.raises(ParameterError):
             node_churn_scenario(20, 5, leave_prob=0.0)
+
+
+class TestScenarioTicks:
+    def test_ticks_partition_exactly(self):
+        sc = make_scenario("failure", 30, 17, seed=3)
+        for size in (1, 4, 5, 17, 99):
+            chunks = list(sc.ticks(size))
+            assert tuple(e for chunk in chunks for e in chunk) == sc.events
+            assert all(len(chunk) <= size for chunk in chunks)
+            assert all(chunks), "no empty tick chunks"
+
+    def test_tick_size_validated(self):
+        sc = make_scenario("failure", 30, 5, seed=3)
+        with pytest.raises(ParameterError):
+            list(sc.ticks(0))

@@ -12,7 +12,7 @@ import pytest
 from repro.errors import ParameterError
 from repro.graph import CSRGraph, Graph, bfs_distances
 from repro.graph.generators import gnp_random_graph, path_graph, random_connected_gnp
-from repro.parallel import SharedCSR, SharedMatrix, attach_csr
+from repro.parallel import AttachedMatrix, SharedCSR, SharedMatrix, attach_csr
 
 
 @pytest.fixture
@@ -212,3 +212,123 @@ class TestSharedMatrix:
             assert (m.array[3:, :] == -1).all()
         finally:
             m.close()
+
+
+class TestVersionedMatrix:
+    """The seqlock layer concurrent readers ride (repro.parallel.sharded)."""
+
+    def test_unversioned_matrix_has_no_counters(self):
+        m = SharedMatrix(3, 3)
+        try:
+            assert m.handle.versions_name is None
+            assert m.row_versions is None
+            m.begin_row_write(1)  # no-ops, not errors
+            m.end_row_write(1)
+            att = AttachedMatrix(m.handle)
+            assert att.versions is None
+            assert (att.read_row(0) == m.array[0]).all()
+            att.close()
+        finally:
+            m.close()
+
+    def test_write_brackets_flip_parity(self):
+        m = SharedMatrix(4, 4, versioned=True, fill=0)
+        try:
+            att = AttachedMatrix(m.handle)
+            assert int(att.versions[2]) == 0
+            att.begin_row_write(2)
+            assert int(att.versions[2]) == 1  # odd: in progress
+            att.array[2] = 7
+            att.end_row_write(2)
+            assert int(att.versions[2]) == 2  # even: committed
+            assert (att.read_row(2) == 7).all()
+            assert att.read_cell(2, 3) == 7
+            assert att.torn_retries == 0
+            att.close()
+        finally:
+            m.close()
+
+    def test_reader_retries_while_writer_holds_the_row(self):
+        import threading
+        import time
+
+        m = SharedMatrix(4, 4, versioned=True, fill=0)
+        try:
+            att = AttachedMatrix(m.handle)
+            m.begin_row_write(1)  # writer holds row 1 (odd version)
+            m.array[1] = 99
+
+            def commit_soon():
+                time.sleep(0.05)
+                m.end_row_write(1)
+
+            t = threading.Thread(target=commit_soon)
+            t.start()
+            row = att.read_row(1)  # must spin until the commit, then succeed
+            t.join()
+            assert (row == 99).all()
+            assert att.torn_retries > 0  # the held row was observed and retried
+            att.close()
+        finally:
+            m.close()
+
+    def test_dead_writer_surfaces_as_torn_read_error(self, monkeypatch):
+        from repro.errors import TornReadError
+        from repro.parallel import shm as shm_mod
+
+        m = SharedMatrix(3, 3, versioned=True, fill=0)
+        try:
+            att = AttachedMatrix(m.handle)
+            m.begin_row_write(0)  # never committed: simulates a dead writer
+            monkeypatch.setattr(shm_mod, "_SEQLOCK_MAX_TRIES", 50)
+            with pytest.raises(TornReadError):
+                att.read_row(0)
+            with pytest.raises(TornReadError):
+                att.read_cell(0, 0)
+            att.close()
+        finally:
+            m.close()
+
+    def test_reallocation_carries_the_counters_forward(self):
+        m = SharedMatrix(3, 3, capacity_rows=3, capacity_cols=3, versioned=True)
+        try:
+            m.begin_row_write(2)
+            m.end_row_write(2)
+            old_versions_name = m.handle.versions_name
+            assert m.resize(8, 8, fill=-1) is True
+            assert m.handle.versions_name != old_versions_name
+            assert int(m.row_versions[2]) == 2  # monotone across the swap
+            assert int(m.row_versions[7]) == 0
+        finally:
+            m.close()
+
+
+class TestSharedDirectory:
+    def test_post_read_round_trip(self):
+        from repro.parallel import AttachedDirectory, SharedDirectory
+
+        d = SharedDirectory()
+        try:
+            att = AttachedDirectory(d.name)
+            gen0 = att.generation()
+            d.post({"hello": [1, 2, 3]})
+            payload, gen = att.read()
+            assert payload == {"hello": [1, 2, 3]}
+            assert gen > gen0 and gen % 2 == 0
+            d.post(("second", 42))
+            assert att.generation() > gen
+            payload2, _ = att.read()
+            assert payload2 == ("second", 42)
+            att.close()
+        finally:
+            d.close()
+
+    def test_oversized_payload_is_rejected(self):
+        from repro.parallel import SharedDirectory
+
+        d = SharedDirectory()
+        try:
+            with pytest.raises(ParameterError):
+                d.post(b"x" * 8192)
+        finally:
+            d.close()

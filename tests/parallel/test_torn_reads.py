@@ -1,0 +1,204 @@
+"""Concurrent readers never observe a torn row — the serving-read property.
+
+A :class:`~repro.parallel.sharded.RouteReader` in a *separate process*
+hammers ``next_hop`` / ``table`` / raw-row lookups while the sharded
+service soaks a churn stream.  The parent snapshots the D/T matrices after
+initialization and after every event — the complete set of states the
+service ever committed — and every observation the reader made must be
+bit-identical to (a prefix of) one of those states:
+
+* a row mid-write (odd seqlock version, or moved during the copy) must be
+  retried, never returned;
+* between directory posts the reader serves the previous committed shape,
+  so a row observed at width c must match some committed state's first c
+  columns exactly.
+
+Parametrized over W ∈ {1, 2, 4}, all four churn scenarios, and both start
+methods (the spawn matrix is kept small — each spawned process re-imports
+the package).
+"""
+
+import multiprocessing
+import time
+
+import numpy as np
+import pytest
+
+from repro.dynamic import (
+    EdgeEvent,
+    NodeEvent,
+    Scenario,
+    SCENARIO_NAMES,
+    apply_events,
+    make_scenario,
+)
+from repro.parallel import ShardedRoutingService
+
+START_METHODS = [
+    m for m in ("fork", "spawn") if m in multiprocessing.get_all_start_methods()
+]
+
+#: Cap on recorded observations — the reader keeps reading past it (load
+#: matters), it just stops accumulating evidence to ship back.
+MAX_OBSERVATIONS = 3000
+
+
+def _reader_main(directory, ready, stop, out_q, seed):
+    """Reader-process entry point: look up rows until told to stop."""
+    from repro.parallel import RouteReader
+    from repro.rng import ensure_rng
+
+    reader = RouteReader(directory)
+    ready.set()  # attached — the parent may start churning now
+    rng = ensure_rng(seed)
+    observations = []
+    lookups = 0
+    try:
+        while not stop.is_set():
+            n = reader.num_nodes
+            u = int(rng.integers(n))
+            roll = rng.random()
+            if roll < 0.4:
+                row = reader.table_row(u)
+                kind = "T"
+            elif roll < 0.8:
+                row = reader.distance_row(u)
+                kind = "D"
+            else:
+                # Exercise the single-cell API paths too (their values are
+                # covered by the row observations bit-wise).
+                v = int(rng.integers(n))
+                if v != u:
+                    reader.next_hop(u, v)
+                    reader.distance(u, v)
+                lookups += 1
+                continue
+            lookups += 1
+            if len(observations) < MAX_OBSERVATIONS:
+                observations.append((kind, u, len(row), row.tobytes()))
+        out_q.put(("ok", observations, lookups, reader.torn_retries))
+    except BaseException as exc:  # pragma: no cover - surfaced by the test
+        out_q.put(("error", repr(exc), lookups, 0))
+        raise
+    finally:
+        reader.close()
+
+
+def _snapshot(service):
+    return (service._dist.copy(), service._tables.copy())
+
+
+_MINUS_ONE = np.int32(-1).tobytes()
+
+
+def _matches_some_state(kind, u, width, data, states) -> bool:
+    """Does the observed row equal some committed state (−1-extended)?
+
+    A reallocating resize immediately reposts the directory, so around it
+    a reader may legitimately observe a committed state *extended* to the
+    new dimensions with −1 padding (exactly what the resize writes before
+    the rows are recomputed): row u of state S at observed width c matches
+    when the overlap agrees bit-for-bit and every observed cell beyond S's
+    shape is −1 — including a brand-new row (u ≥ S.rows, all −1).  Any mix
+    of two states' *contents* inside the overlap still fails every
+    candidate, which is what a torn read looks like.
+    """
+    for dist, tables in states:
+        matrix = dist if kind == "D" else tables
+        rows, cols = matrix.shape
+        if u < rows:
+            overlap = min(width, cols)
+            if data[: 4 * overlap] != matrix[u, :overlap].tobytes():
+                continue
+            tail = data[4 * overlap :]
+        else:
+            tail = data
+        if tail == _MINUS_ONE * (len(tail) // 4):
+            return True
+    return False
+
+
+def _join_flood_scenario(n: int, joins: int, seed: int) -> Scenario:
+    """A join-heavy stream that outgrows the matrices' capacity headroom."""
+    from repro.graph.generators import random_connected_gnp
+
+    initial = random_connected_gnp(n, 3.0 / n, seed=seed)
+    events = []
+    for new_id in range(n, n + joins):
+        events.append(NodeEvent.join(new_id))
+        events.append(EdgeEvent.add(new_id, new_id - 1))
+    final = initial.copy()
+    apply_events(final, events)
+    return Scenario(name="joinflood", initial=initial, events=tuple(events), final=final)
+
+
+def _run_soak(scenario, workers, start_method, *, n=40, events=18, seed=97):
+    ctx = multiprocessing.get_context(start_method)
+    sc = scenario if isinstance(scenario, Scenario) else make_scenario(scenario, n, events, seed=seed)
+    states = []
+    block_names = set()
+    with ShardedRoutingService(
+        sc.initial, "kcover", workers=workers, start_method=start_method
+    ) as service:
+        block_names.add(service._pool.matrix_owner("serve:dist").handle.name)
+        states.append(_snapshot(service))
+        ready = ctx.Event()
+        stop = ctx.Event()
+        out_q = ctx.Queue()
+        reader_proc = ctx.Process(
+            target=_reader_main,
+            args=(service.reader_handle(), ready, stop, out_q, seed + 1),
+            daemon=True,
+        )
+        reader_proc.start()
+        # Wait for the attach (a spawned reader re-imports the package) so
+        # the lookups genuinely overlap the repairs below.
+        assert ready.wait(timeout=60), "reader never attached"
+        for ev in sc.events:
+            service.apply(ev)
+            states.append(_snapshot(service))
+            block_names.add(service._pool.matrix_owner("serve:dist").handle.name)
+            time.sleep(0.002)  # share the core(s) with the reader
+        time.sleep(0.05)  # let the reader catch the final state too
+        stop.set()
+        status, payload, lookups, retries = out_q.get(timeout=60)
+        reader_proc.join(timeout=60)
+    assert status == "ok", f"reader died: {payload}"
+    assert lookups > 0, "reader never got a lookup in"
+    observations = payload
+    torn = [
+        (kind, u, width)
+        for kind, u, width, data in observations
+        if not _matches_some_state(kind, u, width, data, states)
+    ]
+    assert torn == [], (
+        f"{len(torn)} observed row states match NO committed state "
+        f"({scenario_name}, W={workers}, {start_method}): {torn[:5]}"
+    )
+    return len(observations), len(block_names)
+
+
+class TestTornFreeConcurrentReads:
+    """The acceptance property of the concurrent query-serving tentpole."""
+
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_scenarios_fork(self, name, workers):
+        if "fork" not in START_METHODS:  # pragma: no cover - non-POSIX
+            pytest.skip("fork start method unavailable")
+        observed, _blocks = _run_soak(name, workers, "fork")
+        assert observed > 0
+
+    @pytest.mark.parametrize("method", START_METHODS)
+    def test_start_method_matrix(self, method):
+        observed, _blocks = _run_soak("nodechurn", 2, method, events=10)
+        assert observed > 0
+
+    def test_reader_follows_reallocation(self):
+        # A join flood outgrows the capacity headroom mid-soak, forcing
+        # matrix reallocations (fresh block names); the directory must
+        # carry the reader across them.
+        sc = _join_flood_scenario(40, 30, seed=5)  # 40 → 70 > headroom 64
+        observed, blocks = _run_soak(sc, 2, START_METHODS[0])
+        assert observed > 0
+        assert blocks > 1, "soak never reallocated the shared matrices"

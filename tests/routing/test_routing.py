@@ -184,3 +184,23 @@ class TestOverhead:
         rs = build_k_connecting_spanner(g, k=1)
         ratio = spanner_advertisement_cost(rs).ratio_to(full_link_state_cost(g))
         assert 0.0 < ratio <= 1.0
+
+    def test_zero_entry_baseline_is_not_free(self):
+        # Regression: a nonzero cost against an empty baseline used to
+        # report 0.0 — "free" relative to advertising nothing at all.
+        from repro.routing import AdvertisementCost
+
+        empty = AdvertisementCost(0, 0, 0)
+        assert AdvertisementCost(10, 3, 4).ratio_to(empty) == float("inf")
+        assert empty.ratio_to(empty) == 0.0
+        assert empty.ratio_to(AdvertisementCost(10, 3, 4)) == 0.0
+
+
+class TestRouteResultHops:
+    def test_default_result_has_zero_hops(self):
+        # Regression: an empty path used to underflow to −1 hops.
+        from repro.routing import RouteResult
+
+        assert RouteResult().hops == 0
+        assert RouteResult(path=[3]).hops == 0
+        assert RouteResult(path=[3, 4, 5]).hops == 2

@@ -1,0 +1,136 @@
+"""route_served ≡ route, journey for journey — the query fast path's contract.
+
+:func:`repro.routing.route_served` claims it is :func:`repro.routing.route`
+with every per-hop BFS replaced by a table lookup against a maintained
+:class:`~repro.dynamic.serving.RoutingService` — nothing more.  The suite
+pins that as a property: identical path, delivery, potentials and hop
+counts for every pair, on the initial build and after every churn regime,
+plus the served mode of :func:`route_all_pairs_stats` aggregating to the
+same statistics.
+"""
+
+import pytest
+
+from repro.dynamic import RoutingService, SCENARIO_NAMES, make_scenario
+from repro.errors import NodeNotFound, ParameterError
+from repro.graph.generators import path_graph, random_connected_gnp
+from repro.routing import route, route_all_pairs_stats, route_served
+
+
+def sample_pairs_all(n, stride=1):
+    return [(s, t) for s in range(n) for t in range(n) if s != t][::stride]
+
+
+def assert_same_journey(service, h, g, pairs, context=""):
+    for s, t in pairs:
+        ref = route(h, g, s, t)
+        fast = route_served(service, s, t)
+        assert fast.path == ref.path, f"path diverged for {(s, t)} {context}"
+        assert fast.delivered == ref.delivered, f"delivery diverged for {(s, t)} {context}"
+        assert fast.potentials == ref.potentials, f"potentials diverged for {(s, t)} {context}"
+        assert fast.hops == ref.hops
+
+
+class TestServedEqualsBfsRoute:
+    def test_static_graph_all_pairs(self):
+        g = random_connected_gnp(24, 0.15, seed=7)
+        service = RoutingService(g, "kcover")
+        assert_same_journey(service, service.advertised, g, sample_pairs_all(g.num_nodes))
+
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_under_churn_every_scenario(self, name):
+        sc = make_scenario(name, 30, 20, seed=13)
+        service = RoutingService(sc.initial, "kcover")
+        for ev in sc.events:
+            service.apply(ev)
+        h, g = service.advertised, service.graph
+        assert_same_journey(service, h, g, sample_pairs_all(g.num_nodes, stride=3), name)
+
+    @pytest.mark.parametrize(
+        "method,kwargs", [("mis", {"r": 3}), ("greedy", {"r": 2}), ("kmis", {"k": 2})]
+    )
+    def test_other_constructions(self, method, kwargs):
+        g = random_connected_gnp(20, 0.2, seed=5)
+        service = RoutingService(g, method, **kwargs)
+        assert_same_journey(
+            service, service.advertised, g, sample_pairs_all(g.num_nodes, stride=2), method
+        )
+
+    def test_unroutable_pairs_agree(self):
+        # A disconnected topology: some pairs are unroutable from the start.
+        g = path_graph(6)
+        g.remove_edge(2, 3)
+        service = RoutingService(g, "kcover")
+        assert_same_journey(service, service.advertised, g, sample_pairs_all(6))
+
+    def test_max_hops_guard_matches(self):
+        g = random_connected_gnp(18, 0.2, seed=11)
+        service = RoutingService(g, "kcover")
+        h = service.advertised
+        for cap in (0, 1, 2):
+            for s, t in sample_pairs_all(g.num_nodes, stride=7):
+                ref = route(h, g, s, t, max_hops=cap)
+                fast = route_served(service, s, t, max_hops=cap)
+                assert fast.path == ref.path and fast.delivered == ref.delivered
+
+    def test_validation_mirrors_route(self):
+        g = random_connected_gnp(10, 0.3, seed=3)
+        service = RoutingService(g, "kcover")
+        with pytest.raises(ParameterError):
+            route_served(service, 2, 2)
+        with pytest.raises(NodeNotFound):
+            route_served(service, 0, 99)
+
+
+class TestServedStatsMode:
+    def test_stats_agree_with_bfs_mode(self):
+        sc = make_scenario("failure", 26, 15, seed=17)
+        service = RoutingService(sc.initial, "kcover")
+        for ev in sc.events:
+            service.apply(ev)
+        pairs = sample_pairs_all(service.num_nodes, stride=5)
+        via_bfs = route_all_pairs_stats(service.advertised, service.graph, pairs=pairs)
+        via_tables = route_all_pairs_stats(service=service, pairs=pairs)
+        assert via_tables == via_bfs
+
+    def test_service_mode_defaults_h_and_g(self):
+        g = random_connected_gnp(14, 0.25, seed=9)
+        service = RoutingService(g, "kcover")
+        stats = route_all_pairs_stats(service=service)
+        assert stats.pairs > 0
+        assert stats.invariant_violations == 0
+
+    def test_missing_inputs_rejected(self):
+        with pytest.raises(ParameterError):
+            route_all_pairs_stats()
+
+
+class TestServiceReadAccessors:
+    def test_distance_matches_advertised_bfs(self):
+        from repro.graph import bfs_distances
+
+        g = random_connected_gnp(18, 0.2, seed=21)
+        service = RoutingService(g, "kcover")
+        h = service.advertised
+        for u in range(0, g.num_nodes, 4):
+            dist = bfs_distances(h, u)
+            for v in range(g.num_nodes):
+                expected = dist[v] if dist[v] >= 0 else None
+                assert service.distance(u, v) == expected
+
+    def test_distance_validates_ids(self):
+        g = path_graph(5)
+        service = RoutingService(g, "kcover")
+        with pytest.raises(NodeNotFound):
+            service.distance(0, 9)
+        with pytest.raises(NodeNotFound):
+            service.distance(9, 0)
+
+    def test_num_nodes_tracks_joins(self):
+        from repro.dynamic import NodeEvent
+
+        g = path_graph(4)
+        service = RoutingService(g, "kcover")
+        assert service.num_nodes == 4
+        service.apply(NodeEvent.join(4))
+        assert service.num_nodes == 5

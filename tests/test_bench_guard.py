@@ -1,0 +1,93 @@
+"""The benchmark-regression guard: band math, skips, and loud failures.
+
+Runs ``scripts/bench_guard.py`` as a subprocess against a scratch git repo
+with fabricated committed/fresh artifacts, which is exactly how
+``scripts/check.sh`` step 4 invokes it.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+GUARD = str(Path(__file__).resolve().parent.parent / "scripts" / "bench_guard.py")
+
+
+def run_guard(cwd, env=None):
+    import os
+
+    full_env = dict(os.environ)
+    if env:
+        full_env.update(env)
+    return subprocess.run(
+        [sys.executable, GUARD], cwd=cwd, env=full_env, capture_output=True, text=True
+    )
+
+
+@pytest.fixture
+def scratch_repo(tmp_path):
+    """A git repo with a committed baseline artifact (speedup 10x)."""
+    subprocess.run(["git", "init", "-q"], cwd=tmp_path, check=True)
+    results = tmp_path / "benchmarks" / "results"
+    results.mkdir(parents=True)
+    (results / "BENCH_traversal.json").write_text(
+        json.dumps({"speedup_batched_vs_sets": 10.0})
+    )
+    subprocess.run(["git", "add", "-A"], cwd=tmp_path, check=True)
+    subprocess.run(
+        ["git", "-c", "user.email=t@t", "-c", "user.name=t", "commit", "-qm", "baseline"],
+        cwd=tmp_path,
+        check=True,
+    )
+    return tmp_path
+
+
+class TestBenchGuard:
+    def test_skip_env_short_circuits(self, tmp_path):
+        res = run_guard(tmp_path, env={"BENCH_GUARD_SKIP": "1"})
+        assert res.returncode == 0
+        assert "skipped" in res.stdout
+
+    def test_within_band_passes(self, scratch_repo):
+        (scratch_repo / "BENCH_traversal.json").write_text(
+            json.dumps({"speedup_batched_vs_sets": 6.0})  # 60% of committed
+        )
+        res = run_guard(scratch_repo)
+        assert res.returncode == 0, res.stdout + res.stderr
+        assert "no regressions" in res.stdout
+
+    def test_regression_fails_loudly(self, scratch_repo):
+        (scratch_repo / "BENCH_traversal.json").write_text(
+            json.dumps({"speedup_batched_vs_sets": 2.0})  # 20% of committed
+        )
+        res = run_guard(scratch_repo)
+        assert res.returncode == 1
+        assert "REGRESSION" in res.stderr
+        assert "batched BFS vs sets" in res.stderr
+
+    def test_tolerance_env_overrides_band(self, scratch_repo):
+        (scratch_repo / "BENCH_traversal.json").write_text(
+            json.dumps({"speedup_batched_vs_sets": 2.0})
+        )
+        res = run_guard(scratch_repo, env={"BENCH_GUARD_TOLERANCE": "0.1"})
+        assert res.returncode == 0, res.stdout + res.stderr
+
+    def test_missing_baseline_and_degraded_null_are_skips(self, scratch_repo):
+        # A fresh artifact with no committed twin, and a null (degraded)
+        # metric in a committed one, must both skip — never fail.
+        (scratch_repo / "BENCH_queries.json").write_text(
+            json.dumps({"query_throughput": {"speedup_served_vs_bfs": 100.0}})
+        )
+        (scratch_repo / "BENCH_traversal.json").write_text(
+            json.dumps({"speedup_batched_vs_sets": None})
+        )
+        res = run_guard(scratch_repo)
+        assert res.returncode == 0, res.stdout + res.stderr
+        assert res.stdout.count("SKIP") >= 2
+
+    def test_missing_fresh_artifacts_all_skip(self, scratch_repo):
+        res = run_guard(scratch_repo)  # no fresh files at the root at all
+        assert res.returncode == 0
+        assert "no regressions" in res.stdout

@@ -157,3 +157,72 @@ class TestCli:
         out = capsys.readouterr().out
         assert rc == 0
         assert "Table 1" in out
+
+
+class TestWorkersValidation:
+    """--workers is validated at argparse: ≥ 1 or rejected with a message.
+
+    Regression: `--workers 0` used to fall silently through to the serial
+    path (truthiness checks), while `--workers -2` escaped argparse and
+    died inside WorkerPool with a traceback.
+    """
+
+    @pytest.mark.parametrize("cmd", ["churn", "serve", "traffic"])
+    @pytest.mark.parametrize("bad", ["0", "-2", "1.5", "two"])
+    def test_invalid_counts_rejected_at_parse_time(self, cmd, bad, capsys):
+        parser = build_parser()
+        with pytest.raises(SystemExit) as exc:
+            parser.parse_args([cmd, "--workers", bad])
+        assert exc.value.code == 2  # argparse usage error, not a traceback
+        assert "positive integer" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("cmd", ["churn", "serve", "traffic"])
+    def test_valid_and_omitted_workers(self, cmd):
+        parser = build_parser()
+        assert parser.parse_args([cmd, "--workers", "3"]).workers == 3
+        # Omitting the flag means the single-process serial path.
+        assert parser.parse_args([cmd]).workers is None
+
+    def test_help_documents_serial_default(self):
+        parser = build_parser()
+        serve = next(
+            a for a in parser._subparsers._group_actions[0].choices["serve"]._actions
+            if "--workers" in a.option_strings
+        )
+        assert "serial" in serve.help
+
+
+class TestTrafficCli:
+    def test_workload_choices_match_registry(self):
+        from repro.dynamic import WORKLOAD_NAMES
+
+        parser = build_parser()
+        for name in WORKLOAD_NAMES:
+            assert parser.parse_args(["traffic", "--workload", name]).workload == name
+        with pytest.raises(SystemExit):
+            parser.parse_args(["traffic", "--workload", "tsunami"])
+
+    def test_traffic_command_all_workloads(self, capsys):
+        rc = main(
+            [
+                "traffic", "--n", "50", "--events", "12", "--tick", "4",
+                "--queries", "8", "--compare-bfs", "5", "--seed", "7",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0  # 0 iff served journeys matched the BFS reference
+        assert "matches route" in out
+        for workload in ("uniform", "zipf", "locality"):
+            row = next(line for line in out.splitlines() if f"| {workload}" in line)
+            assert row.rstrip(" |").endswith("yes"), row
+
+    def test_traffic_single_workload_no_compare(self, capsys):
+        rc = main(
+            [
+                "traffic", "--workload", "locality", "--scenario", "nodechurn",
+                "--n", "40", "--events", "10", "--queries", "5", "--compare-bfs", "0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "locality" in out and "uniform" not in out
