@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Repo check gate: collection -> tier-1 -> perf artifacts -> regression guard.
+# Repo check gate: collection -> tier-1 -> perf artifacts -> regression
+# guard -> static analysis.
 #
 #   ./scripts/check.sh                 # full gate
-#   SKIP_BENCH=1 ./scripts/check.sh    # tests only (e.g. on battery)
+#   SKIP_BENCH=1 ./scripts/check.sh    # tests + static analysis (e.g. on battery)
 #   BENCH_GUARD_SKIP=1 ./scripts/check.sh   # record benches, skip the guard
 #
 # Step 3 runs the traversal, dynamic-maintenance, routing-serving,
@@ -17,24 +18,49 @@
 # Step 4 compares the freshly recorded speedups against the artifacts
 # committed at HEAD with a tolerance band (scripts/bench_guard.py) and
 # fails loudly on a structural perf regression.
+#
+# Step 5 is static analysis: the repo's own AST linter (`python -m repro
+# lint` — the seqlock/RNG/shm/tuning/task/exception invariants, see
+# src/repro/analysis/lint/) always runs and is blocking; ruff and mypy
+# run when installed (`pip install -e ".[lint]"`) — `ruff check` blocks,
+# `ruff format --check` is advisory (formatting drift is reported, not
+# fatal), mypy blocks on the typed core subset from pyproject.toml.
 # CI (.github/workflows/check.yml) runs exactly this script.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/4] collection gate (every test module must import) =="
+echo "== [1/5] collection gate (every test module must import) =="
 python -m pytest --collect-only -q tests > /dev/null
 
-echo "== [2/4] tier-1 test suite =="
+echo "== [2/5] tier-1 test suite =="
 python -m pytest -q tests
 
+run_static_analysis() {
+    echo "== [5/5] static analysis (reprolint; ruff/mypy when installed) =="
+    PYTHONPATH=src python -m repro lint src benchmarks scripts
+    if command -v ruff > /dev/null 2>&1; then
+        ruff check .
+        ruff format --check . \
+            || echo "ruff format: drift reported above (advisory — run 'ruff format .')"
+    else
+        echo "ruff not installed — skipped (pip install -e '.[lint]')"
+    fi
+    if command -v mypy > /dev/null 2>&1; then
+        mypy
+    else
+        echo "mypy not installed — skipped (pip install -e '.[lint]')"
+    fi
+}
+
 if [ "${SKIP_BENCH:-0}" = "1" ]; then
-    echo "== [3/4] perf benchmarks skipped (SKIP_BENCH=1) =="
-    echo "== [4/4] bench regression guard skipped (SKIP_BENCH=1) =="
+    echo "== [3/5] perf benchmarks skipped (SKIP_BENCH=1) =="
+    echo "== [4/5] bench regression guard skipped (SKIP_BENCH=1) =="
+    run_static_analysis
     exit 0
 fi
 
-echo "== [3/4] perf benchmarks (write BENCH_{traversal,dynamic,routing,parallel,queries}.json) =="
+echo "== [3/5] perf benchmarks (write BENCH_{traversal,dynamic,routing,parallel,queries}.json) =="
 python -m pytest -q benchmarks/test_bench_traversal.py benchmarks/test_bench_dynamic.py \
     benchmarks/test_bench_routing.py benchmarks/test_bench_parallel.py \
     benchmarks/test_bench_queries.py \
@@ -97,5 +123,7 @@ print(
 )
 PYEOF
 
-echo "== [4/4] benchmark-regression guard (fresh vs committed, tolerance band) =="
+echo "== [4/5] benchmark-regression guard (fresh vs committed, tolerance band) =="
 python scripts/bench_guard.py
+
+run_static_analysis

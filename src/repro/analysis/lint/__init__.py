@@ -1,0 +1,21 @@
+"""reprolint — project-specific AST lint rules (``python -m repro lint``).
+
+Public surface: the engine (:class:`Finding`, :class:`Rule`,
+:func:`lint_paths`, …) plus the rule classes in
+:mod:`repro.analysis.lint.rules`.  Importing this package registers every
+rule in :data:`REGISTRY`.
+"""
+
+from .engine import (
+    REGISTRY as REGISTRY,
+    FileContext as FileContext,
+    Finding as Finding,
+    Rule as Rule,
+    default_rules as default_rules,
+    iter_python_files as iter_python_files,
+    lint_file as lint_file,
+    lint_paths as lint_paths,
+    parse_suppressions as parse_suppressions,
+    register as register,
+)
+from . import rules as rules

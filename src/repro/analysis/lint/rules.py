@@ -1,0 +1,552 @@
+"""The six reprolint rules (``RL001``–``RL006``).
+
+Each rule encodes one protocol of the concurrency / reproducibility
+layers; the docstring of each class states the invariant, why it matters,
+and what a compliant site looks like.  Rules yield raw findings — the
+engine handles ``# reprolint: disable=RLxxx`` suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from .engine import FileContext, Finding, Rule, register
+
+__all__ = [
+    "SeqlockBracketRule",
+    "RngDisciplineRule",
+    "ShmLifecycleRule",
+    "TuningConstantsRule",
+    "WorkerTaskSafetyRule",
+    "ExceptionHygieneRule",
+]
+
+
+def _stmt_lists(tree: ast.AST) -> Iterator["list[ast.stmt]"]:
+    """Every statement list in *tree* (bodies, else-branches, finally-blocks)."""
+    for node in ast.walk(tree):
+        for field in ("body", "orelse", "finalbody"):
+            block = getattr(node, field, None)
+            if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+                yield block
+
+
+def _method_call(node: ast.AST, name: str) -> "ast.Call | None":
+    """*node* as a ``<recv>.name(...)`` call, else ``None``."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == name
+    ):
+        return node
+    return None
+
+
+@register
+class SeqlockBracketRule(Rule):
+    """RL001 — seqlock write brackets must be balanced on *all* paths.
+
+    The shared-matrix seqlock protocol (``repro/parallel/shm.py``) flips a
+    per-row version counter odd in ``begin_row_write`` and even again in
+    ``end_row_write``.  If an exception escapes between the two, the counter
+    stays odd forever and every concurrent reader spins until
+    ``TornReadError``.  The only construct Python guarantees to run the
+    closing half under is ``try/finally``, so the rule demands::
+
+        attached.begin_row_write(u)
+        try:
+            attached.array[u] = row      # the guarded write
+        finally:
+            attached.end_row_write(u)
+
+    Three checks: (a) every ``begin_row_write`` statement is immediately
+    followed by a ``try`` whose ``finally`` calls the matching
+    ``end_row_write``; (b) every ``end_row_write`` call sits inside some
+    ``finally`` block; (c) inside a function that opens brackets, writes to
+    the versioned array (``x.array[...] = ...`` or an alias bound from
+    ``x.array``) happen inside a bracket's ``try`` body.
+    """
+
+    code = "RL001"
+    name = "seqlock-bracket"
+    description = "begin_row_write must be balanced by end_row_write via try/finally"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        # The protocol primitives themselves (shm.py) define and document
+        # the counter flips; they cannot bracket themselves.
+        skip: "set[int]" = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node.name in (
+                "begin_row_write",
+                "end_row_write",
+            ):
+                skip.update(id(sub) for sub in ast.walk(node))
+
+        yield from self._check_begin_bracketed(ctx, skip)
+        yield from self._check_end_in_finally(ctx, skip)
+        yield from self._check_writes_bracketed(ctx, skip)
+
+    # -- (a) begin immediately followed by try/finally with matching end --- #
+
+    def _check_begin_bracketed(self, ctx: FileContext, skip: "set[int]") -> Iterator[Finding]:
+        for block in _stmt_lists(ctx.tree):
+            for i, stmt in enumerate(block):
+                if id(stmt) in skip or not isinstance(stmt, ast.Expr):
+                    continue
+                begin = _method_call(stmt.value, "begin_row_write")
+                if begin is None:
+                    continue
+                nxt = block[i + 1] if i + 1 < len(block) else None
+                if isinstance(nxt, ast.Try) and self._finally_ends(nxt, begin):
+                    continue
+                yield self.finding(
+                    ctx,
+                    stmt,
+                    "begin_row_write is not immediately followed by a try/finally "
+                    "calling the matching end_row_write — a raise here leaves the "
+                    "row version odd and readers spin to TornReadError",
+                )
+
+    @staticmethod
+    def _finally_ends(try_node: ast.Try, begin: ast.Call) -> bool:
+        want_recv = ast.unparse(begin.func.value)  # type: ignore[attr-defined]
+        want_args = [ast.unparse(a) for a in begin.args]
+        for stmt in try_node.finalbody:
+            for node in ast.walk(stmt):
+                end = _method_call(node, "end_row_write")
+                if (
+                    end is not None
+                    and isinstance(end.func, ast.Attribute)
+                    and ast.unparse(end.func.value) == want_recv
+                    and [ast.unparse(a) for a in end.args] == want_args
+                ):
+                    return True
+        return False
+
+    # -- (b) every end_row_write lives in a finally block ------------------ #
+
+    def _check_end_in_finally(self, ctx: FileContext, skip: "set[int]") -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if id(node) in skip:
+                continue
+            end = _method_call(node, "end_row_write")
+            if end is None or not self._is_call_expr(ctx, end):
+                continue
+            if not self._in_finally(ctx, end):
+                yield self.finding(
+                    ctx,
+                    end,
+                    "end_row_write outside a finally block — it is skipped when "
+                    "the guarded write raises",
+                )
+
+    @staticmethod
+    def _is_call_expr(ctx: FileContext, call: ast.Call) -> bool:
+        # Only statement-position calls count; `x.end_row_write` referenced
+        # as a value (e.g. passed around) is out of protocol scope.
+        return isinstance(ctx.parent(call), ast.Expr)
+
+    @staticmethod
+    def _in_finally(ctx: FileContext, node: ast.AST) -> bool:
+        child: ast.AST = node
+        for anc in ctx.ancestors(node):
+            if isinstance(anc, ast.Try) and any(
+                child is stmt or id(child) in {id(s) for s in ast.walk(stmt)}
+                for stmt in anc.finalbody
+            ):
+                return True
+            child = anc
+        return False
+
+    # -- (c) versioned-array writes happen inside a bracket ---------------- #
+
+    def _check_writes_bracketed(self, ctx: FileContext, skip: "set[int]") -> Iterator[Finding]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if id(func) in skip:
+                continue
+            has_bracket = any(
+                _method_call(n, "begin_row_write") is not None for n in ast.walk(func)
+            )
+            if not has_bracket:
+                continue
+            aliases = {
+                tgt.id
+                for stmt in ast.walk(func)
+                if isinstance(stmt, ast.Assign)
+                and isinstance(stmt.value, ast.Attribute)
+                and stmt.value.attr == "array"
+                for tgt in stmt.targets
+                if isinstance(tgt, ast.Name)
+            }
+            for stmt in ast.walk(func):
+                if not isinstance(stmt, (ast.Assign, ast.AugAssign)):
+                    continue
+                targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                for tgt in targets:
+                    if not isinstance(tgt, ast.Subscript):
+                        continue
+                    base = tgt.value
+                    is_versioned = (isinstance(base, ast.Name) and base.id in aliases) or (
+                        isinstance(base, ast.Attribute) and base.attr == "array"
+                    )
+                    if is_versioned and not self._in_bracket_try(ctx, stmt):
+                        yield self.finding(
+                            ctx,
+                            stmt,
+                            "write to a versioned shared array outside a seqlock "
+                            "bracket (begin_row_write / try / finally: end_row_write)",
+                        )
+
+    @staticmethod
+    def _in_bracket_try(ctx: FileContext, node: ast.AST) -> bool:
+        child: ast.AST = node
+        for anc in ctx.ancestors(node):
+            if isinstance(anc, ast.Try):
+                in_body = any(
+                    child is stmt or id(child) in {id(s) for s in ast.walk(stmt)}
+                    for stmt in anc.body
+                )
+                has_end = any(
+                    _method_call(n, "end_row_write") is not None
+                    for stmt in anc.finalbody
+                    for n in ast.walk(stmt)
+                )
+                if in_body and has_end:
+                    return True
+            child = anc
+        return False
+
+
+@register
+class RngDisciplineRule(Rule):
+    """RL002 — raw RNG construction is confined to :mod:`repro.rng`.
+
+    Reproducibility of the experiment tables rests on every random stream
+    being derived from an explicit seed through ``ensure_rng`` /
+    ``derive_seed`` / ``spawn``.  A stray ``np.random.default_rng()`` or
+    module-level ``random.shuffle`` silently forks an unseeded stream and
+    the benchmark numbers stop being bit-reproducible.  Only
+    ``src/repro/rng.py`` may touch the raw constructors.
+    """
+
+    code = "RL002"
+    name = "rng-discipline"
+    description = "raw np.random/random construction only inside repro/rng.py"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.in_module("repro/rng.py"):
+            return
+        random_mods: "set[str]" = set()  # names bound to the `random` module
+        numpy_mods: "set[str]" = set()  # names bound to `numpy`
+        np_random_mods: "set[str]" = set()  # names bound to `numpy.random`
+        direct: "set[str]" = set()  # names imported from random/numpy.random
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "random":
+                        random_mods.add(bound)
+                    elif alias.name == "numpy":
+                        numpy_mods.add(bound)
+                    elif alias.name == "numpy.random":
+                        if alias.asname is not None:
+                            np_random_mods.add(alias.asname)
+                        else:
+                            numpy_mods.add("numpy")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    direct.update(a.asname or a.name for a in node.names)
+                elif node.module == "numpy.random":
+                    direct.update(a.asname or a.name for a in node.names)
+                elif node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            np_random_mods.add(alias.asname or alias.name)
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            hit: "str | None" = None
+            if isinstance(func, ast.Name) and func.id in direct:
+                hit = func.id
+            elif isinstance(func, ast.Attribute):
+                base = func.value
+                if isinstance(base, ast.Name) and base.id in random_mods | np_random_mods:
+                    hit = f"{base.id}.{func.attr}"
+                elif (
+                    isinstance(base, ast.Attribute)
+                    and base.attr == "random"
+                    and isinstance(base.value, ast.Name)
+                    and base.value.id in numpy_mods
+                ):
+                    hit = f"{base.value.id}.random.{func.attr}"
+            if hit is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"raw RNG call {hit}(...) outside repro/rng.py — thread a seed "
+                    "through repro.rng.ensure_rng/derive_seed/spawn instead",
+                )
+
+
+@register
+class ShmLifecycleRule(Rule):
+    """RL003 — shared-memory lifecycle stays inside the shm module.
+
+    ``repro/parallel/shm.py`` owns the create/attach/close/unlink pairing
+    (including the bpo-39959 resource-tracker workaround) and the ``_pin``
+    protocol that keeps an attachment alive as long as numpy views into it
+    exist.  A ``SharedMemory(...)`` constructed anywhere else bypasses that
+    pairing and leaks segments (or unlinks ones still in use); poking
+    ``_wrap_views``/``_pin`` from outside breaks the pinning contract.
+    """
+
+    code = "RL003"
+    name = "shm-lifecycle"
+    description = "SharedMemory construction and _pin/_wrap_views only in shm.py/csr.py"
+
+    _SHM_MODULE = "repro/parallel/shm.py"
+    _PIN_MODULES = ("repro/parallel/shm.py", "repro/graph/csr.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        in_shm = ctx.in_module(self._SHM_MODULE)
+        in_pin = ctx.in_module(*self._PIN_MODULES)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and not in_shm:
+                func = node.func
+                named_shm = (isinstance(func, ast.Name) and func.id == "SharedMemory") or (
+                    isinstance(func, ast.Attribute) and func.attr == "SharedMemory"
+                )
+                if named_shm:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "direct SharedMemory(...) outside repro/parallel/shm.py — "
+                        "use SharedCSR/SharedMatrix/attach_* so close/unlink pairing "
+                        "and pinning are handled",
+                    )
+            if isinstance(node, ast.Attribute) and not in_pin:
+                if node.attr in ("_wrap_views", "_pin"):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"access to {node.attr} outside the shm/csr pinning "
+                        "implementation — attachments must be pinned only via "
+                        "attach_csr/attach_matrix",
+                    )
+
+
+@register
+class TuningConstantsRule(Rule):
+    """RL004 — dispatch thresholds live in :mod:`repro.tuning`, not inline.
+
+    Backend/parallel/batch dispatch decisions (set-vs-CSR crossover, worker
+    fan-out gate, batch chunk size) are hardware-dependent.  Inlining the
+    threshold as a numeric literal in the dispatch module makes it
+    untunable — no ``REPRO_*`` env var, no ``tuning.overridden`` in tests,
+    no ``python -m repro tune`` recalibration.  The rule fires inside the
+    dispatch modules on (a) module-level ALL-CAPS threshold constants and
+    (b) comparisons of ``num_nodes``/``cpu_count`` against an int literal.
+    """
+
+    code = "RL004"
+    name = "tuning-constants"
+    description = "dispatch thresholds must come from repro.tuning, not literals"
+
+    #: Modules that make backend/parallel/batch dispatch decisions.
+    _DISPATCH_MODULES = (
+        "repro/graph/traversal.py",
+        "repro/graph/distances.py",
+        "repro/routing/tables.py",
+        "repro/parallel/pool.py",
+        "repro/parallel/fanout.py",
+    )
+
+    _NAME_RE = re.compile(r"(CHUNK|MIN|MAX|BATCH|WORKERS|NODES|FRONTIER|THRESHOLD)")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_module(*self._DISPATCH_MODULES):
+            return
+        # (a) module-level ALL-CAPS threshold constants.
+        for stmt in ctx.tree.body:
+            target: "ast.expr | None" = None
+            value: "ast.expr | None" = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value = stmt.target, stmt.value
+            if (
+                isinstance(target, ast.Name)
+                and target.id.isupper()
+                and self._NAME_RE.search(target.id)
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, int)
+                and not isinstance(value.value, bool)
+                and value.value >= 2
+            ):
+                yield self.finding(
+                    ctx,
+                    stmt,
+                    f"inlined dispatch constant {target.id} = {value.value} — move it "
+                    "to a repro.tuning knob with a REPRO_* env var",
+                )
+        # (b) literal thresholds compared against num_nodes / cpu_count.
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            sides = [node.left, *node.comparators]
+            literals = [
+                s
+                for s in sides
+                if isinstance(s, ast.Constant)
+                and isinstance(s.value, int)
+                and not isinstance(s.value, bool)
+                and s.value >= 2
+            ]
+            gated = any(
+                not isinstance(s, ast.Constant)
+                and re.search(r"num_nodes|cpu_count", ast.unparse(s))
+                for s in sides
+            )
+            for lit in literals:
+                if gated:
+                    yield self.finding(
+                        ctx,
+                        lit,
+                        f"dispatch gate compares num_nodes/cpu_count against inline "
+                        f"literal {lit.value} — read the threshold from repro.tuning",
+                    )
+
+
+@register
+class WorkerTaskSafetyRule(Rule):
+    """RL005 — worker entry points must survive a ``spawn`` re-import.
+
+    Under the ``spawn`` start method a worker process re-imports the module
+    and looks the task function up *by qualified name*; lambdas, nested
+    functions, and bound methods either fail to pickle or rebind to the
+    wrong object.  Everything registered in ``TASKS`` and every
+    ``Process(target=...)`` must therefore be a module-level function.
+    """
+
+    code = "RL005"
+    name = "worker-task-safety"
+    description = "TASKS entries and Process targets must be module-level functions"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        module_defs = {
+            stmt.name
+            for stmt in ctx.tree.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        nested_defs = {
+            node.name
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name not in module_defs
+        }
+
+        def vet(value: ast.expr, where: str) -> Iterator[Finding]:
+            if isinstance(value, ast.Lambda):
+                yield self.finding(
+                    ctx, value, f"lambda used as {where} — not picklable under spawn"
+                )
+            elif isinstance(value, ast.Name):
+                if value.id in nested_defs:
+                    yield self.finding(
+                        ctx,
+                        value,
+                        f"nested function {value.id!r} used as {where} — spawn "
+                        "workers re-import by qualified name; hoist it to module "
+                        "level",
+                    )
+            elif not isinstance(value, (ast.Constant, ast.Attribute)):
+                # Attribute (e.g. module.func) resolves at import time and is
+                # fine; anything structurally weirder is worth a look.
+                yield self.finding(
+                    ctx,
+                    value,
+                    f"{where} is not a plain module-level function reference",
+                )
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                for tgt in node.targets:
+                    if (
+                        isinstance(tgt, ast.Name)
+                        and tgt.id == "TASKS"
+                        and isinstance(node.value, ast.Dict)
+                    ):
+                        for v in node.value.values:
+                            if v is not None:
+                                yield from vet(v, "a TASKS entry")
+                    elif (
+                        isinstance(tgt, ast.Subscript)
+                        and isinstance(tgt.value, ast.Name)
+                        and tgt.value.id == "TASKS"
+                    ):
+                        yield from vet(node.value, "a TASKS entry")
+            elif isinstance(node, ast.Call):
+                func_name = ast.unparse(node.func)
+                if func_name == "Process" or func_name.endswith(".Process"):
+                    for kw in node.keywords:
+                        if kw.arg == "target":
+                            yield from vet(kw.value, "a Process target")
+
+
+@register
+class ExceptionHygieneRule(Rule):
+    """RL006 — no silent broad ``except`` in the library and benchmarks.
+
+    A swallowed exception in a worker loop turns a crash into a hang (the
+    parent waits forever for a result); in a reader it turns a torn read
+    into a wrong answer.  Broad handlers (bare ``except``, ``Exception``,
+    ``BaseException``) are allowed only when they re-raise (including
+    wrapping in ``WorkerError``/``TornReadError``) or inside ``__del__``
+    (where exceptions during interpreter teardown must not escape).
+    Anything else needs a narrowed exception type or a justified
+    ``# reprolint: disable=RL006`` with a reason.
+    """
+
+    code = "RL006"
+    name = "exception-hygiene"
+    description = "no silent bare/broad except outside __del__ unless it re-raises"
+
+    _BROAD = ("Exception", "BaseException")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node.type):
+                continue
+            func = ctx.enclosing_function(node)
+            if func is not None and func.name == "__del__":
+                continue  # GC safety net: nothing may escape a finalizer
+            if any(isinstance(sub, ast.Raise) for stmt in node.body for sub in ast.walk(stmt)):
+                continue  # re-raises (possibly wrapped in WorkerError & co.)
+            label = "bare except" if node.type is None else f"except {ast.unparse(node.type)}"
+            yield self.finding(
+                ctx,
+                node,
+                f"{label} swallows errors silently — narrow the exception type, "
+                "re-raise (optionally wrapped in WorkerError/TornReadError), or "
+                "justify with an inline suppression",
+            )
+
+    def _is_broad(self, type_node: "ast.expr | None") -> bool:
+        if type_node is None:
+            return True
+        if isinstance(type_node, ast.Tuple):
+            return any(self._is_broad(elt) for elt in type_node.elts)
+        if isinstance(type_node, ast.Name):
+            return type_node.id in self._BROAD
+        if isinstance(type_node, ast.Attribute):
+            return type_node.attr in self._BROAD
+        return False

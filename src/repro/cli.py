@@ -198,6 +198,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--epsilon", type=float, default=0.5)
     p.add_argument("--k", type=int, default=1)
     p.add_argument("--seed", type=int, default=42)
+
+    p = sub.add_parser(
+        "lint",
+        help="run reprolint, the project-invariant AST checker "
+        "(seqlock brackets, RNG discipline, shm lifecycle, ...)",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to lint (default: src benchmarks scripts)",
+    )
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
     return parser
 
 
@@ -732,6 +749,35 @@ def _cmd_demo(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_lint(args) -> int:
+    import os
+
+    from .analysis.lint import default_rules, lint_paths
+    from .errors import ParameterError
+
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.code} {rule.name}: {rule.description}")
+        return 0
+    paths = args.paths or [p for p in ("src", "benchmarks", "scripts") if os.path.isdir(p)]
+    if not paths:
+        print("repro lint: no paths given and none of src/benchmarks/scripts exist here")
+        return 2
+    try:
+        findings = lint_paths(paths, rules)
+    except ParameterError as exc:
+        print(f"repro lint: {exc}")
+        return 2
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"repro lint: {len(findings)} finding(s) in {', '.join(map(str, paths))}")
+        return 1
+    print(f"repro lint: clean ({', '.join(map(str, paths))}; {len(rules)} rules)")
+    return 0
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "figure1": _cmd_figure1,
@@ -744,6 +790,7 @@ _COMMANDS = {
     "traffic": _cmd_traffic,
     "tune": _cmd_tune,
     "demo": _cmd_demo,
+    "lint": _cmd_lint,
 }
 
 

@@ -28,7 +28,7 @@ seed)`` triple names a bit-for-bit reproducible stream.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable
 
 import numpy as np
 

@@ -46,7 +46,7 @@ from ..core import (
     k_connecting_spanner_lower_bound,
 )
 from ..distributed import run_remspan
-from ..graph import Graph, sample_pairs
+from ..graph import sample_pairs
 from ..graph.generators import random_connected_gnp
 from ..rng import derive_seed
 from .runner import largest_component, scaled_udg

@@ -34,11 +34,15 @@ from __future__ import annotations
 
 from array import array
 from bisect import bisect_left
-from typing import Iterator
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
 import numpy as np
 
 from ..errors import NodeNotFound
+
+if TYPE_CHECKING:  # pragma: no cover - import cycles broken at runtime
+    from ..parallel.shm import SharedCSR
+    from .graph import Graph
 
 __all__ = ["CSRGraph"]
 
@@ -73,6 +77,19 @@ class CSRGraph:
         "_pin",
     )
 
+    # ``_indptr``/``_indices`` are ``array('i')`` buffers on a private
+    # snapshot but shared numpy views on an attached one — both sides of
+    # that union support the slicing/bisect protocol the accessors use,
+    # which a static union type cannot express cleanly; hence ``Any``.
+    _n: int
+    _m: int
+    _indptr: Any
+    _indices: Any
+    _np_indptr: np.ndarray
+    _np_indices: np.ndarray
+    _dist_cache: Any
+    _pin: Any
+
     def __init__(self, n: int, indptr: array, indices: array) -> None:
         if len(indptr) != n + 1:
             raise ValueError(f"indptr must have n+1 = {n + 1} entries, got {len(indptr)}")
@@ -96,7 +113,7 @@ class CSRGraph:
     # ------------------------------------------------------------------ #
 
     @classmethod
-    def from_graph(cls, g) -> "CSRGraph":
+    def from_graph(cls, g: Any) -> "CSRGraph":
         """Snapshot any graph-like object (``num_nodes`` + ``neighbors``).
 
         Rows are sorted ascending, so ``neighbors_csr`` yields the same
@@ -123,7 +140,7 @@ class CSRGraph:
         return cls(n, indptr, indices)
 
     @classmethod
-    def patched(cls, base: "CSRGraph", g, dirty_rows) -> "CSRGraph":
+    def patched(cls, base: "CSRGraph", g: Any, dirty_rows: "Iterable[int]") -> "CSRGraph":
         """Snapshot *g* by patching the prior snapshot *base*.
 
         *dirty_rows* are the node ids whose adjacency may differ between
@@ -168,7 +185,7 @@ freeze>` for the dynamic-graph workloads.
             new_indices[new_indptr[prev] :] = base_indices[base_indptr[prev] :]
         return cls._from_flat(n, new_indptr, new_indices)
 
-    def to_graph(self):
+    def to_graph(self) -> "Graph":
         """Thaw back into a mutable set-based :class:`Graph`."""
         from .graph import Graph
 
@@ -178,7 +195,9 @@ freeze>` for the dynamic-graph workloads.
     # shared-memory export (repro.parallel)
     # ------------------------------------------------------------------ #
 
-    def share(self, *, capacity_nodes: "int | None" = None, capacity_indices: "int | None" = None):
+    def share(
+        self, *, capacity_nodes: "int | None" = None, capacity_indices: "int | None" = None
+    ) -> "SharedCSR":
         """Export this snapshot into :mod:`multiprocessing.shared_memory`.
 
         Returns a :class:`~repro.parallel.shm.SharedCSR` owner whose
@@ -195,7 +214,7 @@ publish>`).  Capacity headroom (defaulting to ~25% slack) lets churn grow
         return SharedCSR(self, capacity_nodes=capacity_nodes, capacity_indices=capacity_indices)
 
     @classmethod
-    def attach(cls, handle) -> "CSRGraph":
+    def attach(cls, handle: Any) -> "CSRGraph":
         """Materialize a shared snapshot exported by :meth:`share`.
 
         *handle* is a :class:`~repro.parallel.shm.SharedCSRHandle` (or the
@@ -249,7 +268,7 @@ publish>`).  Capacity headroom (defaulting to ~25% slack) lets churn grow
     def nodes(self) -> range:
         return range(self._n)
 
-    def neighbors(self, u: int) -> set:
+    def neighbors(self, u: int) -> "set[int]":
         """``N(u)`` as a **fresh** set (allocated per call).
 
         Unlike ``Graph.neighbors`` there is no live internal set to share;

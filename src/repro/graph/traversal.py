@@ -60,10 +60,14 @@ __all__ = [
 #: Sentinel distance for unreachable nodes in the arrays returned below.
 UNREACHED = -1
 
-#: Frontier size at or below which the vectorized engine expands in pure
-#: Python — numpy call overhead dominates on tiny frontiers (deep, skinny
-#: graphs like paths degenerate to one node per level).
-_SMALL_FRONTIER = 16
+def _small_frontier() -> int:
+    """Frontier size at or below which the vectorized engine expands in
+    pure Python — numpy call overhead dominates on tiny frontiers (deep,
+    skinny graphs like paths degenerate to one node per level).  Tunable
+    via :mod:`repro.tuning` (``REPRO_SMALL_FRONTIER``).
+    """
+    return tuning.get().small_frontier
+
 
 def _batch_chunk() -> int:
     """Sources per chunk in :func:`batched_bfs` (``None`` chunk argument).
@@ -145,12 +149,13 @@ def _expand_levels(
     rows = memoryview(csr._indices)  # sliced per node, no copies
     np_indptr, np_indices = csr.numpy_arrays()
     np_frontier: "np.ndarray | None" = None
+    small_frontier = _small_frontier()  # read the knob once per expansion
     while True:
         size = len(frontier) if np_frontier is None else int(np_frontier.size)
         if size == 0 or (cutoff is not None and d >= cutoff):
             return
         d += 1
-        if size <= _SMALL_FRONTIER:
+        if size <= small_frontier:
             if np_frontier is not None:
                 frontier = np_frontier.tolist()
                 np_frontier = None

@@ -40,15 +40,12 @@ import traceback
 
 import numpy as np
 
+from .. import tuning
 from ..errors import ParameterError, ReproError
 from ..rng import derive_seed, ensure_rng
 from .shm import AttachedCSR, AttachedMatrix, PublishStats, SharedCSR, SharedMatrix
 
 __all__ = ["WorkerPool", "WorkerError", "resolve_workers", "TASKS"]
-
-#: Cap for ``workers="auto"`` — beyond this the serving fan-out is queue
-#: -bound, and benchmark boxes rarely give more truly-free cores.
-_AUTO_MAX_WORKERS = 4
 
 
 class WorkerError(ReproError):
@@ -58,9 +55,10 @@ class WorkerError(ReproError):
 def resolve_workers(workers, *, cpu_count: "int | None" = None) -> int:
     """Resolve a ``workers`` spec to a concrete count.
 
-    ``None``/``1`` → 1 (serial), ``"auto"`` → ``min(4, cpu_count)``, an int
-    is validated and passed through.  A :class:`WorkerPool` instance
-    resolves to its own size.
+    ``None``/``1`` → 1 (serial), ``"auto"`` →
+    ``min(tuning.auto_max_workers, cpu_count)``, an int is validated and
+    passed through.  A :class:`WorkerPool` instance resolves to its own
+    size.
     """
     if workers is None:
         return 1
@@ -68,7 +66,7 @@ def resolve_workers(workers, *, cpu_count: "int | None" = None) -> int:
         return workers.workers
     if workers == "auto":
         cpus = os.cpu_count() or 1 if cpu_count is None else cpu_count
-        return max(1, min(_AUTO_MAX_WORKERS, cpus))
+        return max(1, min(tuning.get().auto_max_workers, cpus))
     if isinstance(workers, bool) or not isinstance(workers, int):
         raise ParameterError(f"workers must be an int, 'auto', None or a WorkerPool, got {workers!r}")
     if workers < 1:
@@ -163,8 +161,10 @@ def _task_serve_rows(state: _WorkerState, payload):
         if mask.any():
             changed.append((s, np.packbits(mask).tobytes()))
             attached.begin_row_write(s)
-            dist[s] = row
-            attached.end_row_write(s)
+            try:
+                dist[s] = row
+            finally:
+                attached.end_row_write(s)
     return changed
 
 
@@ -193,8 +193,10 @@ def _task_serve_tables(state: _WorkerState, payload):
             cols = np.flatnonzero(mask)
         nbrs = g.neighbors_csr(u).tolist()  # sorted ascending == sorted(N_G(u))
         attached.begin_row_write(u)
-        entries_changed += project_table_row(dist, tables, nbrs, u, cols)
-        attached.end_row_write(u)
+        try:
+            entries_changed += project_table_row(dist, tables, nbrs, u, cols)
+        finally:
+            attached.end_row_write(u)
     return entries_changed
 
 
@@ -218,6 +220,25 @@ def _task_tree_edges(state: _WorkerState, payload):
     return out
 
 
+def _task_crash_in_write(state: _WorkerState, payload):
+    """Fault injection: raise *inside* a seqlock write bracket.
+
+    ``payload = (matrix, row)`` — opens the bracket on *row* and raises.
+    Exercises the crash path the try/finally brackets in the serve tasks
+    protect against: the ``finally`` must restore the row version to even
+    so concurrent readers terminate instead of spinning.  Lives in the
+    production registry (not the test module) so ``spawn`` workers can
+    resolve it after re-import.
+    """
+    name, row = payload
+    attached = state.matrices[name]
+    attached.begin_row_write(row)
+    try:
+        raise RuntimeError(f"injected crash inside row {row} write bracket")
+    finally:
+        attached.end_row_write(row)
+
+
 #: Registry of functions a task message may name.  Top-level functions
 #: only — the registry is rebuilt by import in every worker, so entries
 #: survive both ``fork`` and ``spawn``.
@@ -227,6 +248,7 @@ TASKS = {
     "serve_rows": _task_serve_rows,
     "serve_tables": _task_serve_tables,
     "tree_edges": _task_tree_edges,
+    "crash_in_write": _task_crash_in_write,
 }
 
 
@@ -261,7 +283,9 @@ def _worker_main(worker_id: int, num_workers: int, seed: int, task_q, result_q) 
                     _, task_id, fn, payload = msg
                     result = TASKS[fn](state, payload)
                     result_q.put((worker_id, task_id, True, result))
-            except BaseException:
+            except BaseException:  # reprolint: disable=RL006 -- crash barrier: the
+                # traceback crosses the queue and the parent re-raises it as
+                # WorkerError; swallowing nothing, converting everything.
                 task_id = msg[1] if kind == "task" else -1
                 result_q.put((worker_id, task_id, False, traceback.format_exc()))
     finally:
@@ -361,7 +385,7 @@ class WorkerPool:
             for q in self._task_qs:
                 try:
                     q.put(("stop",))
-                except Exception:  # pragma: no cover
+                except (OSError, ValueError):  # pragma: no cover - queue gone
                     pass
         deadline = time.monotonic() + (5.0 if graceful else 0.5)
         for p in self._procs:
@@ -373,7 +397,7 @@ class WorkerPool:
             try:
                 q.close()
                 q.cancel_join_thread()
-            except Exception:  # pragma: no cover
+            except (OSError, ValueError):  # pragma: no cover - already closed
                 pass
         self._procs, self._task_qs, self._result_q = [], [], None
 

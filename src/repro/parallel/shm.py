@@ -56,6 +56,7 @@ import secrets
 import time
 from dataclasses import dataclass
 from multiprocessing import shared_memory
+from typing import Iterable
 
 import numpy as np
 
@@ -123,7 +124,7 @@ def _attach_block(name: str) -> shared_memory.SharedMemory:
     from multiprocessing import resource_tracker
 
     original = resource_tracker.register
-    resource_tracker.register = lambda *args, **kwargs: None
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
     try:
         return shared_memory.SharedMemory(name=name)
     finally:
@@ -236,7 +237,7 @@ class SharedCSR:
             self._idx_view(len(np_indices))[:] = np_indices
         return np_indptr.nbytes + np_indices.nbytes
 
-    def publish(self, csr: CSRGraph, dirty_rows=None) -> PublishStats:
+    def publish(self, csr: CSRGraph, dirty_rows: Iterable[int] | None = None) -> PublishStats:
         """Ship snapshot *csr* into the blocks; delta when *dirty_rows* given.
 
         *dirty_rows* is the caller's certificate that every other row is
@@ -327,6 +328,8 @@ class AttachedCSR:
     the old maps are closed and the new ones attached.
     """
 
+    graph: CSRGraph | None
+
     def __init__(self, handle: SharedCSRHandle) -> None:
         self._handle = handle
         self._shm_indptr = _attach_block(handle.indptr_name)
@@ -356,26 +359,27 @@ class AttachedCSR:
         for shm in (self._shm_indptr, self._shm_indices):
             try:
                 shm.close()
-            except Exception:  # pragma: no cover
+            except (BufferError, OSError):  # pragma: no cover - exports/teardown
                 pass
 
 
-def attach_csr(handle) -> CSRGraph:
+def attach_csr(handle: "SharedCSRHandle | AttachedCSR") -> CSRGraph:
     """One-shot zero-copy attach (the :meth:`CSRGraph.attach` entry point).
 
     Accepts a :class:`SharedCSRHandle` or an :class:`AttachedCSR`.  The
     returned graph aliases the shared buffers; with a bare handle the
     attachment is pinned on the graph object so the mapping outlives it.
     """
-    if isinstance(handle, AttachedCSR):
-        return handle.graph
-    if not isinstance(handle, SharedCSRHandle):
+    if not isinstance(handle, (AttachedCSR, SharedCSRHandle)):
         raise ParameterError(
             f"attach needs a SharedCSRHandle or AttachedCSR, got {type(handle).__name__}"
         )
-    attachment = AttachedCSR(handle)
+    attachment = handle if isinstance(handle, AttachedCSR) else AttachedCSR(handle)
     g = attachment.graph
-    g._pin = attachment  # pin the mapping to the graph's lifetime
+    if g is None:  # pragma: no cover - only after an explicit close()
+        raise ParameterError("AttachedCSR is closed")
+    if attachment is not handle:
+        g._pin = attachment  # pin the fresh mapping to the graph's lifetime
     return g
 
 
@@ -412,8 +416,9 @@ class SharedMatrix:
         self._shm_ver = (
             _create_block(self._cap_r * np.dtype(_VER_DTYPE).itemsize) if versioned else None
         )
-        if self._shm_ver is not None:
-            self.row_versions[:] = 0
+        ver = self.row_versions
+        if ver is not None:
+            ver[:] = 0
         self.rows, self.cols = rows, cols
         self.version = 0
         self._closed = False
@@ -486,6 +491,7 @@ class SharedMatrix:
                 # versions across the swap never see them move backwards.
                 self._shm_ver = _create_block(self._cap_r * np.dtype(_VER_DTYPE).itemsize)
                 new_ver = self.row_versions
+                assert new_ver is not None and old_ver is not None
                 new_ver[:] = 0
                 new_ver[:old_cap_r] = old_ver
             self.rows, self.cols = rows, cols
@@ -541,6 +547,9 @@ class AttachedMatrix:
     counts how many captures had to be retried (i.e. torn states that were
     *observed and discarded*, never returned).
     """
+
+    _arr: np.ndarray
+    _ver: "np.ndarray | None"
 
     def __init__(self, handle: SharedMatrixHandle) -> None:
         self._handle = handle
@@ -646,12 +655,14 @@ class AttachedMatrix:
         self._rewrap()
 
     def close(self) -> None:
-        self._arr = self._ver = None  # drop buffer exports before unmapping
+        # Drop buffer exports before unmapping (a closed attachment must
+        # never be read again, hence the deliberate type violation).
+        self._arr = self._ver = None  # type: ignore[assignment]
         blocks = [self._shm] if self._shm_ver is None else [self._shm, self._shm_ver]
         for shm in blocks:
             try:
                 shm.close()
-            except Exception:  # pragma: no cover
+            except (BufferError, OSError):  # pragma: no cover - exports/teardown
                 pass
 
 
@@ -681,7 +692,7 @@ class SharedDirectory:
         """The block name — the picklable address readers attach to."""
         return self._shm.name
 
-    def post(self, payload) -> int:
+    def post(self, payload: object) -> int:
         """Publish *payload* (pickled) atomically; returns the generation."""
         if self._closed:
             raise ParameterError("SharedDirectory is closed")
@@ -743,5 +754,5 @@ class AttachedDirectory:
     def close(self) -> None:
         try:
             self._shm.close()
-        except Exception:  # pragma: no cover
+        except (BufferError, OSError):  # pragma: no cover - exports/teardown
             pass

@@ -22,7 +22,11 @@ they are now runtime-configurable, three ways, in increasing precedence:
 
 ``parallel_min_nodes`` is the analogous gate for the multiprocessing fan
 -out of :mod:`repro.parallel`: below it, ``workers="auto"`` never engages
-(the per-task IPC overhead exceeds the whole BFS).
+(the per-task IPC overhead exceeds the whole BFS).  ``auto_max_workers``
+caps how many processes ``workers="auto"`` spawns once it does engage
+(``REPRO_AUTO_MAX_WORKERS``), and ``small_frontier`` is the BFS frontier
+size below which the traversal expands via index lists instead of boolean
+row masks (``REPRO_SMALL_FRONTIER``).
 
 ``python -m repro tune`` measures the crossovers on the current hardware
 (:func:`calibrate`) and prints recommended values plus the matching
@@ -34,6 +38,7 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
+from typing import Any, Callable, Iterator
 
 from .errors import ParameterError
 
@@ -47,6 +52,8 @@ __all__ = [
     "DEFAULT_BATCH_CHUNK",
     "DEFAULT_AUTO_MIN_NODES",
     "DEFAULT_PARALLEL_MIN_NODES",
+    "DEFAULT_AUTO_MAX_WORKERS",
+    "DEFAULT_SMALL_FRONTIER",
 ]
 
 #: Sources per :func:`~repro.graph.traversal.batched_bfs` chunk (64 measured
@@ -59,10 +66,21 @@ DEFAULT_AUTO_MIN_NODES = 64
 #: Below this node count ``workers="auto"`` stays single-process.
 DEFAULT_PARALLEL_MIN_NODES = 768
 
+#: Cap for ``workers="auto"`` — beyond this the serving fan-out is queue
+#: -bound, and benchmark boxes rarely give more truly-free cores.
+DEFAULT_AUTO_MAX_WORKERS = 4
+
+#: Frontiers at or below this size take the index-list expansion path in
+#: :func:`~repro.graph.traversal.bfs_distances` (boolean-mask row scans
+#: only pay off once the frontier is a decent fraction of the graph).
+DEFAULT_SMALL_FRONTIER = 16
+
 _ENV_VARS = {
     "batch_chunk": "REPRO_BATCH_CHUNK",
     "auto_min_nodes": "REPRO_AUTO_MIN_NODES",
     "parallel_min_nodes": "REPRO_PARALLEL_MIN_NODES",
+    "auto_max_workers": "REPRO_AUTO_MAX_WORKERS",
+    "small_frontier": "REPRO_SMALL_FRONTIER",
 }
 
 
@@ -73,6 +91,8 @@ class Tuning:
     batch_chunk: int = DEFAULT_BATCH_CHUNK
     auto_min_nodes: int = DEFAULT_AUTO_MIN_NODES
     parallel_min_nodes: int = DEFAULT_PARALLEL_MIN_NODES
+    auto_max_workers: int = DEFAULT_AUTO_MAX_WORKERS
+    small_frontier: int = DEFAULT_SMALL_FRONTIER
 
     def __post_init__(self) -> None:
         for name in _ENV_VARS:
@@ -82,7 +102,7 @@ class Tuning:
 
 
 def _from_env() -> Tuning:
-    kwargs = {}
+    kwargs: "dict[str, int]" = {}
     for field, var in _ENV_VARS.items():
         raw = os.environ.get(var)
         if raw is None:
@@ -128,7 +148,7 @@ def reset() -> None:
 
 
 @contextmanager
-def overridden(**kwargs: int):
+def overridden(**kwargs: int) -> "Iterator[Tuning]":
     """Scoped :func:`configure` — restores the previous snapshot on exit."""
     global _active
     previous = get()
@@ -143,7 +163,7 @@ def overridden(**kwargs: int):
 # --------------------------------------------------------------------- #
 
 
-def _time_best(fn, repeats: int = 3) -> float:
+def _time_best(fn: "Callable[[], object]", repeats: int = 3) -> float:
     """Best-of-*repeats* wall time of ``fn()`` (min filters scheduler noise)."""
     import time
 
@@ -155,7 +175,7 @@ def _time_best(fn, repeats: int = 3) -> float:
     return best
 
 
-def calibrate(n: int = 1500, seed: int = 2009, quick: bool = False) -> dict:
+def calibrate(n: int = 1500, seed: int = 2009, quick: bool = False) -> "dict[str, Any]":
     """Measure the crossover points on the current hardware.
 
     Returns a dict with the per-size set-vs-CSR timings, the per-chunk

@@ -1,0 +1,5 @@
+"""RL000 fixture — a file the engine cannot parse."""
+
+
+def broken(:
+    pass

@@ -1,0 +1,15 @@
+"""RL001 fixtures — every way a seqlock bracket can be unbalanced."""
+
+
+def unbracketed_begin(attached, u, row):
+    attached.begin_row_write(u)  # no try/finally follows
+    attached.array[u] = row  # versioned write outside a bracket
+    attached.end_row_write(u)  # end outside any finally block
+
+
+def mismatched_receiver(a, b, u):
+    a.begin_row_write(u)
+    try:
+        a.array[u] = 0
+    finally:
+        b.end_row_write(u)  # closes the wrong matrix

@@ -1,0 +1,24 @@
+"""RL001 fixtures — the compliant bracket shape."""
+
+
+def bracketed(attached, u, row):
+    attached.begin_row_write(u)
+    try:
+        attached.array[u] = row
+    finally:
+        attached.end_row_write(u)
+
+
+def bracketed_alias(attached, u, row):
+    arr = attached.array
+    attached.begin_row_write(u)
+    try:
+        arr[u] = row
+    finally:
+        attached.end_row_write(u)
+
+
+def no_brackets_no_rule(matrix, u, row):
+    # A function that never opens a bracket may write freely (unversioned
+    # matrices, single-process setup code).
+    matrix.array[u] = row

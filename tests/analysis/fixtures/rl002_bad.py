@@ -1,0 +1,16 @@
+"""RL002 fixtures — every raw RNG construction spelling."""
+
+import random
+import numpy as np
+import numpy.random as npr
+from random import shuffle
+from numpy.random import default_rng
+
+
+def make_streams():
+    a = random.Random(3)
+    b = np.random.default_rng()
+    c = npr.normal()
+    shuffle([1, 2])
+    d = default_rng(5)
+    return a, b, c, d

@@ -1,0 +1,7 @@
+"""RL002 fixtures — seeds threaded through repro.rng."""
+
+from repro.rng import derive_seed, ensure_rng
+
+
+def make_stream(seed):
+    return ensure_rng(derive_seed(seed, "fixture"))

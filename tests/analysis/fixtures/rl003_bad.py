@@ -1,0 +1,15 @@
+"""RL003 fixtures — shared-memory lifecycle violations."""
+
+from multiprocessing import shared_memory
+from multiprocessing.shared_memory import SharedMemory
+
+
+def leak(name):
+    block = SharedMemory(name=name, create=True, size=64)
+    other = shared_memory.SharedMemory(name=name)
+    return block, other
+
+
+def poke(graph, attachment):
+    graph._pin = attachment
+    return graph._wrap_views

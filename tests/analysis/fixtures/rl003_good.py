@@ -1,0 +1,11 @@
+"""RL003 fixtures — shared memory only through the shm module API."""
+
+from repro.parallel.shm import SharedMatrix, attach_csr
+
+
+def attach(handle):
+    return attach_csr(handle)
+
+
+def make_matrix(rows, cols):
+    return SharedMatrix(rows, cols, versioned=True)

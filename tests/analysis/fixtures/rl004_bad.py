@@ -1,0 +1,13 @@
+"""RL004 fixtures — inlined dispatch thresholds (linted at a dispatch path)."""
+
+AUTO_MIN_NODES = 64
+
+
+def pick_backend(g):
+    if g.num_nodes < 48:
+        return "sets"
+    return "csr"
+
+
+def pick_workers(cpu_count):
+    return 4 if cpu_count > 8 else 1

@@ -1,0 +1,11 @@
+"""RL004 fixtures — thresholds read from repro.tuning."""
+
+from repro import tuning
+
+_PROTOCOL_VERSION = 3  # not a dispatch threshold: name does not look like one
+
+
+def pick_backend(g):
+    if g.num_nodes < tuning.get().auto_min_nodes:
+        return "sets"
+    return "csr"

@@ -89,7 +89,7 @@ class TestTables:
         assert lines[1].startswith("+")
         assert "alpha" in out
         # numeric column right-aligned: "22" ends at same position as header
-        assert all(len(l) == len(lines[1]) for l in lines[1:])
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
 
     def test_mixed_width_rows(self):
         out = render_table(["a"], [[1], [100000]])

@@ -1,0 +1,244 @@
+"""reprolint: engine mechanics, the six rules over fixtures, repo self-check.
+
+The fixture files in ``tests/analysis/fixtures/`` are deliberately
+non-compliant (that is the test); they are excluded from ruff in
+pyproject.toml and are never imported — only parsed.  Module-scoped rules
+(RL002/RL003/RL004) are exercised by linting fixture *source* under a
+fake in-scope path via ``lint_file(path, source=...)``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    REGISTRY,
+    Finding,
+    Rule,
+    default_rules,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    parse_suppressions,
+    register,
+)
+from repro.analysis.lint.engine import PARSE_ERROR_CODE
+from repro.analysis.lint.rules import (
+    ExceptionHygieneRule,
+    RngDisciplineRule,
+    SeqlockBracketRule,
+    ShmLifecycleRule,
+    TuningConstantsRule,
+    WorkerTaskSafetyRule,
+)
+from repro.cli import main
+from repro.errors import ParameterError
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def fixture_findings(name, rule, fake_path=None):
+    """Lint one fixture with one rule, optionally under a pretend path."""
+    path = FIXTURES / name
+    if fake_path is None:
+        return lint_file(path, [rule])
+    return lint_file(fake_path, [rule], source=path.read_text(encoding="utf-8"))
+
+
+class TestEngine:
+    def test_parse_suppressions_codes_and_blanket(self):
+        source = (
+            "x = 1  # reprolint: disable=RL001,RL006 -- justified\n"
+            "y = 2  # reprolint: disable\n"
+            's = "# reprolint: disable=RL002"\n'
+        )
+        sup = parse_suppressions(source)
+        assert sup[1] == frozenset({"RL001", "RL006"})
+        assert sup[2] is None  # blanket disable
+        assert 3 not in sup  # inside a string literal: not a comment
+
+    def test_suppression_silences_only_its_code(self):
+        findings = lint_file(FIXTURES / "suppressed.py")
+        # RL002 and RL006 sites with matching disables are silent; the
+        # RL002 site carrying a disable=RL001 comment still fires.
+        assert [f.rule for f in findings] == ["RL002"]
+        lines = (FIXTURES / "suppressed.py").read_text(encoding="utf-8").splitlines()
+        assert "disable=RL001" in lines[findings[0].line - 1]  # wrong code kept it alive
+
+    def test_syntax_error_becomes_rl000(self):
+        findings = lint_file(FIXTURES / "rl000_syntax_error.py")
+        assert len(findings) == 1
+        assert findings[0].rule == PARSE_ERROR_CODE
+        assert "does not parse" in findings[0].message
+
+    def test_registry_has_the_six_rules(self):
+        rules = default_rules()
+        assert [r.code for r in rules] == [f"RL00{i}" for i in range(1, 7)]
+        assert all(r.name and r.description for r in rules)
+        assert set(REGISTRY) == {r.code for r in rules}
+
+    def test_register_rejects_bad_and_duplicate_codes(self):
+        with pytest.raises(ParameterError):
+
+            @register
+            class NoCode(Rule):
+                code = "X1"
+
+        with pytest.raises(ParameterError):
+
+            @register
+            class Duplicate(Rule):
+                code = "RL001"
+
+    def test_iter_python_files_skips_caches_and_rejects_missing(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "a.cpython-312.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / ".hidden").mkdir()
+        (tmp_path / "pkg" / ".hidden" / "b.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "notes.txt").write_text("not python\n")
+        files = list(iter_python_files([tmp_path / "pkg"]))
+        assert files == [tmp_path / "pkg" / "a.py"]
+        with pytest.raises(ParameterError):
+            list(iter_python_files([tmp_path / "nope"]))
+
+    def test_findings_sort_by_location(self):
+        a = Finding("a.py", 3, 0, "RL002", "m")
+        b = Finding("a.py", 1, 4, "RL006", "m")
+        assert sorted([a, b]) == [b, a]
+        assert b.format() == "a.py:1:4: RL006 m"
+
+
+class TestSeqlockBracketRule:
+    def test_bad_fixture_flags_all_variants(self):
+        findings = fixture_findings("rl001_bad.py", SeqlockBracketRule())
+        assert [f.rule for f in findings] == ["RL001"] * 4
+        messages = " | ".join(f.message for f in findings)
+        assert "not immediately followed by a try/finally" in messages
+        assert "outside a finally block" in messages
+        assert "outside a seqlock" in messages
+
+    def test_good_fixture_is_clean(self):
+        assert fixture_findings("rl001_good.py", SeqlockBracketRule()) == []
+
+    def test_mismatched_receiver_detected(self):
+        findings = fixture_findings("rl001_bad.py", SeqlockBracketRule())
+        # The a.begin / b.end pair contributes exactly one finding (the
+        # unmatched begin); the end itself *is* inside a finally.
+        mismatch = [f for f in findings if f.line >= 11]
+        assert len(mismatch) == 1
+
+
+class TestRngDisciplineRule:
+    def test_bad_fixture_flags_every_spelling(self):
+        findings = fixture_findings("rl002_bad.py", RngDisciplineRule())
+        assert len(findings) == 5
+        hits = " | ".join(f.message for f in findings)
+        for spelling in ("random.Random", "np.random.default_rng", "npr.normal", "shuffle", "default_rng"):
+            assert spelling in hits
+
+    def test_good_fixture_is_clean(self):
+        assert fixture_findings("rl002_good.py", RngDisciplineRule()) == []
+
+    def test_rng_module_itself_is_exempt(self):
+        findings = fixture_findings("rl002_bad.py", RngDisciplineRule(), "src/repro/rng.py")
+        assert findings == []
+
+
+class TestShmLifecycleRule:
+    def test_bad_fixture_flags_ctor_and_pin(self):
+        findings = fixture_findings("rl003_bad.py", ShmLifecycleRule())
+        hits = [f.message for f in findings]
+        assert sum("SharedMemory" in m for m in hits) == 2
+        assert sum("_pin" in m for m in hits) == 1
+        assert sum("_wrap_views" in m for m in hits) == 1
+
+    def test_good_fixture_is_clean(self):
+        assert fixture_findings("rl003_good.py", ShmLifecycleRule()) == []
+
+    def test_shm_module_itself_is_exempt(self):
+        findings = fixture_findings(
+            "rl003_bad.py", ShmLifecycleRule(), "src/repro/parallel/shm.py"
+        )
+        assert findings == []
+
+
+class TestTuningConstantsRule:
+    def test_bad_fixture_at_dispatch_path(self):
+        findings = fixture_findings(
+            "rl004_bad.py", TuningConstantsRule(), "src/repro/graph/traversal.py"
+        )
+        hits = " | ".join(f.message for f in findings)
+        assert "AUTO_MIN_NODES" in hits
+        assert "48" in hits and "8" in hits  # both literal gates
+        assert len(findings) == 3
+
+    def test_good_fixture_at_dispatch_path(self):
+        findings = fixture_findings(
+            "rl004_good.py", TuningConstantsRule(), "src/repro/graph/traversal.py"
+        )
+        assert findings == []
+
+    def test_rule_is_scoped_to_dispatch_modules(self):
+        # The same bad source is fine in a non-dispatch module.
+        assert fixture_findings("rl004_bad.py", TuningConstantsRule()) == []
+
+
+class TestWorkerTaskSafetyRule:
+    def test_bad_fixture_flags_lambda_nested_and_calls(self):
+        findings = fixture_findings("rl005_bad.py", WorkerTaskSafetyRule())
+        hits = " | ".join(f.message for f in findings)
+        assert "lambda used as a TASKS entry" in hits
+        assert "nested function 'inner'" in hits
+        assert "not a plain module-level function reference" in hits
+        assert "lambda used as a Process target" in hits
+        assert len(findings) == 4
+
+    def test_good_fixture_is_clean(self):
+        assert fixture_findings("rl005_good.py", WorkerTaskSafetyRule()) == []
+
+
+class TestExceptionHygieneRule:
+    def test_bad_fixture_flags_every_broad_handler(self):
+        findings = fixture_findings("rl006_bad.py", ExceptionHygieneRule())
+        labels = [f.message.split(" swallows")[0] for f in findings]
+        assert labels == [
+            "bare except",
+            "except Exception",
+            "except (ValueError, BaseException)",
+        ]
+
+    def test_good_fixture_is_clean(self):
+        assert fixture_findings("rl006_good.py", ExceptionHygieneRule()) == []
+
+
+class TestCli:
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+            assert code in out
+
+    def test_findings_exit_nonzero_and_print_locations(self, capsys):
+        assert main(["lint", str(FIXTURES / "rl006_bad.py")]) == 1
+        out = capsys.readouterr().out
+        assert "RL006" in out and "rl006_bad.py:" in out
+        assert "finding(s)" in out
+
+    def test_clean_file_exits_zero(self, capsys):
+        assert main(["lint", str(FIXTURES / "rl006_good.py")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["lint", "definitely/not/a/path"]) == 2
+        assert "does not exist" in capsys.readouterr().out
+
+
+class TestRepoIsClean:
+    def test_repo_lints_clean(self):
+        """The gate this PR ships: zero findings, zero baseline."""
+        paths = [REPO_ROOT / d for d in ("src", "benchmarks", "scripts")]
+        findings = lint_paths([p for p in paths if p.is_dir()])
+        assert findings == [], "\n".join(f.format() for f in findings)

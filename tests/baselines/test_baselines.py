@@ -1,6 +1,5 @@
 """Tests for the regular-spanner and MPR baselines."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

@@ -22,13 +22,12 @@ from repro.errors import ParameterError
 from repro.graph.generators import (
     complete_bipartite,
     complete_graph,
-    cycle_graph,
     grid_graph,
     path_graph,
     star_graph,
 )
 
-from ..conftest import connected_graphs, small_graphs
+from ..conftest import small_graphs
 
 
 class TestDomTreeGreedy:

@@ -132,10 +132,7 @@ class TestKConnectingPredicate:
         assert viol == [(3, 1)]
 
     def test_beta_one_counts_depth_two_branches(self):
-        # v adjacent to x (depth 2) and y2 (depth 1, different branch).
-        g = Graph(5, [(0, 1), (1, 2), (0, 3), (2, 4), (3, 4)])
-        t = DomTree(root=0, parent={0: 0, 1: 0, 2: 1, 3: 0})
-        # v=4 at distance 2? d(0,4): 0-1-2-4 = 3... make v adjacent to 1:
+        # v=4 adjacent to 1 (depth 1) and 3 (depth 2, different branch).
         g2 = Graph(5, [(0, 1), (0, 2), (1, 3), (2, 3), (1, 4), (3, 4)])
         # v=4: neighbors 1 (depth1), 3; make tree 0-1, 0-2, 2-3:
         t2 = DomTree(root=0, parent={0: 0, 1: 0, 2: 0, 3: 2})

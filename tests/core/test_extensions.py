@@ -9,7 +9,6 @@ import math
 
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core import build_k_connecting_spanner, is_remote_spanner
 from repro.core.extensions import (

@@ -23,7 +23,7 @@ from repro.errors import NotASubgraphError, ParameterError
 from repro.graph import Graph
 from repro.graph.generators import cycle_graph, grid_graph, path_graph
 
-from ..conftest import connected_graphs, graph_with_subgraph, small_graphs
+from ..conftest import connected_graphs, small_graphs
 
 
 class TestEpsilonRadius:

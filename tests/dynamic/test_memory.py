@@ -9,7 +9,6 @@ to the live population plus one compaction window — asserted here over a
 closed-loop churn drive.
 """
 
-import numpy as np
 
 from repro.dynamic import EdgeEvent, NodeEvent, RoutingService
 from repro.graph.generators import random_connected_gnp

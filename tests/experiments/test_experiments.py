@@ -16,7 +16,6 @@ from repro.experiments import (
     build_table1,
     figure1_points,
     largest_component,
-    minimal_remote_spanner,
     poisson_udg,
     scaled_udg,
     side_for_degree,

@@ -114,7 +114,7 @@ def assert_backends_agree(g: Graph, cutoffs=(None, 0, 1, 2, 3)) -> None:
             assert bfs_distances(csr, u, cutoff=cut) == want
             got_layers = bfs_layers(g, u, cutoff=cut, backend="csr")
             want_layers = bfs_layers(g, u, cutoff=cut, backend="sets")
-            assert [sorted(l) for l in got_layers] == [sorted(l) for l in want_layers]
+            assert [sorted(la) for la in got_layers] == [sorted(la) for la in want_layers]
         assert bfs_parents(g, u, backend="csr") == bfs_parents(g, u, backend="sets")
         assert bfs_parents(g, u, cutoff=2, backend="csr") == bfs_parents(
             g, u, cutoff=2, backend="sets"

@@ -5,7 +5,6 @@ construction (centralized and distributed), and independent verification —
 at sizes where the asymptotic statements become visible.
 """
 
-import math
 
 import pytest
 
@@ -13,8 +12,6 @@ from repro.core import (
     build_biconnecting_spanner,
     build_k_connecting_spanner,
     build_remote_spanner,
-    is_dominating_tree,
-    is_k_connecting_dominating_tree,
     is_k_connecting_remote_spanner,
     is_remote_spanner,
     dom_tree_kmis,

@@ -1,0 +1,155 @@
+"""Seqlock crash safety: a task raising mid-write must not wedge readers.
+
+The RL001 invariant (reprolint) in executable form.  ``begin_row_write``
+flips a row's version counter odd; only ``end_row_write`` makes it even
+again.  Before the try/finally brackets in ``_task_serve_rows`` /
+``_task_serve_tables``, a task raising between the two left the counter
+odd *forever* — and every subsequent seqlock read of that row spun its
+whole retry budget and died with :class:`TornReadError`.
+
+``crash_in_write`` (in the production ``TASKS`` registry, so ``spawn``
+workers resolve it after re-import) injects exactly that raise inside a
+bracket.  These tests pin, under both start methods:
+
+* the failed task surfaces as :class:`WorkerError` in the parent;
+* the row version is even again afterwards (the ``finally`` ran);
+* readers — an in-process :class:`AttachedMatrix`, a
+  :class:`RouteReader`, and a concurrent reader *process* — keep
+  returning clean committed values promptly;
+* and the reason the brackets matter: a bracket left open really does
+  drive readers to :class:`TornReadError` (terminates, never spins
+  forever).
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.errors import TornReadError
+from repro.parallel import WorkerError, WorkerPool
+from repro.parallel.shm import AttachedMatrix, SharedDirectory
+
+START_METHODS = [
+    m for m in ("fork", "spawn") if m in multiprocessing.get_all_start_methods()
+]
+
+
+def _crash(pool, name, row):
+    with pytest.raises(WorkerError, match="injected crash"):
+        pool.run("crash_in_write", [(name, row)])
+
+
+def _reader_loop(directory, ready, stop, out_q):
+    """Concurrent reader process: next_hop(0, 1) until told to stop."""
+    from repro.parallel import RouteReader
+
+    reader = RouteReader(directory)
+    ready.set()
+    reads = 0
+    try:
+        while not stop.is_set():
+            assert reader.next_hop(0, 1) == 3
+            reads += 1
+        out_q.put(("ok", reads))
+    except BaseException as exc:  # pragma: no cover - surfaced by the assert
+        out_q.put(("error", repr(exc)))
+        raise
+
+
+@pytest.mark.parametrize("method", START_METHODS)
+class TestCrashInsideWriteBracket:
+    def test_row_version_restored_and_row_readable(self, method):
+        with WorkerPool(1, start_method=method) as pool:
+            pool.matrix("m", 4, 4, fill=7, versioned=True)
+            _crash(pool, "m", 2)
+            owner = pool.matrix_owner("m")
+            versions = owner.row_versions
+            assert versions is not None and versions[2] % 2 == 0
+            attached = AttachedMatrix(owner.handle)
+            try:
+                assert attached.read_row(2).tolist() == [7, 7, 7, 7]
+                assert attached.torn_retries == 0
+            finally:
+                attached.close()
+
+    def test_route_reader_survives_crashed_writer(self, method):
+        with WorkerPool(1, start_method=method) as pool:
+            pool.matrix("dist", 4, 4, fill=5, versioned=True)
+            pool.matrix("tables", 4, 4, fill=3, versioned=True)
+            directory = SharedDirectory()
+            try:
+                directory.post(
+                    (pool.matrix_owner("dist").handle, pool.matrix_owner("tables").handle)
+                )
+                from repro.parallel import RouteReader
+
+                reader = RouteReader(directory.name)
+                assert reader.next_hop(0, 1) == 3
+                _crash(pool, "tables", 0)
+                _crash(pool, "dist", 1)
+                # Both lookups terminate promptly with the committed values.
+                assert reader.next_hop(0, 1) == 3
+                assert reader.distance(1, 2) == 5
+                assert reader.torn_retries == 0
+            finally:
+                directory.close()
+
+    def test_concurrent_reader_process_unaffected(self, method):
+        ctx = multiprocessing.get_context(method)
+        with WorkerPool(1, start_method=method) as pool:
+            pool.matrix("dist", 4, 4, fill=5, versioned=True)
+            pool.matrix("tables", 4, 4, fill=3, versioned=True)
+            directory = SharedDirectory()
+            proc = None
+            try:
+                directory.post(
+                    (pool.matrix_owner("dist").handle, pool.matrix_owner("tables").handle)
+                )
+                ready, stop = ctx.Event(), ctx.Event()
+                out_q = ctx.SimpleQueue()
+                proc = ctx.Process(
+                    target=_reader_loop, args=(directory.name, ready, stop, out_q)
+                )
+                proc.start()
+                assert ready.wait(timeout=30)
+                for _ in range(5):
+                    _crash(pool, "tables", 0)
+                stop.set()
+                status, detail = out_q.get()
+                proc.join(timeout=30)
+                assert status == "ok", f"reader process failed: {detail}"
+                assert detail > 0  # it really was reading while we crashed
+                assert proc.exitcode == 0
+            finally:
+                stop.set()
+                if proc is not None and proc.is_alive():  # pragma: no cover
+                    proc.terminate()
+                    proc.join(timeout=10)
+                directory.close()
+
+
+def test_unbalanced_bracket_reaches_torn_read_error(monkeypatch):
+    """The counter-factual: an open bracket must *terminate* readers.
+
+    With the retry budget shrunk (the production 200k takes ~20s of
+    backoff), a reader of a row whose writer died mid-bracket raises
+    TornReadError instead of spinning forever — the contract the
+    crash-safety brackets exist to avoid triggering.
+    """
+    from repro.parallel import shm
+
+    monkeypatch.setattr(shm, "_SEQLOCK_MAX_TRIES", 2048)
+    with WorkerPool(1) as pool:
+        pool.matrix("m", 4, 4, fill=7, versioned=True)
+        owner = pool.matrix_owner("m")
+        owner.begin_row_write(2)  # simulate a writer that died mid-bracket
+        try:
+            attached = AttachedMatrix(owner.handle)
+            try:
+                with pytest.raises(TornReadError):
+                    attached.read_row(2)
+                assert attached.read_row(1).tolist() == [7, 7, 7, 7]  # other rows fine
+            finally:
+                attached.close()
+        finally:
+            owner.end_row_write(2)

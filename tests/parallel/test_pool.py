@@ -14,7 +14,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ParameterError
-from repro.graph import CSRGraph, bfs_distances
+from repro.graph import bfs_distances
 from repro.graph.generators import random_connected_gnp
 from repro.parallel import WorkerError, WorkerPool, resolve_workers
 

@@ -1,7 +1,6 @@
 """Tests for package-level plumbing: version, errors, rng discipline."""
 
 import numpy as np
-import pytest
 
 import repro
 from repro.errors import (

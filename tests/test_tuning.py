@@ -21,13 +21,18 @@ class TestOverrides:
         assert t.batch_chunk == tuning.DEFAULT_BATCH_CHUNK
         assert t.auto_min_nodes == tuning.DEFAULT_AUTO_MIN_NODES
         assert t.parallel_min_nodes == tuning.DEFAULT_PARALLEL_MIN_NODES
+        assert t.auto_max_workers == tuning.DEFAULT_AUTO_MAX_WORKERS
+        assert t.small_frontier == tuning.DEFAULT_SMALL_FRONTIER
 
     def test_env_override(self, monkeypatch):
         monkeypatch.setenv("REPRO_BATCH_CHUNK", "17")
         monkeypatch.setenv("REPRO_AUTO_MIN_NODES", "5")
+        monkeypatch.setenv("REPRO_AUTO_MAX_WORKERS", "2")
+        monkeypatch.setenv("REPRO_SMALL_FRONTIER", "3")
         tuning.reset()
         t = tuning.get()
         assert t.batch_chunk == 17 and t.auto_min_nodes == 5
+        assert t.auto_max_workers == 2 and t.small_frontier == 3
 
     def test_env_garbage_raises(self, monkeypatch):
         monkeypatch.setenv("REPRO_BATCH_CHUNK", "lots")
@@ -77,6 +82,30 @@ class TestKnobsSteerTheEngines:
             a = list(batched_bfs(g))
         b = list(batched_bfs(g))
         assert a == b  # chunking never changes results
+
+    def test_auto_max_workers_caps_auto_resolution(self):
+        from repro.parallel import resolve_workers
+
+        assert resolve_workers("auto", cpu_count=64) == tuning.DEFAULT_AUTO_MAX_WORKERS
+        with tuning.overridden(auto_max_workers=2):
+            assert resolve_workers("auto", cpu_count=64) == 2
+        with tuning.overridden(auto_max_workers=9):
+            assert resolve_workers("auto", cpu_count=64) == 9
+            assert resolve_workers("auto", cpu_count=3) == 3  # still cpu-bound
+
+    def test_small_frontier_extremes_agree(self):
+        # Force the pure-Python path (huge threshold) and the vectorized
+        # path (threshold 1) over the same deep skinny graph; distances
+        # must match exactly — the knob only moves the crossover.
+        from repro.graph import bfs_distances
+
+        g = path_graph(60)
+        csr = g.freeze()
+        with tuning.overridden(small_frontier=1000):
+            a = bfs_distances(csr, 0)
+        with tuning.overridden(small_frontier=1):
+            b = bfs_distances(csr, 0)
+        assert a == b == list(range(60))
 
 
 class TestCalibrate:
