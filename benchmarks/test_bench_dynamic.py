@@ -16,10 +16,10 @@ affordable.  Artifact: ``benchmarks/results/BENCH_dynamic.json``.
 from __future__ import annotations
 
 import json
-import time
 
 import pytest
 
+from repro import obs
 from repro.core.remote_spanner import build_from_trees
 from repro.dynamic import SpannerMaintainer, failure_recovery_scenario, resolve_construction
 from repro.graph.csr import CSRGraph
@@ -43,9 +43,9 @@ def test_incremental_vs_rebuild(scenario, record, results_dir):
     sc = scenario
     maintainer = SpannerMaintainer(sc.initial, "kcover")
 
-    t0 = time.perf_counter()
+    sw = obs.Stopwatch()
     reports = maintainer.apply_stream(sc.events)
-    t_incremental = time.perf_counter() - t0
+    t_incremental = sw.elapsed()
 
     # The maintained spanner must equal a from-scratch build — speed means
     # nothing if the object diverged.
@@ -66,11 +66,11 @@ def test_incremental_vs_rebuild(scenario, record, results_dir):
             g.remove_edge(event.u, event.v)
         if i % sample_every == 0 and len(rebuild_times) < REBUILD_SAMPLE:
             frame = g.copy()
-            t0 = time.perf_counter()
+            sw = obs.Stopwatch()
             build_from_trees(
                 frame, construction.tree_fn, construction.guarantee, construction.label
             )
-            rebuild_times.append(time.perf_counter() - t0)
+            rebuild_times.append(sw.elapsed())
 
     mean_rebuild = sum(rebuild_times) / len(rebuild_times)
     t_rebuild_est = mean_rebuild * NUM_EVENTS
@@ -125,18 +125,18 @@ def test_delta_freeze_patch(scenario, record, results_dir, bench_rng):
     g = scenario.initial.copy()
     g.freeze()
 
-    t0 = time.perf_counter()
+    sw = obs.Stopwatch()
     CSRGraph.from_graph(g)
-    t_full = time.perf_counter() - t0
+    t_full = sw.elapsed()
 
     # A handful of edge flips, then a patched re-freeze.
     edges = sorted(g.edges())
     flips = [edges[int(i)] for i in bench_rng.choice(len(edges), size=8, replace=False)]
     for u, v in flips:
         g.remove_edge(u, v)
-    t0 = time.perf_counter()
+    sw = obs.Stopwatch()
     snap = g.freeze()
-    t_patch = time.perf_counter() - t0
+    t_patch = sw.elapsed()
     assert snap == CSRGraph.from_graph(g)
 
     ratio = t_full / t_patch if t_patch > 0 else float("inf")

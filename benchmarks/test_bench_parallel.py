@@ -19,11 +19,11 @@ from __future__ import annotations
 
 import json
 import os
-import time
 
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.dynamic import RoutingService, failure_recovery_scenario
 from repro.parallel import ShardedRoutingService
 
@@ -62,20 +62,20 @@ def test_sharded_repair_throughput(par_scenario, record, results_dir):
 
     # Serial reference (and correctness twin for the sharded runs).
     serial = RoutingService(sc.initial, "kcover")
-    t0 = time.perf_counter()
+    sw = obs.Stopwatch()
     for ev in events:
         serial.apply(ev)
-    t_serial = time.perf_counter() - t0
+    t_serial = sw.elapsed()
     assert serial.maintainer.full_rebuilds == 0, "low churn must never trip the fallback"
 
     worker_counts = [w for w in (1, 2, 4) if w <= CPU_COUNT] or [1]
     curve: dict[int, dict] = {}
     for w in worker_counts:
         with ShardedRoutingService(sc.initial, "kcover", workers=w) as sharded:
-            t0 = time.perf_counter()
+            sw = obs.Stopwatch()
             for ev in events:
                 sharded.apply(ev)
-            elapsed = time.perf_counter() - t0
+            elapsed = sw.elapsed()
             assert np.array_equal(sharded._dist, serial._dist), f"D diverged at W={w}"
             assert np.array_equal(sharded._tables, serial._tables), f"T diverged at W={w}"
             curve[w] = {
@@ -132,10 +132,10 @@ def test_shared_memory_publish_cost(par_scenario, record, results_dir, bench_rng
     csr = g.freeze()
     shared = csr.share()
     try:
-        t0 = time.perf_counter()
+        sw = obs.Stopwatch()
         for _ in range(PUBLISH_ROUNDS):
             full_stats = shared.publish(csr)
-        t_full = (time.perf_counter() - t0) / PUBLISH_ROUNDS
+        t_full = (sw.elapsed()) / PUBLISH_ROUNDS
 
         # Delta: flap one random edge per round (the serving layer's hint).
         edges = sorted(g.edges())
@@ -145,9 +145,9 @@ def test_shared_memory_publish_cost(par_scenario, record, results_dir, bench_rng
             u, v = edges[int(bench_rng.integers(len(edges)))]
             (g.remove_edge if g.has_edge(u, v) else g.add_edge)(u, v)
             snap = g.freeze()
-            t0 = time.perf_counter()
+            sw = obs.Stopwatch()
             delta_stats = shared.publish(snap, dirty_rows={u, v})
-            t_delta += time.perf_counter() - t0
+            t_delta += sw.elapsed()
             delta_bytes.append(delta_stats.bytes_written)
         t_delta /= PUBLISH_ROUNDS
     finally:

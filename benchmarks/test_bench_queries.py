@@ -25,10 +25,10 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
-import time
 
 import pytest
 
+from repro import obs
 from repro.dynamic import RoutingService, failure_recovery_scenario
 from repro.graph import sample_pairs
 from repro.parallel import ShardedRoutingService
@@ -72,15 +72,15 @@ def test_query_throughput_served_vs_bfs(record, results_dir):
         g, NUM_PAIRS, seed=derive_seed(Q_SEED, "query-pairs"), require_nonadjacent=False
     )
 
-    t0 = time.perf_counter()
+    sw = obs.Stopwatch()
     reference = [route(h, g, s, t) for s, t in pairs]
-    t_bfs = time.perf_counter() - t0
+    t_bfs = sw.elapsed()
 
-    t0 = time.perf_counter()
+    sw = obs.Stopwatch()
     for _ in range(SERVED_ROUNDS):
         for s, t in pairs:
             route_served(service, s, t)
-    t_served = (time.perf_counter() - t0) / SERVED_ROUNDS
+    t_served = (sw.elapsed()) / SERVED_ROUNDS
 
     # Same answers, or the comparison is meaningless.
     for (s, t), ref in zip(pairs, reference):
@@ -149,9 +149,9 @@ def _bench_reader_main(directory, ready, stop, out_q):
             u, v = int(rng.integers(n)), int(rng.integers(n))
             if u == v:
                 continue
-            t0 = time.perf_counter()
+            sw = obs.Stopwatch()
             reader.next_hop(u, v)
-            latencies.append(time.perf_counter() - t0)
+            latencies.append(sw.elapsed())
         latencies.sort()
         count = len(latencies)
         summary = {
@@ -184,10 +184,10 @@ def test_read_latency_during_repair(record, results_dir):
         )
         proc.start()
         assert ready.wait(timeout=120), "bench reader never attached"
-        t0 = time.perf_counter()
+        sw = obs.Stopwatch()
         for ev in sc.events:
             service.apply(ev)
-        t_repair = time.perf_counter() - t0
+        t_repair = sw.elapsed()
         stop.set()
         status, summary = out_q.get(timeout=120)
         proc.join(timeout=120)

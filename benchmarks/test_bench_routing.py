@@ -22,10 +22,10 @@ acceptance bars of the dynamic serving layer (PR 3):
 from __future__ import annotations
 
 import json
-import time
 
 import pytest
 
+from repro import obs
 from repro.analysis import render_table
 from repro.baselines import simulate_blind_flooding, simulate_mpr_flooding
 from repro.core import build_k_connecting_spanner, build_remote_spanner
@@ -147,13 +147,13 @@ def test_routing_table_kernel_speedup(dyn_scenario, record, results_dir, bench_r
         int(x) for x in bench_rng.choice(g.num_nodes, size=KERNEL_SOURCES, replace=False)
     )
 
-    t0 = time.perf_counter()
+    sw = obs.Stopwatch()
     fast = [routing_table(h, g, u) for u in sources]
-    t_fast = time.perf_counter() - t0
+    t_fast = sw.elapsed()
 
-    t0 = time.perf_counter()
+    sw = obs.Stopwatch()
     scan = [routing_table_scan(h, g, u) for u in sources]
-    t_scan = time.perf_counter() - t0
+    t_scan = sw.elapsed()
 
     assert fast == scan, "kernels disagree — speed means nothing"
     speedup = t_scan / t_fast if t_fast > 0 else float("inf")
@@ -183,9 +183,9 @@ def test_incremental_tables_vs_recompute(dyn_scenario, record, results_dir, benc
     sc = dyn_scenario
     service = RoutingService(sc.initial, "kcover")
 
-    t0 = time.perf_counter()
+    sw = obs.Stopwatch()
     reports = [service.apply(ev) for ev in sc.events]
-    t_incremental = time.perf_counter() - t0
+    t_incremental = sw.elapsed()
     assert service.maintainer.full_rebuilds == 0, "low churn must never trip the fallback"
     rows_total = service.rows_recomputed
     tables_total = service.tables_recomputed
@@ -204,14 +204,14 @@ def test_incremental_tables_vs_recompute(dyn_scenario, record, results_dir, benc
     # maintainer stream plus NUM_EVENTS sampled full refreshes, using the
     # same fast kernel the service does (a strong baseline).
     m = SpannerMaintainer(sc.initial, "kcover")
-    t0 = time.perf_counter()
+    sw = obs.Stopwatch()
     m.apply_stream(sc.events)
-    t_maintainer = time.perf_counter() - t0
+    t_maintainer = sw.elapsed()
     refresh_times = []
     for _ in range(REFRESH_SAMPLE):
-        t0 = time.perf_counter()
+        sw = obs.Stopwatch()
         service.refresh()
-        refresh_times.append(time.perf_counter() - t0)
+        refresh_times.append(sw.elapsed())
     mean_refresh = sum(refresh_times) / len(refresh_times)
     t_recompute_est = t_maintainer + mean_refresh * NUM_EVENTS
     speedup = t_recompute_est / t_incremental

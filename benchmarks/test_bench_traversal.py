@@ -7,7 +7,7 @@ Beyond the assertion, the measured timings are persisted as
 copies it to the repo root) so future PRs have a perf trajectory to compare
 against.
 
-Timings here are hand-rolled ``perf_counter`` minima over a few rounds
+Timings here are best-of-rounds minima via :func:`repro.obs.time_best`
 rather than pytest-benchmark calibration: the quantity of interest is the
 *ratio* between two code paths over an identical workload, and taking the
 minimum of paired rounds is the most noise-robust way to get it.
@@ -16,10 +16,10 @@ minimum of paired rounds is the most noise-robust way to get it.
 from __future__ import annotations
 
 import json
-import time
 
 import pytest
 
+from repro import obs
 from repro.graph import batched_bfs, bfs_distances, bfs_parents, multi_source_distances
 from repro.experiments import largest_component, scaled_udg
 
@@ -39,12 +39,7 @@ def udg():
 
 
 def _best_of(fn, rounds: int = ROUNDS) -> float:
-    best = float("inf")
-    for _ in range(rounds):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
+    return obs.time_best(fn, repeats=rounds)
 
 
 def test_batched_bfs_speedup(udg, record, results_dir, bench_rng):

@@ -7,13 +7,16 @@
 #   BENCH_GUARD_SKIP=1 ./scripts/check.sh   # record benches, skip the guard
 #
 # Step 3 runs the traversal, dynamic-maintenance, routing-serving,
-# parallel-serving and query-serving micro-benchmarks and leaves their JSON
-# artifacts at ./BENCH_traversal.json, ./BENCH_dynamic.json,
-# ./BENCH_routing.json, ./BENCH_parallel.json and ./BENCH_queries.json
-# (copied from benchmarks/results/) so successive PRs accumulate a perf
-# trajectory.  The parallel and query benches degrade gracefully on
-# single-core runners: they record the measurement and a "degraded" marker
-# instead of asserting the multi-core speedup bars.
+# parallel-serving, query-serving and observability micro-benchmarks and
+# leaves their JSON artifacts at ./BENCH_traversal.json,
+# ./BENCH_dynamic.json, ./BENCH_routing.json, ./BENCH_parallel.json,
+# ./BENCH_queries.json and ./BENCH_obs.json (copied from
+# benchmarks/results/) so successive PRs accumulate a perf trajectory.
+# The parallel, query and obs benches degrade gracefully on single-core
+# runners: they record the measurement and a "degraded" marker instead of
+# asserting the multi-core speedup/overhead bars.  A traffic soak smoke
+# then writes ./OBS_traffic.json + ./OBS_traffic.trace.json through the
+# --metrics/--trace flags (the artifacts CI uploads).
 #
 # Step 4 compares the freshly recorded speedups against the artifacts
 # committed at HEAD with a tolerance band (scripts/bench_guard.py) and
@@ -60,17 +63,23 @@ if [ "${SKIP_BENCH:-0}" = "1" ]; then
     exit 0
 fi
 
-echo "== [3/5] perf benchmarks (write BENCH_{traversal,dynamic,routing,parallel,queries}.json) =="
+echo "== [3/5] perf benchmarks (write BENCH_{traversal,dynamic,routing,parallel,queries,obs}.json) =="
 python -m pytest -q benchmarks/test_bench_traversal.py benchmarks/test_bench_dynamic.py \
     benchmarks/test_bench_routing.py benchmarks/test_bench_parallel.py \
-    benchmarks/test_bench_queries.py \
+    benchmarks/test_bench_queries.py benchmarks/test_bench_obs.py \
     -p no:cacheprovider --benchmark-disable
 cp benchmarks/results/BENCH_traversal.json BENCH_traversal.json
 cp benchmarks/results/BENCH_dynamic.json BENCH_dynamic.json
 cp benchmarks/results/BENCH_routing.json BENCH_routing.json
 cp benchmarks/results/BENCH_parallel.json BENCH_parallel.json
 cp benchmarks/results/BENCH_queries.json BENCH_queries.json
-echo "perf artifacts: ./BENCH_traversal.json ./BENCH_dynamic.json ./BENCH_routing.json ./BENCH_parallel.json ./BENCH_queries.json"
+cp benchmarks/results/BENCH_obs.json BENCH_obs.json
+echo "perf artifacts: ./BENCH_traversal.json ./BENCH_dynamic.json ./BENCH_routing.json ./BENCH_parallel.json ./BENCH_queries.json ./BENCH_obs.json"
+echo "-- observability smoke: traffic soak writes --metrics/--trace artifacts"
+PYTHONPATH=src python -m repro traffic --n 150 --events 20 --queries 15 \
+    --workload uniform --compare-bfs 0 \
+    --metrics OBS_traffic.json --trace OBS_traffic.trace.json
+PYTHONPATH=src python -m repro obs OBS_traffic.json > /dev/null
 python - <<'PYEOF'
 import json
 t = json.load(open("BENCH_traversal.json"))
@@ -78,6 +87,7 @@ d = json.load(open("BENCH_dynamic.json"))
 r = json.load(open("BENCH_routing.json"))
 p = json.load(open("BENCH_parallel.json"))
 q = json.load(open("BENCH_queries.json"))
+o = json.load(open("BENCH_obs.json"))
 print(
     f"batched_bfs speedup vs set backend: "
     f"{t['speedup_batched_vs_sets']}x (required {t['required_speedup']}x)"
@@ -120,6 +130,18 @@ print(
     f"p50 {rd['latency_us']['p50']}us p99 {rd['latency_us']['p99']}us, "
     f"{rd['torn_retries']} seqlock retries"
     + (f" [{rd['degraded']}]" if rd.get("degraded") else "")
+)
+ov = o["overhead"]
+print(
+    f"obs instrumentation overhead: {ov['overhead_pct']}% "
+    f"(bar {ov['max_overhead_pct']}%)"
+    + (f" [{ov['degraded']}]" if ov.get("degraded") else "")
+)
+mx = o["merge_exactness"]
+print(
+    f"obs merge exactness: serial {mx['serial_rows_recomputed']} rows == "
+    f"merged {mx['merged_rows_recomputed']} over {mx['workers']} shards: "
+    f"{'exact' if mx['exact'] else 'MISMATCH'}"
 )
 PYEOF
 

@@ -1,4 +1,4 @@
-"""The six reprolint rules (``RL001``–``RL006``).
+"""The seven reprolint rules (``RL001``–``RL007``).
 
 Each rule encodes one protocol of the concurrency / reproducibility
 layers; the docstring of each class states the invariant, why it matters,
@@ -21,6 +21,7 @@ __all__ = [
     "TuningConstantsRule",
     "WorkerTaskSafetyRule",
     "ExceptionHygieneRule",
+    "TimingDisciplineRule",
 ]
 
 
@@ -550,3 +551,50 @@ class ExceptionHygieneRule(Rule):
         if isinstance(type_node, ast.Attribute):
             return type_node.attr in self._BROAD
         return False
+
+
+@register
+class TimingDisciplineRule(Rule):
+    """RL007 — bare ``perf_counter`` timing is confined to ``repro/obs/``.
+
+    Scattered ``t0 = time.perf_counter()`` sites produce timings that die
+    in local variables: they cannot be merged across worker processes,
+    exported to a ``--metrics`` snapshot, or traced.  All wall-clock
+    measurement goes through :mod:`repro.obs` — ``Stopwatch`` for elapsed
+    regions, ``span(name)`` when the timing should reach the metrics tree
+    and the tracer, ``time_best`` for calibration/benchmark minima.  Only
+    the ``repro/obs/`` package itself (the primitives' home) may call
+    ``time.perf_counter`` / ``perf_counter_ns`` directly; deadline
+    arithmetic on ``time.monotonic`` is not timing and stays allowed.
+    """
+
+    code = "RL007"
+    name = "timing-discipline"
+    description = (
+        "bare time.perf_counter() outside repro/obs/ "
+        "(use obs.Stopwatch / obs.span / obs.time_best)"
+    )
+
+    _CLOCKS = ("perf_counter", "perf_counter_ns")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if "/repro/obs/" in f"/{ctx.posix_path}":
+            return  # the primitives' home — the one place allowed to call it
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                called = func.attr
+            elif isinstance(func, ast.Name):
+                called = func.id
+            else:
+                continue
+            if called in self._CLOCKS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"bare {called}() timing outside repro/obs — use "
+                    "obs.Stopwatch/span (metrics-tree timing) or "
+                    "obs.time_best (benchmark minima)",
+                )

@@ -121,6 +121,20 @@ def build_parser() -> argparse.ArgumentParser:
             help="fan work out over N ≥ 1 worker processes (repro.parallel); "
             "omit the flag entirely for the single-process serial path",
         )
+        p.add_argument(
+            "--metrics",
+            default=None,
+            metavar="OUT.json",
+            help="write the run's merged repro.obs metrics snapshot "
+            "(per-shard breakdown included) to this JSON file",
+        )
+        p.add_argument(
+            "--trace",
+            default=None,
+            metavar="OUT.trace.json",
+            help="record spans and write a Chrome trace-event file "
+            "(open in https://ui.perfetto.dev or chrome://tracing)",
+        )
 
     p = sub.add_parser(
         "churn", help="evolving-graph churn: incremental spanner maintenance"
@@ -214,6 +228,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="print the registered rules and exit",
+    )
+
+    p = sub.add_parser(
+        "obs",
+        help="pretty-print a --metrics snapshot, or diff two of them",
+    )
+    p.add_argument("snapshot", metavar="METRICS.json", help="metrics file to display")
+    p.add_argument(
+        "baseline",
+        nargs="?",
+        metavar="BASELINE.json",
+        help="older metrics file: print the delta (snapshot - baseline) instead",
     )
     return parser
 
@@ -347,12 +373,77 @@ def _cmd_rounds(args) -> int:
     return 0 if all(r[1] == r[2] for r in rows) else 1
 
 
-def _cmd_churn(args) -> int:
-    import time
+def _obs_begin(args) -> None:
+    """Arm the tracer when the run asked for a trace file."""
+    if getattr(args, "trace", None):
+        from . import obs
 
+        obs.tracer().start()
+
+
+def _obs_finish(args, shards: "dict[int, dict] | None" = None) -> None:
+    """Write the --metrics / --trace artifacts a soak asked for."""
+    import json
+
+    metrics_path = getattr(args, "metrics", None)
+    trace_path = getattr(args, "trace", None)
+    if not metrics_path and not trace_path:
+        return
+    from . import obs
+
+    if metrics_path:
+        doc = obs.metrics_document(shards)
+        with open(metrics_path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+        print(f"metrics snapshot ({doc['schema']}) written to {metrics_path}")
+    if trace_path:
+        count = obs.tracer().write(trace_path)
+        print(
+            f"trace with {count} events written to {trace_path} "
+            "(open in https://ui.perfetto.dev)"
+        )
+
+
+def _load_snapshot(path: str) -> "tuple[dict, dict]":
+    """A metrics file's (document, merged-snapshot) pair.
+
+    Accepts both the full ``--metrics`` document and a bare snapshot.
+    """
+    import json
+
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    return doc, doc.get("merged", doc)
+
+
+def _cmd_obs(args) -> int:
+    from . import obs
+
+    doc, snap = _load_snapshot(args.snapshot)
+    if args.baseline:
+        _, base = _load_snapshot(args.baseline)
+        print(f"delta: {args.baseline} -> {args.snapshot}")
+        print(obs.format_diff(base, snap))
+        return 0
+    print(obs.format_snapshot(snap))
+    shards = doc.get("shards") or {}
+    for wid in sorted(shards, key=int):
+        shard = shards[wid]
+        counters = shard.get("counters", {})
+        total = sum(counters.values())
+        print(
+            f"shard {wid}: {len(counters)} counters (sum {total:,.0f}), "
+            f"{len(shard.get('histograms', {}))} histograms"
+        )
+    return 0
+
+
+def _cmd_churn(args) -> int:
+    from . import obs
     from .dynamic import SCENARIO_NAMES, SpannerMaintainer, make_scenario
     from .graph import Graph
 
+    _obs_begin(args)
     pool = None
     if args.workers:
         from .parallel import WorkerPool
@@ -392,14 +483,14 @@ def _cmd_churn(args) -> int:
         )
         ok = True
         checked_final = False
-        t0 = time.perf_counter()
+        sw = obs.Stopwatch()
         reports = []
         for i, event in enumerate(scenario.events, start=1):
             reports.append(maintainer.apply(event))
             if args.check_every and i % args.check_every == 0:
                 ok = ok and matches_rebuild(maintainer)
                 checked_final = i == scenario.num_events
-        elapsed = time.perf_counter() - t0
+        elapsed = sw.elapsed()
         if not checked_final:  # final state always verified, but only once
             ok = ok and matches_rebuild(maintainer)
         all_ok = all_ok and ok
@@ -436,21 +527,27 @@ def _cmd_churn(args) -> int:
             ),
         )
     )
+    shards = None
     if pool is not None:
+        shards = pool.metrics()["shards"]
         pool.close()
+    _obs_finish(args, shards)
     return 0 if all_ok else 1
 
 
 def _cmd_serve(args) -> int:
+    from . import obs
     from .dynamic import RoutingService, SCENARIO_NAMES, make_scenario
     from .graph import distance_cache_info, sample_pairs
     from .rng import derive_seed
     from .routing import route_all_pairs_stats, routing_table
 
+    _obs_begin(args)
     names = SCENARIO_NAMES if args.scenario == "all" else (args.scenario,)
     rows = []
     all_ok = True
     cache_lines = []
+    shard_acc: "dict[int, dict]" = {}
     for name in names:
         scenario = make_scenario(name, args.n, args.events, seed=args.seed)
         if args.workers:
@@ -496,6 +593,9 @@ def _cmd_serve(args) -> int:
         # Serving cost only — the interleaved tables_match() verification
         # rebuilds every table from scratch and would swamp ms/event.
         elapsed = sum(r.seconds for r in reports)
+        # Full wall clock per tick (span-measured): includes freeze and
+        # shared-memory/directory publish time that `seconds` excludes.
+        wall = sum(r.wall_seconds for r in reports)
         ok = ok and tables_match()  # final state always verified
         all_ok = all_ok and ok
         ticks = max(len(reports), 1)
@@ -516,7 +616,8 @@ def _cmd_serve(args) -> int:
             f"  {name}: routed {routed.delivered}/{routed.pairs} sampled pairs "
             f"(max stretch {routed.max_stretch:.2f}); distance cache "
             f"{cache.entries}/{cache.capacity} entries, {cache.hits} hits / "
-            f"{cache.misses} misses / {cache.evictions} evictions"
+            f"{cache.misses} misses / {cache.evictions} evictions; "
+            f"apply {elapsed * 1e3:.1f} ms / wall {wall * 1e3:.1f} ms"
         )
         rows.append(
             [
@@ -533,6 +634,9 @@ def _cmd_serve(args) -> int:
             ]
         )
         if args.workers:
+            for wid, snap in service.metrics()["shards"].items():
+                have = shard_acc.get(wid)
+                shard_acc[wid] = snap if have is None else obs.merge_snapshots(have, snap)
             service.close()
     print(
         render_table(
@@ -557,20 +661,28 @@ def _cmd_serve(args) -> int:
         )
     )
     print("\n".join(cache_lines))
+    _obs_finish(args, shard_acc if args.workers else None)
     return 0 if all_ok else 1
 
 
 def _cmd_traffic(args) -> int:
-    import time
-
-    from .dynamic import RoutingService, WORKLOAD_NAMES, make_scenario, make_workload
+    from . import obs
+    from .dynamic import (
+        RoutingService,
+        WORKLOAD_NAMES,
+        make_scenario,
+        make_workload,
+        serve_queries,
+    )
     from .routing import route, route_served
     from .rng import derive_seed, ensure_rng
 
+    _obs_begin(args)
     kinds = WORKLOAD_NAMES if args.workload == "all" else (args.workload,)
     scenario = make_scenario(args.scenario, args.n, args.events, seed=args.seed)
     rows = []
     all_ok = True
+    shard_acc: "dict[int, dict]" = {}
     for kind in kinds:
         workload = make_workload(
             kind, scenario, queries_per_tick=args.queries, tick=args.tick, seed=args.seed
@@ -603,17 +715,14 @@ def _cmd_traffic(args) -> int:
         t_repair = t_serve = 0.0
         for tick in workload.ticks:
             if tick.events:
-                t0 = time.perf_counter()
-                service.apply_batch(tick.events)
-                t_repair += time.perf_counter() - t0
-            t0 = time.perf_counter()
-            for s, t in tick.queries:
-                res = route_served(endpoint, s, t)
-                served += 1
-                if res.delivered:
-                    delivered += 1
-                    hops_total += res.hops
-            t_serve += time.perf_counter() - t0
+                with obs.span("traffic.repair") as sp:
+                    service.apply_batch(tick.events)
+                t_repair += sp.seconds
+            batch = serve_queries(endpoint, tick.queries)
+            served += batch.served
+            delivered += batch.delivered
+            hops_total += batch.hops_total
+            t_serve += batch.seconds
         # Per-hop-BFS reference on the final state: correctness spot-check
         # (served journeys must be identical) + the speedup column.
         ok = True
@@ -626,9 +735,9 @@ def _cmd_traffic(args) -> int:
             while len(sample) < args.compare_bfs and extra:
                 sample.append(extra[int(rng.integers(len(extra)))])
             sample = sample[: args.compare_bfs]
-            t0 = time.perf_counter()
+            sw = obs.Stopwatch()
             reference = [route(h, g, s, t) for s, t in sample]
-            t_bfs = time.perf_counter() - t0
+            t_bfs = sw.elapsed()
             for (s, t), ref in zip(sample, reference):
                 res = route_served(endpoint, s, t)
                 ok = ok and res.path == ref.path and res.delivered == ref.delivered
@@ -651,6 +760,9 @@ def _cmd_traffic(args) -> int:
             ]
         )
         if args.workers:
+            for wid, snap in service.metrics()["shards"].items():
+                have = shard_acc.get(wid)
+                shard_acc[wid] = snap if have is None else obs.merge_snapshots(have, snap)
             endpoint.close()
             service.close()
     print(
@@ -676,6 +788,7 @@ def _cmd_traffic(args) -> int:
             ),
         )
     )
+    _obs_finish(args, shard_acc if args.workers else None)
     return 0 if all_ok else 1
 
 
@@ -791,6 +904,7 @@ _COMMANDS = {
     "tune": _cmd_tune,
     "demo": _cmd_demo,
     "lint": _cmd_lint,
+    "obs": _cmd_obs,
 }
 
 

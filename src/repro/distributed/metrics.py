@@ -4,28 +4,67 @@ The paper evaluates distributed algorithms by *rounds* (Table 1's
 "computation time" column) and motivates remote-spanners by *advertisement
 volume* (flooding fewer links than OSPF).  The simulator fills one of these
 records per run so the benches can print both.
+
+Since PR 7 the record is backed by a :class:`repro.obs.MetricsRegistry`
+instead of plain dataclass fields: the familiar attributes
+(``stats.rounds`` etc.) are live counter reads, ``record_round`` also
+feeds a per-round message-count histogram, and :meth:`SimStats.snapshot`
+emits the same schema serving soaks write — one format for simulator runs
+and serving metrics.  The registry is dedicated and ungated (simulation
+accounting is the experiment's *output*, not optional instrumentation),
+so the ``REPRO_OBS`` knob never changes a simulator result.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from ..obs.metrics import COUNT_BOUNDS, MetricsRegistry
 
 __all__ = ["SimStats"]
 
 
-@dataclass
 class SimStats:
     """Cost profile of one simulated protocol execution."""
 
-    rounds: int = 0
-    messages: int = 0  # node-to-neighbor deliveries
-    broadcasts: int = 0  # local broadcast operations (radio transmissions)
-    links_advertised: int = 0  # sum of message sizes in link units
-    per_round_messages: list = field(default_factory=list)
+    __slots__ = ("registry", "per_round_messages")
+
+    def __init__(self, registry: "MetricsRegistry | None" = None) -> None:
+        self.registry = MetricsRegistry() if registry is None else registry
+        self.per_round_messages: list[int] = []
+
+    @property
+    def rounds(self) -> int:
+        return int(self.registry.counter("sim.rounds"))
+
+    @property
+    def messages(self) -> int:
+        """Node-to-neighbor deliveries."""
+        return int(self.registry.counter("sim.messages"))
+
+    @property
+    def broadcasts(self) -> int:
+        """Local broadcast operations (radio transmissions)."""
+        return int(self.registry.counter("sim.broadcasts"))
+
+    @property
+    def links_advertised(self) -> int:
+        """Sum of message sizes in link units."""
+        return int(self.registry.counter("sim.links_advertised"))
 
     def record_round(self, messages: int, broadcasts: int, links: int) -> None:
-        self.rounds += 1
-        self.messages += messages
-        self.broadcasts += broadcasts
-        self.links_advertised += links
+        reg = self.registry
+        reg.inc("sim.rounds")
+        reg.inc("sim.messages", messages)
+        reg.inc("sim.broadcasts", broadcasts)
+        reg.inc("sim.links_advertised", links)
+        reg.observe("sim.round_messages", messages, COUNT_BOUNDS)
         self.per_round_messages.append(messages)
+
+    def snapshot(self) -> dict:
+        """The run's counters in the ``repro.obs`` snapshot schema."""
+        return self.registry.snapshot()
+
+    def __repr__(self) -> str:
+        return (
+            f"SimStats(rounds={self.rounds}, messages={self.messages}, "
+            f"broadcasts={self.broadcasts}, links_advertised={self.links_advertised})"
+        )

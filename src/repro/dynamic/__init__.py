@@ -52,7 +52,14 @@ from .maintainer import (
     resolve_construction,
 )
 from .serving import MemoryStats, RoutingService, ServeReport
-from .traffic import TrafficTick, TrafficWorkload, WORKLOAD_NAMES, make_workload
+from .traffic import (
+    QueryBatchReport,
+    TrafficTick,
+    TrafficWorkload,
+    WORKLOAD_NAMES,
+    make_workload,
+    serve_queries,
+)
 
 __all__ = [
     "EdgeEvent",
@@ -76,6 +83,8 @@ __all__ = [
     "ServeReport",
     "TrafficTick",
     "TrafficWorkload",
+    "QueryBatchReport",
+    "serve_queries",
     "WORKLOAD_NAMES",
     "make_workload",
 ]

@@ -36,11 +36,11 @@ implementation would take on a topology reset.
 
 from __future__ import annotations
 
-import time
 from collections import Counter
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from .. import obs
 from ..core.domtree_greedy import dom_tree_greedy
 from ..core.domtree_kcover import dom_tree_kcover
 from ..core.domtree_kmis import dom_tree_kmis
@@ -279,9 +279,9 @@ class SpannerMaintainer:
 
     def apply(self, event: "EdgeEvent | NodeEvent") -> EventReport:
         """Apply one event and repair the spanner's dirty region."""
-        t0 = time.perf_counter()
+        sw = obs.Stopwatch()
         if isinstance(event, NodeEvent):
-            return self._apply_node(event, t0)
+            return self._apply_node(event, sw)
         g = self.graph
         present = g.has_edge(event.u, event.v)
         if (event.kind == ADD) == present:  # already in the target state
@@ -291,7 +291,7 @@ class SpannerMaintainer:
                 dirty=0,
                 rebuilt=False,
                 changed=False,
-                seconds=time.perf_counter() - t0,
+                seconds=sw.elapsed(),
             )
         seeds = (event.u, event.v)
         # Roots seeing the edge through *old* distances (deletion may then
@@ -307,12 +307,12 @@ class SpannerMaintainer:
             dirty=g.num_nodes if rebuilt else len(dirty),
             rebuilt=rebuilt,
             changed=True,
-            seconds=time.perf_counter() - t0,
+            seconds=sw.elapsed(),
             h_added=h_added,
             h_removed=h_removed,
         )
 
-    def _apply_node(self, event: NodeEvent, t0: float) -> EventReport:
+    def _apply_node(self, event: NodeEvent, sw: obs.Stopwatch) -> EventReport:
         """Node churn through the :meth:`Graph.add_node`/``remove_node`` mutators."""
         g = self.graph
         if event.kind == JOIN:
@@ -327,7 +327,7 @@ class SpannerMaintainer:
                 dirty=g.num_nodes if rebuilt else 1,
                 rebuilt=rebuilt,
                 changed=True,
-                seconds=time.perf_counter() - t0,
+                seconds=sw.elapsed(),
                 h_added=h_added,
                 h_removed=h_removed,
             )
@@ -339,7 +339,7 @@ class SpannerMaintainer:
                 dirty=0,
                 rebuilt=False,
                 changed=False,
-                seconds=time.perf_counter() - t0,
+                seconds=sw.elapsed(),
             )
         # A leave deletes every incident edge at once; the dirty region is
         # the union of the per-edge balls, i.e. one bounded BFS seeded with
@@ -355,7 +355,7 @@ class SpannerMaintainer:
             dirty=g.num_nodes if rebuilt else len(dirty),
             rebuilt=rebuilt,
             changed=True,
-            seconds=time.perf_counter() - t0,
+            seconds=sw.elapsed(),
             h_added=h_added,
             h_removed=h_removed,
         )
@@ -371,7 +371,7 @@ class SpannerMaintainer:
         tolerated (the per-event stream contract is the caller's business);
         a join with a non-dense id is always an error.
         """
-        t0 = time.perf_counter()
+        sw = obs.Stopwatch()
         events = list(events)
         g = self.graph
         old_n = g.num_nodes
@@ -402,6 +402,7 @@ class SpannerMaintainer:
             # endpoint) already mutated the graph; restore the spanner ==
             # from-scratch invariant over whatever got applied, then let
             # the caller see the error.
+            obs.inc("maintainer.full_rebuilds")
             self._rebuild()
             self.full_rebuilds += 1
             raise
@@ -415,7 +416,7 @@ class SpannerMaintainer:
             return BatchReport(
                 events=len(events),
                 applied=applied,
-                seconds=time.perf_counter() - t0,
+                seconds=sw.elapsed(),
             )
         seeds_new = {x for e in (*g_added, *g_removed) for x in e}
         seeds_old = {x for x in seeds_new if x < old_n}
@@ -433,7 +434,7 @@ class SpannerMaintainer:
             dirty=g.num_nodes if rebuilt else len(dirty),
             rebuilt=rebuilt,
             changed=True,
-            seconds=time.perf_counter() - t0,
+            seconds=sw.elapsed(),
             h_added=h_added,
             h_removed=h_removed,
         )
@@ -450,8 +451,9 @@ class SpannerMaintainer:
 
     def _ball(self, snapshot, seeds: Iterable[int]) -> set[int]:
         """``{u : d(u, seeds) ≤ R}`` on a (frozen) snapshot."""
-        dist = multi_source_distances(snapshot, seeds, cutoff=self._construction.radius)
-        return {u for u, d in enumerate(dist) if d >= 0}
+        with obs.span("maintainer.ball"):
+            dist = multi_source_distances(snapshot, seeds, cutoff=self._construction.radius)
+            return {u for u, d in enumerate(dist) if d >= 0}
 
     def _repair(
         self, dirty: set[int]
@@ -463,7 +465,9 @@ class SpannerMaintainer:
         the same repair cancels out.
         """
         g = self.graph
+        obs.observe("maintainer.dirty_ball", len(dirty), obs.COUNT_BOUNDS)
         if len(dirty) > self.rebuild_fraction * g.num_nodes:
+            obs.inc("maintainer.full_rebuilds")
             old_edges = self._h.edge_set()
             self._rebuild()
             new_edges = self._h.edge_set()
@@ -501,6 +505,7 @@ class SpannerMaintainer:
                         h_removed.discard(e)
                     else:
                         h_added.add(e)
+        obs.inc("maintainer.incremental_repairs")
         self.incremental_repairs += 1
         self.trees_recomputed += len(dirty)
         return False, tuple(sorted(h_added)), tuple(sorted(h_removed))

@@ -63,12 +63,12 @@ speedup as ``BENCH_routing.json``.
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..errors import NodeNotFound, ParameterError
 from ..graph import Graph, batched_bfs
 from ..routing.tables import _FAR, project_table_row
@@ -88,9 +88,10 @@ class ServeReport:
     dirty_rows: int  # H-distance rows recomputed (BFS runs)
     dirty_tables: int  # per-source tables re-argmin'd
     entries_updated: int  # table cells whose next hop actually changed
-    seconds: float
+    seconds: float  # time spent inside apply/apply_batch proper
     matrix_bytes: int = 0  # live D+T footprint after the call
     dormant_ids: int = 0  # degree-0 id slots (compaction candidates)
+    wall_seconds: float = 0.0  # full per-tick wall clock incl. freeze/publish
 
 
 @dataclass(frozen=True)
@@ -233,18 +234,18 @@ class RoutingService:
 
     def apply(self, event: "EdgeEvent | NodeEvent") -> ServeReport:
         """Apply one event; repair spanner, distance rows and tables."""
-        t0 = time.perf_counter()
+        sw = obs.Stopwatch()
         star_changed = self._star_damage(event)
         report = self.maintainer.apply(event)
         self.events_applied += 1
         if not report.changed:
-            return self._report(1, False, (False, 0, 0, 0), t0)
+            return self._report(1, False, (False, 0, 0, 0), sw)
         stats = self._ingest(report.h_added, report.h_removed, star_changed, report.rebuilt)
-        return self._report(1, True, stats, t0)
+        return self._report(1, True, stats, sw)
 
     def apply_batch(self, events: "Sequence[EdgeEvent | NodeEvent]") -> ServeReport:
         """Apply one tick of events with a single coalesced repair."""
-        t0 = time.perf_counter()
+        sw = obs.Stopwatch()
         events = list(events)
         try:
             report = self.maintainer.apply_batch(events)
@@ -256,13 +257,13 @@ class RoutingService:
             raise
         self.events_applied += len(events)
         if not report.changed:
-            return self._report(len(events), False, (False, 0, 0, 0), t0)
+            return self._report(len(events), False, (False, 0, 0, 0), sw)
         star_changed = {x for e in (*report.g_added, *report.g_removed) for x in e}
         stats = self._ingest(report.h_added, report.h_removed, star_changed, report.rebuilt)
-        return self._report(len(events), True, stats, t0)
+        return self._report(len(events), True, stats, sw)
 
     def _report(
-        self, events: int, changed: bool, stats: "tuple[bool, int, int, int]", t0: float
+        self, events: int, changed: bool, stats: "tuple[bool, int, int, int]", sw: obs.Stopwatch
     ) -> ServeReport:
         mem = self.memory_stats()
         refreshed, dirty_rows, dirty_tables, entries = stats
@@ -273,7 +274,7 @@ class RoutingService:
             dirty_rows=dirty_rows,
             dirty_tables=dirty_tables,
             entries_updated=entries,
-            seconds=time.perf_counter() - t0,
+            seconds=sw.elapsed(),
             matrix_bytes=mem.total_bytes,
             dormant_ids=mem.dormant,
         )
@@ -281,15 +282,26 @@ class RoutingService:
     def apply_stream(
         self, events: "Iterable[EdgeEvent | NodeEvent]", tick: int = 1
     ) -> "list[ServeReport]":
-        """Apply a stream, singly (``tick=1``) or in coalesced ticks."""
+        """Apply a stream, singly (``tick=1``) or in coalesced ticks.
+
+        Each report's ``wall_seconds`` is the full per-tick wall clock —
+        unlike ``seconds`` it includes work a subclass does around the
+        ``apply`` proper (matrix freezing, shared-memory publishing), so
+        ``wall_seconds >= seconds`` always.
+        """
         if tick < 1:
             raise ParameterError(f"tick must be ≥ 1, got {tick}")
         events = list(events)
+        reports: "list[ServeReport]" = []
         if tick == 1:
-            return [self.apply(ev) for ev in events]
-        return [
-            self.apply_batch(events[lo : lo + tick]) for lo in range(0, len(events), tick)
-        ]
+            ticks: "list[list[EdgeEvent | NodeEvent]]" = [[ev] for ev in events]
+        else:
+            ticks = [list(events[lo : lo + tick]) for lo in range(0, len(events), tick)]
+        for batch in ticks:
+            with obs.span("serving.tick") as sp:
+                report = self.apply(batch[0]) if tick == 1 else self.apply_batch(batch)
+            reports.append(replace(report, wall_seconds=sp.seconds))
+        return reports
 
     def refresh(self) -> None:
         """Recompute every distance row and table from scratch (fallback).
@@ -299,8 +311,11 @@ class RoutingService:
         """
         n = self.maintainer.graph.num_nodes
         self._resize_matrices(n)
-        self._recompute_rows(range(n), track=False)
-        self._project_tables({u: None for u in range(n)})
+        with obs.span("serving.recompute_rows"):
+            self._recompute_rows(range(n), track=False)
+        with obs.span("serving.project_tables"):
+            self._project_tables({u: None for u in range(n)})
+        obs.inc("serve.full_refreshes")
         self.full_refreshes += 1
         self.rows_recomputed += n
         self.tables_recomputed += n
@@ -373,6 +388,7 @@ class RoutingService:
         order = list(order)
         if not order:
             return {}
+        obs.inc("serve.rows_recomputed", len(order))
         h = self.advertised.freeze()
         changed: "dict[int, np.ndarray]" = {}
         for s, new_row in batched_bfs(h, order, arrays=True):
@@ -398,6 +414,7 @@ class RoutingService:
             nbrs = sorted(g.neighbors(u))
             self.entries_updated += project_table_row(self._dist, self._tables, nbrs, u, cols)
             touched += 1
+        obs.inc("serve.tables_reprojected", touched)
         return touched
 
     # ------------------------------------------------------------------ #
@@ -440,7 +457,11 @@ class RoutingService:
         new_nodes = range(old_dim, n)
         dirty_rows = self._dirty_rows(h_added, h_removed)
         dirty_rows.update(new_nodes)
-        changed_cols = self._recompute_rows(sorted(dirty_rows)) if dirty_rows else {}
+        if dirty_rows:
+            with obs.span("serving.recompute_rows"):
+                changed_cols = self._recompute_rows(sorted(dirty_rows))
+        else:
+            changed_cols = {}
         self.rows_recomputed += len(dirty_rows)
         # A table moves only if its argmin inputs did: a neighbor's row
         # changed, or its own G-star changed (None mask = all destinations).
@@ -457,7 +478,8 @@ class RoutingService:
                 else:
                     current |= mask
         entries_before = self.entries_updated
-        tables_touched = self._project_tables(damage)
+        with obs.span("serving.project_tables"):
+            tables_touched = self._project_tables(damage)
         self.tables_recomputed += tables_touched
         return False, len(dirty_rows), tables_touched, self.entries_updated - entries_before
 

@@ -40,12 +40,24 @@ from typing import Iterable
 
 import numpy as np
 
+from .. import obs
 from ..errors import ParameterError
 from ..graph import Graph, ball
 from ..rng import derive_seed, ensure_rng
 from .events import EdgeEvent, NodeEvent, Scenario, apply_events
 
-__all__ = ["TrafficTick", "TrafficWorkload", "make_workload", "WORKLOAD_NAMES"]
+__all__ = [
+    "TrafficTick",
+    "TrafficWorkload",
+    "QueryBatchReport",
+    "serve_queries",
+    "make_workload",
+    "WORKLOAD_NAMES",
+]
+
+#: Histogram buckets for per-request hop counts (spanner journeys are
+#: short; the overflow bucket catches pathological detours).
+HOP_BOUNDS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0)
 
 #: Request-model registry for the CLI / bench dispatchers.
 WORKLOAD_NAMES: "tuple[str, ...]" = ("uniform", "zipf", "locality")
@@ -86,6 +98,62 @@ class TrafficWorkload:
         """Every request of the workload, in serving order."""
         for t in self.ticks:
             yield from t.queries
+
+
+@dataclass(frozen=True)
+class QueryBatchReport:
+    """What one :func:`serve_queries` batch did."""
+
+    served: int
+    delivered: int
+    hops_total: int
+    seconds: float
+
+    @property
+    def mean_hops(self) -> float:
+        return self.hops_total / self.delivered if self.delivered else 0.0
+
+    @property
+    def qps(self) -> float:
+        return self.served / self.seconds if self.seconds > 0 else float("inf")
+
+
+def serve_queries(endpoint, queries: "Iterable[tuple[int, int]]") -> QueryBatchReport:
+    """Serve a batch of route requests off *endpoint*, instrumented.
+
+    *endpoint* is anything :func:`~repro.routing.greedy_routing.\
+route_served` accepts (a :class:`~repro.dynamic.serving.RoutingService`,
+    a :class:`~repro.parallel.sharded.RouteReader`, ...).  When
+    observability is on, each request feeds the ``traffic.request.us``
+    latency and ``traffic.hops`` histograms (plus a
+    ``traffic.unroutable`` counter); with ``REPRO_OBS=off`` the loop is
+    the bare serving loop — this shared helper is what the overhead
+    benchmark measures.
+    """
+    from ..routing.greedy_routing import route_served
+
+    on = obs.enabled()
+    registry = obs.metrics()
+    served = delivered = hops_total = 0
+    sw_batch = obs.Stopwatch()
+    sw = obs.Stopwatch()
+    for s, t in queries:
+        if on:
+            sw.restart()
+        res = route_served(endpoint, s, t)
+        served += 1
+        if res.delivered:
+            delivered += 1
+            hops_total += res.hops
+            if on:
+                registry.observe("traffic.request.us", sw.elapsed() * 1e6)
+                registry.observe("traffic.hops", res.hops, HOP_BOUNDS)
+        elif on:
+            registry.observe("traffic.request.us", sw.elapsed() * 1e6)
+            registry.inc("traffic.unroutable")
+    if on:
+        registry.inc("traffic.requests", served)
+    return QueryBatchReport(served, delivered, hops_total, sw_batch.elapsed())
 
 
 def _zipf_weights(count: int, exponent: float) -> np.ndarray:

@@ -30,6 +30,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import NamedTuple
 
+from .. import obs
 from ..errors import ParameterError
 from .traversal import bfs_distances
 
@@ -79,6 +80,7 @@ class _DistanceCache(OrderedDict):
         while len(self) > self.capacity:
             self.popitem(last=False)
             self.evictions += 1
+            obs.inc("cache.evictions")
 
 
 def _cache_of(g) -> "_DistanceCache | None":
@@ -106,9 +108,11 @@ def cached_bfs_distances(g, source: int, cutoff: "int | None" = None) -> list[in
     hit = cache.get(key)
     if hit is not None:
         cache.hits += 1
+        obs.inc("cache.hits")
         cache.move_to_end(key)
         return list(hit)
     cache.misses += 1
+    obs.inc("cache.misses")
     dist = bfs_distances(g, source, cutoff)
     cache[key] = tuple(dist)
     cache.shrink_to_capacity()

@@ -1,0 +1,125 @@
+"""Nesting span tracer with Chrome trace-event export.
+
+The tracer is off by default; ``--trace`` CLI flags (or tests) turn it on
+with :meth:`Tracer.start`.  Spans always measure wall-clock (report
+``seconds`` fields depend on it even with observability off); whether the
+measurement is *recorded* anywhere is what the gates control — see
+:class:`Span` and the package façade in :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Sequence
+
+from .metrics import TIME_BOUNDS_US, MetricsRegistry
+from .timing import now
+
+__all__ = ["Span", "Tracer"]
+
+
+class Tracer:
+    """Collects (name, start, end, depth) events relative to a process epoch."""
+
+    __slots__ = ("_events", "_epoch", "_active", "_depth")
+
+    def __init__(self) -> None:
+        self._events: list[tuple[str, float, float, int]] = []
+        self._epoch = now()
+        self._active = False
+        self._depth = 0
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def start(self) -> None:
+        self._active = True
+
+    def stop(self) -> None:
+        self._active = False
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._epoch = now()
+        self._depth = 0
+
+    def record(self, name: str, t0: float, t1: float, depth: int) -> None:
+        self._events.append((name, t0, t1, depth))
+
+    def trace_events(self) -> list[dict]:
+        """Chrome trace-event ``"X"`` (complete) events, ts/dur in µs."""
+        pid = os.getpid()
+        return [
+            {
+                "name": name,
+                "ph": "X",
+                "ts": (t0 - self._epoch) * 1e6,
+                "dur": (t1 - t0) * 1e6,
+                "pid": pid,
+                "tid": 0,
+                "args": {"depth": depth},
+            }
+            for name, t0, t1, depth in self._events
+        ]
+
+    def write(self, path: str | os.PathLike) -> int:
+        """Write a Perfetto/chrome://tracing-loadable JSON file.
+
+        Returns the number of events written.
+        """
+        events = self.trace_events()
+        doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+        Path(path).write_text(json.dumps(doc), encoding="utf-8")
+        return len(events)
+
+
+class Span:
+    """Context manager measuring one region; see ``repro.obs.span``.
+
+    ``seconds`` is always populated on exit.  The histogram observation
+    (``<name>.us`` into *registry*) and the trace event (into *tracer*)
+    happen only when the corresponding argument is non-None — the package
+    façade passes None for whichever side is disabled.
+    """
+
+    __slots__ = ("name", "seconds", "_t0", "_registry", "_tracer", "_bounds")
+
+    def __init__(
+        self,
+        name: str,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        bounds: Sequence[float] | None = None,
+    ) -> None:
+        self.name = name
+        self.seconds = 0.0
+        self._t0 = 0.0
+        self._registry = registry
+        self._tracer = tracer
+        self._bounds = bounds
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        if tracer is not None:
+            tracer._depth += 1
+        self._t0 = now()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        t1 = now()
+        self.seconds = t1 - self._t0
+        if self._registry is not None:
+            self._registry.observe(
+                self.name + ".us",
+                self.seconds * 1e6,
+                TIME_BOUNDS_US if self._bounds is None else self._bounds,
+            )
+        tracer = self._tracer
+        if tracer is not None:
+            depth = tracer._depth
+            tracer._depth = depth - 1
+            if tracer.active:
+                tracer.record(self.name, self._t0, t1, depth)

@@ -40,7 +40,7 @@ import traceback
 
 import numpy as np
 
-from .. import tuning
+from .. import obs, tuning
 from ..errors import ParameterError, ReproError
 from ..rng import derive_seed, ensure_rng
 from .shm import AttachedCSR, AttachedMatrix, PublishStats, SharedCSR, SharedMatrix
@@ -152,20 +152,22 @@ def _task_serve_rows(state: _WorkerState, payload):
     from ..graph.traversal import batched_bfs
 
     h_name, dist_name, sources = payload
-    h = state.csr(h_name)
-    attached = state.matrices[dist_name]
-    dist = attached.array
-    changed = []
-    for s, row in batched_bfs(h, sources, arrays=True):
-        mask = row != dist[s]
-        if mask.any():
-            changed.append((s, np.packbits(mask).tobytes()))
-            attached.begin_row_write(s)
-            try:
-                dist[s] = row
-            finally:
-                attached.end_row_write(s)
-    return changed
+    obs.inc("serve.rows_recomputed", len(sources))
+    with obs.span("pool.shard_repair"):
+        h = state.csr(h_name)
+        attached = state.matrices[dist_name]
+        dist = attached.array
+        changed = []
+        for s, row in batched_bfs(h, sources, arrays=True):
+            mask = row != dist[s]
+            if mask.any():
+                changed.append((s, np.packbits(mask).tobytes()))
+                attached.begin_row_write(s)
+                try:
+                    dist[s] = row
+                finally:
+                    attached.end_row_write(s)
+        return changed
 
 
 def _task_serve_tables(state: _WorkerState, payload):
@@ -179,6 +181,7 @@ def _task_serve_tables(state: _WorkerState, payload):
     from ..routing.tables import project_table_row
 
     g_name, dist_name, tab_name, jobs = payload
+    obs.inc("serve.tables_reprojected", len(jobs))
     g = state.csr(g_name)
     dist = state.matrix(dist_name)
     attached = state.matrices[tab_name]
@@ -239,6 +242,31 @@ def _task_crash_in_write(state: _WorkerState, payload):
         attached.end_row_write(row)
 
 
+def _task_obs_snapshot(state: _WorkerState, payload):
+    """Ship-and-reset this worker's metrics registry (exact-once shipping:
+    every observation leaves the worker exactly once, either here or in the
+    final snapshot sent on graceful stop)."""
+    return obs.snapshot_and_reset()
+
+
+def _task_obs_record(state: _WorkerState, payload):
+    """Record observations directly into this worker's registry.
+
+    ``payload = [(kind, name, value), ...]`` with kind ``inc`` / ``gauge``
+    / ``observe``.  Writes are ungated (registry-level) so the
+    cross-process merge property tests are independent of the obs knob.
+    """
+    registry = obs.metrics()
+    for kind, name, value in payload:
+        if kind == "inc":
+            registry.inc(name, value)
+        elif kind == "gauge":
+            registry.gauge(name, value)
+        else:
+            registry.observe(name, value)
+    return len(payload)
+
+
 #: Registry of functions a task message may name.  Top-level functions
 #: only — the registry is rebuilt by import in every worker, so entries
 #: survive both ``fork`` and ``spawn``.
@@ -249,18 +277,34 @@ TASKS = {
     "serve_tables": _task_serve_tables,
     "tree_edges": _task_tree_edges,
     "crash_in_write": _task_crash_in_write,
+    "obs_snapshot": _task_obs_snapshot,
+    "obs_record": _task_obs_record,
 }
+
+#: Reserved pseudo task id for the final metrics snapshot a worker ships
+#: on graceful stop (real task ids count up from 0; errors outside a task
+#: already use -1).
+_OBS_TASK_ID = -2
 
 
 def _worker_main(worker_id: int, num_workers: int, seed: int, task_q, result_q) -> None:
     """Worker process entry point: attach, loop, answer, clean up."""
     state = _WorkerState(worker_id, num_workers, seed)
+    # Fork inherits the parent's live registry (and tracer) — a shard's
+    # metrics must start empty or parent-side counts would be double
+    # -merged; worker trace events are never shipped, so don't collect.
+    obs.reset()
+    obs.tracer().stop()
     try:
         while True:
             msg = task_q.get()
             kind = msg[0]
             try:
                 if kind == "stop":
+                    # Last act: ship whatever this worker observed since
+                    # its previous snapshot, so graceful stops (including
+                    # restart()) lose no metrics.
+                    result_q.put((worker_id, _OBS_TASK_ID, True, obs.snapshot_and_reset()))
                     break
                 if kind == "csr":
                     _, name, handle = msg
@@ -342,6 +386,7 @@ class WorkerPool:
         self._shared: dict[str, tuple[str, object]] = {}  # name -> (kind, owner)
         self._next_task_id = 0
         self._closed = False
+        self._worker_obs: dict[int, dict] = {}  # wid -> merged shipped snapshots
 
     # -- lifecycle ------------------------------------------------------ #
 
@@ -378,13 +423,16 @@ class WorkerPool:
     def restart(self) -> None:
         """Stop the worker processes; the next task transparently respawns
         them and replays all published shared objects."""
+        obs.inc("pool.restarts")
         self._stop_workers(graceful=True)
 
     def _stop_workers(self, graceful: bool) -> None:
+        stopped = set()
         if graceful:
-            for q in self._task_qs:
+            for wid, q in enumerate(self._task_qs):
                 try:
                     q.put(("stop",))
+                    stopped.add(wid)
                 except (OSError, ValueError):  # pragma: no cover - queue gone
                     pass
         deadline = time.monotonic() + (5.0 if graceful else 0.5)
@@ -393,6 +441,8 @@ class WorkerPool:
             if p.is_alive():
                 p.terminate()
                 p.join(timeout=5.0)
+                stopped.clear()  # a wedged worker may never have shipped
+        self._drain_final_snapshots(stopped)
         for q in (*self._task_qs, *( [self._result_q] if self._result_q else [] )):
             try:
                 q.close()
@@ -400,6 +450,49 @@ class WorkerPool:
             except (OSError, ValueError):  # pragma: no cover - already closed
                 pass
         self._procs, self._task_qs, self._result_q = [], [], None
+
+    def _drain_final_snapshots(self, expected: set) -> None:
+        """Absorb the final metric snapshots stopped workers shipped.
+
+        Bounded wait: each gracefully-stopped worker sends exactly one
+        ``_OBS_TASK_ID`` message before exiting, but its queue feeder may
+        still be flushing as ``join`` returns.
+        """
+        if self._result_q is None:
+            return
+        expected = set(expected)
+        deadline = time.monotonic() + 1.0
+        while True:
+            try:
+                wid, task_id, ok, res = self._result_q.get_nowait()
+            except (queue_mod.Empty, OSError, ValueError):
+                if not expected or time.monotonic() > deadline:
+                    break
+                time.sleep(0.01)
+                continue
+            if ok and task_id == _OBS_TASK_ID:
+                self._absorb_obs(wid, res)
+                expected.discard(wid)
+
+    def _absorb_obs(self, wid: int, snap: dict) -> None:
+        have = self._worker_obs.get(wid)
+        self._worker_obs[wid] = snap if have is None else obs.merge_snapshots(have, snap)
+
+    def metrics(self) -> dict:
+        """Collect and merge every worker's observability registry.
+
+        Live workers are snapshotted (and reset) over the task channel;
+        snapshots shipped earlier (graceful stops, restarts) are already
+        folded in.  Returns ``{"shards": {wid: snapshot}, "merged":
+        snapshot}`` — exact merges, see :mod:`repro.obs.metrics`.
+        """
+        if self.alive:
+            snaps = self.run("obs_snapshot", [None] * self.workers, to=list(range(self.workers)))
+            for wid, snap in enumerate(snaps):
+                self._absorb_obs(wid, snap)
+        shards = {wid: self._worker_obs[wid] for wid in sorted(self._worker_obs)}
+        merged = obs.merge_snapshots(*shards.values()) if shards else obs.empty_snapshot()
+        return {"shards": shards, "merged": merged}
 
     def close(self) -> None:
         """Stop the workers and free every published shared-memory block."""
@@ -439,6 +532,12 @@ class WorkerPool:
             if kind != "csr":
                 raise ParameterError(f"shared object {name!r} is a {kind}, not a csr")
             stats = owner.publish(csr, dirty_rows=dirty_rows)
+        if stats.reallocated or dirty_rows is None:
+            obs.inc("pool.publish.full", 1)
+            obs.inc("pool.publish.full_bytes", stats.bytes_written)
+        else:
+            obs.inc("pool.publish.delta", 1)
+            obs.inc("pool.publish.delta_bytes", stats.bytes_written)
         if self._procs:
             self._broadcast(("csr", name, owner.handle))
         return stats
@@ -506,6 +605,7 @@ class WorkerPool:
         payloads = list(payloads)
         if not payloads:
             return []
+        obs.inc("pool.tasks", len(payloads))
         self._ensure_started()
         if to is None:
             to = [i % self.workers for i in range(len(payloads))]
@@ -522,20 +622,24 @@ class WorkerPool:
         results = [None] * len(payloads)
         deadline = time.monotonic() + self.task_timeout
         pending = len(payloads)
-        while pending:
-            try:
-                wid, task_id, ok, res = self._result_q.get(timeout=1.0)
-            except queue_mod.Empty:
-                if not self.alive:
-                    raise WorkerError("a worker process died mid-task") from None
-                if time.monotonic() > deadline:
-                    raise WorkerError(
-                        f"pool wedged: no result within {self.task_timeout}s"
-                    ) from None
-                continue
-            if not ok:
-                raise WorkerError(f"task failed in worker {wid}:\n{res}")
-            if task_id in index_of:  # ignore strays from a prior failed gather
-                results[index_of.pop(task_id)] = res
-                pending -= 1
+        with obs.span("pool.run"):
+            while pending:
+                try:
+                    wid, task_id, ok, res = self._result_q.get(timeout=1.0)
+                except queue_mod.Empty:
+                    if not self.alive:
+                        raise WorkerError("a worker process died mid-task") from None
+                    if time.monotonic() > deadline:
+                        raise WorkerError(
+                            f"pool wedged: no result within {self.task_timeout}s"
+                        ) from None
+                    continue
+                if ok and task_id == _OBS_TASK_ID:  # final snapshot of a
+                    self._absorb_obs(wid, res)  # worker stopped earlier
+                    continue
+                if not ok:
+                    raise WorkerError(f"task failed in worker {wid}:\n{res}")
+                if task_id in index_of:  # ignore strays from a prior failed gather
+                    results[index_of.pop(task_id)] = res
+                    pending -= 1
         return results

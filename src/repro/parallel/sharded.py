@@ -57,6 +57,7 @@ import time
 
 import numpy as np
 
+from .. import obs
 from ..dynamic.serving import RoutingService
 from ..errors import NodeNotFound, ParameterError, TornReadError
 from ..graph import Graph
@@ -139,6 +140,12 @@ class ShardedRoutingService(RoutingService):
         resize/reallocation through the directory on its own.
         """
         return self._directory.name
+
+    def metrics(self) -> dict:
+        """Merged per-shard observability snapshots (see
+        :meth:`WorkerPool.metrics <repro.parallel.pool.WorkerPool.metrics>`);
+        callable while serving and after :meth:`close`."""
+        return self._pool.metrics()
 
     def close(self) -> None:
         """Release the shared matrices (and the pool, when owned)."""
@@ -297,9 +304,10 @@ class ShardedRoutingService(RoutingService):
         """
         if not self._shared_ready or self._closed:
             return
-        self._directory.post(
-            (self._pool.matrix_owner(_DIST).handle, self._pool.matrix_owner(_TABLES).handle)
-        )
+        with obs.span("sharded.publish_directory"):
+            self._directory.post(
+                (self._pool.matrix_owner(_DIST).handle, self._pool.matrix_owner(_TABLES).handle)
+            )
 
     def apply(self, event):
         report = super().apply(event)

@@ -60,6 +60,7 @@ from typing import Iterable
 
 import numpy as np
 
+from .. import obs
 from ..errors import ParameterError, TornReadError
 from ..graph.csr import CSRGraph
 
@@ -614,12 +615,14 @@ class AttachedMatrix:
             v0 = int(ver[u])
             if v0 & 1:
                 self.torn_retries += 1
+                obs.inc("seqlock.retry_busy")
                 _spin(attempt)
                 continue
             row = np.array(self._arr[u] if cols is None else self._arr[u, cols])
             if int(ver[u]) == v0:
                 return row
             self.torn_retries += 1
+            obs.inc("seqlock.retry_torn")
             _spin(attempt)
         raise TornReadError(f"row {u} never stabilized (writer died mid-write?)")
 
@@ -632,12 +635,14 @@ class AttachedMatrix:
             v0 = int(ver[u])
             if v0 & 1:
                 self.torn_retries += 1
+                obs.inc("seqlock.retry_busy")
                 _spin(attempt)
                 continue
             value = int(self._arr[u, v])
             if int(ver[u]) == v0:
                 return value
             self.torn_retries += 1
+            obs.inc("seqlock.retry_torn")
             _spin(attempt)
         raise TornReadError(f"cell ({u}, {v}) never stabilized (writer died mid-write?)")
 

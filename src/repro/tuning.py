@@ -28,6 +28,11 @@ caps how many processes ``workers="auto"`` spawns once it does engage
 size below which the traversal expands via index lists instead of boolean
 row masks (``REPRO_SMALL_FRONTIER``).
 
+``obs`` gates the :mod:`repro.obs` instrumentation (``REPRO_OBS``; the
+strings ``off``/``false``/``no`` mean ``0``, ``on``/``true``/``yes`` mean
+``1``).  It is the one knob allowed to be zero — disabled observability
+is a supported production configuration.
+
 ``python -m repro tune`` measures the crossovers on the current hardware
 (:func:`calibrate`) and prints recommended values plus the matching
 ``export`` lines.
@@ -54,6 +59,7 @@ __all__ = [
     "DEFAULT_PARALLEL_MIN_NODES",
     "DEFAULT_AUTO_MAX_WORKERS",
     "DEFAULT_SMALL_FRONTIER",
+    "DEFAULT_OBS",
 ]
 
 #: Sources per :func:`~repro.graph.traversal.batched_bfs` chunk (64 measured
@@ -75,13 +81,24 @@ DEFAULT_AUTO_MAX_WORKERS = 4
 #: only pay off once the frontier is a decent fraction of the graph).
 DEFAULT_SMALL_FRONTIER = 16
 
+#: Observability on by default — :mod:`repro.obs` is designed to be cheap
+#: enough to leave on; ``REPRO_OBS=off`` (or 0) kills it for bake-offs.
+DEFAULT_OBS = 1
+
 _ENV_VARS = {
     "batch_chunk": "REPRO_BATCH_CHUNK",
     "auto_min_nodes": "REPRO_AUTO_MIN_NODES",
     "parallel_min_nodes": "REPRO_PARALLEL_MIN_NODES",
     "auto_max_workers": "REPRO_AUTO_MAX_WORKERS",
     "small_frontier": "REPRO_SMALL_FRONTIER",
+    "obs": "REPRO_OBS",
 }
+
+#: Knobs allowed to be zero (everything else must be >= 1).
+_ZERO_OK = frozenset({"obs"})
+
+#: String spellings accepted for boolean-flavoured env knobs.
+_ENV_WORDS = {"off": 0, "false": 0, "no": 0, "on": 1, "true": 1, "yes": 1}
 
 
 @dataclass(frozen=True)
@@ -93,12 +110,15 @@ class Tuning:
     parallel_min_nodes: int = DEFAULT_PARALLEL_MIN_NODES
     auto_max_workers: int = DEFAULT_AUTO_MAX_WORKERS
     small_frontier: int = DEFAULT_SMALL_FRONTIER
+    obs: int = DEFAULT_OBS
 
     def __post_init__(self) -> None:
         for name in _ENV_VARS:
             value = getattr(self, name)
-            if not isinstance(value, int) or value < 1:
-                raise ParameterError(f"{name} must be a positive int, got {value!r}")
+            floor = 0 if name in _ZERO_OK else 1
+            if not isinstance(value, int) or value < floor:
+                kind = "non-negative" if floor == 0 else "positive"
+                raise ParameterError(f"{name} must be a {kind} int, got {value!r}")
 
 
 def _from_env() -> Tuning:
@@ -106,6 +126,9 @@ def _from_env() -> Tuning:
     for field, var in _ENV_VARS.items():
         raw = os.environ.get(var)
         if raw is None:
+            continue
+        if raw.strip().lower() in _ENV_WORDS:
+            kwargs[field] = _ENV_WORDS[raw.strip().lower()]
             continue
         try:
             kwargs[field] = int(raw)
@@ -165,14 +188,11 @@ def overridden(**kwargs: int) -> "Iterator[Tuning]":
 
 def _time_best(fn: "Callable[[], object]", repeats: int = 3) -> float:
     """Best-of-*repeats* wall time of ``fn()`` (min filters scheduler noise)."""
-    import time
+    # Function-local import: obs imports tuning at module level, so the
+    # reverse edge must stay lazy.
+    from .obs.timing import time_best
 
-    best = float("inf")
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
+    return time_best(fn, repeats)
 
 
 def calibrate(n: int = 1500, seed: int = 2009, quick: bool = False) -> "dict[str, Any]":

@@ -1,0 +1,10 @@
+"""RL007 fixture: bare perf_counter timing outside repro/obs (4 findings)."""
+
+import time
+from time import perf_counter
+
+t0 = time.perf_counter()
+work = sum(range(100))
+elapsed = time.perf_counter() - t0
+t_bare = perf_counter()
+t_ns = time.perf_counter_ns()

@@ -1,4 +1,4 @@
-"""reprolint: engine mechanics, the six rules over fixtures, repo self-check.
+"""reprolint: engine mechanics, the seven rules over fixtures, repo self-check.
 
 The fixture files in ``tests/analysis/fixtures/`` are deliberately
 non-compliant (that is the test); they are excluded from ruff in
@@ -28,6 +28,7 @@ from repro.analysis.lint.rules import (
     RngDisciplineRule,
     SeqlockBracketRule,
     ShmLifecycleRule,
+    TimingDisciplineRule,
     TuningConstantsRule,
     WorkerTaskSafetyRule,
 )
@@ -72,9 +73,9 @@ class TestEngine:
         assert findings[0].rule == PARSE_ERROR_CODE
         assert "does not parse" in findings[0].message
 
-    def test_registry_has_the_six_rules(self):
+    def test_registry_has_the_seven_rules(self):
         rules = default_rules()
-        assert [r.code for r in rules] == [f"RL00{i}" for i in range(1, 7)]
+        assert [r.code for r in rules] == [f"RL00{i}" for i in range(1, 8)]
         assert all(r.name and r.description for r in rules)
         assert set(REGISTRY) == {r.code for r in rules}
 
@@ -214,11 +215,29 @@ class TestExceptionHygieneRule:
         assert fixture_findings("rl006_good.py", ExceptionHygieneRule()) == []
 
 
+class TestTimingDisciplineRule:
+    def test_bad_fixture_flags_every_bare_clock(self):
+        findings = fixture_findings("rl007_bad.py", TimingDisciplineRule())
+        assert [f.rule for f in findings] == ["RL007"] * 4
+        assert all("perf_counter" in f.message for f in findings)
+
+    def test_good_fixture_is_clean(self):
+        assert fixture_findings("rl007_good.py", TimingDisciplineRule()) == []
+
+    def test_obs_package_is_exempt(self):
+        # The same bare clocks are legal inside repro/obs/ — that is where
+        # the one sanctioned perf_counter call site lives.
+        findings = fixture_findings(
+            "rl007_bad.py", TimingDisciplineRule(), "src/repro/obs/timing.py"
+        )
+        assert findings == []
+
+
 class TestCli:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+        for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"):
             assert code in out
 
     def test_findings_exit_nonzero_and_print_locations(self, capsys):

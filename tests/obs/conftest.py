@@ -1,0 +1,21 @@
+"""Shared hygiene for the observability tests.
+
+Every test starts from an empty default registry, a stopped tracer, and
+pristine tuning — and leaves the process the same way, so obs state never
+leaks between tests (or into the rest of the suite).
+"""
+
+import pytest
+
+from repro import obs, tuning
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    tuning.reset()
+    obs.reset()
+    obs.tracer().stop()
+    yield
+    obs.tracer().stop()
+    obs.reset()
+    tuning.reset()

@@ -1,0 +1,177 @@
+"""Observability wired through the serving stack and the CLI artifacts."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.distributed.metrics import SimStats
+from repro.dynamic import (
+    RoutingService,
+    failure_recovery_scenario,
+    serve_queries,
+)
+from repro.graph import sample_pairs
+from repro.graph.cache import cached_bfs_distances
+from repro.graph.generators import random_connected_gnp
+
+
+def _small_service(n=80, events=6, seed=11):
+    sc = failure_recovery_scenario(n, events, seed=seed)
+    return RoutingService(sc.initial, "kcover"), sc
+
+
+class TestServeReportWall:
+    def test_wall_seconds_covers_apply_seconds(self):
+        service, sc = _small_service()
+        reports = service.apply_stream(sc.events)
+        assert reports
+        for r in reports:
+            # The tick span opens before apply's stopwatch and closes
+            # after it, so the containment is structural, not statistical.
+            assert r.wall_seconds >= r.seconds > 0.0
+
+    def test_single_apply_leaves_wall_at_default(self):
+        service, sc = _small_service()
+        report = service.apply(sc.events[0])
+        assert report.wall_seconds == 0.0  # only apply_stream stamps it
+
+
+class TestServeCounters:
+    def test_refresh_and_row_accounting(self):
+        service, sc = _small_service()
+        before = obs.snapshot()
+        for ev in sc.events[:3]:
+            service.apply(ev)
+        delta = obs.diff_snapshots(before, obs.snapshot())
+        assert delta["counters"].get("serve.rows_recomputed", 0) > 0
+
+    def test_cache_hit_and_miss_counters(self):
+        g = random_connected_gnp(24, 0.2, seed=5)
+        before = obs.snapshot()
+        cached_bfs_distances(g, 0)
+        cached_bfs_distances(g, 0)
+        delta = obs.diff_snapshots(before, obs.snapshot())
+        assert delta["counters"]["cache.misses"] == 1
+        assert delta["counters"]["cache.hits"] == 1
+
+
+class TestServeQueries:
+    def test_report_and_histograms(self):
+        service, _sc = _small_service()
+        pairs = sample_pairs(service.graph, 12, seed=3, require_nonadjacent=False)
+        before = obs.snapshot()
+        report = serve_queries(service, pairs)
+        assert report.served == len(pairs)
+        assert report.delivered >= 1
+        assert report.mean_hops >= 1.0
+        assert report.qps > 0.0
+        delta = obs.diff_snapshots(before, obs.snapshot())
+        assert delta["counters"]["traffic.requests"] == len(pairs)
+        assert delta["histograms"]["traffic.request.us"]["count"] == len(pairs)
+        assert delta["histograms"]["traffic.hops"]["count"] == report.delivered
+
+    def test_disabled_obs_still_serves_and_counts_nothing(self):
+        from repro import tuning
+
+        service, _sc = _small_service()
+        pairs = sample_pairs(service.graph, 6, seed=4, require_nonadjacent=False)
+        with tuning.overridden(obs=0):
+            before = obs.snapshot()
+            report = serve_queries(service, pairs)
+            delta = obs.diff_snapshots(before, obs.snapshot())
+        assert report.served == len(pairs)
+        assert delta == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestSimStats:
+    def test_counter_backed_attributes(self):
+        stats = SimStats()
+        stats.record_round(messages=10, broadcasts=4, links=25)
+        stats.record_round(messages=6, broadcasts=2, links=9)
+        assert stats.rounds == 2
+        assert stats.messages == 16
+        assert stats.broadcasts == 6
+        assert stats.links_advertised == 34
+        assert stats.per_round_messages == [10, 6]
+        assert "rounds=2" in repr(stats)
+
+    def test_snapshot_speaks_the_obs_schema(self):
+        stats = SimStats()
+        stats.record_round(messages=3, broadcasts=1, links=5)
+        snap = stats.snapshot()
+        assert snap["counters"]["sim.rounds"] == 1
+        assert snap["histograms"]["sim.round_messages"]["count"] == 1
+        # Mergeable with any other obs snapshot — one format everywhere.
+        merged = obs.merge_snapshots(snap, snap)
+        assert merged["counters"]["sim.messages"] == 6
+
+    def test_registry_is_knob_proof(self):
+        from repro import tuning
+
+        with tuning.overridden(obs=0):
+            stats = SimStats()
+            stats.record_round(messages=1, broadcasts=1, links=1)
+        assert stats.rounds == 1  # simulation accounting is never gated
+
+
+class TestCliArtifacts:
+    def test_traffic_writes_metrics_and_trace(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        trace = tmp_path / "t.trace.json"
+        rc = main(
+            [
+                "traffic", "--n", "60", "--events", "6", "--queries", "5",
+                "--workload", "uniform", "--compare-bfs", "0",
+                "--metrics", str(metrics), "--trace", str(trace),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "metrics snapshot" in out and "trace with" in out
+        doc = json.loads(metrics.read_text(encoding="utf-8"))
+        assert doc["schema"] == obs.SCHEMA
+        assert doc["merged"]["counters"]["traffic.requests"] >= 5
+        tdoc = json.loads(trace.read_text(encoding="utf-8"))
+        assert tdoc["traceEvents"], "trace must carry span events"
+        assert {e["ph"] for e in tdoc["traceEvents"]} == {"X"}
+
+    def test_serve_with_workers_writes_per_shard_breakdown(self, tmp_path):
+        metrics = tmp_path / "m.json"
+        rc = main(
+            [
+                "serve", "--scenario", "failure", "--n", "120", "--events", "8",
+                "--workers", "2", "--metrics", str(metrics),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(metrics.read_text(encoding="utf-8"))
+        assert sorted(doc["shards"]) == ["0", "1"]
+        shard_rows = sum(
+            s["counters"].get("serve.rows_recomputed", 0) for s in doc["shards"].values()
+        )
+        assert shard_rows > 0
+        assert doc["merged"]["counters"]["serve.rows_recomputed"] >= shard_rows
+
+    def test_obs_command_prints_and_diffs(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        assert (
+            main(
+                [
+                    "churn", "--scenario", "failure", "--n", "80", "--events", "6",
+                    "--metrics", str(metrics),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["obs", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out and "maintainer" in out
+        assert main(["obs", str(metrics), str(metrics)]) == 0
+        assert "(no differences)" in capsys.readouterr().out
+
+    def test_obs_command_rejects_missing_file(self, tmp_path):
+        with pytest.raises(OSError):
+            main(["obs", str(tmp_path / "absent.json")])

@@ -1,0 +1,110 @@
+"""repro.obs spans, tracer, timing helpers, and the REPRO_OBS gate."""
+
+import json
+
+from repro import obs, tuning
+
+
+class TestTiming:
+    def test_stopwatch_elapsed_and_restart(self):
+        sw = obs.Stopwatch()
+        first = sw.elapsed()
+        assert first >= 0.0
+        sw.restart()
+        assert sw.elapsed() <= sw.elapsed()  # monotone after restart
+
+    def test_time_best_returns_positive_minimum(self):
+        t = obs.time_best(lambda: sum(range(500)), repeats=3)
+        assert 0.0 < t < 1.0
+
+
+class TestGating:
+    def test_helpers_record_when_enabled(self):
+        assert obs.enabled()
+        obs.inc("t.counter", 3)
+        obs.gauge("t.gauge", 1.5)
+        obs.observe("t.hist", 7.0, obs.COUNT_BOUNDS)
+        snap = obs.snapshot()
+        assert snap["counters"]["t.counter"] == 3
+        assert snap["gauges"]["t.gauge"] == 1.5
+        assert snap["histograms"]["t.hist"]["count"] == 1
+
+    def test_helpers_are_noops_when_disabled(self):
+        with tuning.overridden(obs=0):
+            assert not obs.enabled()
+            obs.inc("t.counter")
+            obs.gauge("t.gauge", 1.0)
+            obs.observe("t.hist", 1.0)
+        assert obs.snapshot() == obs.empty_snapshot()
+
+    def test_span_seconds_valid_even_when_disabled(self):
+        with tuning.overridden(obs=0):
+            with obs.span("gated.region") as sp:
+                sum(range(100))
+        assert sp.seconds > 0.0  # report seconds fields rely on this
+        assert obs.snapshot()["histograms"] == {}
+
+    def test_span_observes_us_histogram_when_enabled(self):
+        with obs.span("hot.region"):
+            sum(range(100))
+        hist = obs.snapshot()["histograms"]["hot.region.us"]
+        assert hist["count"] == 1 and hist["sum"] > 0.0
+
+    def test_registry_methods_ignore_the_knob(self):
+        # SimStats-style always-on accounting writes at registry level.
+        with tuning.overridden(obs=0):
+            obs.metrics().inc("always.on")
+        assert obs.snapshot()["counters"]["always.on"] == 1
+
+
+class TestTracer:
+    def test_inactive_tracer_records_nothing(self):
+        with obs.span("untraced"):
+            pass
+        assert obs.tracer().trace_events() == []
+
+    def test_nested_spans_carry_depth(self):
+        obs.tracer().start()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        events = {e["name"]: e for e in obs.tracer().trace_events()}
+        assert events["outer"]["args"]["depth"] == 1
+        assert events["inner"]["args"]["depth"] == 2
+        # inner closed first: complete events are appended at exit
+        assert obs.tracer().trace_events()[0]["name"] == "inner"
+
+    def test_chrome_trace_file_is_loadable(self, tmp_path):
+        obs.tracer().start()
+        with obs.span("traced.region"):
+            sum(range(100))
+        out = tmp_path / "run.trace.json"
+        count = obs.tracer().write(out)
+        assert count == 1
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert doc["displayTimeUnit"] == "ms"
+        (event,) = doc["traceEvents"]
+        assert event["ph"] == "X"
+        assert event["name"] == "traced.region"
+        assert event["dur"] > 0.0
+        assert isinstance(event["pid"], int)
+
+
+class TestMetricsDocument:
+    def test_document_shape_and_merge(self):
+        obs.inc("parent.counter", 2)
+        shard = obs.MetricsRegistry()
+        shard.inc("parent.counter", 3)
+        shard.inc("shard.only", 1)
+        doc = obs.metrics_document({1: shard.snapshot()})
+        assert doc["schema"] == obs.SCHEMA
+        assert set(doc) == {"schema", "process", "shards", "merged"}
+        assert list(doc["shards"]) == ["1"]  # JSON-safe string keys
+        assert doc["merged"]["counters"]["parent.counter"] == 5
+        assert doc["merged"]["counters"]["shard.only"] == 1
+
+    def test_document_without_shards(self):
+        obs.inc("solo", 1)
+        doc = obs.metrics_document()
+        assert doc["shards"] == {}
+        assert doc["merged"] == doc["process"]

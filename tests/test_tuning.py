@@ -23,6 +23,22 @@ class TestOverrides:
         assert t.parallel_min_nodes == tuning.DEFAULT_PARALLEL_MIN_NODES
         assert t.auto_max_workers == tuning.DEFAULT_AUTO_MAX_WORKERS
         assert t.small_frontier == tuning.DEFAULT_SMALL_FRONTIER
+        assert t.obs == tuning.DEFAULT_OBS
+
+    def test_obs_may_be_zero_but_not_negative(self):
+        assert tuning.configure(obs=0).obs == 0
+        with pytest.raises(ParameterError):
+            tuning.configure(obs=-1)
+        with pytest.raises(ParameterError):
+            tuning.configure(batch_chunk=0)  # every other knob keeps floor 1
+
+    def test_obs_env_words(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "off")
+        tuning.reset()
+        assert tuning.get().obs == 0
+        monkeypatch.setenv("REPRO_OBS", "on")
+        tuning.reset()
+        assert tuning.get().obs == 1
 
     def test_env_override(self, monkeypatch):
         monkeypatch.setenv("REPRO_BATCH_CHUNK", "17")
