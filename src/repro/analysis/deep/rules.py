@@ -1,0 +1,357 @@
+"""Interprocedural rules RL008–RL011 (``python -m repro lint --deep``).
+
+Each rule consumes the :class:`~repro.analysis.deep.summaries.Summaries`
+closure rather than re-walking callee bodies: RL008 chases versioned-
+matrix taint through call arguments into sink parameters, RL009 pins RNG
+construction to :mod:`repro.rng` seed flow, RL010 demands every freshly
+created shared-memory owner reach a close/owner on the main path, and
+RL011 forbids anything that can park the process inside a seqlock
+read-retry loop.
+
+These rules are the *static* half of a two-layer check; the runtime
+sanitizer (:mod:`repro.analysis.sanitize`) enforces the same protocols
+dynamically where the over-approximation here cannot decide (virtual
+dispatch, data-dependent aliasing).  The fixture corpus in
+``tests/analysis`` asserts per injected violation which layer catches it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ...errors import ParameterError
+from ..lint.engine import Finding
+from .callgraph import FunctionInfo, Project
+from .summaries import FunctionSummary, Summaries, _param_offset
+
+__all__ = [
+    "DEEP_REGISTRY",
+    "DeepRule",
+    "default_deep_rules",
+    "register_deep",
+]
+
+
+class DeepRule:
+    """One interprocedural invariant, checked over a whole project.
+
+    Unlike the per-file :class:`~repro.analysis.lint.engine.Rule`,
+    ``check`` receives the project and the summary closure; findings may
+    land in any file.  Suppression filtering is still the engine's job.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(self, project: Project, summaries: Summaries) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, fi: FunctionInfo, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=str(fi.ctx.path),
+            line=getattr(node, "lineno", fi.node.lineno),
+            col=getattr(node, "col_offset", fi.node.col_offset),
+            rule=self.code,
+            message=message,
+        )
+
+
+#: code -> deep rule class; populated by :func:`register_deep`.
+DEEP_REGISTRY: "dict[str, type[DeepRule]]" = {}
+
+
+def register_deep(cls: "type[DeepRule]") -> "type[DeepRule]":
+    if not cls.code or not re.fullmatch(r"RL\d{3}", cls.code):
+        raise ParameterError(f"deep rule {cls.__name__} needs a code matching RLxxx")
+    if cls.code in DEEP_REGISTRY:
+        raise ParameterError(f"duplicate deep rule code {cls.code}")
+    DEEP_REGISTRY[cls.code] = cls
+    return cls
+
+
+def default_deep_rules() -> "list[DeepRule]":
+    return [DEEP_REGISTRY[code]() for code in sorted(DEEP_REGISTRY)]
+
+
+def _kinds_match(arg_kind: str, sink_kind: str) -> bool:
+    return "both" in (arg_kind, sink_kind) or arg_kind == sink_kind
+
+
+@register_deep
+class InterproceduralBracketRule(DeepRule):
+    """RL008 — versioned-matrix writes bracketed even through callees.
+
+    RL001 sees the bracket and the write in one function; this rule also
+    flags (a) an unbracketed write to a matrix the function itself
+    obtained (``versioned=True`` construction, ``state.matrix(...)``,
+    ``state.matrices[...]``, a tainted ``self`` attribute), and (b) an
+    unbracketed call that passes such a matrix into a callee whose
+    summary says the matching parameter reaches a row write.
+    """
+
+    code = "RL008"
+    name = "deep-seqlock-bracket"
+    description = (
+        "every reachable write to a versioned matrix row must be inside a "
+        "begin_row_write/end_row_write bracket, including writes in callees"
+    )
+
+    def _root_taint(
+        self, summaries: Summaries, fi: FunctionInfo, s: FunctionSummary, root: str
+    ) -> "str | None":
+        """Taint kind of a write-site root expression, or None."""
+        kinds = []
+        if root in s.local_obj:
+            kinds.append("obj")
+        if root in s.local_arr:
+            kinds.append("arr")
+        attr = summaries.attr_kind(fi, root)
+        if attr is not None:
+            kinds.append(attr)
+        if not kinds:
+            return None
+        if "both" in kinds or len(set(kinds)) > 1:
+            return "both"
+        return kinds[0]
+
+    def _arg_taint(
+        self, summaries: Summaries, fi: FunctionInfo, s: FunctionSummary, arg: ast.expr
+    ) -> "str | None":
+        """Taint kind carried by a call argument expression, or None."""
+        if isinstance(arg, ast.Name):
+            if arg.id in s.array_alias:
+                root = s.array_alias[arg.id]
+                if self._root_taint(summaries, fi, s, root) in ("obj", "both"):
+                    return "arr"
+            return self._root_taint(summaries, fi, s, arg.id)
+        if isinstance(arg, ast.Attribute):
+            if arg.attr == "array":
+                root = ast.unparse(arg.value)
+                if self._root_taint(summaries, fi, s, root) in ("obj", "both"):
+                    return "arr"
+                return None
+            return self._root_taint(summaries, fi, s, ast.unparse(arg))
+        if isinstance(arg, ast.Subscript):
+            base = arg.value
+            if isinstance(base, ast.Attribute) and base.attr == "matrices":
+                return "obj"
+        return None
+
+    def check(self, project: Project, summaries: Summaries) -> Iterator[Finding]:
+        for fi, s in summaries.of.items():
+            if summaries.exempt_rl008(fi):
+                continue
+            for w in s.writes:
+                if w.bracketed:
+                    continue
+                kind = self._root_taint(summaries, fi, s, w.root)
+                if kind is None:
+                    continue
+                yield self.finding(
+                    fi,
+                    w.node,
+                    f"write to versioned matrix '{w.root}' outside a "
+                    f"begin_row_write/end_row_write bracket in {fi.name}()",
+                )
+            for cs in s.calls:
+                if cs.bracketed:
+                    continue
+                for callee in cs.callees:
+                    if summaries.exempt_rl008(callee):
+                        continue
+                    callee_s = summaries.of[callee]
+                    off = _param_offset(callee, cs.call)
+                    for pos, sink_kind in callee_s.sink_params.items():
+                        ai = pos - off
+                        if not (0 <= ai < len(cs.call.args)):
+                            continue
+                        arg = cs.call.args[ai]
+                        # A bare parameter propagates taint to *our*
+                        # callers via the sink fixpoint instead.
+                        if isinstance(arg, ast.Name) and arg.id in s.params:
+                            continue
+                        arg_kind = self._arg_taint(summaries, fi, s, arg)
+                        if arg_kind is None or not _kinds_match(arg_kind, sink_kind):
+                            continue
+                        yield self.finding(
+                            fi,
+                            cs.call,
+                            f"call to {callee.name}() writes versioned matrix "
+                            f"rows via '{ast.unparse(arg)}' outside a "
+                            "begin_row_write/end_row_write bracket",
+                        )
+                        break  # one finding per call site is enough
+
+
+@register_deep
+class RngTaintRule(DeepRule):
+    """RL009 — library RNG streams must be rooted in caller-provided seeds.
+
+    RL002 forbids raw ``np.random.default_rng`` / ``random.*``; this rule
+    catches the subtler break: a helper deep in ``src/repro`` calling the
+    *sanctioned* entry points (``ensure_rng``, ``derive_seed``,
+    ``spawn``) with a literal, silently pinning every caller to one
+    stream and detaching the result from the experiment seed.
+    """
+
+    code = "RL009"
+    name = "deep-rng-taint"
+    description = (
+        "repro.rng entry points in library code must be fed seeds that flow "
+        "from callers, never integer/None literals"
+    )
+
+    _SEED_PARAM_RE = re.compile(r"seed", re.IGNORECASE)
+
+    def _in_scope(self, fi: FunctionInfo) -> bool:
+        posix = f"/{fi.ctx.posix_path}"
+        return "/repro/" in posix and not posix.endswith("repro/rng.py")
+
+    def check(self, project: Project, summaries: Summaries) -> Iterator[Finding]:
+        for fi, s in summaries.of.items():
+            if not self._in_scope(fi):
+                continue
+            has_seed_param = any(
+                self._SEED_PARAM_RE.search(p) for p in s.params
+            )
+            for rc in s.rng_calls:
+                if rc.seed is None and not has_seed_param:
+                    # ensure_rng(None) in a seed-less function is the
+                    # documented "fresh entropy" escape hatch.
+                    continue
+                if rc.seed is None:
+                    message = (
+                        f"{rc.func}(None) ignores the seed parameter of "
+                        f"{fi.name}() — thread the caller's seed through"
+                    )
+                else:
+                    message = (
+                        f"{rc.func}({rc.seed!r}) re-seeds from a literal in "
+                        f"library code — derive the seed from the caller "
+                        "(repro.rng.derive_seed) instead"
+                    )
+                yield self.finding(fi, rc.node, message)
+
+
+@register_deep
+class ShmEscapeRule(DeepRule):
+    """RL010 — shared-memory owners must reach a close/owner on all
+    non-exceptional paths.
+
+    RL003's per-file heuristic sees ``share()`` and ``close()`` in one
+    function; this rule follows the handle through the call graph: a
+    creation handed to a callee counts as handled only if some resolved
+    target closes, stores, returns, or ``with``-manages that parameter
+    (transitively).  A close that only happens inside an ``except``
+    handler does not count — the main path still leaks.
+    """
+
+    code = "RL010"
+    name = "deep-shm-escape"
+    description = (
+        "every share()/Shared* owner must reach close()/unlink() or a "
+        "registered owner on the non-exceptional path, across calls"
+    )
+
+    def _handled_by_call(
+        self, summaries: Summaries, s: FunctionSummary, name: str
+    ) -> bool:
+        for cs in s.calls:
+            call = cs.call
+            if any(
+                kw.value is not None
+                and isinstance(kw.value, ast.Name)
+                and kw.value.id == name
+                for kw in call.keywords
+            ):
+                return True  # keyword hand-off: assume ownership transfer
+            for ai, arg in enumerate(call.args):
+                if not (isinstance(arg, ast.Name) and arg.id == name):
+                    continue
+                if not cs.callees:
+                    return True  # external callee: assume it takes ownership
+                for callee in cs.callees:
+                    off = _param_offset(callee, call)
+                    if (ai + off) in summaries.of[callee].handling_params:
+                        return True
+        return False
+
+    def check(self, project: Project, summaries: Summaries) -> Iterator[Finding]:
+        for fi, s in summaries.of.items():
+            for creation in s.creations:
+                if creation.name in s.handled_names:
+                    continue
+                if self._handled_by_call(summaries, s, creation.name):
+                    continue
+                yield self.finding(
+                    fi,
+                    creation.node,
+                    f"shared-memory owner '{creation.name}' from "
+                    f"{creation.what} never reaches close()/unlink() or an "
+                    f"owner on the non-exceptional path of {fi.name}()",
+                )
+
+
+@register_deep
+class BlockingInRetryLoopRule(DeepRule):
+    """RL011 — nothing that parks the process inside a seqlock retry loop.
+
+    A seqlock reader loops until it observes an even, stable row version;
+    blocking inside that loop (queue ``get``, ``time.sleep`` outside the
+    ``_spin`` ladder, lock acquisition, pool dispatch) turns a bounded
+    spin into a potential deadlock against the writer it is waiting out.
+    Transitive: a call whose summary says the callee can block is flagged
+    at the call site.
+    """
+
+    code = "RL011"
+    name = "deep-seqlock-blocking"
+    description = (
+        "no blocking calls (queue get, sleep beyond the _spin ladder, pool "
+        "dispatch) inside a seqlock read-retry loop, transitively"
+    )
+
+    def check(self, project: Project, summaries: Summaries) -> Iterator[Finding]:
+        for fi, s in summaries.of.items():
+            if not s.retry_loops:
+                continue
+            retry_nodes = {
+                id(sub) for loop in s.retry_loops for sub in ast.walk(loop)
+            }
+            seen: "set[tuple[int, int]]" = set()
+            for b in s.blocking:
+                if id(b.node) not in retry_nodes:
+                    continue
+                key = (b.node.lineno, b.node.col_offset)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield self.finding(
+                    fi,
+                    b.node,
+                    f"blocking call ({b.label}) inside a seqlock read-retry "
+                    f"loop in {fi.name}()",
+                )
+            for cs in s.calls:
+                if not cs.in_retry_loop:
+                    continue
+                for callee in cs.callees:
+                    if callee.name == "_spin":
+                        continue
+                    chain = summaries.of[callee].blocks
+                    if chain is None:
+                        continue
+                    key = (cs.call.lineno, cs.call.col_offset)
+                    if key in seen:
+                        break
+                    seen.add(key)
+                    yield self.finding(
+                        fi,
+                        cs.call,
+                        f"call to {callee.name}() can block ({chain}) inside "
+                        f"a seqlock read-retry loop in {fi.name}()",
+                    )
+                    break

@@ -15,8 +15,10 @@ Architecture
 ------------
 * :class:`Rule` — one invariant; subclasses implement ``check(ctx)`` and
   register themselves in :data:`REGISTRY` via the :func:`register`
-  decorator (codes ``RL001``–``RL006`` live in
-  :mod:`repro.analysis.lint.rules`).
+  decorator (codes ``RL001``–``RL007`` live in
+  :mod:`repro.analysis.lint.rules`; the interprocedural codes
+  ``RL008``–``RL011`` live in :mod:`repro.analysis.deep` and run under
+  ``python -m repro lint --deep``).
 * :class:`FileContext` — one parsed file: source, AST, a lazily built
   parent map (for ancestor queries like "is this statement inside a
   ``finally`` block?"), and the parsed suppression comments.
@@ -26,10 +28,15 @@ Architecture
 Suppressions
 ------------
 A finding is silenced by a ``# reprolint: disable=RL001`` comment on the
-*same physical line* (several codes may be comma-separated; a bare
-``# reprolint: disable`` silences every rule on that line).  Suppressions
-are deliberately line-scoped — a protocol exemption should be visible
-exactly where it applies, next to the justification comment.
+same *logical* line (several codes may be comma-separated; a bare
+``# reprolint: disable`` silences every rule on that line).  For a
+statement wrapped over several physical lines the comment may sit on any
+of them — including the closing paren — and applies to the whole span,
+because findings anchor to the statement's first line while formatters
+push trailing comments to the last.  A comment on its own line scopes to
+that line only.  Suppressions are deliberately line-scoped — a protocol
+exemption should be visible exactly where it applies, next to the
+justification comment.
 """
 
 from __future__ import annotations
@@ -38,7 +45,7 @@ import ast
 import io
 import re
 import tokenize
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Iterable, Iterator
 
@@ -67,37 +74,83 @@ _SUPPRESS_RE = re.compile(
 
 @dataclass(frozen=True, order=True)
 class Finding:
-    """One rule violation at one source location (sortable by location)."""
+    """One rule violation at one source location (sortable by location).
+
+    ``suppressed`` is ``False`` for every finding the default pass returns;
+    the JSON output (``lint --format json`` → ``keep_suppressed=True``)
+    also carries the findings an inline comment silenced, flagged.
+    """
 
     path: str
     line: int
     col: int
     rule: str
     message: str
+    suppressed: bool = False
 
     def format(self) -> str:
         """The canonical one-line report: ``path:line:col: RLxxx message``."""
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
 
 
+#: Token types that neither carry code nor terminate a logical line —
+#: seeing one of these never starts or ends a suppression span.
+_NEUTRAL_TOKENS = frozenset(
+    {
+        tokenize.NL,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENDMARKER,
+        tokenize.ENCODING,
+    }
+)
+
+
 def parse_suppressions(source: str) -> "dict[int, frozenset[str] | None]":
-    """Map line number → suppressed rule codes (``None`` = all rules).
+    """Map physical line number → suppressed rule codes (``None`` = all).
 
     Comments are found with :mod:`tokenize`, so a ``# reprolint:`` inside a
-    string literal never counts as a suppression.
+    string literal never counts as a suppression.  A suppression trailing
+    *any* physical line of a multi-line statement applies to the whole
+    logical line (every physical line of the span) — so a disable on the
+    closing paren of a wrapped call silences the finding reported at the
+    call's first line.  A comment on a line of its own scopes to exactly
+    that line.
     """
     out: "dict[int, frozenset[str] | None]" = {}
+
+    def add(line: int, codes: "frozenset[str] | None") -> None:
+        have = out.get(line, frozenset())
+        out[line] = None if (codes is None or have is None) else have | codes
+
+    pending: "list[frozenset[str] | None]" = []  # comments inside the current span
+    logical_start: "int | None" = None  # first row of the open logical line
     try:
         for tok in tokenize.generate_tokens(io.StringIO(source).readline):
-            if tok.type != tokenize.COMMENT:
-                continue
-            match = _SUPPRESS_RE.search(tok.string)
-            if match is None:
-                continue
-            codes = match.group(1)
-            out[tok.start[0]] = (
-                None if codes is None else frozenset(c.strip() for c in codes.split(","))
-            )
+            if tok.type == tokenize.COMMENT:
+                match = _SUPPRESS_RE.search(tok.string)
+                if match is None:
+                    continue
+                codes = match.group(1)
+                parsed = (
+                    None
+                    if codes is None
+                    else frozenset(c.strip() for c in codes.split(","))
+                )
+                if logical_start is None:
+                    add(tok.start[0], parsed)  # own-line comment: that line only
+                else:
+                    pending.append(parsed)  # defer until the span's extent is known
+            elif tok.type == tokenize.NEWLINE:  # end of a logical line
+                if logical_start is not None:
+                    for parsed in pending:
+                        for line in range(logical_start, tok.start[0] + 1):
+                            add(line, parsed)
+                pending.clear()
+                logical_start = None
+            elif tok.type not in _NEUTRAL_TOKENS:
+                if logical_start is None:
+                    logical_start = tok.start[0]
     except tokenize.TokenError:
         # A malformed tail (unterminated string) already surfaces as a
         # parse-error finding; suppressions seen so far still apply.
@@ -231,11 +284,15 @@ def lint_file(
     rules: "Iterable[Rule] | None" = None,
     *,
     source: "str | None" = None,
+    keep_suppressed: bool = False,
 ) -> "list[Finding]":
     """Run *rules* (default: all registered) over one file.
 
     *source* overrides the file content — used by the fixture tests to lint
     a snippet *as if* it lived at *path* (several rules scope by module).
+    With *keep_suppressed* the findings an inline comment silenced are
+    returned too, marked ``suppressed=True`` (the JSON output wants them);
+    by default they are dropped.
     """
     file_path = Path(path)
     text = file_path.read_text(encoding="utf-8") if source is None else source
@@ -252,21 +309,25 @@ def lint_file(
             )
         ]
     active = default_rules() if rules is None else list(rules)
-    findings = [
-        f
-        for rule in active
-        for f in rule.check(ctx)
-        if not ctx.is_suppressed(f.rule, f.line)
-    ]
+    findings: "list[Finding]" = []
+    for rule in active:
+        for f in rule.check(ctx):
+            if not ctx.is_suppressed(f.rule, f.line):
+                findings.append(f)
+            elif keep_suppressed:
+                findings.append(replace(f, suppressed=True))
     return sorted(findings)
 
 
 def lint_paths(
-    paths: Iterable["Path | str"], rules: "Iterable[Rule] | None" = None
+    paths: Iterable["Path | str"],
+    rules: "Iterable[Rule] | None" = None,
+    *,
+    keep_suppressed: bool = False,
 ) -> "list[Finding]":
     """Run the rules over every Python file under *paths*; sorted findings."""
     active = default_rules() if rules is None else list(rules)
     findings: "list[Finding]" = []
     for file_path in iter_python_files(paths):
-        findings.extend(lint_file(file_path, active))
+        findings.extend(lint_file(file_path, active, keep_suppressed=keep_suppressed))
     return sorted(findings)

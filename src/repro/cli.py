@@ -229,6 +229,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the registered rules and exit",
     )
+    p.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run the interprocedural pass (call graph + function "
+        "summaries: RL008-RL011)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json carries suppressed findings, flagged)",
+    )
 
     p = sub.add_parser(
         "obs",
@@ -863,31 +875,72 @@ def _cmd_demo(args) -> int:
 
 
 def _cmd_lint(args) -> int:
+    import json as _json
     import os
 
+    from .analysis.deep import deep_lint_paths, default_deep_rules
     from .analysis.lint import default_rules, lint_paths
     from .errors import ParameterError
 
     rules = default_rules()
+    deep_rules = default_deep_rules()
     if args.list_rules:
         for rule in rules:
             print(f"{rule.code} {rule.name}: {rule.description}")
+        for rule in deep_rules:
+            print(f"{rule.code} {rule.name} [deep]: {rule.description}")
         return 0
     paths = args.paths or [p for p in ("src", "benchmarks", "scripts") if os.path.isdir(p)]
     if not paths:
         print("repro lint: no paths given and none of src/benchmarks/scripts exist here")
         return 2
+    as_json = args.format == "json"
     try:
-        findings = lint_paths(paths, rules)
+        findings = lint_paths(paths, rules, keep_suppressed=as_json)
+        if args.deep:
+            findings = sorted(
+                findings + deep_lint_paths(paths, deep_rules, keep_suppressed=as_json)
+            )
     except ParameterError as exc:
         print(f"repro lint: {exc}")
         return 2
-    for finding in findings:
+    unsuppressed = [f for f in findings if not f.suppressed]
+    if as_json:
+        print(
+            _json.dumps(
+                {
+                    "schema": "reprolint/1",
+                    "deep": bool(args.deep),
+                    "paths": [str(p) for p in paths],
+                    "findings": [
+                        {
+                            "rule": f.rule,
+                            "path": f.path,
+                            "line": f.line,
+                            "col": f.col,
+                            "message": f.message,
+                            "suppressed": f.suppressed,
+                        }
+                        for f in findings
+                    ],
+                    "summary": {
+                        "findings": len(unsuppressed),
+                        "suppressed": len(findings) - len(unsuppressed),
+                    },
+                },
+                indent=2,
+            )
+        )
+        return 1 if unsuppressed else 0
+    for finding in unsuppressed:
         print(finding.format())
-    if findings:
-        print(f"repro lint: {len(findings)} finding(s) in {', '.join(map(str, paths))}")
+    n_rules = len(rules) + (len(deep_rules) if args.deep else 0)
+    if unsuppressed:
+        print(
+            f"repro lint: {len(unsuppressed)} finding(s) in {', '.join(map(str, paths))}"
+        )
         return 1
-    print(f"repro lint: clean ({', '.join(map(str, paths))}; {len(rules)} rules)")
+    print(f"repro lint: clean ({', '.join(map(str, paths))}; {n_rules} rules)")
     return 0
 
 

@@ -30,9 +30,18 @@ and :func:`~repro.routing.tables.routing_table`.
 ``benchmarks/test_bench_parallel.py`` records the W = 1, 2, 4 repair
 -throughput curve and the publish costs as ``BENCH_parallel.json``
 (degrading to a W = 1 measurement on single-core runners).
+
+With ``REPRO_SANITIZE=1`` the runtime protocol sanitizer
+(:mod:`repro.analysis.sanitize`) installs before any shared state is
+touched — the import below runs in ``spawn`` workers too, since the task
+registry forces this package onto their import path.
 """
 
-from .pool import TASKS, WorkerError, WorkerPool, resolve_workers
+from ..analysis.sanitize import maybe_install_from_env as _maybe_install_sanitizer
+
+_maybe_install_sanitizer()
+
+from .pool import TASKS, WorkerError, WorkerPool, resolve_workers  # noqa: E402
 from .shm import (
     AttachedCSR,
     AttachedDirectory,

@@ -41,6 +41,7 @@ import traceback
 import numpy as np
 
 from .. import obs, tuning
+from ..analysis import sanitize as _sanitize
 from ..errors import ParameterError, ReproError
 from ..rng import derive_seed, ensure_rng
 from .shm import AttachedCSR, AttachedMatrix, PublishStats, SharedCSR, SharedMatrix
@@ -131,10 +132,16 @@ def _task_bfs_rows(state: _WorkerState, payload):
 
     graph, out, sources, slots, cutoff = payload
     g = state.csr(graph)
-    dest = state.matrix(out)
+    attached = state.matrices[out]
+    dest = attached.array
     slot_of = dict(zip(sources, slots))
     for s, row in batched_bfs(g, sources, cutoff, arrays=True):
-        dest[slot_of[s]] = row
+        slot = slot_of[s]
+        attached.begin_row_write(slot)
+        try:
+            dest[slot] = row
+        finally:
+            attached.end_row_write(slot)
     return len(sources)
 
 
@@ -242,6 +249,41 @@ def _task_crash_in_write(state: _WorkerState, payload):
         attached.end_row_write(row)
 
 
+def _task_sanitize_nested_begin(state: _WorkerState, payload):
+    """Fault injection: open a seqlock bracket *twice* on the same row.
+
+    ``payload = (matrix, row)`` — the nested ``begin_row_write`` is the
+    violation the static pass provably cannot see (it happens across two
+    dynamic activations of correct-looking code), so the sanitizer suite
+    uses this task to assert the runtime layer fires inside real worker
+    processes, under both ``fork`` and ``spawn``.  Returns ``(active,
+    raised, kinds)`` — whether the sanitizer was installed in this
+    process, the raise-mode error message (or None), and the recorded
+    violation kinds.  Lives in the production registry so ``spawn``
+    workers can resolve it after re-import.
+    """
+    name, row = payload
+    attached = state.matrices[name]
+    caught = None
+    attached.begin_row_write(row)
+    try:
+        # Nested begin: flips the row version even mid-write, so a reader
+        # would accept a torn row.  Deliberate protocol violation under
+        # test; the arithmetic below rebalances the counter.
+        attached.begin_row_write(row)  # reprolint: disable=RL001
+    except _sanitize.SanitizeError as exc:
+        caught = str(exc)
+    finally:
+        attached.end_row_write(row)
+        if caught is None:
+            # The nested begin actually incremented (record mode / off):
+            # a second end restores the even version for later readers.
+            attached.end_row_write(row)
+    kinds = [v.kind for v in _sanitize.violations()]
+    _sanitize.clear_violations()
+    return (_sanitize.active, caught, kinds)
+
+
 def _task_obs_snapshot(state: _WorkerState, payload):
     """Ship-and-reset this worker's metrics registry (exact-once shipping:
     every observation leaves the worker exactly once, either here or in the
@@ -277,6 +319,7 @@ TASKS = {
     "serve_tables": _task_serve_tables,
     "tree_edges": _task_tree_edges,
     "crash_in_write": _task_crash_in_write,
+    "sanitize_nested_begin": _task_sanitize_nested_begin,
     "obs_snapshot": _task_obs_snapshot,
     "obs_record": _task_obs_record,
 }
@@ -287,6 +330,19 @@ TASKS = {
 _OBS_TASK_ID = -2
 
 
+def _segment_names(owner) -> "list[str]":
+    """Block names an owner's picklable handle points at (leak check)."""
+    import dataclasses
+
+    handle = owner.handle
+    return [
+        value
+        for f in dataclasses.fields(handle)
+        for value in (getattr(handle, f.name),)
+        if isinstance(value, str) and (f.name == "name" or f.name.endswith("_name"))
+    ]
+
+
 def _worker_main(worker_id: int, num_workers: int, seed: int, task_q, result_q) -> None:
     """Worker process entry point: attach, loop, answer, clean up."""
     state = _WorkerState(worker_id, num_workers, seed)
@@ -295,6 +351,10 @@ def _worker_main(worker_id: int, num_workers: int, seed: int, task_q, result_q) 
     # -merged; worker trace events are never shipped, so don't collect.
     obs.reset()
     obs.tracer().stop()
+    if _sanitize.active:
+        # Same reasoning: inherited bracket/segment state describes the
+        # parent's actions, not this process's.
+        _sanitize.worker_reset()
     try:
         while True:
             msg = task_q.get()
@@ -401,6 +461,8 @@ class WorkerPool:
             return
         if self._procs:  # a worker died (or was torn down): restart cleanly
             self._stop_workers(graceful=False)
+        if _sanitize.active:
+            _sanitize.note_pool_start(id(self))
         self._result_q = self._ctx.Queue()
         self._task_qs = [self._ctx.Queue() for _ in range(self.workers)]
         self._procs = []
@@ -471,6 +533,8 @@ class WorkerPool:
                 time.sleep(0.01)
                 continue
             if ok and task_id == _OBS_TASK_ID:
+                if _sanitize.active:
+                    _sanitize.note_final_snapshot(id(self), wid)
                 self._absorb_obs(wid, res)
                 expected.discard(wid)
 
@@ -499,10 +563,18 @@ class WorkerPool:
         if self._closed:
             return
         self._stop_workers(graceful=True)
+        published = (
+            [seg for (_k, owner) in self._shared.values() for seg in _segment_names(owner)]
+            if _sanitize.active
+            else []
+        )
         for _name, (_kind, owner) in self._shared.items():
             owner.close()
         self._shared.clear()
         self._closed = True
+        for seg in published:
+            if _sanitize.segment_open(seg):
+                _sanitize.report_pool_leak(seg)
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -635,7 +707,9 @@ class WorkerPool:
                         ) from None
                     continue
                 if ok and task_id == _OBS_TASK_ID:  # final snapshot of a
-                    self._absorb_obs(wid, res)  # worker stopped earlier
+                    if _sanitize.active:  # worker stopped earlier
+                        _sanitize.note_final_snapshot(id(self), wid)
+                    self._absorb_obs(wid, res)
                     continue
                 if not ok:
                     raise WorkerError(f"task failed in worker {wid}:\n{res}")

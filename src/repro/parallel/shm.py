@@ -61,6 +61,7 @@ from typing import Iterable
 import numpy as np
 
 from .. import obs
+from ..analysis import sanitize as _sanitize
 from ..errors import ParameterError, TornReadError
 from ..graph.csr import CSRGraph
 
@@ -109,7 +110,19 @@ def _headroom(size: int) -> int:
 def _create_block(nbytes: int) -> shared_memory.SharedMemory:
     """A fresh named block; the short random suffix keeps names collision-free."""
     name = f"repro-{secrets.token_hex(6)}"
-    return shared_memory.SharedMemory(name=name, create=True, size=max(nbytes, 1))
+    block = shared_memory.SharedMemory(name=name, create=True, size=max(nbytes, 1))
+    if _sanitize.active:
+        # Leak tracking: deregister on unlink (instance attribute shadows
+        # the method), so whatever survives at pool close is a leak.
+        _sanitize.note_segment_create(name)
+        original_unlink = block.unlink
+
+        def _tracked_unlink(_orig=original_unlink, _name=name):
+            _sanitize.note_segment_unlink(_name)
+            _orig()
+
+        block.unlink = _tracked_unlink  # type: ignore[method-assign]
+    return block
 
 
 def _attach_block(name: str) -> shared_memory.SharedMemory:
@@ -449,12 +462,16 @@ class SharedMatrix:
         """Mark row *u* as mid-write (odd version); no-op when unversioned."""
         ver = self.row_versions
         if ver is not None:
+            if _sanitize.active:
+                _sanitize.note_begin_row_write(self._shm_ver.name, u)
             ver[u] += 1
 
     def end_row_write(self, u: int) -> None:
         """Commit row *u* (even version again); no-op when unversioned."""
         ver = self.row_versions
         if ver is not None:
+            if _sanitize.active:
+                _sanitize.note_end_row_write(self._shm_ver.name, u)
             ver[u] += 1
 
     @property
@@ -521,6 +538,8 @@ class SharedMatrix:
     def close(self) -> None:
         if self._closed:
             return
+        if _sanitize.active and self._shm_ver is not None:
+            _sanitize.note_matrix_close(self._shm_ver.name)
         self._closed = True
         blocks = [self._shm] if self._shm_ver is None else [self._shm, self._shm_ver]
         for shm in blocks:
@@ -593,11 +612,15 @@ class AttachedMatrix:
     def begin_row_write(self, u: int) -> None:
         """Mark row *u* mid-write (odd); no-op when unversioned."""
         if self._ver is not None:
+            if _sanitize.active:
+                _sanitize.note_begin_row_write(self._handle.versions_name, u)
             self._ver[u] += 1
 
     def end_row_write(self, u: int) -> None:
         """Commit row *u* (even again); no-op when unversioned."""
         if self._ver is not None:
+            if _sanitize.active:
+                _sanitize.note_end_row_write(self._handle.versions_name, u)
             self._ver[u] += 1
 
     def read_row(self, u: int, cols: "np.ndarray | None" = None) -> np.ndarray:

@@ -1,0 +1,26 @@
+"""RL008 bad: versioned-matrix writes reachable without a bracket.
+
+The write sits in a callee, so per-file RL001 sees nothing wrong in
+either function — only the interprocedural pass connects the tainted
+argument to the sink parameter.
+"""
+
+
+def write_row(dest, u, row):
+    dest.array[u] = row  # sink: the parameter reaches a row write
+
+
+def repair(state, rows):
+    dist = state.matrices["dist"]
+    for u, row in rows:
+        write_row(dist, u, row)  # tainted matrix into the sink, no bracket
+
+
+def local_write(pool):
+    m = pool.matrix("d", 8, 8, versioned=True)
+    m.array[0] = 1  # direct unbracketed write to a versioned matrix
+
+
+def alias_write(state):
+    arr = state.matrix("dist")  # worker-state accessor returns the array
+    arr[3] = 0  # unbracketed write through the bare-array alias

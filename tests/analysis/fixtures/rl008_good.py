@@ -1,0 +1,29 @@
+"""RL008 good: the same callee write, but every path in is bracketed."""
+
+
+def write_row(dest, u, row):
+    dest.array[u] = row  # still a sink, but all callers bracket
+
+
+def repair(state, rows):
+    att = state.matrices["dist"]
+    for u, row in rows:
+        att.begin_row_write(u)
+        try:
+            write_row(att, u, row)
+        finally:
+            att.end_row_write(u)
+
+
+def local_write(pool):
+    m = pool.matrix("d", 8, 8, versioned=True)
+    m.begin_row_write(0)
+    try:
+        m.array[0] = 1
+    finally:
+        m.end_row_write(0)
+
+
+def unversioned_write(pool):
+    plain = pool.matrix("scratch", 8, 8, versioned=False)
+    plain.array[0] = 1  # explicitly unversioned: no bracket required

@@ -1,0 +1,26 @@
+"""RL010 bad: shared-memory owners that never reach a close or an owner."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def publish(csr):
+    shared = csr.share()  # leak: nothing ever closes or stores it
+    print(shared.handle.indptr_name)
+
+
+def peek(block):
+    size = block.size  # does NOT take ownership: no close/store/return
+    return size
+
+
+def create_and_drop(nbytes):
+    block = SharedMemory(create=True, size=nbytes)
+    peek(block)  # resolved callee provably never closes it
+
+
+def close_only_on_error(nbytes):
+    block = SharedMemory(create=True, size=nbytes)
+    try:
+        pass
+    except OSError:
+        block.unlink()  # only the exceptional path cleans up: still a leak

@@ -1,0 +1,28 @@
+"""RL010 good: every owner is closed, stored, returned, or handed off."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def publish(csr, registry):
+    shared = csr.share()
+    registry["csr"] = shared  # a registered owner keeps the lifetime
+    return shared
+
+
+def adopt(block):
+    block.close()
+    block.unlink()  # this callee takes ownership
+
+
+def create_and_hand_off(nbytes):
+    block = SharedMemory(create=True, size=nbytes)
+    adopt(block)
+
+
+def create_and_close(nbytes):
+    block = SharedMemory(create=True, size=nbytes)
+    try:
+        return bytes(block.buf[:8])
+    finally:
+        block.close()
+        block.unlink()

@@ -1,0 +1,27 @@
+"""RL011 good: retry loops only spin; blocking stays outside them."""
+
+import time
+
+_SEQLOCK_MAX_TRIES = 200_000
+
+
+def read_row(ver, arr, u):
+    for attempt in range(_SEQLOCK_MAX_TRIES):
+        v0 = int(ver[u])
+        if v0 & 1:
+            _spin(attempt)
+            continue
+        row = snapshot(arr, u)  # pure copy, nothing blocking
+        if int(ver[u]) == v0:
+            return row
+        _spin(attempt)
+    raise RuntimeError("row never stabilized")
+
+
+def snapshot(arr, u):
+    return list(arr[u])
+
+
+def drain(work_q):
+    time.sleep(0.0)  # blocking is fine outside the retry loop
+    return work_q.get()

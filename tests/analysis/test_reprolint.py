@@ -67,6 +67,51 @@ class TestEngine:
         lines = (FIXTURES / "suppressed.py").read_text(encoding="utf-8").splitlines()
         assert "disable=RL001" in lines[findings[0].line - 1]  # wrong code kept it alive
 
+    def test_suppression_applies_to_the_whole_logical_line(self):
+        # A disable trailing ANY physical line of a wrapped statement —
+        # including the closing paren, where formatters push comments —
+        # silences the finding reported at the statement's first line.
+        source = (
+            "result = frobnicate(\n"
+            "    alpha,\n"
+            "    beta,\n"
+            ")  # reprolint: disable=RL004\n"
+        )
+        sup = parse_suppressions(source)
+        assert all(sup.get(line) == frozenset({"RL004"}) for line in (1, 2, 3, 4))
+
+    def test_own_line_comment_scopes_to_its_line_only(self):
+        source = "# reprolint: disable=RL001\nx = 1\ny = 2\n"
+        sup = parse_suppressions(source)
+        assert sup == {1: frozenset({"RL001"})}
+
+    def test_comments_within_one_span_merge(self):
+        source = (
+            "value = build(  # reprolint: disable=RL002\n"
+            "    arg,\n"
+            ")  # reprolint: disable=RL006\n"
+        )
+        sup = parse_suppressions(source)
+        assert sup[1] == frozenset({"RL002", "RL006"})
+        assert sup[3] == frozenset({"RL002", "RL006"})
+
+    def test_closing_paren_suppression_silences_a_wrapped_finding(self):
+        source = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(\n"
+            "    7,\n"
+            ")  # reprolint: disable=RL002\n"
+        )
+        findings = lint_file("src/repro/x.py", [RngDisciplineRule()], source=source)
+        assert findings == []
+        kept = lint_file(
+            "src/repro/x.py",
+            [RngDisciplineRule()],
+            source=source,
+            keep_suppressed=True,
+        )
+        assert [(f.rule, f.suppressed) for f in kept] == [("RL002", True)]
+
     def test_syntax_error_becomes_rl000(self):
         findings = lint_file(FIXTURES / "rl000_syntax_error.py")
         assert len(findings) == 1
@@ -253,6 +298,36 @@ class TestCli:
     def test_missing_path_exits_two(self, capsys):
         assert main(["lint", "definitely/not/a/path"]) == 2
         assert "does not exist" in capsys.readouterr().out
+
+    def test_json_format_schema_and_exit(self, capsys):
+        import json
+
+        assert main(["lint", "--format", "json", str(FIXTURES / "rl006_bad.py")]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["schema"] == "reprolint/1"
+        assert data["deep"] is False
+        first = data["findings"][0]
+        assert set(first) == {"rule", "path", "line", "col", "message", "suppressed"}
+        assert data["summary"]["findings"] == len(data["findings"])
+        assert data["summary"]["suppressed"] == 0
+
+    def test_json_carries_suppressed_findings_flagged(self, capsys):
+        import json
+
+        assert main(["lint", "--format", "json", str(FIXTURES / "suppressed.py")]) == 1
+        data = json.loads(capsys.readouterr().out)
+        live = [f for f in data["findings"] if not f["suppressed"]]
+        silenced = [f for f in data["findings"] if f["suppressed"]]
+        assert [f["rule"] for f in live] == ["RL002"]
+        assert len(silenced) == data["summary"]["suppressed"] > 0
+
+    def test_json_clean_exits_zero(self, capsys):
+        import json
+
+        assert main(["lint", "--format", "json", str(FIXTURES / "rl006_good.py")]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["findings"] == []
+        assert data["summary"] == {"findings": 0, "suppressed": 0}
 
 
 class TestRepoIsClean:

@@ -1,0 +1,340 @@
+"""Runtime sanitizer + the shared injected-violation corpus.
+
+The corpus is the cross-validation contract of the two-layer design:
+every deliberately injected protocol violation declares which layer —
+the interprocedural pass (``static``), the runtime sanitizer
+(``runtime``), or both — must catch it, and a parametrized test asserts
+exactly that.  Violations the summaries over-approximate (nested begins
+across dynamic activations, double-shipped snapshots) are runtime-only;
+violations that never execute in tests (a blocking call in a retry loop)
+are static-only; shm leaks are caught by both.
+
+Worker-side checks run through the real :data:`repro.parallel.pool.TASKS`
+fault-injection entry under both ``fork`` and ``spawn`` — the spawn
+child installs the sanitizer purely from ``REPRO_SANITIZE`` at package
+import, which is the production path.
+"""
+
+import multiprocessing
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import sanitize
+from repro.analysis.deep import deep_lint_sources
+from repro.analysis.lint import lint_file
+from repro.analysis.lint.rules import SeqlockBracketRule
+from repro.parallel import WorkerPool
+from repro.parallel import shm as shm_mod
+from repro.parallel.shm import SharedMatrix
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+START_METHODS = [
+    m for m in ("fork", "spawn") if m in multiprocessing.get_all_start_methods()
+]
+
+
+@pytest.fixture(autouse=True)
+def _sanitizer_off_after():
+    yield
+    sanitize.uninstall()
+
+
+# --------------------------------------------------------------------- #
+# sanitizer mechanics
+# --------------------------------------------------------------------- #
+
+
+class TestInstall:
+    def test_env_parsing(self):
+        assert sanitize.enabled_in_env({}) is None
+        for off in ("", "0", "off", "false", "no", "OFF"):
+            assert sanitize.enabled_in_env({"REPRO_SANITIZE": off}) is None
+        assert sanitize.enabled_in_env({"REPRO_SANITIZE": "1"}) == "raise"
+        assert sanitize.enabled_in_env({"REPRO_SANITIZE": "record"}) == "record"
+
+    def test_install_uninstall_roundtrip(self):
+        assert not sanitize.active
+        sanitize.install("record")
+        assert sanitize.active and sanitize.installed_mode() == "record"
+        sanitize.uninstall()
+        assert not sanitize.active and sanitize.installed_mode() is None
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            sanitize.install("explode")
+
+    def test_suspended_restores_the_flag(self):
+        sanitize.install("record")
+        with sanitize.suspended():
+            assert not sanitize.active
+        assert sanitize.active
+
+    def test_raise_mode_raises_and_records(self):
+        sanitize.install("raise")
+        with pytest.raises(sanitize.SanitizeError, match="unmatched"):
+            sanitize.note_end_row_write("seg", 0)
+        assert [v.kind for v in sanitize.violations()] == ["seqlock.unmatched_end"]
+
+    def test_worker_reset_clears_inherited_state(self):
+        sanitize.install("record")
+        sanitize.note_segment_create("seg-a")
+        sanitize.note_begin_row_write("seg-b", 1)
+        sanitize.worker_reset()
+        assert sanitize.open_segments() == set()
+        assert sanitize.open_brackets() == {}
+        assert sanitize.violations() == []
+
+
+# --------------------------------------------------------------------- #
+# the shared injected-violation corpus
+# --------------------------------------------------------------------- #
+
+
+def _runtime_nested_begin():
+    m = SharedMatrix(4, 4, versioned=True, fill=0)
+    try:
+        m.begin_row_write(1)
+        m.begin_row_write(1)  # reprolint: disable=RL001 -- injected violation
+        m.end_row_write(1)
+        m.end_row_write(1)
+    finally:
+        m.close()
+
+
+def _runtime_unmatched_end():
+    m = SharedMatrix(4, 4, versioned=True, fill=0)
+    try:
+        m.end_row_write(2)  # reprolint: disable=RL001 -- injected violation
+        with sanitize.suspended():
+            m.end_row_write(2)  # rebalance to even for the close
+    finally:
+        m.close()
+
+
+def _runtime_open_at_close():
+    m = SharedMatrix(4, 4, versioned=True, fill=0)
+    m.begin_row_write(0)  # reprolint: disable=RL001 -- injected violation
+    m.close()
+
+
+def _runtime_segment_leak():
+    block = shm_mod._create_block(64)
+    try:
+        assert sanitize.segment_open(block.name)
+        sanitize.assert_no_leaks()  # records shm.leak for the open block
+    finally:
+        block.close()
+        block.unlink()
+
+
+def _runtime_leak_at_pool_close():
+    with WorkerPool(workers=1, seed=3, start_method=START_METHODS[0]) as pool:
+        pool.matrix("d", 4, 4, versioned=True, fill=0)
+        owner = pool.matrix_owner("d")
+        real_close = owner.close
+        owner.close = lambda: None  # the injected leak
+        try:
+            pool.close()
+        finally:
+            owner.close = real_close
+    with sanitize.suspended():
+        real_close()
+
+
+def _runtime_double_final_snapshot():
+    import time
+
+    from repro import obs
+
+    pool = WorkerPool(workers=1, seed=3, start_method=START_METHODS[0])
+    try:
+        pool.run("echo", [None], to=[0])  # force a start
+        # Forge a duplicated final snapshot (task id -2) on the result
+        # queue — the exact-once shipping protocol violated in transit.
+        pool._result_q.put((0, -2, True, obs.empty_snapshot()))
+        pool._result_q.put((0, -2, True, obs.empty_snapshot()))
+        time.sleep(0.3)
+        pool._drain_final_snapshots({0})
+    finally:
+        with sanitize.suspended():
+            pool.close()
+
+
+@dataclass
+class Case:
+    """One injected violation and the layer(s) contracted to catch it."""
+
+    name: str
+    layers: "frozenset[str]"
+    static_path: "str | None" = None  # pretend path for path-scoped rules
+    static_fixture: "str | None" = None  # file in tests/analysis/fixtures
+    static_rules: "frozenset[str]" = field(default_factory=frozenset)
+    runtime: "object" = None  # callable run under record mode
+    runtime_kinds: "frozenset[str]" = field(default_factory=frozenset)
+
+
+CORPUS = [
+    Case(
+        name="unbracketed_write_in_callee",
+        layers=frozenset({"static"}),
+        static_fixture="rl008_bad.py",
+        static_path="src/repro/under_test.py",
+        static_rules=frozenset({"RL008"}),
+    ),
+    Case(
+        name="literal_reseed_in_helper",
+        layers=frozenset({"static"}),
+        static_fixture="rl009_bad.py",
+        static_path="src/repro/under_test.py",
+        static_rules=frozenset({"RL009"}),
+    ),
+    Case(
+        name="blocking_in_retry_loop",
+        layers=frozenset({"static"}),
+        static_fixture="rl011_bad.py",
+        static_path="src/repro/under_test.py",
+        static_rules=frozenset({"RL011"}),
+    ),
+    Case(
+        name="leaked_shm_segment",
+        layers=frozenset({"static", "runtime"}),
+        static_fixture="rl010_bad.py",
+        static_path="src/repro/under_test.py",
+        static_rules=frozenset({"RL010"}),
+        runtime=_runtime_segment_leak,
+        runtime_kinds=frozenset({"shm.leak"}),
+    ),
+    Case(
+        name="bracket_open_at_close",
+        layers=frozenset({"static", "runtime"}),
+        # The static half is per-file RL001 (begin not followed by
+        # try/finally); the runtime half is the close-time state machine.
+        static_fixture=None,
+        runtime=_runtime_open_at_close,
+        runtime_kinds=frozenset({"seqlock.open_at_close"}),
+    ),
+    Case(
+        name="nested_begin",
+        layers=frozenset({"runtime"}),
+        runtime=_runtime_nested_begin,
+        runtime_kinds=frozenset({"seqlock.nested_begin"}),
+    ),
+    Case(
+        name="unmatched_end",
+        layers=frozenset({"runtime"}),
+        runtime=_runtime_unmatched_end,
+        runtime_kinds=frozenset({"seqlock.unmatched_end"}),
+    ),
+    Case(
+        name="leak_at_pool_close",
+        layers=frozenset({"runtime"}),
+        runtime=_runtime_leak_at_pool_close,
+        runtime_kinds=frozenset({"shm.leak_at_pool_close"}),
+    ),
+    Case(
+        name="double_final_snapshot",
+        layers=frozenset({"runtime"}),
+        runtime=_runtime_double_final_snapshot,
+        runtime_kinds=frozenset({"obs.double_final_snapshot"}),
+    ),
+]
+
+
+class TestCorpus:
+    """Every injected violation is caught by its contracted layer(s)."""
+
+    def test_every_case_declares_at_least_one_layer(self):
+        for case in CORPUS:
+            assert case.layers, case.name
+            assert case.layers <= {"static", "runtime"}, case.name
+            if "runtime" in case.layers:
+                assert case.runtime is not None, case.name
+            if "static" in case.layers and case.static_fixture is not None:
+                assert case.static_rules, case.name
+
+    @pytest.mark.parametrize(
+        "case", [c for c in CORPUS if "static" in c.layers], ids=lambda c: c.name
+    )
+    def test_static_layer_catches(self, case):
+        if case.static_fixture is not None:
+            source = (FIXTURES / case.static_fixture).read_text(encoding="utf-8")
+            findings = deep_lint_sources([(case.static_path, source)])
+            assert case.static_rules <= {f.rule for f in findings}, case.name
+        else:
+            # bracket_open_at_close: the per-file layer owns this shape.
+            source = (
+                "def broken(owner):\n"
+                "    owner.begin_row_write(0)\n"
+                "    owner.close()\n"
+            )
+            findings = lint_file(
+                "src/repro/under_test.py", [SeqlockBracketRule()], source=source
+            )
+            assert {f.rule for f in findings} == {"RL001"}
+
+    @pytest.mark.parametrize(
+        "case", [c for c in CORPUS if "runtime" in c.layers], ids=lambda c: c.name
+    )
+    def test_runtime_layer_catches(self, case):
+        sanitize.install("record")
+        sanitize.clear_violations()
+        case.runtime()
+        kinds = {v.kind for v in sanitize.violations()}
+        assert case.runtime_kinds <= kinds, f"{case.name}: {kinds}"
+
+    @pytest.mark.parametrize(
+        "case", [c for c in CORPUS if c.layers == {"static"}], ids=lambda c: c.name
+    )
+    def test_static_only_cases_are_invisible_to_the_sanitizer(self, case):
+        """The layer split is real: static-only corpus entries have no
+        runtime scenario because no hook fires for them (the violating
+        code never executes in a hook-instrumented path)."""
+        assert case.runtime is None
+
+
+# --------------------------------------------------------------------- #
+# worker-side enforcement, fork + spawn
+# --------------------------------------------------------------------- #
+
+
+class TestWorkerSide:
+    @pytest.mark.parametrize("method", START_METHODS)
+    def test_nested_begin_caught_inside_real_workers(self, method, monkeypatch):
+        # spawn children install purely from the environment at package
+        # import; fork children inherit the parent's installed flag.
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        sanitize.install("raise")
+        with WorkerPool(workers=2, seed=11, start_method=method) as pool:
+            pool.matrix("d", 8, 8, versioned=True, fill=0)
+            ((active, caught, kinds),) = pool.run(
+                "sanitize_nested_begin", [("d", 3)], to=[0]
+            )
+        assert active is True
+        assert caught is not None and "nested_begin" in caught
+        assert "seqlock.nested_begin" in kinds
+
+    @pytest.mark.parametrize("method", START_METHODS)
+    def test_task_is_inert_when_sanitizer_is_off(self, method, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        with WorkerPool(workers=1, seed=11, start_method=method) as pool:
+            pool.matrix("d", 8, 8, versioned=True, fill=0)
+            ((active, caught, kinds),) = pool.run(
+                "sanitize_nested_begin", [("d", 3)], to=[0]
+            )
+            # The counter arithmetic rebalanced: the row must read clean.
+            owner = pool.matrix_owner("d")
+            assert int(owner.row_versions[3]) % 2 == 0
+        assert caught is None
+        assert kinds == []
+
+    def test_clean_parallel_traffic_records_no_violations(self):
+        """Negative control: a correct bracketed workload under the
+        sanitizer produces zero violations."""
+        sanitize.install("record")
+        with WorkerPool(workers=2, seed=5, start_method=START_METHODS[0]) as pool:
+            pool.matrix("d", 6, 6, versioned=True, fill=-1)
+            pool.run("echo", [1, 2], to=[0, 1])
+        assert sanitize.violations() == []

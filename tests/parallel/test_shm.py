@@ -273,13 +273,15 @@ class TestVersionedMatrix:
             m.close()
 
     def test_dead_writer_surfaces_as_torn_read_error(self, monkeypatch):
+        from repro.analysis import sanitize
         from repro.errors import TornReadError
         from repro.parallel import shm as shm_mod
 
         m = SharedMatrix(3, 3, versioned=True, fill=0)
         try:
             att = AttachedMatrix(m.handle)
-            m.begin_row_write(0)  # never committed: simulates a dead writer
+            with sanitize.suspended():  # deliberate dead-writer injection
+                m.begin_row_write(0)  # never committed
             monkeypatch.setattr(shm_mod, "_SEQLOCK_MAX_TRIES", 50)
             with pytest.raises(TornReadError):
                 att.read_row(0)
