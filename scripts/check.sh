@@ -1,23 +1,23 @@
 #!/usr/bin/env bash
 # Repo check gate: collection -> tier-1 -> perf artifacts -> regression
-# guard -> static analysis -> runtime protocol sanitizer.
+# guard -> static analysis -> runtime protocol sanitizer -> chaos corpus.
 #
 #   ./scripts/check.sh                 # full gate
 #   SKIP_BENCH=1 ./scripts/check.sh    # tests + static analysis (e.g. on battery)
 #   BENCH_GUARD_SKIP=1 ./scripts/check.sh   # record benches, skip the guard
 #
 # Step 3 runs the traversal, dynamic-maintenance, routing-serving,
-# parallel-serving, query-serving, observability and lint-gate
-# micro-benchmarks and leaves their JSON artifacts at
+# parallel-serving, query-serving, observability, lint-gate and
+# fault-recovery micro-benchmarks and leaves their JSON artifacts at
 # ./BENCH_traversal.json, ./BENCH_dynamic.json, ./BENCH_routing.json,
-# ./BENCH_parallel.json, ./BENCH_queries.json, ./BENCH_obs.json and
-# ./BENCH_lint.json (copied from benchmarks/results/) so successive PRs
-# accumulate a perf trajectory.  The parallel, query and obs benches
-# degrade gracefully on single-core runners: they record the measurement
-# and a "degraded" marker instead of asserting the multi-core
-# speedup/overhead bars.  A traffic soak smoke then writes
-# ./OBS_traffic.json + ./OBS_traffic.trace.json through the
-# --metrics/--trace flags (the artifacts CI uploads).
+# ./BENCH_parallel.json, ./BENCH_queries.json, ./BENCH_obs.json,
+# ./BENCH_lint.json and ./BENCH_faults.json (copied from
+# benchmarks/results/) so successive PRs accumulate a perf trajectory.
+# The parallel, query and obs benches degrade gracefully on single-core
+# runners: they record the measurement and a "degraded" marker instead
+# of asserting the multi-core speedup/overhead bars.  A traffic soak
+# smoke then writes ./OBS_traffic.json + ./OBS_traffic.trace.json
+# through the --metrics/--trace flags (the artifacts CI uploads).
 #
 # Step 4 compares the freshly recorded speedups against the artifacts
 # committed at HEAD with a tolerance band (scripts/bench_guard.py) and
@@ -25,32 +25,38 @@
 #
 # Step 5 is static analysis: the repo's own AST linter runs twice —
 # per-file (`python -m repro lint`, the seqlock/RNG/shm/tuning/task/
-# exception invariants, see src/repro/analysis/lint/) and whole-program
-# (`python -m repro lint --deep` — the interprocedural RL008–RL011
-# rules over the project call graph, see src/repro/analysis/deep/).
-# Both are zero-baseline and blocking; ruff and mypy run when installed
-# (`pip install -e ".[lint]"`) — `ruff check` blocks, `ruff format
-# --check` is advisory (formatting drift is reported, not fatal), mypy
-# blocks on the typed core subset from pyproject.toml.
+# exception/fault-hook invariants, see src/repro/analysis/lint/) and
+# whole-program (`python -m repro lint --deep` — the interprocedural
+# RL008–RL011 rules over the project call graph, see
+# src/repro/analysis/deep/).  Both are zero-baseline and blocking; ruff
+# and mypy run when installed (`pip install -e ".[lint]"`) — `ruff
+# check` blocks, `ruff format --check` is advisory (formatting drift is
+# reported, not fatal), mypy blocks on the typed core subset from
+# pyproject.toml.
 #
 # Step 6 is the dynamic twin of step 5: the runtime protocol sanitizer
 # (REPRO_SANITIZE=1, see src/repro/analysis/sanitize.py) re-runs the
 # parallel suite plus its own corpus with the seqlock/shm/snapshot hooks
 # armed in raise mode, so any protocol violation the static pass can't
 # see aborts the run instead of silently corrupting shared state.
+#
+# Step 7 re-runs the chaos corpus (tests/faults/: injected crashes,
+# wedges, shm failures, degraded serving, reconvergence) under the same
+# sanitizer — supervisor recovery must not violate the seqlock/shm
+# protocols it is repairing.
 # CI (.github/workflows/check.yml) runs exactly this script.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/6] collection gate (every test module must import) =="
+echo "== [1/7] collection gate (every test module must import) =="
 python -m pytest --collect-only -q tests > /dev/null
 
-echo "== [2/6] tier-1 test suite =="
+echo "== [2/7] tier-1 test suite =="
 python -m pytest -q tests
 
 run_static_analysis() {
-    echo "== [5/6] static analysis (reprolint shallow + deep; ruff/mypy when installed) =="
+    echo "== [5/7] static analysis (reprolint shallow + deep; ruff/mypy when installed) =="
     PYTHONPATH=src python -m repro lint src benchmarks scripts
     PYTHONPATH=src python -m repro lint --deep src benchmarks scripts
     if command -v ruff > /dev/null 2>&1; then
@@ -68,23 +74,29 @@ run_static_analysis() {
 }
 
 run_sanitizer_suite() {
-    echo "== [6/6] runtime protocol sanitizer (REPRO_SANITIZE=1 over the parallel paths) =="
+    echo "== [6/7] runtime protocol sanitizer (REPRO_SANITIZE=1 over the parallel paths) =="
     REPRO_SANITIZE=1 python -m pytest -q tests/parallel tests/analysis/test_sanitizer.py
 }
 
+run_chaos_corpus() {
+    echo "== [7/7] chaos corpus under the sanitizer (fault plans + self-healing + degraded serving) =="
+    REPRO_SANITIZE=1 python -m pytest -q tests/faults
+}
+
 if [ "${SKIP_BENCH:-0}" = "1" ]; then
-    echo "== [3/6] perf benchmarks skipped (SKIP_BENCH=1) =="
-    echo "== [4/6] bench regression guard skipped (SKIP_BENCH=1) =="
+    echo "== [3/7] perf benchmarks skipped (SKIP_BENCH=1) =="
+    echo "== [4/7] bench regression guard skipped (SKIP_BENCH=1) =="
     run_static_analysis
     run_sanitizer_suite
+    run_chaos_corpus
     exit 0
 fi
 
-echo "== [3/6] perf benchmarks (write BENCH_{traversal,dynamic,routing,parallel,queries,obs,lint}.json) =="
+echo "== [3/7] perf benchmarks (write BENCH_{traversal,dynamic,routing,parallel,queries,obs,lint,faults}.json) =="
 python -m pytest -q benchmarks/test_bench_traversal.py benchmarks/test_bench_dynamic.py \
     benchmarks/test_bench_routing.py benchmarks/test_bench_parallel.py \
     benchmarks/test_bench_queries.py benchmarks/test_bench_obs.py \
-    benchmarks/test_bench_lint.py \
+    benchmarks/test_bench_lint.py benchmarks/test_bench_faults.py \
     -p no:cacheprovider --benchmark-disable
 cp benchmarks/results/BENCH_traversal.json BENCH_traversal.json
 cp benchmarks/results/BENCH_dynamic.json BENCH_dynamic.json
@@ -93,12 +105,16 @@ cp benchmarks/results/BENCH_parallel.json BENCH_parallel.json
 cp benchmarks/results/BENCH_queries.json BENCH_queries.json
 cp benchmarks/results/BENCH_obs.json BENCH_obs.json
 cp benchmarks/results/BENCH_lint.json BENCH_lint.json
-echo "perf artifacts: ./BENCH_traversal.json ./BENCH_dynamic.json ./BENCH_routing.json ./BENCH_parallel.json ./BENCH_queries.json ./BENCH_obs.json ./BENCH_lint.json"
+cp benchmarks/results/BENCH_faults.json BENCH_faults.json
+echo "perf artifacts: ./BENCH_traversal.json ./BENCH_dynamic.json ./BENCH_routing.json ./BENCH_parallel.json ./BENCH_queries.json ./BENCH_obs.json ./BENCH_lint.json ./BENCH_faults.json"
 echo "-- observability smoke: traffic soak writes --metrics/--trace artifacts"
 PYTHONPATH=src python -m repro traffic --n 150 --events 20 --queries 15 \
     --workload uniform --compare-bfs 0 \
     --metrics OBS_traffic.json --trace OBS_traffic.trace.json
 PYTHONPATH=src python -m repro obs OBS_traffic.json > /dev/null
+echo "-- chaos smoke: crashy soak over the outage scenario must reconverge"
+PYTHONPATH=src python -m repro chaos --plan crashy --scenario outage \
+    --n 80 --events 20 --tick 5 --queries 10 --workers 1 --seed 2009
 python - <<'PYEOF'
 import json
 t = json.load(open("BENCH_traversal.json"))
@@ -108,6 +124,7 @@ p = json.load(open("BENCH_parallel.json"))
 q = json.load(open("BENCH_queries.json"))
 o = json.load(open("BENCH_obs.json"))
 lint = json.load(open("BENCH_lint.json"))
+flt = json.load(open("BENCH_faults.json"))
 print(
     f"batched_bfs speedup vs set backend: "
     f"{t['speedup_batched_vs_sets']}x (required {t['required_speedup']}x)"
@@ -168,10 +185,23 @@ print(
     f"deep lint gate: {dl['files']} files in {dl['wall_seconds']}s "
     f"(bar {dl['max_wall_seconds']}s; {dl['files_per_second']} files/s)"
 )
+cr = flt["crash_recovery"]
+print(
+    f"fault recovery: {cr['recovery_events_per_second']} ev/s under the crash "
+    f"storm vs {cr['quiet_events_per_second']} ev/s quiet "
+    f"({cr['crashes_survived']} crash(es) survived, "
+    f"reconverged: {'yes' if cr['reconverged'] else 'NO'})"
+)
+ho = flt["hooks_off_overhead"]
+print(
+    f"fault hooks disarmed: {ho['overhead_percent']}% of a repair event "
+    f"(bar {ho['bar_percent']}%)"
+)
 PYEOF
 
-echo "== [4/6] benchmark-regression guard (fresh vs committed, tolerance band) =="
+echo "== [4/7] benchmark-regression guard (fresh vs committed, tolerance band) =="
 python scripts/bench_guard.py
 
 run_static_analysis
 run_sanitizer_suite
+run_chaos_corpus

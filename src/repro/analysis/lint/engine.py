@@ -15,8 +15,8 @@ Architecture
 ------------
 * :class:`Rule` — one invariant; subclasses implement ``check(ctx)`` and
   register themselves in :data:`REGISTRY` via the :func:`register`
-  decorator (codes ``RL001``–``RL007`` live in
-  :mod:`repro.analysis.lint.rules`; the interprocedural codes
+  decorator (the AST-local codes ``RL001``–``RL007`` and ``RL012`` live
+  in :mod:`repro.analysis.lint.rules`; the interprocedural codes
   ``RL008``–``RL011`` live in :mod:`repro.analysis.deep` and run under
   ``python -m repro lint --deep``).
 * :class:`FileContext` — one parsed file: source, AST, a lazily built

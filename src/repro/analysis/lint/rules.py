@@ -1,4 +1,4 @@
-"""The seven reprolint rules (``RL001``–``RL007``).
+"""The AST-local reprolint rules (``RL001``–``RL007``, ``RL012``).
 
 Each rule encodes one protocol of the concurrency / reproducibility
 layers; the docstring of each class states the invariant, why it matters,
@@ -22,6 +22,7 @@ __all__ = [
     "WorkerTaskSafetyRule",
     "ExceptionHygieneRule",
     "TimingDisciplineRule",
+    "FaultHookConfinementRule",
 ]
 
 
@@ -598,3 +599,98 @@ class TimingDisciplineRule(Rule):
                     "obs.Stopwatch/span (metrics-tree timing) or "
                     "obs.time_best (benchmark minima)",
                 )
+
+
+@register
+class FaultHookConfinementRule(Rule):
+    """RL012 — fault-hook installation is confined to ``repro/faults/``.
+
+    ``faults.install(plan)`` swaps the process-global hook state that
+    every worker task start, result send, row write, and shm call routes
+    through.  An ad-hoc install buried in library code would arm faults
+    outside the documented protocol (``REPRO_FAULTS`` gate + plan spec),
+    silently survive into child processes, and make a "quiet" run lie.
+    Everyone outside the fault plane arms through the environment —
+    ``arm_env`` + ``maybe_install_from_env`` (which respects an existing
+    plan) — and disarms with ``uninstall``; those entry points, plus the
+    read-only hooks (``on_*``, ``worker_reset``, ``fired``,
+    ``current_plan``), stay allowed everywhere.
+    """
+
+    code = "RL012"
+    name = "fault-hook-confinement"
+    description = (
+        "faults.install(...) or faults.active mutation outside repro/faults/ "
+        "(arm via arm_env + maybe_install_from_env)"
+    )
+
+    _PACKAGE = "/repro/faults/"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if self._PACKAGE in f"/{ctx.posix_path}":
+            return  # the fault plane's home owns its own state
+        aliases = {"faults"}  # conventional name; refined by the imports below
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "repro" or (node.module or "").endswith(".faults"):
+                    for alias in node.names:
+                        if node.module == "repro" and alias.name != "faults":
+                            continue
+                        if node.module != "repro" and alias.name == "install":
+                            yield self.finding(
+                                ctx,
+                                node,
+                                "importing faults.install outside repro/faults/ — "
+                                "arm through arm_env + maybe_install_from_env",
+                            )
+                            continue
+                        if node.module != "repro":
+                            continue
+                        aliases.add(alias.asname or alias.name)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "repro.faults":
+                        aliases.add(alias.asname or "repro.faults")
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "install"
+                    and self._names_faults(func.value, aliases)
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "faults.install(...) outside repro/faults/ — arm through "
+                        "the environment (arm_env + maybe_install_from_env) so "
+                        "fork and spawn workers agree on the plan",
+                    )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr == "active"
+                        and self._names_faults(target.value, aliases)
+                    ):
+                        yield self.finding(
+                            ctx,
+                            target,
+                            "assignment to faults.active outside repro/faults/ — "
+                            "hook state changes only through install/uninstall",
+                        )
+
+    @staticmethod
+    def _names_faults(value: ast.AST, aliases: "set[str]") -> bool:
+        if isinstance(value, ast.Name):
+            return value.id in aliases
+        if isinstance(value, ast.Attribute):  # repro.faults.install(...)
+            parts = []
+            while isinstance(value, ast.Attribute):
+                parts.append(value.attr)
+                value = value.value
+            if isinstance(value, ast.Name):
+                parts.append(value.id)
+                return ".".join(reversed(parts)) in aliases
+        return False

@@ -198,6 +198,70 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "chaos",
+        help="fault-injection soak: serve traffic under a named fault plan "
+        "(worker crashes, wedges, torn writes) with self-healing shards, "
+        "degraded reads and invariant verification",
+    )
+    # Literal twin of repro.faults.PLANS (same import-weight rationale as
+    # the scenario list above; tests pin the sync).
+    plans = ("quiet", "crashy", "torn-writer", "wedge", "lossy-queue", "flaky-shm", "mayhem")
+    p.add_argument(
+        "--plan",
+        choices=plans,
+        default="crashy",
+        help="named fault plan from repro.faults.PLANS (default: crashy)",
+    )
+    # Literal twin of SCENARIO_NAMES + FAULT_SCENARIO_NAMES (tests pin it).
+    chaos_scenarios = ("mobility", "failure", "growth", "nodechurn", "outage", "partition")
+    p.add_argument(
+        "--scenario",
+        choices=chaos_scenarios,
+        default="outage",
+        help="churn model, fault scenarios included (default: outage)",
+    )
+    p.add_argument("--n", type=int, default=120)
+    p.add_argument("--events", type=int, default=60)
+    p.add_argument("--method", choices=("kcover", "kmis", "mis", "greedy"), default="kcover")
+    p.add_argument("--k", type=int, default=None)
+    p.add_argument("--epsilon", type=float, default=None)
+    p.add_argument("--rebuild-fraction", type=float, default=0.25)
+    p.add_argument("--seed", type=int, default=2009)
+    p.add_argument("--workers", type=_positive_int, default=2)
+    p.add_argument(
+        "--workload",
+        choices=("uniform", "zipf", "locality"),
+        default="zipf",
+        help="request model between churn ticks",
+    )
+    p.add_argument("--tick", type=_positive_int, default=5)
+    p.add_argument("--queries", type=_positive_int, default=30)
+    p.add_argument(
+        "--max-staleness",
+        type=int,
+        default=None,
+        metavar="K",
+        help="reader refuses rows more than K committed generations stale "
+        "(default: serve any committed state)",
+    )
+    p.add_argument(
+        "--flash-crowd-at",
+        type=int,
+        nargs="*",
+        default=None,
+        metavar="TICK",
+        help="permute the zipf hotspot ranking at these tick indices",
+    )
+    p.add_argument(
+        "--task-timeout",
+        type=float,
+        default=5.0,
+        help="seconds before unanswered shard tasks count as wedged",
+    )
+    p.add_argument("--metrics", default=None, metavar="OUT.json")
+    p.add_argument("--trace", default=None, metavar="OUT.trace.json")
+
+    p = sub.add_parser(
         "tune",
         help="measure traversal tuning crossovers on this hardware "
         "(repro.tuning: batch chunk, sets-vs-CSR threshold)",
@@ -804,6 +868,212 @@ def _cmd_traffic(args) -> int:
     return 0 if all_ok else 1
 
 
+def _cmd_chaos(args) -> int:
+    import os
+
+    from . import faults, obs
+    from .dynamic import apply_events, make_scenario, make_workload
+    from .parallel import RouteReader, ShardedRoutingService, WorkerError
+    from .routing import route_served
+
+    _obs_begin(args)
+    plan = faults.PLANS[args.plan]
+    scenario = make_scenario(args.scenario, args.n, args.events, seed=args.seed)
+    flash = tuple(args.flash_crowd_at) if args.flash_crowd_at else None
+    workload = make_workload(
+        args.workload,
+        scenario,
+        queries_per_tick=args.queries,
+        tick=args.tick,
+        seed=args.seed,
+        flash_crowd_at=flash,
+    )
+    # Arm through the environment — the sanctioned entry point: fork
+    # workers inherit the installed plan, spawn workers re-read the
+    # variables at repro.parallel import time.
+    saved = {var: os.environ.get(var) for var in (faults.ENV_GATE, faults.ENV_PLAN)}
+    faults.arm_env(plan)
+    faults.maybe_install_from_env()
+    served = delivered = fallback_used = invalid_hops = 0
+    degraded_ticks = 0
+    errors: "list[str]" = []
+    reconverged = False
+    healthy = True
+    try:
+        service = None
+        for attempt in range(4):
+            if attempt:
+                # The initial build runs under fire too.  Fault streams are
+                # seeded from the *plan* seed per (worker, incarnation), so
+                # a retry under the same plan would replay the identical
+                # crash pattern — re-arm with an offset seed to re-roll.
+                faults.uninstall()
+                faults.arm_env(faults.FaultPlan(plan.name, plan.seed + attempt, plan.rules))
+                faults.maybe_install_from_env()
+            try:
+                service = ShardedRoutingService(
+                    scenario.initial,
+                    args.method,
+                    workers=args.workers,
+                    seed=args.seed,
+                    task_timeout=args.task_timeout,
+                    k=args.k,
+                    epsilon=args.epsilon,
+                    rebuild_fraction=args.rebuild_fraction,
+                )
+                break
+            except (WorkerError, OSError) as exc:
+                errors.append(f"build attempt {attempt + 1}: {type(exc).__name__}: {exc}")
+                obs.inc("chaos.build_retries")
+        if service is None:
+            print("chaos: service construction failed under injected faults:")
+            for line in errors:
+                print(f"  {line}")
+            return 1
+        endpoint = RouteReader(service.reader_handle(), max_staleness=args.max_staleness)
+
+        def heal() -> bool:
+            # Under sustained fault pressure a full resync can itself lose
+            # workers (every attempt re-rolls the injected dice, and the
+            # pool's respawn/poison budgets reset per run) — retry before
+            # declaring the soak unhealable.
+            for _ in range(4):
+                try:
+                    service.refresh()
+                    return True
+                except (WorkerError, OSError) as exc:
+                    errors.append(f"heal: {type(exc).__name__}: {exc}")
+                    obs.inc("chaos.heal_retries")
+            return False
+
+        def fallback(u: int, v: int) -> "int | None":
+            nonlocal fallback_used
+            hop = endpoint.hop_fallback(u, v)
+            if hop is not None:
+                fallback_used += 1
+            return hop
+
+        # Mirror of the service's topology, for journey validation: every
+        # hop a query takes must be an edge of a state the service passed
+        # through (the graph before or after the tick's coalesced repair).
+        g_run = scenario.initial.copy()
+        valid_edges = g_run.edge_set()
+        with obs.span("chaos.soak"):
+            from .errors import NodeNotFound
+
+            for tick_ in workload.ticks:
+                prev_edges = g_run.edge_set()
+                degraded = False
+                if tick_.events:
+                    apply_events(g_run, tick_.events)
+                    try:
+                        with obs.span("chaos.repair"):
+                            service.apply_batch(tick_.events)
+                    except (WorkerError, OSError) as exc:
+                        # Shards lost beyond the supervisor's budget (or an
+                        # injected shm failure): the tick's queries are
+                        # served *degraded* — off whatever mix of committed
+                        # rows survived, stale refusals and per-hop
+                        # fallbacks included — then a full resync heals.
+                        degraded = True
+                        degraded_ticks += 1
+                        errors.append(f"repair: {type(exc).__name__}: {exc}")
+                        obs.inc("chaos.degraded_ticks")
+                valid_edges = prev_edges | g_run.edge_set()
+                for s, t in tick_.queries:
+                    try:
+                        res = route_served(endpoint, s, t, hop_fallback=fallback)
+                    except NodeNotFound:
+                        # A joiner the degraded directory never admitted.
+                        served += 1
+                        continue
+                    served += 1
+                    delivered += res.delivered
+                    for a, b in zip(res.path, res.path[1:]):
+                        if (a, b) not in valid_edges and (b, a) not in valid_edges:
+                            invalid_hops += 1
+                if degraded and not heal():
+                    healthy = False
+                    break
+        # Quiescent now: the survived state must be bit-identical to a
+        # serial twin that never saw a fault.
+        if healthy:
+            import numpy as np
+
+            from .dynamic import RoutingService
+
+            twin = RoutingService(
+                scenario.initial,
+                args.method,
+                k=args.k,
+                epsilon=args.epsilon,
+                rebuild_fraction=args.rebuild_fraction,
+            )
+            for tick_ in workload.ticks:
+                if tick_.events:
+                    twin.apply_batch(tick_.events)
+            reconverged = np.array_equal(
+                np.asarray(service._dist), np.asarray(twin._dist)
+            ) and np.array_equal(np.asarray(service._tables), np.asarray(twin._tables))
+        health = service.pool_health.as_dict()
+        endpoint.close()
+        service.close()
+    finally:
+        faults.uninstall()
+        for var, value in saved.items():
+            if value is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = value
+    print(
+        render_table(
+            ["ticks", "queries", "delivered", "fallback hops", "degraded ticks", "invalid hops", "reconverged"],
+            [
+                [
+                    len(workload.ticks),
+                    served,
+                    f"{100 * delivered / max(served, 1):.0f}%",
+                    fallback_used,
+                    degraded_ticks,
+                    invalid_hops,
+                    reconverged,
+                ]
+            ],
+            title=(
+                f"chaos — plan {plan.name!r} over {args.scenario} churn, "
+                f"{args.workload} traffic, n={args.n}, {args.events} events, "
+                f"{args.workers} workers, seed {args.seed}"
+                + (f", max_staleness={args.max_staleness}" if args.max_staleness is not None else "")
+            ),
+        )
+    )
+    print(
+        render_table(
+            ["respawns", "task retries", "wedge restarts", "quarantined", "torn rows repaired", "backoff s"],
+            [
+                [
+                    health["respawns"],
+                    health["retries"],
+                    health["wedge_restarts"],
+                    health["quarantined"],
+                    health["torn_rows_repaired"],
+                    health["backoff_seconds"],
+                ]
+            ],
+            title="self-healing (pool supervision)",
+        )
+    )
+    if errors:
+        print("faults survived (healed by retry / full resync):")
+        for line in errors:
+            print(f"  {line}")
+    if not healthy:
+        print("chaos: soak aborted — a degraded tick could not be healed")
+    _obs_finish(args)
+    ok = healthy and reconverged and invalid_hops == 0 and served > 0
+    return 0 if ok else 1
+
+
 def _cmd_tune(args) -> int:
     from . import tuning
 
@@ -954,6 +1224,7 @@ _COMMANDS = {
     "churn": _cmd_churn,
     "serve": _cmd_serve,
     "traffic": _cmd_traffic,
+    "chaos": _cmd_chaos,
     "tune": _cmd_tune,
     "demo": _cmd_demo,
     "lint": _cmd_lint,

@@ -42,7 +42,10 @@ from .events import (
     make_scenario,
     mobility_scenario,
     node_churn_scenario,
+    partition_heal_scenario,
+    regional_outage_scenario,
     SCENARIO_NAMES,
+    FAULT_SCENARIO_NAMES,
 )
 from .maintainer import (
     BatchReport,
@@ -72,7 +75,10 @@ __all__ = [
     "make_scenario",
     "mobility_scenario",
     "node_churn_scenario",
+    "partition_heal_scenario",
+    "regional_outage_scenario",
     "SCENARIO_NAMES",
+    "FAULT_SCENARIO_NAMES",
     "BatchReport",
     "EventReport",
     "SpannerMaintainer",

@@ -21,6 +21,16 @@ generators cover the churn regimes a link-state network actually sees:
 remove_node>`) and new radios power on at fresh dense ids (a join followed
   by the edge inserts wiring it into the unit-disk graph).
 
+Two *fault* scenarios (registered separately, :data:`FAULT_SCENARIO_NAMES`
+— the chaos tooling's corpus, not the standard churn regimes):
+
+* :func:`regional_outage_scenario` — a geometric ball of nodes around a
+  seeded epicenter powers off at once (the localized blackout / jammer
+  case), then the region repopulates with fresh radios at the same
+  positions;
+* :func:`partition_heal_scenario` — every link crossing the median-x line
+  of the deployment square fails (the network splits in two), then heals.
+
 All randomness is seeded through :mod:`repro.rng`, so a ``(scenario, n,
 seed)`` triple names a bit-for-bit reproducible stream.
 """
@@ -47,8 +57,11 @@ __all__ = [
     "failure_recovery_scenario",
     "growth_scenario",
     "node_churn_scenario",
+    "regional_outage_scenario",
+    "partition_heal_scenario",
     "make_scenario",
     "SCENARIO_NAMES",
+    "FAULT_SCENARIO_NAMES",
 ]
 
 ADD = "add"
@@ -427,8 +440,133 @@ def node_churn_scenario(
     )
 
 
+def regional_outage_scenario(
+    n: int,
+    num_events: "int | None" = None,
+    target_degree: float = 12.0,
+    ball_fraction: float = 0.25,
+    seed: int = 0,
+) -> Scenario:
+    """A geometric ball of radios blacks out at once, then repopulates.
+
+    A seeded epicenter node is chosen and the ``ceil(ball_fraction · n)``
+    nodes nearest to it (the epicenter included) power off in id order —
+    one :class:`NodeEvent` leave each, skipping nodes already isolated by
+    earlier leaves.  Recovery follows: for every position that went dark, a
+    fresh radio powers on there at the next dense id (join + sorted edge
+    inserts to everything in radio range), in the kill order — the region
+    comes back, the dead id slots stay dormant.  *num_events* truncates the
+    stream mid-outage or mid-recovery (default: the full cycle).
+    """
+    if n < 2:
+        raise ParameterError(f"regional outage needs n ≥ 2 nodes, got {n}")
+    if not (0.0 < ball_fraction <= 1.0):
+        raise ParameterError(f"ball_fraction must be in (0, 1], got {ball_fraction}")
+    from ..experiments.runner import side_for_degree
+
+    rng = ensure_rng(derive_seed(seed, "outage", n))
+    side = side_for_degree(n, target_degree)
+    points = uniform_points(n, side, dim=2, seed=rng)
+    initial = unit_disk_graph(points, radius=1.0)
+    epicenter = int(rng.integers(n))
+    k = max(1, int(np.ceil(ball_fraction * n)))
+    dists = np.linalg.norm(points - points[epicenter], axis=1)
+    # k nearest nodes to the epicenter; distance ties break by id.
+    ball = sorted(int(i) for i in np.lexsort((np.arange(n), dists))[:k])
+    current = initial.copy()
+    positions = [points[i] for i in range(n)]
+    present = set(range(n))
+    events: "list[EdgeEvent | NodeEvent]" = []
+    killed: list[int] = []
+    for u in ball:
+        killed.append(u)
+        present.discard(u)
+        if current.degree(u) > 0:  # a leave of an isolated node is a no-op
+            events.append(NodeEvent.leave(u))
+            current.remove_node(u)
+    for u in killed:
+        p = positions[u]
+        new_id = current.add_node()
+        positions.append(p)
+        present.add(new_id)
+        events.append(NodeEvent.join(new_id))
+        for w in sorted(present - {new_id}):
+            if float(np.linalg.norm(positions[w] - p)) <= 1.0:
+                events.append(EdgeEvent.add(new_id, w))
+                current.add_edge(new_id, w)
+    if num_events is not None:
+        if num_events < 1:
+            raise ParameterError(f"need at least one event, got {num_events}")
+        events = events[:num_events]
+    final = initial.copy()
+    apply_events(final, events)
+    return Scenario(
+        name="outage",
+        initial=initial,
+        events=tuple(events),
+        final=final,
+        params={
+            "n": n,
+            "target_degree": target_degree,
+            "ball_fraction": ball_fraction,
+            "epicenter": epicenter,
+            "seed": seed,
+        },
+    )
+
+
+def partition_heal_scenario(
+    n: int,
+    num_events: "int | None" = None,
+    target_degree: float = 12.0,
+    seed: int = 0,
+) -> Scenario:
+    """The network splits along the median-x line, then heals.
+
+    Every UDG link whose endpoints straddle the median x-coordinate of the
+    deployment fails (sorted removals — the backbone cut), leaving two
+    halves that cannot reach each other; then the same links recover in the
+    same order.  *num_events* truncates the stream (default: cut + heal).
+    """
+    if n < 2:
+        raise ParameterError(f"partition needs n ≥ 2 nodes, got {n}")
+    from ..experiments.runner import side_for_degree
+
+    rng = ensure_rng(derive_seed(seed, "partition", n))
+    side = side_for_degree(n, target_degree)
+    points = uniform_points(n, side, dim=2, seed=rng)
+    initial = unit_disk_graph(points, radius=1.0)
+    median_x = float(np.median(points[:, 0]))
+    crossing = sorted(
+        (u, v)
+        for u, v in initial.edges()
+        if (points[u][0] <= median_x) != (points[v][0] <= median_x)
+    )
+    if not crossing:
+        raise GraphError("partition scenario found no links crossing the median line")
+    events: list[EdgeEvent] = [EdgeEvent.remove(u, v) for u, v in crossing]
+    events.extend(EdgeEvent.add(u, v) for u, v in crossing)
+    if num_events is not None:
+        if num_events < 1:
+            raise ParameterError(f"need at least one event, got {num_events}")
+        events = events[:num_events]
+    final = initial.copy()
+    apply_events(final, events)
+    return Scenario(
+        name="partition",
+        initial=initial,
+        events=tuple(events),
+        final=final,
+        params={"n": n, "target_degree": target_degree, "median_x": median_x, "seed": seed},
+    )
+
+
 #: Scenario registry for the CLI / bench dispatchers.
 SCENARIO_NAMES: "tuple[str, ...]" = ("mobility", "failure", "growth", "nodechurn")
+
+#: Fault scenarios — the chaos tooling's corpus (``python -m repro chaos``).
+#: Registered separately so the standard churn dispatchers stay unchanged.
+FAULT_SCENARIO_NAMES: "tuple[str, ...]" = ("outage", "partition")
 
 
 def make_scenario(
@@ -438,7 +576,8 @@ def make_scenario(
     seed: int = 0,
     **kwargs,
 ) -> Scenario:
-    """Build a named scenario (see :data:`SCENARIO_NAMES`)."""
+    """Build a named scenario (:data:`SCENARIO_NAMES` or
+    :data:`FAULT_SCENARIO_NAMES`)."""
     if name == "mobility":
         return mobility_scenario(n, num_events, seed=seed, **kwargs)
     if name == "failure":
@@ -447,4 +586,10 @@ def make_scenario(
         return growth_scenario(n, num_events, seed=seed, **kwargs)
     if name == "nodechurn":
         return node_churn_scenario(n, num_events, seed=seed, **kwargs)
-    raise ParameterError(f"unknown scenario {name!r} (want one of {SCENARIO_NAMES})")
+    if name == "outage":
+        return regional_outage_scenario(n, num_events, seed=seed, **kwargs)
+    if name == "partition":
+        return partition_heal_scenario(n, num_events, seed=seed, **kwargs)
+    raise ParameterError(
+        f"unknown scenario {name!r} (want one of {SCENARIO_NAMES + FAULT_SCENARIO_NAMES})"
+    )

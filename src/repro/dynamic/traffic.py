@@ -118,7 +118,9 @@ class QueryBatchReport:
         return self.served / self.seconds if self.seconds > 0 else float("inf")
 
 
-def serve_queries(endpoint, queries: "Iterable[tuple[int, int]]") -> QueryBatchReport:
+def serve_queries(
+    endpoint, queries: "Iterable[tuple[int, int]]", *, hop_fallback=None
+) -> QueryBatchReport:
     """Serve a batch of route requests off *endpoint*, instrumented.
 
     *endpoint* is anything :func:`~repro.routing.greedy_routing.\
@@ -128,7 +130,10 @@ route_served` accepts (a :class:`~repro.dynamic.serving.RoutingService`,
     latency and ``traffic.hops`` histograms (plus a
     ``traffic.unroutable`` counter); with ``REPRO_OBS=off`` the loop is
     the bare serving loop — this shared helper is what the overhead
-    benchmark measures.
+    benchmark measures.  ``hop_fallback`` is forwarded to
+    :func:`~repro.routing.greedy_routing.route_served` (the chaos soak
+    passes ``True`` so dormant/stale table entries degrade to committed
+    -distance hops instead of dropping the packet).
     """
     from ..routing.greedy_routing import route_served
 
@@ -140,7 +145,7 @@ route_served` accepts (a :class:`~repro.dynamic.serving.RoutingService`,
     for s, t in queries:
         if on:
             sw.restart()
-        res = route_served(endpoint, s, t)
+        res = route_served(endpoint, s, t, hop_fallback=hop_fallback)
         served += 1
         if res.delivered:
             delivered += 1
@@ -221,12 +226,19 @@ def make_workload(
     seed: int = 0,
     zipf_exponent: float = 1.3,
     locality_radius: int = 3,
+    flash_crowd_at: "tuple[int, ...] | None" = None,
 ) -> TrafficWorkload:
     """Build a named request stream over *scenario*'s churn ticks.
 
     ``queries_per_tick`` requests are sampled after every ``tick``-sized
     chunk of events (plus one leading batch against the initial graph).
     See :data:`WORKLOAD_NAMES` for the request models.
+
+    ``flash_crowd_at`` (``zipf`` only) names tick indices — 0 is the
+    leading batch — at which the hidden hotspot ranking is permuted by a
+    seeded shuffle: overnight, *different* destinations are hot.  The jump
+    is the traffic-side fault the chaos corpus soaks under: the serving
+    tables are suddenly queried on rows that were cold for the whole run.
     """
     if kind not in WORKLOAD_NAMES:
         raise ParameterError(f"unknown workload {kind!r} (want one of {WORKLOAD_NAMES})")
@@ -236,12 +248,31 @@ def make_workload(
         raise ParameterError(f"zipf exponent must be > 0, got {zipf_exponent}")
     if locality_radius < 1:
         raise ParameterError(f"locality radius must be ≥ 1, got {locality_radius}")
+    flash_ticks = frozenset(flash_crowd_at or ())
+    if flash_ticks:
+        if kind != "zipf":
+            raise ParameterError("flash_crowd_at only applies to the zipf workload")
+        if any(not isinstance(i, int) or isinstance(i, bool) or i < 0 for i in flash_ticks):
+            raise ParameterError(f"flash_crowd_at wants non-negative tick indices, got {flash_crowd_at!r}")
     rng = ensure_rng(
         derive_seed(seed, "traffic", kind, scenario.name, queries_per_tick, tick)
     )
     g = scenario.initial.copy()
     ranking: "list[int]" = []
     rank_of: "dict[int, int]" = {}
+
+    def flash_crowd() -> None:
+        # Seeded hotspot jump: permute the hidden ranking wholesale.  The
+        # live set is folded in first so a flash before any zipf sample
+        # still has a population to re-rank.
+        for u in sorted(u for u in g.nodes() if g.degree(u) > 0):
+            if u not in rank_of:
+                rank_of[u] = len(ranking)
+                ranking.append(u)
+        ranking[:] = [ranking[int(j)] for j in rng.permutation(len(ranking))]
+        for r, u in enumerate(ranking):
+            rank_of[u] = r
+
     def sample() -> "tuple[tuple[int, int], ...]":
         return _sample_queries(
             kind,
@@ -254,9 +285,13 @@ def make_workload(
             locality_radius=locality_radius,
         )
 
+    if 0 in flash_ticks:
+        flash_crowd()
     ticks = [TrafficTick(events=(), queries=sample())]
-    for chunk in scenario.ticks(tick):
+    for i, chunk in enumerate(scenario.ticks(tick), start=1):
         apply_events(g, chunk)
+        if i in flash_ticks:
+            flash_crowd()
         ticks.append(TrafficTick(events=tuple(chunk), queries=sample()))
     if g != scenario.final:  # pragma: no cover - generator self-check
         raise ParameterError("tick replay diverged from the scenario's final graph")
@@ -270,5 +305,6 @@ def make_workload(
             "seed": seed,
             "zipf_exponent": zipf_exponent,
             "locality_radius": locality_radius,
+            "flash_crowd_at": tuple(sorted(flash_ticks)),
         },
     )

@@ -34,12 +34,17 @@ and :func:`~repro.routing.tables.routing_table`.
 With ``REPRO_SANITIZE=1`` the runtime protocol sanitizer
 (:mod:`repro.analysis.sanitize`) installs before any shared state is
 touched — the import below runs in ``spawn`` workers too, since the task
-registry forces this package onto their import path.
+registry forces this package onto their import path.  The fault
+-injection plane (:mod:`repro.faults`, ``REPRO_FAULTS=1`` +
+``REPRO_FAULT_PLAN=...``) arms itself through the same import hook, so a
+seeded chaos plan survives both start methods.
 """
 
 from ..analysis.sanitize import maybe_install_from_env as _maybe_install_sanitizer
+from ..faults import maybe_install_from_env as _maybe_install_faults
 
 _maybe_install_sanitizer()
+_maybe_install_faults()
 
 from .pool import TASKS, WorkerError, WorkerPool, resolve_workers  # noqa: E402
 from .shm import (

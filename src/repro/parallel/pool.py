@@ -37,20 +37,53 @@ import os
 import queue as queue_mod
 import time
 import traceback
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import faults as _faults
 from .. import obs, tuning
 from ..analysis import sanitize as _sanitize
 from ..errors import ParameterError, ReproError
 from ..rng import derive_seed, ensure_rng
 from .shm import AttachedCSR, AttachedMatrix, PublishStats, SharedCSR, SharedMatrix
 
-__all__ = ["WorkerPool", "WorkerError", "resolve_workers", "TASKS"]
+__all__ = ["WorkerPool", "WorkerError", "PoolHealth", "resolve_workers", "TASKS"]
 
 
 class WorkerError(ReproError):
     """A task raised inside a worker; carries the remote traceback."""
+
+
+@dataclass
+class PoolHealth:
+    """Cumulative supervision report of one :class:`WorkerPool`.
+
+    Every field is also surfaced as a ``pool.supervision.*`` counter in
+    :mod:`repro.obs`; this object is the caller-facing aggregate (e.g.
+    :class:`~repro.parallel.sharded.ShardedRoutingService` compares
+    ``respawns`` across a dispatch to detect that crash recovery ran).
+    """
+
+    respawns: int = 0
+    retries: int = 0
+    wedge_restarts: int = 0
+    backoff_seconds: float = 0.0
+    quarantined: int = 0
+    torn_rows_repaired: int = 0
+    #: worker id -> exitcode observed at its most recent death.
+    last_exitcodes: "dict[int, int | None]" = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "respawns": self.respawns,
+            "retries": self.retries,
+            "wedge_restarts": self.wedge_restarts,
+            "backoff_seconds": round(self.backoff_seconds, 6),
+            "quarantined": self.quarantined,
+            "torn_rows_repaired": self.torn_rows_repaired,
+            "last_exitcodes": dict(self.last_exitcodes),
+        }
 
 
 def resolve_workers(workers, *, cpu_count: "int | None" = None) -> int:
@@ -343,7 +376,9 @@ def _segment_names(owner) -> "list[str]":
     ]
 
 
-def _worker_main(worker_id: int, num_workers: int, seed: int, task_q, result_q) -> None:
+def _worker_main(
+    worker_id: int, num_workers: int, seed: int, incarnation: int, task_q, result_q
+) -> None:
     """Worker process entry point: attach, loop, answer, clean up."""
     state = _WorkerState(worker_id, num_workers, seed)
     # Fork inherits the parent's live registry (and tracer) — a shard's
@@ -355,6 +390,11 @@ def _worker_main(worker_id: int, num_workers: int, seed: int, task_q, result_q) 
         # Same reasoning: inherited bracket/segment state describes the
         # parent's actions, not this process's.
         _sanitize.worker_reset()
+    if _faults.active:
+        # Re-seed the fault stream per (worker id, incarnation) so chaos
+        # runs replay bit-identically under fork and spawn alike, and
+        # respawned workers are exempt from fresh-only rules.
+        _faults.worker_reset(worker_id, incarnation)
     try:
         while True:
             msg = task_q.get()
@@ -385,7 +425,15 @@ def _worker_main(worker_id: int, num_workers: int, seed: int, task_q, result_q) 
                             book.pop(name).close()
                 elif kind == "task":
                     _, task_id, fn, payload = msg
+                    if _faults.active:
+                        _faults.on_task_start(fn)  # crash / wedge sites
                     result = TASKS[fn](state, payload)
+                    if _faults.active:
+                        action, lag = _faults.on_result(fn)
+                        if action == "drop":
+                            continue  # the supervisor's wedge path retries
+                        if action == "delay":
+                            time.sleep(lag)
                     result_q.put((worker_id, task_id, True, result))
             except BaseException:  # reprolint: disable=RL006 -- crash barrier: the
                 # traceback crosses the queue and the parent re-raises it as
@@ -414,8 +462,21 @@ class WorkerPool:
     seed:
         Root of the per-worker :mod:`repro.rng` streams.
     task_timeout:
-        Seconds to wait for any single gather before declaring the pool
+        Seconds to wait for any single gather before declaring workers
         wedged (dead workers are detected sooner).
+    supervise:
+        Self-healing (default on): a dead or wedged worker is respawned
+        with exponential backoff, its published objects replayed, torn
+        seqlock rows repaired, and its unanswered tasks re-dispatched —
+        all inside :meth:`run`, invisible to the caller.  A task that
+        kills *poison_threshold* workers in a row is quarantined (fails
+        loudly instead of respawn-looping), and a run spends at most
+        *max_respawns* respawns before giving up.  With ``supervise=
+        False`` failures raise :class:`WorkerError` immediately (the
+        error names each dead worker's exitcode and whether a task was
+        in flight); either way the pool auto-resets, so the *next*
+        :meth:`run` starts fresh workers — no caller dance required.
+        Cumulative counters live in :attr:`health`.
 
     Workers start lazily on the first :meth:`run`; published objects are
     replayed to workers on every (re)start, so :meth:`restart` — or a
@@ -431,6 +492,11 @@ class WorkerPool:
         start_method: "str | None" = None,
         seed: int = 0,
         task_timeout: float = 300.0,
+        supervise: bool = True,
+        max_respawns: int = 8,
+        poison_threshold: int = 3,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
     ) -> None:
         self.workers = resolve_workers(workers)
         if start_method is None:
@@ -439,6 +505,13 @@ class WorkerPool:
         self.start_method = start_method
         self.seed = seed
         self.task_timeout = task_timeout
+        self.supervise = supervise
+        self.max_respawns = max_respawns
+        self.poison_threshold = poison_threshold
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.health = PoolHealth()
+        self._incarnations = [0] * self.workers  # respawn count per worker id
         self._ctx = multiprocessing.get_context(start_method)
         self._procs: list = []
         self._task_qs: list = []
@@ -469,7 +542,14 @@ class WorkerPool:
         for wid in range(self.workers):
             p = self._ctx.Process(
                 target=_worker_main,
-                args=(wid, self.workers, self.seed, self._task_qs[wid], self._result_q),
+                args=(
+                    wid,
+                    self.workers,
+                    self.seed,
+                    self._incarnations[wid],
+                    self._task_qs[wid],
+                    self._result_q,
+                ),
                 daemon=True,
             )
             p.start()
@@ -487,6 +567,56 @@ class WorkerPool:
         them and replays all published shared objects."""
         obs.inc("pool.restarts")
         self._stop_workers(graceful=True)
+
+    def _respawn_worker(self, wid: int) -> None:
+        """Replace one dead/wedged worker in place, replaying shared state.
+
+        The worker keeps its id (shard-owned dispatch stays valid) and
+        gets a fresh task queue — whatever the dead process left undrained
+        is re-sent by the supervisor or re-broadcast here.
+        """
+        proc = self._procs[wid]
+        self.health.last_exitcodes[wid] = proc.exitcode
+        if proc.is_alive():
+            proc.terminate()
+        proc.join(timeout=5.0)
+        old_q = self._task_qs[wid]
+        try:
+            old_q.close()
+            old_q.cancel_join_thread()
+        except (OSError, ValueError):  # pragma: no cover - queue gone
+            pass
+        self._task_qs[wid] = self._ctx.Queue()
+        self._incarnations[wid] += 1
+        p = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                wid,
+                self.workers,
+                self.seed,
+                self._incarnations[wid],
+                self._task_qs[wid],
+                self._result_q,
+            ),
+            daemon=True,
+        )
+        p.start()
+        self._procs[wid] = p
+        for name, (kind, owner) in self._shared.items():
+            self._task_qs[wid].put((kind, name, owner.handle))
+        self.health.respawns += 1
+        obs.inc("pool.supervision.respawns")
+
+    def _repair_shared(self) -> None:
+        """Mend seqlock rows a dead writer left mid-write (see
+        :meth:`SharedMatrix.repair_torn_rows
+        <repro.parallel.shm.SharedMatrix.repair_torn_rows>`)."""
+        for _name, (kind, owner) in self._shared.items():
+            if kind == "matrix":
+                repaired = owner.repair_torn_rows()
+                if repaired:
+                    self.health.torn_rows_repaired += len(repaired)
+                    obs.inc("pool.supervision.torn_rows_repaired", len(repaired))
 
     def _stop_workers(self, graceful: bool) -> None:
         stopped = set()
@@ -516,14 +646,15 @@ class WorkerPool:
     def _drain_final_snapshots(self, expected: set) -> None:
         """Absorb the final metric snapshots stopped workers shipped.
 
-        Bounded wait: each gracefully-stopped worker sends exactly one
-        ``_OBS_TASK_ID`` message before exiting, but its queue feeder may
-        still be flushing as ``join`` returns.
+        Bounded wait (the ``drain_timeout`` tuning knob,
+        ``REPRO_DRAIN_TIMEOUT``): each gracefully-stopped worker sends
+        exactly one ``_OBS_TASK_ID`` message before exiting, but its
+        queue feeder may still be flushing as ``join`` returns.
         """
         if self._result_q is None:
             return
         expected = set(expected)
-        deadline = time.monotonic() + 1.0
+        deadline = time.monotonic() + tuning.get().drain_timeout
         while True:
             try:
                 wid, task_id, ok, res = self._result_q.get_nowait()
@@ -664,13 +795,29 @@ class WorkerPool:
 
     # -- dispatch --------------------------------------------------------- #
 
+    def _death_report(self, wids, outstanding) -> str:
+        """Human-readable account of dead/wedged workers: exitcode plus
+        whether (and how many) tasks were in flight on each."""
+        parts = []
+        for wid in wids:
+            proc = self._procs[wid] if wid < len(self._procs) else None
+            code = proc.exitcode if proc is not None else None
+            inflight = sum(1 for _slot, w in outstanding.values() if w == wid)
+            state = "wedged (alive, unresponsive)" if code is None else f"exitcode {code}"
+            flight = f"{inflight} task(s) in flight" if inflight else "no task in flight"
+            parts.append(f"worker {wid}: {state}, {flight}")
+        return "; ".join(parts)
+
     def run(self, fn: str, payloads, *, to=None) -> list:
         """Scatter *payloads* to the workers and gather results in order.
 
         ``to`` optionally names the worker id per payload (shard-owned
         dispatch); default is round-robin.  Raises :class:`WorkerError`
-        with the remote traceback if any task fails, and detects dead
-        workers instead of hanging.
+        with the remote traceback if any task fails.  Dead and wedged
+        workers are detected instead of hanging; with :attr:`supervise`
+        on (the default) they are respawned and their tasks retried —
+        see the class docstring — and only budget exhaustion or a poison
+        task surfaces as :class:`WorkerError`.
         """
         if fn not in TASKS:
             raise ParameterError(f"unknown task {fn!r} (want one of {sorted(TASKS)})")
@@ -683,28 +830,95 @@ class WorkerPool:
             to = [i % self.workers for i in range(len(payloads))]
         elif len(to) != len(payloads):
             raise ParameterError("`to` must match payloads in length")
-        index_of = {}
-        for payload, wid in zip(payloads, to):
+        for wid in to:
             if not (0 <= wid < self.workers):
                 raise ParameterError(f"worker id {wid} out of range (pool size {self.workers})")
+        outstanding: "dict[int, tuple[int, int]]" = {}  # task id -> (slot, wid)
+        kills: "dict[int, int]" = {}  # slot -> consecutive workers it killed
+
+        def dispatch(slot: int, wid: int) -> None:
             task_id = self._next_task_id
             self._next_task_id += 1
-            index_of[task_id] = len(index_of)
-            self._task_qs[wid].put(("task", task_id, fn, payload))
+            outstanding[task_id] = (slot, wid)
+            self._task_qs[wid].put(("task", task_id, fn, payloads[slot]))
+
+        def fail(wids, message: str) -> "WorkerError":
+            # Auto-reset before raising: the next run() restarts fresh
+            # workers and replays shared state — no caller dance needed.
+            report = self._death_report(wids, outstanding)
+            self._stop_workers(graceful=False)
+            return WorkerError(f"{message} [{report}]")
+
+        def recover(wids, *, wedged: bool) -> None:
+            nonlocal deadline, respawned
+            if not self.supervise:
+                kind = (
+                    f"wedged: no result within {self.task_timeout}s"
+                    if wedged
+                    else "died mid-task"
+                )
+                raise fail(wids, f"worker(s) {kind} (supervision disabled)") from None
+            redo = sorted(tid for tid, (_slot, w) in outstanding.items() if w in wids)
+            # Poison accounting: the earliest unanswered task per worker
+            # is the one it was (most likely) executing when it died.
+            for wid in wids:
+                mine = [tid for tid in redo if outstanding[tid][1] == wid]
+                if not mine:
+                    continue
+                slot = outstanding[min(mine)][0]
+                kills[slot] = kills.get(slot, 0) + 1
+                if kills[slot] >= self.poison_threshold:
+                    self.health.quarantined += 1
+                    obs.inc("pool.supervision.quarantined")
+                    raise fail(
+                        wids,
+                        f"poison task: {fn!r} payload {slot} killed "
+                        f"{kills[slot]} workers in a row — quarantined "
+                        "instead of respawn-looping",
+                    ) from None
+            if respawned + len(wids) > self.max_respawns:
+                raise fail(
+                    wids, f"respawn budget exhausted ({self.max_respawns} per run)"
+                ) from None
+            backoff = 0.0
+            if respawned:
+                backoff = min(self.backoff_cap, self.backoff_base * (2 ** (respawned - 1)))
+                time.sleep(backoff)
+                self.health.backoff_seconds += backoff
+                obs.observe("pool.supervision.backoff_s", backoff)
+            for wid in wids:
+                self._respawn_worker(wid)
+            respawned += len(wids)
+            if wedged:
+                self.health.wedge_restarts += len(wids)
+                obs.inc("pool.supervision.wedge_restarts", len(wids))
+            # The dead writer is gone for sure now: mend any row it left
+            # mid-write before the retries recompute it.
+            self._repair_shared()
+            for tid in redo:
+                slot, wid = outstanding.pop(tid)
+                dispatch(slot, wid)
+                self.health.retries += 1
+                obs.inc("pool.supervision.retries")
+            deadline = time.monotonic() + self.task_timeout
+
+        for slot, wid in enumerate(to):
+            dispatch(slot, wid)
         results = [None] * len(payloads)
         deadline = time.monotonic() + self.task_timeout
-        pending = len(payloads)
+        respawned = 0
         with obs.span("pool.run"):
-            while pending:
+            while outstanding:
                 try:
-                    wid, task_id, ok, res = self._result_q.get(timeout=1.0)
+                    wid, task_id, ok, res = self._result_q.get(timeout=0.1)
                 except queue_mod.Empty:
-                    if not self.alive:
-                        raise WorkerError("a worker process died mid-task") from None
+                    dead = [w for w, p in enumerate(self._procs) if not p.is_alive()]
+                    if dead:
+                        recover(dead, wedged=False)
+                        continue
                     if time.monotonic() > deadline:
-                        raise WorkerError(
-                            f"pool wedged: no result within {self.task_timeout}s"
-                        ) from None
+                        wedged = sorted({w for _slot, w in outstanding.values()})
+                        recover(wedged, wedged=True)
                     continue
                 if ok and task_id == _OBS_TASK_ID:  # final snapshot of a
                     if _sanitize.active:  # worker stopped earlier
@@ -713,7 +927,7 @@ class WorkerPool:
                     continue
                 if not ok:
                     raise WorkerError(f"task failed in worker {wid}:\n{res}")
-                if task_id in index_of:  # ignore strays from a prior failed gather
-                    results[index_of.pop(task_id)] = res
-                    pending -= 1
+                if task_id in outstanding:  # ignore strays from a prior failed gather
+                    slot, _wid = outstanding.pop(task_id)
+                    results[slot] = res
         return results

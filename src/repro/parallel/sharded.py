@@ -70,6 +70,11 @@ _EMPTY = np.empty((0, 0), dtype=np.int32)
 
 #: Shared-object names used by one service on its pool.
 _H, _G, _DIST, _TABLES = "serve:h", "serve:g", "serve:dist", "serve:tables"
+_STAMPS = "serve:stamps"
+
+#: How many times a full table re-projection is retried when workers keep
+#: crashing *during the retry itself* before the error surfaces.
+_REPROJECT_ATTEMPTS = 3
 
 
 class ShardedRoutingService(RoutingService):
@@ -101,6 +106,7 @@ class ShardedRoutingService(RoutingService):
         start_method: "str | None" = None,
         pool: "WorkerPool | None" = None,
         seed: int = 0,
+        task_timeout: float = 300.0,
         k: "int | None" = None,
         epsilon: "float | None" = None,
         r: "int | None" = None,
@@ -109,12 +115,19 @@ class ShardedRoutingService(RoutingService):
         if pool is not None:
             self._pool, self._owns_pool = pool, False
         else:
-            self._pool = WorkerPool(workers, start_method=start_method, seed=seed)
+            self._pool = WorkerPool(
+                workers, start_method=start_method, seed=seed, task_timeout=task_timeout
+            )
             self._owns_pool = True
         self._hints: "dict[str, set[int]]" = {}
         self._shared_ready = False
         self._closed = False
         self._directory = SharedDirectory()
+        #: Completed-state counter, posted with every directory payload.
+        #: A repair in flight posts ``pending = generation + 1`` first, so
+        #: readers can bound how far behind the served rows are.
+        self.generation = 0
+        self._stamps = _EMPTY
         super().__init__(
             g, method, k=k, epsilon=epsilon, r=r, rebuild_fraction=rebuild_fraction
         )
@@ -131,6 +144,12 @@ class ShardedRoutingService(RoutingService):
     def owner(self, u: int) -> int:
         """The shard owning row/table *u* (stable as the id space grows)."""
         return u % self._pool.workers
+
+    @property
+    def pool_health(self):
+        """Supervision counters of the pool (:class:`~repro.parallel.pool.\
+PoolHealth`): respawns, retries, wedge restarts, torn rows repaired, ..."""
+        return self._pool.health
 
     def reader_handle(self) -> str:
         """The directory address concurrent readers attach to.
@@ -152,12 +171,12 @@ class ShardedRoutingService(RoutingService):
         if self._closed:
             return
         self._closed = True
-        self._dist = self._tables = _EMPTY  # drop buffer exports first
+        self._dist = self._tables = self._stamps = _EMPTY  # drop exports first
         self._directory.close()
         if self._owns_pool:
             self._pool.close()
         else:
-            for name in (_H, _G, _DIST, _TABLES):
+            for name in (_H, _G, _DIST, _TABLES, _STAMPS):
                 self._pool.drop(name)
 
     def __enter__(self) -> "ShardedRoutingService":
@@ -215,17 +234,22 @@ class ShardedRoutingService(RoutingService):
             (
                 self._pool.matrix_owner(_DIST).handle.name,
                 self._pool.matrix_owner(_TABLES).handle.name,
+                self._pool.matrix_owner(_STAMPS).handle.name,
             )
             if had_shared
             else None
         )
-        self._dist = self._tables = _EMPTY  # release exports before resize
+        self._dist = self._tables = self._stamps = _EMPTY  # release exports
         self._dist = self._pool.matrix(_DIST, n, n, fill=-1, versioned=True)
         self._tables = self._pool.matrix(_TABLES, n, n, fill=-1, versioned=True)
+        # Per-row freshness stamps for bounded-stale readers: written only
+        # by the parent at quiescent points, so they stay unversioned.
+        self._stamps = self._pool.matrix(_STAMPS, n, 1, fill=0)
         self._shared_ready = True
         new_names = (
             self._pool.matrix_owner(_DIST).handle.name,
             self._pool.matrix_owner(_TABLES).handle.name,
+            self._pool.matrix_owner(_STAMPS).handle.name,
         )
         if old_names != new_names:
             # The resize reallocated — the old blocks are unlinked, so the
@@ -244,10 +268,20 @@ class ShardedRoutingService(RoutingService):
         self._pool.publish_csr(_H, h, dirty_rows=self._hints.pop(_H, None))
         buckets, to = self._shard(order)
         payloads = [(_H, _DIST, bucket) for bucket in buckets]
+        respawns = self._pool.health.respawns
         results = self._pool.run("serve_rows", payloads, to=to)
         if not track:
             return {}
         n = self._dist.shape[1]
+        if self._pool.health.respawns != respawns:
+            # A worker died mid-stage.  The retried tasks recomputed every
+            # requested row correctly, but their changed-destination masks
+            # diff against whatever the crashed attempt already committed —
+            # they can *understate* the damage.  Treat every recomputed row
+            # as fully changed so the table projection over-repairs; the
+            # result stays bit-identical, only this event costs more.
+            obs.inc("sharded.crash_full_damage")
+            return {int(s): np.ones(n, dtype=bool) for s in order}
         changed: "dict[int, np.ndarray]" = {}
         for chunk in results:
             for s, packed in chunk:
@@ -268,7 +302,20 @@ class ShardedRoutingService(RoutingService):
         self._pool.publish_csr(_G, g_csr, dirty_rows=self._hints.pop(_G, None))
         buckets, to = self._shard(jobs)
         payloads = [(_G, _DIST, _TABLES, bucket) for bucket in buckets]
+        respawns = self._pool.health.respawns
         self.entries_updated += sum(self._pool.run("serve_tables", payloads, to=to))
+        for _ in range(_REPROJECT_ATTEMPTS):
+            if self._pool.health.respawns == respawns:
+                break
+            # A crash mid-projection tears the table row being written; the
+            # pool repairs it to all −1 before retrying, but the retried job
+            # honours its original column mask — unmasked columns would stay
+            # −1.  Re-project every damaged table in full to restore them.
+            obs.inc("sharded.crash_full_reproject")
+            respawns = self._pool.health.respawns
+            buckets, to = self._shard([(u, None) for u, _ in jobs])
+            payloads = [(_G, _DIST, _TABLES, bucket) for bucket in buckets]
+            self._pool.run("serve_tables", payloads, to=to)
         return len(jobs)
 
     # ------------------------------------------------------------------ #
@@ -294,22 +341,45 @@ class ShardedRoutingService(RoutingService):
     # concurrent-read directory
     # ------------------------------------------------------------------ #
 
+    def _payload(self, pending: int) -> tuple:
+        return (
+            self._pool.matrix_owner(_DIST).handle,
+            self._pool.matrix_owner(_TABLES).handle,
+            self._pool.matrix_owner(_STAMPS).handle,
+            self.generation,
+            pending,
+        )
+
     def _publish_directory(self) -> None:
         """Post the current matrix handles for detached readers.
 
         Posted only at *quiescent* points — after a completed apply, batch,
         refresh or compaction — so a reader that re-syncs mid-event keeps
         reading the previous committed shape; individual row updates within
-        an event are covered by the per-row seqlock counters instead.
+        an event are covered by the per-row seqlock counters instead.  Each
+        post advances :attr:`generation` and stamps every row with it: the
+        whole matrix *is* that committed state, so every row is current.
         """
         if not self._shared_ready or self._closed:
             return
         with obs.span("sharded.publish_directory"):
-            self._directory.post(
-                (self._pool.matrix_owner(_DIST).handle, self._pool.matrix_owner(_TABLES).handle)
-            )
+            self.generation += 1
+            self._stamps[:, 0] = self.generation
+            self._directory.post(self._payload(self.generation))
+
+    def _post_degraded(self) -> None:
+        """Mark a repair as started: the payload's *pending* generation now
+        exceeds every row stamp by one.  If the repair completes, the next
+        :meth:`_publish_directory` closes the gap; if the service crashes or
+        wedges mid-repair, readers keep serving the last committed state at
+        a measurable staleness of 1 — the hook ``max_staleness=`` bounds.
+        """
+        if not self._shared_ready or self._closed:
+            return
+        self._directory.post(self._payload(self.generation + 1))
 
     def apply(self, event):
+        self._post_degraded()
         report = super().apply(event)
         self._publish_directory()
         return report
@@ -317,6 +387,7 @@ class ShardedRoutingService(RoutingService):
     def apply_batch(self, events):
         # The mid-batch error path refreshes (and therefore republishes)
         # before the exception surfaces, so readers never see the resync gap.
+        self._post_degraded()
         report = super().apply_batch(events)
         self._publish_directory()
         return report
@@ -344,13 +415,33 @@ class RouteReader:
     against one service.  Close the reader before the service goes away to
     release the mappings promptly (a closed service's blocks stay readable
     until detached, POSIX semantics).
+
+    **Bounded staleness.**  Every directory payload carries the service's
+    committed generation, the generation of the repair currently in flight
+    (``pending``), and a per-row stamp matrix marking the generation each
+    row was last committed at.  ``max_staleness=k`` makes :meth:`next_hop`
+    and :meth:`distance` answer ``None`` for any row more than *k*
+    committed generations behind the newest started repair — ``0`` refuses
+    everything mid-repair, ``None`` (default) serves whatever committed
+    state is available.  :meth:`hop_fallback` then recovers a usable hop
+    from the committed distance rows alone (see its docstring), which is
+    how :func:`~repro.routing.greedy_routing.route_served` keeps routing
+    around dormant or stale table entries.
     """
 
-    def __init__(self, directory: str) -> None:
+    def __init__(self, directory: str, *, max_staleness: "int | None" = None) -> None:
+        if max_staleness is not None and (
+            isinstance(max_staleness, bool) or not isinstance(max_staleness, int) or max_staleness < 0
+        ):
+            raise ParameterError(f"max_staleness must be a non-negative int, got {max_staleness!r}")
+        self.max_staleness = max_staleness
         self._dir = AttachedDirectory(directory)
         self._gen = -1
+        self._committed = 0
+        self._pending = 0
         self._dist: "AttachedMatrix | None" = None
         self._tables: "AttachedMatrix | None" = None
+        self._stamps: "AttachedMatrix | None" = None
         self._sync()
 
     def _sync(self) -> None:
@@ -367,23 +458,38 @@ class RouteReader:
         if gen == self._gen:
             return
         for attempt in range(64):
-            (dist_handle, tables_handle), gen = self._dir.read()
+            payload, gen = self._dir.read()
+            if len(payload) == 2:
+                # Bare (dist, tables) payload — a directory posted outside
+                # ShardedRoutingService.  No stamps means no staleness
+                # protocol: every row counts as committed-and-current.
+                dist_h, tables_h = payload
+                stamps_h, committed, pending = None, 0, 0
+            else:
+                dist_h, tables_h, stamps_h, committed, pending = payload
             try:
                 if self._dist is None:
-                    dist = AttachedMatrix(dist_handle)
+                    fresh: "list[AttachedMatrix]" = []
                     try:
-                        tables = AttachedMatrix(tables_handle)
+                        for handle in (dist_h, tables_h, stamps_h):
+                            if handle is not None:
+                                fresh.append(AttachedMatrix(handle))
                     except FileNotFoundError:
-                        dist.close()
+                        for attached in fresh:
+                            attached.close()
                         raise
-                    self._dist, self._tables = dist, tables
+                    self._dist, self._tables = fresh[0], fresh[1]
+                    self._stamps = fresh[2] if len(fresh) > 2 else None
                 else:
-                    self._dist.refresh(dist_handle)
-                    self._tables.refresh(tables_handle)
+                    self._dist.refresh(dist_h)
+                    self._tables.refresh(tables_h)
+                    if self._stamps is not None and stamps_h is not None:
+                        self._stamps.refresh(stamps_h)
             except FileNotFoundError:
                 time.sleep(0.001 * min(attempt + 1, 10))
                 continue
             self._gen = gen
+            self._committed, self._pending = int(committed), int(pending)
             return
         raise TornReadError("directory kept naming freed blocks (service died mid-resize?)")
 
@@ -402,6 +508,36 @@ class RouteReader:
                 total += attached.torn_retries
         return total
 
+    @property
+    def generation(self) -> int:
+        """The service generation of the last committed state we serve."""
+        self._sync()
+        return self._committed
+
+    def staleness(self, u: int) -> int:
+        """How many committed generations row *u* lags the newest repair.
+
+        ``0`` when quiescent; ``pending − stamp`` while a repair is in
+        flight (or died mid-flight) — the quantity ``max_staleness=``
+        bounds.
+        """
+        self._sync()
+        if self._stamps is None:  # bare directory: no staleness protocol
+            if not (0 <= u < self._tables.rows):
+                raise NodeNotFound(u, self._tables.rows)
+            return 0
+        if not (0 <= u < self._stamps.rows):
+            raise NodeNotFound(u, self._stamps.rows)
+        return max(0, self._pending - int(self._stamps.read_cell(u, 0)))
+
+    def _too_stale(self, u: int) -> bool:
+        # Callers have already synced; rows beyond the stamp matrix (a
+        # resize race) count as never committed.
+        if self.max_staleness is None or self._stamps is None:
+            return False
+        stamp = int(self._stamps.read_cell(u, 0)) if u < self._stamps.rows else 0
+        return self._pending - stamp > self.max_staleness
+
     def _check_pair(self, u: int, v: int) -> None:
         if u == v:
             raise ParameterError("source equals target")
@@ -411,10 +547,24 @@ class RouteReader:
                 raise NodeNotFound(node, n)
 
     def next_hop(self, u: int, v: int) -> "int | None":
-        """The served next hop of *u* toward *v* (None when unroutable)."""
+        """The served next hop of *u* toward *v* (None when unroutable).
+
+        Also ``None`` when row *u* violates the reader's staleness bound —
+        callers degrade to :meth:`hop_fallback` (or drop the packet).
+        """
         self._sync()
         self._check_pair(u, v)
-        hop = self._tables.read_cell(u, v)
+        if self._too_stale(u):
+            obs.inc("reader.stale_refusals")
+            return None
+        try:
+            hop = self._tables.read_cell(u, v)
+        except TornReadError:
+            # Writer died mid-write and its row awaits repair: degrade to
+            # "unroutable" rather than crash the serving path — the caller
+            # falls back or drops the packet, and a resync heals the row.
+            obs.inc("reader.torn_refusals")
+            return None
         return hop if hop >= 0 else None
 
     def distance(self, u: int, v: int) -> "int | None":
@@ -424,8 +574,54 @@ class RouteReader:
         for node in (u, v):
             if not (0 <= node < n):
                 raise NodeNotFound(node, n)
-        d = self._dist.read_cell(u, v)
+        if self._too_stale(u):
+            obs.inc("reader.stale_refusals")
+            return None
+        try:
+            d = self._dist.read_cell(u, v)
+        except TornReadError:
+            obs.inc("reader.torn_refusals")
+            return None
         return d if d >= 0 else None
+
+    def hop_fallback(self, u: int, v: int) -> "int | None":
+        """A degraded next hop for *u* toward *v* from committed D rows.
+
+        Used when the table entry is dormant (−1-repaired after a crash) or
+        refused as too stale.  Works entirely on seqlock-committed distance
+        rows: the H-neighbors of *u* are exactly the ``D[u, ·] == 1``
+        entries (H is a subgraph, so each is a real edge of some committed
+        state), and the hop chosen is the smallest-id neighbor strictly
+        closer to *v* per *v*'s committed row.  Strict progress makes every
+        fallback journey loop-free against a fixed state; under concurrent
+        repair the caller's hop budget bounds the walk instead.  Returns
+        ``None`` when no certified-closer neighbor exists (then the packet
+        is genuinely undeliverable from the served state).
+        """
+        self._sync()
+        self._check_pair(u, v)
+        try:
+            row_u = self._dist.read_row(u)
+            row_v = self._dist.read_row(v)
+        except TornReadError:
+            # Either endpoint's row is torn (writer died mid-write): no
+            # committed evidence to certify progress from, so refuse.
+            obs.inc("reader.torn_refusals")
+            return None
+        here = int(row_v[u])
+        if here < 0:  # v's committed row doesn't reach u: no certified progress
+            return None
+        nbrs = np.flatnonzero(row_u == 1)
+        if nbrs.size == 0:
+            return None
+        dists = row_v[nbrs]
+        closer = (dists >= 0) & (dists < here)
+        if not closer.any():
+            return None
+        # argmin returns the first minimum; nbrs ascends, so ties break to
+        # the smallest node id — deterministic across runs and readers.
+        candidates = nbrs[closer]
+        return int(candidates[np.argmin(dists[closer])])
 
     def table(self, u: int) -> dict:
         """Node *u*'s next-hop table, in :func:`routing_table`'s dict shape."""
@@ -447,7 +643,7 @@ class RouteReader:
         return self._dist.read_row(u)
 
     def close(self) -> None:
-        for attached in (self._dist, self._tables):
+        for attached in (self._dist, self._tables, self._stamps):
             if attached is not None:
                 attached.close()
         self._dir.close()

@@ -60,7 +60,8 @@ from typing import Iterable
 
 import numpy as np
 
-from .. import obs
+from .. import faults as _faults
+from .. import obs, tuning
 from ..analysis import sanitize as _sanitize
 from ..errors import ParameterError, TornReadError
 from ..graph.csr import CSRGraph
@@ -83,10 +84,13 @@ _IDX_DTYPE = np.intc
 _MAT_DTYPE = np.int32
 _VER_DTYPE = np.int64
 
-#: Retry budget for seqlock reads — generous enough to ride out any live
-#: writer (writers hold a row for microseconds; the reader yields the CPU
-#: while spinning), small enough to surface a dead writer within seconds.
-_SEQLOCK_MAX_TRIES = 200_000
+
+def _max_tries() -> int:
+    """Retry budget for seqlock reads (the ``read_retries`` tuning knob,
+    ``REPRO_READ_RETRIES``) — generous enough to ride out any live writer
+    (writers hold a row for microseconds; the reader yields the CPU while
+    spinning), small enough to surface a dead writer within seconds."""
+    return tuning.get().read_retries
 
 
 def _spin(attempt: int) -> None:
@@ -107,10 +111,33 @@ def _headroom(size: int) -> int:
     return max(64, size + (size >> 2))
 
 
+#: Immediate-retry budget for transient shm allocation/attach failures
+#: (momentary EMFILE, a name collision, an injected ``shm.alloc`` /
+#: ``shm.attach`` fault).  A real ENOENT on attach propagates untried —
+#: the owner unlinked the block, and the reader refresh protocol depends
+#: on seeing that promptly.
+_TRANSIENT_TRIES = 3
+
+
 def _create_block(nbytes: int) -> shared_memory.SharedMemory:
-    """A fresh named block; the short random suffix keeps names collision-free."""
-    name = f"repro-{secrets.token_hex(6)}"
-    block = shared_memory.SharedMemory(name=name, create=True, size=max(nbytes, 1))
+    """A fresh named block; the short random suffix keeps names collision-free.
+
+    Transient allocation failures are retried with a fresh name up to
+    :data:`_TRANSIENT_TRIES` times before giving up.
+    """
+    block = failure = None
+    for _ in range(_TRANSIENT_TRIES):
+        name = f"repro-{secrets.token_hex(6)}"
+        try:
+            if _faults.active:
+                _faults.on_shm_create(name)  # simulated allocation failure (OSError)
+            block = shared_memory.SharedMemory(name=name, create=True, size=max(nbytes, 1))
+        except OSError as exc:
+            failure = exc
+            continue
+        break
+    if block is None:
+        raise failure
     if _sanitize.active:
         # Leak tracking: deregister on unlink (instance attribute shadows
         # the method), so whatever survives at pool close is a leak.
@@ -134,15 +161,29 @@ def _attach_block(name: str) -> shared_memory.SharedMemory:
     the attach (the 3.13 ``track=False`` semantics) keeps the creator the
     sole owner; worker processes are single-threaded, so the temporary
     patch cannot race.
+
+    Transient failures are retried up to :data:`_TRANSIENT_TRIES` times;
+    ``FileNotFoundError`` is excluded — the owner unlinked the block, and
+    retrying would only delay the caller's stale-handle recovery.
     """
     from multiprocessing import resource_tracker
 
-    original = resource_tracker.register
-    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
-    try:
-        return shared_memory.SharedMemory(name=name)
-    finally:
-        resource_tracker.register = original
+    failure = None
+    for _ in range(_TRANSIENT_TRIES):
+        try:
+            if _faults.active:
+                _faults.on_shm_attach(name)  # simulated attach failure (OSError)
+            original = resource_tracker.register
+            resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+            try:
+                return shared_memory.SharedMemory(name=name)
+            finally:
+                resource_tracker.register = original
+        except FileNotFoundError:
+            raise
+        except OSError as exc:
+            failure = exc
+    raise failure
 
 
 @dataclass(frozen=True)
@@ -436,6 +477,7 @@ class SharedMatrix:
         self.rows, self.cols = rows, cols
         self.version = 0
         self._closed = False
+        self.fill = fill  # remembered: repair_torn_rows resets rows to it
         if fill is not None:
             self.array[:] = fill
 
@@ -465,6 +507,8 @@ class SharedMatrix:
             if _sanitize.active:
                 _sanitize.note_begin_row_write(self._shm_ver.name, u)
             ver[u] += 1
+            if _faults.active:
+                _faults.on_begin_row_write(u)  # crash site: row now odd
 
     def end_row_write(self, u: int) -> None:
         """Commit row *u* (even version again); no-op when unversioned."""
@@ -494,6 +538,8 @@ class SharedMatrix:
         """
         if self._closed:
             raise ParameterError("SharedMatrix is closed")
+        if fill is not None:
+            self.fill = fill
         old_rows, old_cols = self.rows, self.cols
         reallocated = rows > self._cap_r or cols > self._cap_c
         if reallocated:
@@ -534,6 +580,32 @@ class SharedMatrix:
                     a[:, old_cols:] = fill
         self.version += 1
         return reallocated
+
+    def repair_torn_rows(self) -> "list[int]":
+        """Commit every row a dead writer left mid-write; returns their ids.
+
+        A worker that crashed between ``begin_row_write`` and
+        ``end_row_write`` leaves the row version odd forever: readers spin
+        to :class:`~repro.errors.TornReadError`, and the half-written
+        content must never be served.  The supervisor calls this after
+        respawning: each odd row is overwritten with the matrix *fill* (a
+        committed-looking dormant state) **while the version is still
+        odd** — concurrent seqlock readers discard anything captured
+        mid-write — and only then committed.  The retried task rewrites
+        the real content afterwards.
+        """
+        ver = self.row_versions
+        if ver is None:
+            return []
+        fill = 0 if self.fill is None else self.fill
+        arr = self.array
+        repaired = []
+        for u in range(self.rows):
+            if int(ver[u]) & 1:
+                arr[u, :] = fill
+                ver[u] += 1  # commit: even again, content is the fill state
+                repaired.append(u)
+        return repaired
 
     def close(self) -> None:
         if self._closed:
@@ -615,6 +687,8 @@ class AttachedMatrix:
             if _sanitize.active:
                 _sanitize.note_begin_row_write(self._handle.versions_name, u)
             self._ver[u] += 1
+            if _faults.active:
+                _faults.on_begin_row_write(u)  # crash site: row now odd
 
     def end_row_write(self, u: int) -> None:
         """Commit row *u* (even again); no-op when unversioned."""
@@ -634,7 +708,7 @@ class AttachedMatrix:
         ver = self._ver
         if ver is None:
             return np.array(self._arr[u] if cols is None else self._arr[u, cols])
-        for attempt in range(_SEQLOCK_MAX_TRIES):
+        for attempt in range(_max_tries()):
             v0 = int(ver[u])
             if v0 & 1:
                 self.torn_retries += 1
@@ -654,7 +728,7 @@ class AttachedMatrix:
         ver = self._ver
         if ver is None:
             return int(self._arr[u, v])
-        for attempt in range(_SEQLOCK_MAX_TRIES):
+        for attempt in range(_max_tries()):
             v0 = int(ver[u])
             if v0 & 1:
                 self.torn_retries += 1
@@ -767,7 +841,7 @@ class AttachedDirectory:
     def read(self) -> "tuple[object, int]":
         """The latest committed payload and its generation (seqlock read)."""
         hdr = np.ndarray((2,), dtype=np.int64, buffer=self._shm.buf)
-        for attempt in range(_SEQLOCK_MAX_TRIES):
+        for attempt in range(_max_tries()):
             g0 = int(hdr[0])
             if g0 & 1:
                 _spin(attempt)

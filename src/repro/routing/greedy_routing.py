@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..errors import NodeNotFound, ParameterError
 from ..graph import AugmentedView, Graph
 
@@ -97,7 +98,14 @@ def route(h: Graph, g: Graph, source: int, target: int, max_hops: "int | None" =
     return result
 
 
-def route_served(service, source: int, target: int, max_hops: "int | None" = None) -> RouteResult:
+def route_served(
+    service,
+    source: int,
+    target: int,
+    max_hops: "int | None" = None,
+    *,
+    hop_fallback=None,
+) -> RouteResult:
     """Forward one packet hop-by-hop off maintained next-hop tables.
 
     The serving fast path: where :func:`route` re-derives every decision
@@ -117,9 +125,21 @@ def route_served(service, source: int, target: int, max_hops: "int | None" = Non
     :math:`H_u`-path leaves *u* through a G-neighbor, star edge or not.
     ``max_hops`` has :func:`route`'s exact default-guard semantics
     (``None`` → ``num_nodes`` forwarding steps).
+
+    ``hop_fallback`` is the degraded-serving hook: a callable
+    ``(u, v) -> hop | None`` (pass ``True`` to use the service's own
+    ``hop_fallback`` method, e.g. :meth:`RouteReader.hop_fallback
+    <repro.parallel.sharded.RouteReader.hop_fallback>`) consulted only when
+    the table lookup answers ``None`` — a dormant (crash-repaired) entry or
+    a row refused by the reader's staleness bound.  Fallback hops keep the
+    journey moving over committed edges but carry no potential certificate,
+    so their potential records as ``inf`` and the standard per-hop
+    invariant is not claimed for them.
     """
     if source == target:
         raise ParameterError("source equals target")
+    if hop_fallback is True:
+        hop_fallback = service.hop_fallback
     n = service.num_nodes
     if not (0 <= target < n):
         raise NodeNotFound(target, n)
@@ -129,6 +149,18 @@ def route_served(service, source: int, target: int, max_hops: "int | None" = Non
     current = source
     for _ in range(max_hops):
         hop = service.next_hop(current, target)
+        if hop is None and hop_fallback is not None:
+            hop = hop_fallback(current, target)
+            if hop is not None:
+                obs.inc("route.fallback_hops")
+                result.potentials.append(float("inf"))
+                result.path.append(hop)
+                current = hop
+                if current == target:
+                    result.delivered = True
+                    result.potentials.append(0)
+                    return result
+                continue
         if hop is None:
             result.potentials.append(float("inf"))
             return result  # unroutable from here

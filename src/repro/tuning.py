@@ -30,8 +30,16 @@ row masks (``REPRO_SMALL_FRONTIER``).
 
 ``obs`` gates the :mod:`repro.obs` instrumentation (``REPRO_OBS``; the
 strings ``off``/``false``/``no`` mean ``0``, ``on``/``true``/``yes`` mean
-``1``).  It is the one knob allowed to be zero — disabled observability
-is a supported production configuration.
+``1``).  ``faults`` is the analogous gate for the fault-injection plane
+(``REPRO_FAULTS``, see :mod:`repro.faults`) — both are allowed to be
+zero, and ``faults`` *defaults* to zero: injection is strictly opt-in.
+
+``drain_timeout`` (``REPRO_DRAIN_TIMEOUT``, seconds, float) bounds how
+long :class:`~repro.parallel.pool.WorkerPool` waits for the final
+metric snapshots of stopped workers, and ``read_retries``
+(``REPRO_READ_RETRIES``) is the seqlock reader retry budget before
+:class:`~repro.errors.TornReadError` — both were hard-coded constants
+before the fault plane made tightening them under test necessary.
 
 ``python -m repro tune`` measures the crossovers on the current hardware
 (:func:`calibrate`) and prints recommended values plus the matching
@@ -60,6 +68,9 @@ __all__ = [
     "DEFAULT_AUTO_MAX_WORKERS",
     "DEFAULT_SMALL_FRONTIER",
     "DEFAULT_OBS",
+    "DEFAULT_FAULTS",
+    "DEFAULT_DRAIN_TIMEOUT",
+    "DEFAULT_READ_RETRIES",
 ]
 
 #: Sources per :func:`~repro.graph.traversal.batched_bfs` chunk (64 measured
@@ -85,6 +96,18 @@ DEFAULT_SMALL_FRONTIER = 16
 #: enough to leave on; ``REPRO_OBS=off`` (or 0) kills it for bake-offs.
 DEFAULT_OBS = 1
 
+#: Fault injection off by default — ``REPRO_FAULTS=1`` arms the hooks in
+#: :mod:`repro.faults` (the plan itself comes from ``REPRO_FAULT_PLAN``).
+DEFAULT_FAULTS = 0
+
+#: Seconds :class:`~repro.parallel.pool.WorkerPool` waits for the final
+#: metric snapshots of gracefully stopped workers.
+DEFAULT_DRAIN_TIMEOUT = 1.0
+
+#: Seqlock reader retry budget (see :mod:`repro.parallel.shm`) — generous
+#: enough to ride out any live writer, small enough to surface a dead one.
+DEFAULT_READ_RETRIES = 200_000
+
 _ENV_VARS = {
     "batch_chunk": "REPRO_BATCH_CHUNK",
     "auto_min_nodes": "REPRO_AUTO_MIN_NODES",
@@ -92,10 +115,17 @@ _ENV_VARS = {
     "auto_max_workers": "REPRO_AUTO_MAX_WORKERS",
     "small_frontier": "REPRO_SMALL_FRONTIER",
     "obs": "REPRO_OBS",
+    "faults": "REPRO_FAULTS",
+    "drain_timeout": "REPRO_DRAIN_TIMEOUT",
+    "read_retries": "REPRO_READ_RETRIES",
 }
 
 #: Knobs allowed to be zero (everything else must be >= 1).
-_ZERO_OK = frozenset({"obs"})
+_ZERO_OK = frozenset({"obs", "faults"})
+
+#: Knobs carrying a duration in seconds — validated and parsed as floats
+#: (every other knob is a strict int).
+_FLOAT_KNOBS = frozenset({"drain_timeout"})
 
 #: String spellings accepted for boolean-flavoured env knobs.
 _ENV_WORDS = {"off": 0, "false": 0, "no": 0, "on": 1, "true": 1, "yes": 1}
@@ -111,10 +141,17 @@ class Tuning:
     auto_max_workers: int = DEFAULT_AUTO_MAX_WORKERS
     small_frontier: int = DEFAULT_SMALL_FRONTIER
     obs: int = DEFAULT_OBS
+    faults: int = DEFAULT_FAULTS
+    drain_timeout: float = DEFAULT_DRAIN_TIMEOUT
+    read_retries: int = DEFAULT_READ_RETRIES
 
     def __post_init__(self) -> None:
         for name in _ENV_VARS:
             value = getattr(self, name)
+            if name in _FLOAT_KNOBS:
+                if isinstance(value, bool) or not isinstance(value, (int, float)) or value <= 0:
+                    raise ParameterError(f"{name} must be a positive number, got {value!r}")
+                continue
             floor = 0 if name in _ZERO_OK else 1
             if not isinstance(value, int) or value < floor:
                 kind = "non-negative" if floor == 0 else "positive"
@@ -122,7 +159,7 @@ class Tuning:
 
 
 def _from_env() -> Tuning:
-    kwargs: "dict[str, int]" = {}
+    kwargs: "dict[str, float]" = {}
     for field, var in _ENV_VARS.items():
         raw = os.environ.get(var)
         if raw is None:
@@ -131,9 +168,10 @@ def _from_env() -> Tuning:
             kwargs[field] = _ENV_WORDS[raw.strip().lower()]
             continue
         try:
-            kwargs[field] = int(raw)
+            kwargs[field] = float(raw) if field in _FLOAT_KNOBS else int(raw)
         except ValueError:
-            raise ParameterError(f"{var} must be an int, got {raw!r}") from None
+            kind = "a number" if field in _FLOAT_KNOBS else "an int"
+            raise ParameterError(f"{var} must be {kind}, got {raw!r}") from None
     return Tuning(**kwargs)
 
 

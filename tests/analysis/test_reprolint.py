@@ -25,6 +25,7 @@ from repro.analysis.lint import (
 from repro.analysis.lint.engine import PARSE_ERROR_CODE
 from repro.analysis.lint.rules import (
     ExceptionHygieneRule,
+    FaultHookConfinementRule,
     RngDisciplineRule,
     SeqlockBracketRule,
     ShmLifecycleRule,
@@ -118,9 +119,9 @@ class TestEngine:
         assert findings[0].rule == PARSE_ERROR_CODE
         assert "does not parse" in findings[0].message
 
-    def test_registry_has_the_seven_rules(self):
+    def test_registry_has_the_ast_local_rules(self):
         rules = default_rules()
-        assert [r.code for r in rules] == [f"RL00{i}" for i in range(1, 8)]
+        assert [r.code for r in rules] == [f"RL00{i}" for i in range(1, 8)] + ["RL012"]
         assert all(r.name and r.description for r in rules)
         assert set(REGISTRY) == {r.code for r in rules}
 
@@ -277,12 +278,28 @@ class TestTimingDisciplineRule:
         )
         assert findings == []
 
+    def test_rl012_flags_install_and_state_pokes(self):
+        findings = fixture_findings("rl012_bad.py", FaultHookConfinementRule())
+        assert len(findings) == 4  # the import, both install calls, .active
+        assert all(f.rule == "RL012" for f in findings)
+        assert any("install" in f.message for f in findings)
+        assert any("faults.active" in f.message for f in findings)
+
+    def test_rl012_env_protocol_is_clean(self):
+        assert fixture_findings("rl012_good.py", FaultHookConfinementRule()) == []
+
+    def test_rl012_faults_package_is_exempt(self):
+        findings = fixture_findings(
+            "rl012_bad.py", FaultHookConfinementRule(), "src/repro/faults/__init__.py"
+        )
+        assert findings == []
+
 
 class TestCli:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"):
+        for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007", "RL012"):
             assert code in out
 
     def test_findings_exit_nonzero_and_print_locations(self, capsys):

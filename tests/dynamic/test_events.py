@@ -4,6 +4,7 @@ import pytest
 
 from repro.dynamic import (
     EdgeEvent,
+    FAULT_SCENARIO_NAMES,
     NodeEvent,
     SCENARIO_NAMES,
     apply_event,
@@ -13,6 +14,8 @@ from repro.dynamic import (
     make_scenario,
     mobility_scenario,
     node_churn_scenario,
+    partition_heal_scenario,
+    regional_outage_scenario,
 )
 from repro.errors import GraphError, ParameterError
 from repro.graph import Graph
@@ -82,7 +85,7 @@ class TestNodeEvent:
         assert apply_event(g, NodeEvent.leave(2), strict=False) is False
 
 
-@pytest.mark.parametrize("name", SCENARIO_NAMES)
+@pytest.mark.parametrize("name", SCENARIO_NAMES + FAULT_SCENARIO_NAMES)
 class TestScenarioContracts:
     def test_replay_reaches_final(self, name):
         sc = make_scenario(name, 50, 40, seed=11)
@@ -195,3 +198,66 @@ class TestScenarioTicks:
         sc = make_scenario("failure", 30, 5, seed=3)
         with pytest.raises(ParameterError):
             list(sc.ticks(0))
+
+
+class TestFaultScenarioShapes:
+    """The two scenario-level fault injections the chaos corpus soaks under."""
+
+    def test_outage_kills_a_ball_then_repopulates(self):
+        sc = regional_outage_scenario(40, ball_fraction=0.25, seed=7)
+        assert sc.name == "outage"
+        assert 0 <= sc.params["epicenter"] < 40
+        leaves = [e for e in sc.events if isinstance(e, NodeEvent) and e.kind == "leave"]
+        joins = [e for e in sc.events if isinstance(e, NodeEvent) and e.kind == "join"]
+        assert leaves and joins
+        # Recovery is total: a fresh radio per killed position at dense new
+        # ids (already-isolated casualties emit no leave, so joins may
+        # outnumber leaves) — and the dead slots stay dormant.
+        assert len(joins) >= len(leaves)
+        assert all(j.node >= 40 for j in joins)
+        for e in leaves:
+            assert sc.final.degree(e.node) == 0
+        # Every leave precedes every join (outage first, then recovery).
+        last_leave = max(
+            i for i, e in enumerate(sc.events)
+            if isinstance(e, NodeEvent) and e.kind == "leave"
+        )
+        first_join = min(
+            i for i, e in enumerate(sc.events)
+            if isinstance(e, NodeEvent) and e.kind == "join"
+        )
+        assert last_leave < first_join
+
+    def test_outage_truncation_and_validation(self):
+        full = regional_outage_scenario(40, seed=7)
+        cut = regional_outage_scenario(40, num_events=5, seed=7)
+        assert cut.events == full.events[:5]
+        assert cut.replay() == cut.final
+        with pytest.raises(ParameterError):
+            regional_outage_scenario(1, 5)
+        with pytest.raises(ParameterError):
+            regional_outage_scenario(40, num_events=0)
+        with pytest.raises(ParameterError):
+            regional_outage_scenario(40, ball_fraction=0.0)
+
+    def test_partition_cuts_the_median_then_heals(self):
+        sc = partition_heal_scenario(40, seed=7)
+        assert sc.name == "partition"
+        removes = [e for e in sc.events if isinstance(e, EdgeEvent) and e.kind == "remove"]
+        adds = [e for e in sc.events if isinstance(e, EdgeEvent) and e.kind == "add"]
+        assert removes and len(removes) == len(adds)
+        # The cut and the heal name the same links, in the same order.
+        assert [(e.u, e.v) for e in removes] == [(e.u, e.v) for e in adds]
+        assert sc.final == sc.initial  # a full cycle heals completely
+        cut = partition_heal_scenario(40, num_events=3, seed=7)
+        assert cut.events == sc.events[:3]
+        with pytest.raises(ParameterError):
+            partition_heal_scenario(1, 5)
+        with pytest.raises(ParameterError):
+            partition_heal_scenario(40, num_events=0)
+
+    def test_registries_are_disjoint_and_dispatched(self):
+        assert FAULT_SCENARIO_NAMES == ("outage", "partition")
+        assert not set(FAULT_SCENARIO_NAMES) & set(SCENARIO_NAMES)
+        assert make_scenario("outage", 30, 8, seed=2).name == "outage"
+        assert make_scenario("partition", 30, 8, seed=2).name == "partition"

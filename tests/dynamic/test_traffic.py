@@ -128,3 +128,60 @@ class TestRequestModels:
         # The fallback exists for isolated pockets but must be the rare
         # exception on a connected-ish UDG.
         assert fallbacks <= wl.num_queries // 10
+
+
+class TestFlashCrowd:
+    """The seeded hotspot jump the chaos corpus soaks zipf traffic under."""
+
+    def test_deterministic_per_seed(self):
+        sc = make_scenario("failure", 40, 12, seed=5)
+        a = make_workload("zipf", sc, queries_per_tick=30, tick=4, seed=7, flash_crowd_at=(2,))
+        b = make_workload("zipf", sc, queries_per_tick=30, tick=4, seed=7, flash_crowd_at=(2,))
+        assert a.ticks == b.ticks
+
+    def test_diverges_exactly_at_the_flash_tick(self):
+        sc = make_scenario("failure", 40, 12, seed=5)
+        calm = make_workload("zipf", sc, queries_per_tick=30, tick=4, seed=7)
+        flash = make_workload("zipf", sc, queries_per_tick=30, tick=4, seed=7, flash_crowd_at=(2,))
+        assert [t.queries for t in flash.ticks[:2]] == [t.queries for t in calm.ticks[:2]]
+        assert flash.ticks[2].queries != calm.ticks[2].queries
+
+    def test_flash_moves_the_hotspot(self):
+        sc = make_scenario("failure", 60, 10, seed=11)
+        wl = make_workload("zipf", sc, queries_per_tick=300, tick=10, seed=3, flash_crowd_at=(1,))
+
+        def hottest(tick):
+            counts: dict = {}
+            for _s, t in tick.queries:
+                counts[t] = counts.get(t, 0) + 1
+            return max(counts, key=counts.get)
+
+        assert hottest(wl.ticks[0]) != hottest(wl.ticks[1])
+
+    def test_flash_before_any_sample_still_concentrates(self):
+        # A flash at tick 0 re-ranks an as-yet-unsampled population; the
+        # leading batch must still be a working zipf stream.
+        sc = make_scenario("failure", 60, 10, seed=11)
+        wl = make_workload("zipf", sc, queries_per_tick=300, tick=10, seed=3, flash_crowd_at=(0,))
+        counts: dict = {}
+        for _s, t in wl.ticks[0].queries:
+            counts[t] = counts.get(t, 0) + 1
+        assert max(counts.values()) / len(wl.ticks[0].queries) > 0.1
+
+    def test_params_record_sorted_ticks(self):
+        sc = make_scenario("failure", 30, 12, seed=5)
+        wl = make_workload("zipf", sc, queries_per_tick=5, tick=4, seed=1, flash_crowd_at=(3, 1))
+        assert wl.params["flash_crowd_at"] == (1, 3)
+        calm = make_workload("zipf", sc, queries_per_tick=5, tick=4, seed=1)
+        assert calm.params["flash_crowd_at"] == ()
+
+    @pytest.mark.parametrize("bad", [(-1,), (True,), (1.5,), ("2",)])
+    def test_bad_tick_indices_rejected(self, bad):
+        sc = make_scenario("failure", 30, 10, seed=5)
+        with pytest.raises(ParameterError, match="flash_crowd_at"):
+            make_workload("zipf", sc, flash_crowd_at=bad)
+
+    def test_only_zipf_supports_flash(self):
+        sc = make_scenario("failure", 30, 10, seed=5)
+        with pytest.raises(ParameterError, match="zipf"):
+            make_workload("uniform", sc, flash_crowd_at=(1,))

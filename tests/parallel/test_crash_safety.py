@@ -128,18 +128,17 @@ class TestCrashInsideWriteBracket:
                 directory.close()
 
 
-def test_unbalanced_bracket_reaches_torn_read_error(monkeypatch):
+def test_unbalanced_bracket_reaches_torn_read_error():
     """The counter-factual: an open bracket must *terminate* readers.
 
-    With the retry budget shrunk (the production 200k takes ~20s of
-    backoff), a reader of a row whose writer died mid-bracket raises
-    TornReadError instead of spinning forever — the contract the
-    crash-safety brackets exist to avoid triggering.
+    With the retry budget shrunk via the ``read_retries`` tuning knob (the
+    production 200k takes ~20s of backoff), a reader of a row whose writer
+    died mid-bracket raises TornReadError instead of spinning forever —
+    the contract the crash-safety brackets exist to avoid triggering.
     """
-    from repro.parallel import shm
+    from repro import tuning
 
-    monkeypatch.setattr(shm, "_SEQLOCK_MAX_TRIES", 2048)
-    with WorkerPool(1) as pool:
+    with tuning.overridden(read_retries=2048), WorkerPool(1) as pool:
         pool.matrix("m", 4, 4, fill=7, versioned=True)
         owner = pool.matrix_owner("m")
         owner.begin_row_write(2)  # simulate a writer that died mid-bracket

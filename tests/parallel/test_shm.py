@@ -272,21 +272,21 @@ class TestVersionedMatrix:
         finally:
             m.close()
 
-    def test_dead_writer_surfaces_as_torn_read_error(self, monkeypatch):
+    def test_dead_writer_surfaces_as_torn_read_error(self):
+        from repro import tuning
         from repro.analysis import sanitize
         from repro.errors import TornReadError
-        from repro.parallel import shm as shm_mod
 
         m = SharedMatrix(3, 3, versioned=True, fill=0)
         try:
             att = AttachedMatrix(m.handle)
             with sanitize.suspended():  # deliberate dead-writer injection
                 m.begin_row_write(0)  # never committed
-            monkeypatch.setattr(shm_mod, "_SEQLOCK_MAX_TRIES", 50)
-            with pytest.raises(TornReadError):
-                att.read_row(0)
-            with pytest.raises(TornReadError):
-                att.read_cell(0, 0)
+            with tuning.overridden(read_retries=50):
+                with pytest.raises(TornReadError):
+                    att.read_row(0)
+                with pytest.raises(TornReadError):
+                    att.read_cell(0, 0)
             att.close()
         finally:
             m.close()

@@ -226,3 +226,53 @@ class TestTrafficCli:
         out = capsys.readouterr().out
         assert rc == 0
         assert "locality" in out and "uniform" not in out
+
+
+class TestChaosCli:
+    def test_plan_choices_match_registry(self):
+        # Like the scenario list, the parser hardcodes its plan names to
+        # keep `--help` import-free; it must mirror faults.PLANS exactly.
+        from repro.faults import PLANS
+
+        parser = build_parser()
+        assert parser.parse_args(["chaos"]).plan == "crashy"
+        for name in PLANS:
+            assert parser.parse_args(["chaos", "--plan", name]).plan == name
+        with pytest.raises(SystemExit):
+            parser.parse_args(["chaos", "--plan", "meteor"])
+
+    def test_scenario_choices_include_fault_scenarios(self):
+        from repro.dynamic import FAULT_SCENARIO_NAMES, SCENARIO_NAMES
+
+        parser = build_parser()
+        assert parser.parse_args(["chaos"]).scenario == "outage"
+        for name in SCENARIO_NAMES + FAULT_SCENARIO_NAMES:
+            assert parser.parse_args(["chaos", "--scenario", name]).scenario == name
+        with pytest.raises(SystemExit):
+            parser.parse_args(["chaos", "--scenario", "tectonic"])
+
+    def test_quiet_plan_soak_reconverges(self, capsys):
+        rc = main(
+            [
+                "chaos", "--plan", "quiet", "--n", "40", "--events", "12",
+                "--tick", "4", "--queries", "5", "--workers", "1", "--seed", "7",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0  # 0 iff healthy + reconverged + journey-valid
+        lines = out.splitlines()
+        header = next(i for i, line in enumerate(lines) if "reconverged" in line)
+        data = next(line for line in lines[header + 1 :] if line.rstrip().endswith("|"))
+        assert data.rstrip(" |").endswith("yes"), data
+
+    def test_crashy_plan_survives_and_reports_respawns(self, capsys):
+        rc = main(
+            [
+                "chaos", "--plan", "crashy", "--scenario", "mobility", "--n", "40",
+                "--events", "12", "--tick", "4", "--queries", "5",
+                "--workers", "2", "--seed", "7",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "respawns" in out
