@@ -47,6 +47,11 @@ METRICS = [
         ("crash_recovery", "recovery_events_per_second"),
         "fault recovery throughput",
     ),
+    (
+        "BENCH_wire.json",
+        ("wire", "reduction_naive_vs_incremental"),
+        "wire bytes reduction",
+    ),
 ]
 
 

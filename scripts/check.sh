@@ -7,17 +7,20 @@
 #   BENCH_GUARD_SKIP=1 ./scripts/check.sh   # record benches, skip the guard
 #
 # Step 3 runs the traversal, dynamic-maintenance, routing-serving,
-# parallel-serving, query-serving, observability, lint-gate and
-# fault-recovery micro-benchmarks and leaves their JSON artifacts at
-# ./BENCH_traversal.json, ./BENCH_dynamic.json, ./BENCH_routing.json,
-# ./BENCH_parallel.json, ./BENCH_queries.json, ./BENCH_obs.json,
-# ./BENCH_lint.json and ./BENCH_faults.json (copied from
-# benchmarks/results/) so successive PRs accumulate a perf trajectory.
+# parallel-serving, query-serving, observability, lint-gate,
+# fault-recovery and wire-bytes micro-benchmarks and leaves their JSON
+# artifacts at ./BENCH_traversal.json, ./BENCH_dynamic.json,
+# ./BENCH_routing.json, ./BENCH_parallel.json, ./BENCH_queries.json,
+# ./BENCH_obs.json, ./BENCH_lint.json, ./BENCH_faults.json and
+# ./BENCH_wire.json (copied from benchmarks/results/) so successive PRs
+# accumulate a perf trajectory.
 # The parallel, query and obs benches degrade gracefully on single-core
 # runners: they record the measurement and a "degraded" marker instead
 # of asserting the multi-core speedup/overhead bars.  A traffic soak
 # smoke then writes ./OBS_traffic.json + ./OBS_traffic.trace.json
-# through the --metrics/--trace flags (the artifacts CI uploads).
+# through the --metrics/--trace flags (the artifacts CI uploads), and a
+# distserve smoke converges the actor tier on loopback and over a
+# Unix-domain socket.
 #
 # Step 4 compares the freshly recorded speedups against the artifacts
 # committed at HEAD with a tolerance band (scripts/bench_guard.py) and
@@ -92,11 +95,12 @@ if [ "${SKIP_BENCH:-0}" = "1" ]; then
     exit 0
 fi
 
-echo "== [3/7] perf benchmarks (write BENCH_{traversal,dynamic,routing,parallel,queries,obs,lint,faults}.json) =="
+echo "== [3/7] perf benchmarks (write BENCH_{traversal,dynamic,routing,parallel,queries,obs,lint,faults,wire}.json) =="
 python -m pytest -q benchmarks/test_bench_traversal.py benchmarks/test_bench_dynamic.py \
     benchmarks/test_bench_routing.py benchmarks/test_bench_parallel.py \
     benchmarks/test_bench_queries.py benchmarks/test_bench_obs.py \
     benchmarks/test_bench_lint.py benchmarks/test_bench_faults.py \
+    benchmarks/test_bench_wire.py \
     -p no:cacheprovider --benchmark-disable
 cp benchmarks/results/BENCH_traversal.json BENCH_traversal.json
 cp benchmarks/results/BENCH_dynamic.json BENCH_dynamic.json
@@ -106,7 +110,8 @@ cp benchmarks/results/BENCH_queries.json BENCH_queries.json
 cp benchmarks/results/BENCH_obs.json BENCH_obs.json
 cp benchmarks/results/BENCH_lint.json BENCH_lint.json
 cp benchmarks/results/BENCH_faults.json BENCH_faults.json
-echo "perf artifacts: ./BENCH_traversal.json ./BENCH_dynamic.json ./BENCH_routing.json ./BENCH_parallel.json ./BENCH_queries.json ./BENCH_obs.json ./BENCH_lint.json ./BENCH_faults.json"
+cp benchmarks/results/BENCH_wire.json BENCH_wire.json
+echo "perf artifacts: ./BENCH_traversal.json ./BENCH_dynamic.json ./BENCH_routing.json ./BENCH_parallel.json ./BENCH_queries.json ./BENCH_obs.json ./BENCH_lint.json ./BENCH_faults.json ./BENCH_wire.json"
 echo "-- observability smoke: traffic soak writes --metrics/--trace artifacts"
 PYTHONPATH=src python -m repro traffic --n 150 --events 20 --queries 15 \
     --workload uniform --compare-bfs 0 \
@@ -115,6 +120,11 @@ PYTHONPATH=src python -m repro obs OBS_traffic.json > /dev/null
 echo "-- chaos smoke: crashy soak over the outage scenario must reconverge"
 PYTHONPATH=src python -m repro chaos --plan crashy --scenario outage \
     --n 80 --events 20 --tick 5 --queries 10 --workers 1 --seed 2009
+echo "-- distserve smoke: actor tier converges on loopback and over a UDS socket"
+PYTHONPATH=src python -m repro distserve --scenario mobility --transport loop \
+    --n 80 --events 20 --tick 5 --shards 4 --queries 10 --seed 2009
+PYTHONPATH=src python -m repro distserve --scenario growth --transport uds \
+    --n 60 --events 16 --tick 4 --shards 3 --queries 8 --seed 2009
 python - <<'PYEOF'
 import json
 t = json.load(open("BENCH_traversal.json"))
@@ -125,6 +135,7 @@ q = json.load(open("BENCH_queries.json"))
 o = json.load(open("BENCH_obs.json"))
 lint = json.load(open("BENCH_lint.json"))
 flt = json.load(open("BENCH_faults.json"))
+wire = json.load(open("BENCH_wire.json"))
 print(
     f"batched_bfs speedup vs set backend: "
     f"{t['speedup_batched_vs_sets']}x (required {t['required_speedup']}x)"
@@ -196,6 +207,12 @@ ho = flt["hooks_off_overhead"]
 print(
     f"fault hooks disarmed: {ho['overhead_percent']}% of a repair event "
     f"(bar {ho['bar_percent']}%)"
+)
+w = wire["wire"]
+print(
+    f"wire bytes: incremental LSA {w['incremental_bytes']} B vs naive "
+    f"full-flooding {w['naive_bytes']} B — "
+    f"{w['reduction_naive_vs_incremental']}x reduction (bar {w['bar']}x)"
 )
 PYEOF
 

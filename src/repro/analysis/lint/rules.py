@@ -1,4 +1,4 @@
-"""The AST-local reprolint rules (``RL001``–``RL007``, ``RL012``).
+"""The AST-local reprolint rules (``RL001``–``RL007``, ``RL012``, ``RL013``).
 
 Each rule encodes one protocol of the concurrency / reproducibility
 layers; the docstring of each class states the invariant, why it matters,
@@ -23,6 +23,7 @@ __all__ = [
     "ExceptionHygieneRule",
     "TimingDisciplineRule",
     "FaultHookConfinementRule",
+    "AsyncBlockingCallRule",
 ]
 
 
@@ -694,3 +695,130 @@ class FaultHookConfinementRule(Rule):
                 parts.append(value.id)
                 return ".".join(reversed(parts)) in aliases
         return False
+
+
+@register
+class AsyncBlockingCallRule(Rule):
+    """RL013 — coroutines in ``repro/distributed/`` must not block the loop.
+
+    The actor tier multiplexes every shard actor, the stream router, and
+    the inbox pumps on *one* event loop.  A single blocking call inside a
+    coroutine — ``time.sleep``, a sync ``queue.Queue.get``/``put``, a raw
+    ``socket.recv`` — stalls all of them at once: HELLO beacons stop,
+    neighbor timeouts fire spuriously, and the quiescence detector reads
+    a frozen transport as converged.  Inside ``async def`` under
+    ``repro/distributed/`` the rule therefore forbids:
+
+    * ``time.sleep(...)`` (module-alias and ``from time import sleep``
+      aware) — use ``await asyncio.sleep(...)``;
+    * non-awaited ``.get(...)``/``.put(...)`` on a queue-named receiver
+      (``queue`` substring, bare ``q``, or a ``*_q`` suffix) — use
+      ``asyncio.Queue`` and await it, or the ``_nowait`` variants
+      (``dict.get`` on ordinary names is untouched);
+    * non-awaited ``.recv``/``.recvfrom``/``.recv_into`` — use asyncio
+      streams (``StreamReader``/``StreamWriter``).
+
+    Nested ``def`` bodies are exempt (they run off-loop, e.g. as executor
+    targets), as is everything outside the package: the rest of the
+    codebase is synchronous by design and RL013 has nothing to say there.
+    """
+
+    code = "RL013"
+    name = "async-blocking-call"
+    description = (
+        "blocking call (time.sleep / sync queue get/put / socket recv) "
+        "inside async def under repro/distributed/"
+    )
+
+    _PACKAGE = "/repro/distributed/"
+    _QUEUE_OPS = frozenset({"get", "put"})
+    _SOCKET_OPS = frozenset({"recv", "recvfrom", "recv_into"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if self._PACKAGE not in f"/{ctx.posix_path}":
+            return  # only the actor tier runs an event loop worth guarding
+        time_aliases = {"time"}
+        sleep_names: "set[str]" = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_aliases.add(alias.asname or "time")
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "sleep":
+                        sleep_names.add(alias.asname or "sleep")
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_coroutine(ctx, node, time_aliases, sleep_names)
+
+    def _check_coroutine(
+        self,
+        ctx: FileContext,
+        coro: ast.AsyncFunctionDef,
+        time_aliases: "set[str]",
+        sleep_names: "set[str]",
+    ) -> Iterator[Finding]:
+        nodes = list(self._own_nodes(coro))
+        awaited = {id(n.value) for n in nodes if isinstance(n, ast.Await)}
+        for node in nodes:
+            if not isinstance(node, ast.Call) or id(node) in awaited:
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in sleep_names:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"time.sleep() blocks the event loop inside async "
+                    f"{coro.name}() — await asyncio.sleep() instead",
+                )
+            elif not isinstance(func, ast.Attribute):
+                continue
+            elif (
+                func.attr == "sleep"
+                and isinstance(func.value, ast.Name)
+                and func.value.id in time_aliases
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"time.sleep() blocks the event loop inside async "
+                    f"{coro.name}() — await asyncio.sleep() instead",
+                )
+            elif func.attr in self._QUEUE_OPS and self._queueish(func.value):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"sync queue .{func.attr}() inside async {coro.name}() — "
+                    "use asyncio.Queue and await it (or the _nowait variant)",
+                )
+            elif func.attr in self._SOCKET_OPS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"blocking socket .{func.attr}() inside async {coro.name}() "
+                    "— use asyncio streams (StreamReader/StreamWriter)",
+                )
+
+    @staticmethod
+    def _own_nodes(coro: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+        """Nodes in *coro*'s own body, skipping nested function defs."""
+        stack: "list[ast.AST]" = list(coro.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _queueish(value: ast.AST) -> bool:
+        """Receiver names that mean a queue, so ``dict.get`` stays clean."""
+        if isinstance(value, ast.Name):
+            name = value.id
+        elif isinstance(value, ast.Attribute):
+            name = value.attr
+        else:
+            return False
+        low = name.lower()
+        return "queue" in low or low == "q" or low.endswith("_q")

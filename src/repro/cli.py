@@ -10,6 +10,7 @@
     python -m repro churn                  # incremental spanner maintenance
     python -m repro serve --tick 5         # routing tables under node/edge churn
     python -m repro serve --workers 4      # sharded: repairs fan out over a pool
+    python -m repro distserve --transport uds  # actor tier over a real socket
     python -m repro traffic                # route-request soak between churn ticks
     python -m repro tune                   # calibrate traversal tuning knobs
     python -m repro demo --n 250 --seed 7  # one-off build + verify + stats
@@ -160,6 +161,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "distserve",
+        help="distributed serving soak: sharded table actors fed by "
+        "sequence-numbered incremental LSA floods over a transport",
+    )
+    # Literal twin of repro.dynamic.SCENARIO_NAMES (same import-weight
+    # rationale as add_churn_args above; tests pin the sync).
+    dist_scenarios = ("mobility", "failure", "growth", "nodechurn")
+    p.add_argument(
+        "--scenario",
+        choices=(*dist_scenarios, "all"),
+        default="mobility",
+        help="event stream model (default: mobility)",
+    )
+    p.add_argument("--n", type=int, default=120)
+    p.add_argument("--events", type=int, default=48)
+    p.add_argument(
+        "--method", choices=("kcover", "kmis", "mis", "greedy"), default="kcover"
+    )
+    p.add_argument("--k", type=int, default=None)
+    p.add_argument("--epsilon", type=float, default=None)
+    p.add_argument("--rebuild-fraction", type=float, default=0.25)
+    p.add_argument("--seed", type=int, default=2009)
+    p.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=4,
+        help="table actors in the tier (owner(u) = u mod shards)",
+    )
+    p.add_argument(
+        "--transport",
+        choices=("loop", "tcp", "uds"),
+        default="loop",
+        help="wire: deterministic in-process loopback, localhost TCP, "
+        "or a Unix-domain socket",
+    )
+    p.add_argument(
+        "--tick",
+        type=_positive_int,
+        default=6,
+        help="events per coalesced batch (one LSA flood per tick)",
+    )
+    p.add_argument(
+        "--queries",
+        type=_positive_int,
+        default=20,
+        help="route queries forwarded across the actors at the end, each "
+        "checked against the serial route_served journey",
+    )
+    p.add_argument("--metrics", default=None, metavar="OUT.json")
+    p.add_argument("--trace", default=None, metavar="OUT.trace.json")
+
+    p = sub.add_parser(
         "traffic",
         help="query-serving soak: route requests off the maintained tables "
         "between churn ticks",
@@ -205,7 +258,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     # Literal twin of repro.faults.PLANS (same import-weight rationale as
     # the scenario list above; tests pin the sync).
-    plans = ("quiet", "crashy", "torn-writer", "wedge", "lossy-queue", "flaky-shm", "mayhem")
+    plans = (
+        "quiet",
+        "crashy",
+        "torn-writer",
+        "wedge",
+        "lossy-queue",
+        "flaky-shm",
+        "mayhem",
+        "lsa-lossy",
+        "lsa-slow",
+    )
     p.add_argument(
         "--plan",
         choices=plans,
@@ -741,6 +804,93 @@ def _cmd_serve(args) -> int:
     return 0 if all_ok else 1
 
 
+def _cmd_distserve(args) -> int:
+    from .distributed import ActorSystem, make_transport
+    from .dynamic import SCENARIO_NAMES, make_scenario
+    from .graph import sample_pairs
+    from .rng import derive_seed
+    from .routing import route_actor, route_served
+
+    _obs_begin(args)
+    names = SCENARIO_NAMES if args.scenario == "all" else (args.scenario,)
+    rows = []
+    all_ok = True
+    for name in names:
+        scenario = make_scenario(name, args.n, args.events, seed=args.seed)
+        system = ActorSystem(
+            scenario.initial.copy(),
+            args.method,
+            k=args.k,
+            epsilon=args.epsilon,
+            rebuild_fraction=args.rebuild_fraction,
+            shards=args.shards,
+            transport=make_transport(args.transport),
+        )
+        with system:
+            events = list(scenario.events)
+            for lo in range(0, len(events), args.tick):
+                system.apply_tick(events[lo : lo + args.tick])
+            mismatches = system.mismatches()
+            converged = not mismatches
+            pairs = sample_pairs(
+                system.service.graph,
+                args.queries,
+                seed=derive_seed(args.seed, "distserve-sample", name),
+                require_nonadjacent=False,
+            )
+            routes_ok = True
+            for s, t in pairs:
+                actor_res = route_actor(system, s, t)
+                serial_res = route_served(system.service, s, t)
+                routes_ok = routes_ok and (
+                    actor_res.path == serial_res.path
+                    and actor_res.delivered == serial_res.delivered
+                    and actor_res.potentials == serial_res.potentials
+                )
+            wire = system.stats
+            ok = converged and routes_ok
+            all_ok = all_ok and ok
+            rows.append(
+                [
+                    name,
+                    len(events),
+                    wire.rounds,
+                    wire.messages,
+                    wire.bytes,
+                    wire.links,
+                    sum(a.recomputes for a in system.actors),
+                    converged,
+                    f"{len(pairs)}/{len(pairs)}" if routes_ok else "MISMATCH",
+                ]
+            )
+            if mismatches:
+                for line in mismatches[:5]:
+                    print(f"  divergence: {line}")
+    print(
+        render_table(
+            [
+                "scenario",
+                "events",
+                "rounds",
+                "messages",
+                "bytes",
+                "links",
+                "recomputes",
+                "converged",
+                "routes match",
+            ],
+            rows,
+            title=(
+                f"distserve — {args.shards} actors over {args.transport} transport, "
+                f"{args.method} maintenance, n={args.n}, {args.events} events, "
+                f"tick {args.tick}, seed {args.seed}"
+            ),
+        )
+    )
+    _obs_finish(args)
+    return 0 if all_ok else 1
+
+
 def _cmd_traffic(args) -> int:
     from . import obs
     from .dynamic import (
@@ -1223,6 +1373,7 @@ _COMMANDS = {
     "rounds": _cmd_rounds,
     "churn": _cmd_churn,
     "serve": _cmd_serve,
+    "distserve": _cmd_distserve,
     "traffic": _cmd_traffic,
     "chaos": _cmd_chaos,
     "tune": _cmd_tune,

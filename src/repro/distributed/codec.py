@@ -1,0 +1,139 @@
+"""One codec for every protocol message — bytes and link units, one truth.
+
+Before this module, message-size accounting drifted in two places: each
+dataclass carried its own ``size`` property and ``size_in_links`` blindly
+trusted it, so the lock-step simulator and any wire-level benchmark could
+silently count different bytes for the same advert.  Now every message
+type registers here once with three things:
+
+* a stable wire ``kind`` tag,
+* a payload round-trip (``to_payload`` / ``from_payload``) used by
+  :func:`encode` / :func:`decode` — compact canonical JSON (sorted keys,
+  no whitespace), zero dependencies, deterministic bytes for equal
+  messages,
+* a ``link_units`` cost — the paper's "advertised link" unit the
+  simulator's ``links_advertised`` counter and the flooding-overhead
+  discussion use.
+
+:func:`size_in_links` in :mod:`~repro.distributed.messages` and the
+transports' byte counters both resolve through this registry, so
+``SyncNetwork`` statistics and ``BENCH_wire.json`` measure the same
+messages with the same ruler.  The encoding is framing-free: transports
+own message boundaries (the stream transports length-prefix each frame).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable
+
+from ..errors import ProtocolError
+
+__all__ = [
+    "WIRE_SCHEMA",
+    "decode",
+    "encode",
+    "kind_of",
+    "link_units",
+    "register_message",
+    "registered_kinds",
+    "wire_bytes",
+]
+
+#: Stamped into every encoded frame so a reader can reject foreign bytes.
+WIRE_SCHEMA = "repro.wire/1"
+
+_BY_KIND: "dict[str, tuple[type, Callable, Callable, Callable]]" = {}
+_BY_TYPE: "dict[type, tuple[str, Callable, Callable, Callable]]" = {}
+
+
+def register_message(
+    kind: str,
+    cls: type,
+    *,
+    to_payload: "Callable[[object], dict]",
+    from_payload: "Callable[[dict], object]",
+    link_units: "Callable[[object], int]",
+) -> None:
+    """Register one message type under a stable wire tag.
+
+    Raises :class:`~repro.errors.ProtocolError` on a duplicate tag or
+    type — two registrations for one message would mean two accounting
+    rules, exactly the drift this module exists to kill.
+    """
+    if kind in _BY_KIND:
+        raise ProtocolError(f"wire kind {kind!r} registered twice")
+    if cls in _BY_TYPE:
+        raise ProtocolError(f"message type {cls.__name__} registered twice")
+    _BY_KIND[kind] = (cls, to_payload, from_payload, link_units)
+    _BY_TYPE[cls] = (kind, to_payload, from_payload, link_units)
+
+
+def registered_kinds() -> "tuple[str, ...]":
+    return tuple(sorted(_BY_KIND))
+
+
+def _registration(message) -> "tuple[str, Callable, Callable, Callable]":
+    try:
+        return _BY_TYPE[type(message)]
+    except KeyError:
+        raise ProtocolError(
+            f"unregistered message type {type(message).__name__} "
+            "(every protocol message registers with repro.distributed.codec)"
+        ) from None
+
+
+def kind_of(message) -> str:
+    """The wire tag *message* travels under."""
+    return _registration(message)[0]
+
+
+def link_units(message) -> int:
+    """Message cost in the paper's advertised-link units.
+
+    The single source of truth: ``Hello.size``/``size_in_links`` and the
+    transports all resolve here.
+    """
+    kind, _to, _from, units = _registration(message)
+    return int(units(message))
+
+
+def encode(message) -> bytes:
+    """Canonical wire bytes for *message* (compact sorted-key JSON)."""
+    kind, to_payload, _from, _units = _registration(message)
+    doc = {"s": WIRE_SCHEMA, "k": kind, "p": to_payload(message)}
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def decode(data: bytes):
+    """The message *data* encodes; raises ProtocolError on foreign bytes."""
+    try:
+        doc = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable wire frame: {exc}") from None
+    if not isinstance(doc, dict) or doc.get("s") != WIRE_SCHEMA:
+        raise ProtocolError(f"wire frame is not {WIRE_SCHEMA}")
+    kind = doc.get("k")
+    if kind not in _BY_KIND:
+        raise ProtocolError(f"unknown wire kind {kind!r}")
+    _cls, _to, from_payload, _units = _BY_KIND[kind]
+    return from_payload(doc.get("p") or {})
+
+
+def wire_bytes(message) -> int:
+    """Exact on-the-wire size of *message* under this codec."""
+    return len(encode(message))
+
+
+# --------------------------------------------------------------------- #
+# payload helpers shared by the registering modules
+# --------------------------------------------------------------------- #
+
+
+def edges_to_payload(edges) -> "list[list[int]]":
+    """A canonical (sorted) JSON shape for an edge collection."""
+    return [[int(u), int(v)] for u, v in sorted(edges)]
+
+
+def edges_from_payload(items) -> "tuple[tuple[int, int], ...]":
+    return tuple((int(u), int(v)) for u, v in items)

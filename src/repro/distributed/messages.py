@@ -6,11 +6,21 @@ computed dominating trees.  Every message is a frozen dataclass so protocol
 code cannot mutate in-flight messages, and each knows its own *size* in
 "advertised link" units — the cost model the paper's overhead discussion
 uses (flooding cost ∝ number of links advertised).
+
+Sizing is delegated to :mod:`~repro.distributed.codec`: each type
+registers its link-unit rule and payload round-trip there once, so the
+lock-step simulator (``size_in_links``) and the wire-level transports /
+benchmarks (``codec.wire_bytes``) count the same messages with the same
+ruler.  ``relay()`` returns ``None`` once the TTL is exhausted — a
+message received at ``ttl <= 0`` must be dropped, never re-emitted with
+a negative TTL that would flood forever.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from . import codec
 
 __all__ = ["Hello", "NeighborAdvert", "TreeAdvert", "size_in_links"]
 
@@ -23,7 +33,7 @@ class Hello:
 
     @property
     def size(self) -> int:
-        return 1
+        return codec.link_units(self)
 
 
 @dataclass(frozen=True)
@@ -41,10 +51,16 @@ class NeighborAdvert:
 
     @property
     def size(self) -> int:
-        return max(1, len(self.neighbors))
+        return codec.link_units(self)
 
-    def relay(self) -> "NeighborAdvert":
-        """The copy a relaying node re-broadcasts (TTL decremented)."""
+    def relay(self) -> "NeighborAdvert | None":
+        """The copy a relaying node re-broadcasts (TTL decremented).
+
+        ``None`` once the TTL is exhausted: relaying at ``ttl <= 0`` must
+        drop the message, not emit a ``ttl = -1`` copy.
+        """
+        if self.ttl <= 0:
+            return None
         return NeighborAdvert(
             origin=self.origin, neighbors=self.neighbors, ttl=self.ttl - 1, stamp=self.stamp
         )
@@ -61,12 +77,63 @@ class TreeAdvert:
 
     @property
     def size(self) -> int:
-        return max(1, len(self.edges))
+        return codec.link_units(self)
 
-    def relay(self) -> "TreeAdvert":
+    def relay(self) -> "TreeAdvert | None":
+        if self.ttl <= 0:
+            return None
         return TreeAdvert(origin=self.origin, edges=self.edges, ttl=self.ttl - 1, stamp=self.stamp)
 
 
 def size_in_links(message) -> int:
-    """Uniform size accessor for accounting (all message types have .size)."""
-    return message.size
+    """Uniform size accessor for accounting (resolved through the codec)."""
+    return codec.link_units(message)
+
+
+# --------------------------------------------------------------------- #
+# codec registrations: one accounting + encoding rule per message type
+# --------------------------------------------------------------------- #
+
+codec.register_message(
+    "hello",
+    Hello,
+    to_payload=lambda m: {"o": m.origin},
+    from_payload=lambda p: Hello(origin=int(p["o"])),
+    link_units=lambda m: 1,
+)
+
+codec.register_message(
+    "nbr",
+    NeighborAdvert,
+    to_payload=lambda m: {
+        "o": m.origin,
+        "n": sorted(int(x) for x in m.neighbors),
+        "t": m.ttl,
+        "st": m.stamp,
+    },
+    from_payload=lambda p: NeighborAdvert(
+        origin=int(p["o"]),
+        neighbors=frozenset(int(x) for x in p.get("n", ())),
+        ttl=int(p.get("t", 0)),
+        stamp=int(p.get("st", 0)),
+    ),
+    link_units=lambda m: max(1, len(m.neighbors)),
+)
+
+codec.register_message(
+    "tree",
+    TreeAdvert,
+    to_payload=lambda m: {
+        "o": m.origin,
+        "e": codec.edges_to_payload(m.edges),
+        "t": m.ttl,
+        "st": m.stamp,
+    },
+    from_payload=lambda p: TreeAdvert(
+        origin=int(p["o"]),
+        edges=frozenset(codec.edges_from_payload(p.get("e", ()))),
+        ttl=int(p.get("t", 0)),
+        stamp=int(p.get("st", 0)),
+    ),
+    link_units=lambda m: max(1, len(m.edges)),
+)

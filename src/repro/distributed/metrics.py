@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from ..obs.metrics import COUNT_BOUNDS, MetricsRegistry
 
-__all__ = ["SimStats"]
+__all__ = ["SimStats", "WireStats"]
 
 
 class SimStats:
@@ -67,4 +67,76 @@ class SimStats:
         return (
             f"SimStats(rounds={self.rounds}, messages={self.messages}, "
             f"broadcasts={self.broadcasts}, links_advertised={self.links_advertised})"
+        )
+
+
+class WireStats:
+    """Cost profile of one distributed-transport run (the actor tier).
+
+    The wire twin of :class:`SimStats`: same registry backing, same
+    snapshot schema, but counting *frames and bytes* as the codec
+    encodes them rather than lock-step deliveries.  ``links`` is the
+    paper's advertised-link unit resolved through
+    :func:`repro.distributed.codec.link_units` — the one ruler both
+    tiers share — so ``BENCH_wire.json`` can put simulator floods and
+    actor LSA streams on the same axis.  ``dropped``/``delayed`` count
+    fault-plane interventions (:func:`repro.faults.on_wire_send`).
+    """
+
+    __slots__ = ("registry",)
+
+    def __init__(self, registry: "MetricsRegistry | None" = None) -> None:
+        self.registry = MetricsRegistry() if registry is None else registry
+
+    @property
+    def rounds(self) -> int:
+        return int(self.registry.counter("wire.rounds"))
+
+    @property
+    def messages(self) -> int:
+        """Frames handed to a transport (post fault-plane verdict)."""
+        return int(self.registry.counter("wire.messages"))
+
+    @property
+    def bytes(self) -> int:
+        """Encoded frame bytes, excluding transport framing overhead."""
+        return int(self.registry.counter("wire.bytes"))
+
+    @property
+    def links(self) -> int:
+        return int(self.registry.counter("wire.links"))
+
+    @property
+    def dropped(self) -> int:
+        return int(self.registry.counter("wire.dropped"))
+
+    @property
+    def delayed(self) -> int:
+        return int(self.registry.counter("wire.delayed"))
+
+    def record_round(self) -> None:
+        self.registry.inc("wire.rounds")
+
+    def record_send(self, size_bytes: int, link_units: int) -> None:
+        reg = self.registry
+        reg.inc("wire.messages")
+        reg.inc("wire.bytes", size_bytes)
+        reg.inc("wire.links", link_units)
+        reg.observe("wire.frame_bytes", size_bytes, COUNT_BOUNDS)
+
+    def record_dropped(self) -> None:
+        self.registry.inc("wire.dropped")
+
+    def record_delayed(self) -> None:
+        self.registry.inc("wire.delayed")
+
+    def snapshot(self) -> dict:
+        """The run's counters in the ``repro.obs`` snapshot schema."""
+        return self.registry.snapshot()
+
+    def __repr__(self) -> str:
+        return (
+            f"WireStats(rounds={self.rounds}, messages={self.messages}, "
+            f"bytes={self.bytes}, links={self.links}, "
+            f"dropped={self.dropped}, delayed={self.delayed})"
         )

@@ -38,8 +38,11 @@ class FloodState:
             if m.origin in self.seen:
                 continue
             self.seen[m.origin] = m
-            if m.ttl > 1:
-                relays.append(m.relay())
+            # A copy received at ttl=1 was the flood's last hop; relay()
+            # also answers None at the exhausted boundary (ttl <= 0).
+            relayed = m.relay() if m.ttl > 1 else None
+            if relayed is not None:
+                relays.append(relayed)
         return relays
 
 

@@ -63,6 +63,7 @@ __all__ = [
     "SpannerMaintainer",
     "locality_radius",
     "resolve_construction",
+    "wire_delta",
 ]
 
 #: Constructions the maintainer knows how to keep valid incrementally.
@@ -509,3 +510,66 @@ class SpannerMaintainer:
         self.incremental_repairs += 1
         self.trees_recomputed += len(dirty)
         return False, tuple(sorted(h_added)), tuple(sorted(h_removed))
+
+
+def wire_delta(
+    report: "EventReport | BatchReport",
+    seq: int,
+    *,
+    num_nodes: int,
+    origin: int = 0,
+    leave_star: "tuple[tuple[int, int], ...]" = (),
+) -> dict:
+    """Project a repair report onto the distributed wire schema.
+
+    Returns exactly the payload fields of
+    :class:`repro.distributed.wire.LsaUpdate` (as a plain dict — this
+    module stays import-free of the distributed tier): net ΔG, ΔH, the
+    joined ids, the post-tick id-space size and the rebuild flag.  Net
+    deltas are correct *even for rebuilds* — ``_repair`` diffs the old
+    and new spanner edge sets either way — which is why the actor tier
+    can feed on deltas alone and never needs a full re-flood after a
+    rebuild.
+
+    :class:`BatchReport` carries its net ΔG; an :class:`EventReport`
+    does not, so the single-event G delta is derived from the event —
+    a leave's severed star is gone by reporting time, so the caller
+    passes it in as *leave_star* (pre-application).
+    """
+    if isinstance(report, BatchReport):
+        return {
+            "origin": origin,
+            "seq": seq,
+            "g_added": report.g_added,
+            "g_removed": report.g_removed,
+            "h_added": report.h_added,
+            "h_removed": report.h_removed,
+            "nodes_joined": report.nodes_joined,
+            "num_nodes": num_nodes,
+            "rebuilt": report.rebuilt,
+        }
+    event = report.event
+    g_added: "tuple[tuple[int, int], ...]" = ()
+    g_removed: "tuple[tuple[int, int], ...]" = ()
+    joined: "tuple[int, ...]" = ()
+    if report.changed:
+        if isinstance(event, NodeEvent):
+            if event.kind == JOIN:
+                joined = (event.node,)
+            else:
+                g_removed = tuple(sorted(canonical_edge(*e) for e in leave_star))
+        elif event.kind == ADD:
+            g_added = (canonical_edge(event.u, event.v),)
+        else:
+            g_removed = (canonical_edge(event.u, event.v),)
+    return {
+        "origin": origin,
+        "seq": seq,
+        "g_added": g_added,
+        "g_removed": g_removed,
+        "h_added": report.h_added,
+        "h_removed": report.h_removed,
+        "nodes_joined": joined,
+        "num_nodes": num_nodes,
+        "rebuilt": report.rebuilt,
+    }

@@ -72,10 +72,37 @@ from .. import obs
 from ..errors import NodeNotFound, ParameterError
 from ..graph import Graph, batched_bfs
 from ..routing.tables import _FAR, project_table_row
-from .events import LEAVE, EdgeEvent, NodeEvent
+from .events import ADD, LEAVE, EdgeEvent, NodeEvent
 from .maintainer import SpannerMaintainer
 
-__all__ = ["RoutingService", "ServeReport", "MemoryStats"]
+__all__ = ["RoutingService", "ServeDelta", "ServeReport", "MemoryStats"]
+
+
+@dataclass(frozen=True)
+class ServeDelta:
+    """One tick's net effect, as the delta feed publishes it.
+
+    The subscription payload for downstream replicas (the distributed
+    actor tier subscribes here): everything needed to advance a remote
+    copy of (G, H) from tick ``seq − 1`` to tick ``seq`` without seeing
+    the event stream itself.  Deltas are *net* — in-tick flaps cancel,
+    and they stay net even when the repair was a full rebuild
+    (``rebuilt`` is advisory: the receiver may resync bigger structures,
+    but applying the deltas alone is already exact).  Matches the
+    :class:`~repro.distributed.wire.LsaUpdate` payload field-for-field,
+    which is what keeps the wire schema a projection of this one.
+    """
+
+    seq: int  # 1-based, contiguous per service instance
+    events: int  # events submitted in the tick
+    changed: bool
+    rebuilt: bool
+    g_added: "tuple[tuple[int, int], ...]" = ()
+    g_removed: "tuple[tuple[int, int], ...]" = ()
+    h_added: "tuple[tuple[int, int], ...]" = ()
+    h_removed: "tuple[tuple[int, int], ...]" = ()
+    nodes_joined: "tuple[int, ...]" = ()
+    num_nodes: int = 0  # id-space size after the tick
 
 
 @dataclass(frozen=True)
@@ -142,6 +169,8 @@ class RoutingService:
         self.entries_updated = 0
         self.full_refreshes = 0
         self.compactions = 0
+        self._subscribers: "list" = []
+        self.feed_seq = 0  # seq of the latest published ServeDelta
         self._mem_cache: "tuple | None" = None  # (graph, version, MemoryStats)
         self._dist = np.empty((0, 0), dtype=np.int32)
         self._tables = np.empty((0, 0), dtype=np.int32)
@@ -229,6 +258,76 @@ class RoutingService:
         return int(matrix.nbytes)
 
     # ------------------------------------------------------------------ #
+    # delta feed (the distributed tier subscribes here)
+    # ------------------------------------------------------------------ #
+
+    def subscribe(self, callback):
+        """Register *callback* to receive a :class:`ServeDelta` per tick.
+
+        Called synchronously after each :meth:`apply`/:meth:`apply_batch`
+        — the service's own tables are already updated when the callback
+        runs, so a subscriber that mirrors the deltas can immediately
+        compare its replica against the serial truth.  Returns *callback*
+        so ``service.subscribe(fn)`` works as a registration expression.
+        """
+        self._subscribers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback) -> None:
+        self._subscribers.remove(callback)
+
+    def _publish(
+        self,
+        events: int,
+        changed: bool,
+        rebuilt: bool,
+        g_added: "tuple[tuple[int, int], ...]",
+        g_removed: "tuple[tuple[int, int], ...]",
+        h_added: "tuple[tuple[int, int], ...]",
+        h_removed: "tuple[tuple[int, int], ...]",
+        nodes_joined: "tuple[int, ...]",
+    ) -> None:
+        if not self._subscribers:
+            return
+        self.feed_seq += 1
+        delta = ServeDelta(
+            seq=self.feed_seq,
+            events=events,
+            changed=changed,
+            rebuilt=rebuilt,
+            g_added=g_added,
+            g_removed=g_removed,
+            h_added=h_added,
+            h_removed=h_removed,
+            nodes_joined=nodes_joined,
+            num_nodes=self.num_nodes,
+        )
+        for callback in list(self._subscribers):
+            callback(delta)
+
+    def _event_g_delta(
+        self, event: "EdgeEvent | NodeEvent"
+    ) -> "tuple[tuple, tuple, tuple]":
+        """Net (g_added, g_removed, nodes_joined) *event* will cause.
+
+        Evaluated pre-application (a leave's severed star is only
+        readable before the maintainer applies it); edges in the
+        canonical sorted shape the batch reports use.
+        """
+        if isinstance(event, NodeEvent):
+            if event.kind == LEAVE:
+                star = tuple(
+                    tuple(sorted((event.node, w)))
+                    for w in sorted(self.maintainer.graph.neighbors(event.node))
+                )
+                return (), star, ()
+            return (), (), (event.node,)
+        edge = tuple(sorted((event.u, event.v)))
+        if event.kind == ADD:
+            return (edge,), (), ()
+        return (), (edge,), ()
+
+    # ------------------------------------------------------------------ #
     # write side
     # ------------------------------------------------------------------ #
 
@@ -236,12 +335,20 @@ class RoutingService:
         """Apply one event; repair spanner, distance rows and tables."""
         sw = obs.Stopwatch()
         star_changed = self._star_damage(event)
+        g_added, g_removed, joined = self._event_g_delta(event)
         report = self.maintainer.apply(event)
         self.events_applied += 1
         if not report.changed:
-            return self._report(1, False, (False, 0, 0, 0), sw)
+            out = self._report(1, False, (False, 0, 0, 0), sw)
+            self._publish(1, False, False, (), (), (), (), ())
+            return out
         stats = self._ingest(report.h_added, report.h_removed, star_changed, report.rebuilt)
-        return self._report(1, True, stats, sw)
+        out = self._report(1, True, stats, sw)
+        self._publish(
+            1, True, report.rebuilt, g_added, g_removed,
+            report.h_added, report.h_removed, joined,
+        )
+        return out
 
     def apply_batch(self, events: "Sequence[EdgeEvent | NodeEvent]") -> ServeReport:
         """Apply one tick of events with a single coalesced repair."""
@@ -257,10 +364,17 @@ class RoutingService:
             raise
         self.events_applied += len(events)
         if not report.changed:
-            return self._report(len(events), False, (False, 0, 0, 0), sw)
+            out = self._report(len(events), False, (False, 0, 0, 0), sw)
+            self._publish(len(events), False, False, (), (), (), (), ())
+            return out
         star_changed = {x for e in (*report.g_added, *report.g_removed) for x in e}
         stats = self._ingest(report.h_added, report.h_removed, star_changed, report.rebuilt)
-        return self._report(len(events), True, stats, sw)
+        out = self._report(len(events), True, stats, sw)
+        self._publish(
+            len(events), True, report.rebuilt, report.g_added, report.g_removed,
+            report.h_added, report.h_removed, report.nodes_joined,
+        )
+        return out
 
     def _report(
         self, events: int, changed: bool, stats: "tuple[bool, int, int, int]", sw: obs.Stopwatch

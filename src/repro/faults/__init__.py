@@ -50,7 +50,16 @@ Fault sites
 ``shm.attach``     simulated ``OSError`` from block attachment
 ``result.drop``    a task's result message is silently discarded
 ``result.delay``   a task's result message is delayed by ``~duration``
+``lsa.drop``       a link-state update is lost on a distributed transport
+``lsa.delay``      a link-state update is withheld for ``~duration`` rounds
 =================  ========================================================
+
+The two ``lsa.*`` sites target the distributed actor tier's transports
+(:mod:`repro.distributed.transport`), not the process pool: they fire in
+whichever process hosts the transport (``_in_worker`` does not gate
+them), and only against topology-bearing kinds (``lsa``/``full``) — the
+anti-entropy control traffic must survive or a lossy plan could never
+converge.
 
 Scenario-level faults — regional outage, partition + heal, flash-crowd
 hotspot jumps — are graph *workloads*, not process faults, and live in
@@ -82,6 +91,7 @@ __all__ = [
     "on_shm_attach",
     "on_shm_create",
     "on_task_start",
+    "on_wire_send",
     "uninstall",
     "worker_reset",
 ]
@@ -100,7 +110,14 @@ SITES = (
     "shm.attach",
     "result.drop",
     "result.delay",
+    "lsa.drop",
+    "lsa.delay",
 )
+
+#: Wire kinds the ``lsa.*`` sites may target: topology floods only.
+#: HELLO beacons and resend requests are the repair channel — a plan
+#: that could drop them would make convergence-under-loss unprovable.
+_LSA_KINDS = frozenset({"lsa", "full"})
 
 _CRASH_SITES = frozenset({"task.crash", "write.crash", "worker.wedge"})
 
@@ -240,6 +257,13 @@ PLANS = {
             FaultRule("write.crash", p=0.008),
             FaultRule("result.delay", p=0.03, duration=0.01),
         ),
+    ),
+    # Wire plans are count-capped: the actor tier must *provably*
+    # converge after the loss budget is spent (anti-entropy retransmits
+    # also traverse the faulted transport).
+    "lsa-lossy": FaultPlan("lsa-lossy", 9, (FaultRule("lsa.drop", p=0.5, count=4),)),
+    "lsa-slow": FaultPlan(
+        "lsa-slow", 9, (FaultRule("lsa.delay", p=0.4, count=6, duration=2.0),)
     ),
 }
 
@@ -412,6 +436,27 @@ def on_result(fn: str) -> "tuple[str, float]":
     rule = _fire("result.delay")
     if rule is not None:
         return ("delay", rule.duration if rule.duration > 0 else 0.05)
+    return ("send", 0.0)
+
+
+def on_wire_send(kind: str) -> "tuple[str, float]":
+    """Transport-side, before a frame leaves a distributed endpoint.
+
+    *kind* is the codec wire tag; only topology floods (``lsa``/``full``)
+    are eligible — control traffic always goes through.  Returns
+    ``("send", 0)``, ``("drop", 0)`` or ``("delay", rounds)`` where the
+    delay is measured in transport rounds (virtual time on the loopback
+    transport), not seconds.  Fires in whichever process hosts the
+    transport: the actor tier is in-process, so ``_in_worker`` does not
+    gate this site.
+    """
+    if kind not in _LSA_KINDS:
+        return ("send", 0.0)
+    if _fire("lsa.drop") is not None:
+        return ("drop", 0.0)
+    rule = _fire("lsa.delay")
+    if rule is not None:
+        return ("delay", rule.duration if rule.duration > 0 else 1.0)
     return ("send", 0.0)
 
 

@@ -6,7 +6,14 @@ instead of the full topology.
 """
 
 from .tables import next_hop, routing_table, routing_table_scan
-from .greedy_routing import RouteResult, RoutingStats, route, route_all_pairs_stats, route_served
+from .greedy_routing import (
+    RouteResult,
+    RoutingStats,
+    route,
+    route_actor,
+    route_all_pairs_stats,
+    route_served,
+)
 from .overhead import AdvertisementCost, full_link_state_cost, spanner_advertisement_cost
 
 __all__ = [
@@ -16,6 +23,7 @@ __all__ = [
     "RouteResult",
     "RoutingStats",
     "route",
+    "route_actor",
     "route_served",
     "route_all_pairs_stats",
     "AdvertisementCost",

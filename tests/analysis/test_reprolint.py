@@ -24,6 +24,7 @@ from repro.analysis.lint import (
 )
 from repro.analysis.lint.engine import PARSE_ERROR_CODE
 from repro.analysis.lint.rules import (
+    AsyncBlockingCallRule,
     ExceptionHygieneRule,
     FaultHookConfinementRule,
     RngDisciplineRule,
@@ -121,7 +122,7 @@ class TestEngine:
 
     def test_registry_has_the_ast_local_rules(self):
         rules = default_rules()
-        assert [r.code for r in rules] == [f"RL00{i}" for i in range(1, 8)] + ["RL012"]
+        assert [r.code for r in rules] == [f"RL00{i}" for i in range(1, 8)] + ["RL012", "RL013"]
         assert all(r.name and r.description for r in rules)
         assert set(REGISTRY) == {r.code for r in rules}
 
@@ -295,11 +296,49 @@ class TestTimingDisciplineRule:
         assert findings == []
 
 
+class TestAsyncBlockingCallRule:
+    # RL013's gate is the inverse of RL007/RL012: it fires ONLY under
+    # repro/distributed/ (the one package that runs an event loop), so
+    # the bad fixture is linted under a pretend in-package path.
+    IN_PACKAGE = "src/repro/distributed/actors_fixture.py"
+
+    def test_bad_fixture_flags_every_blocking_idiom(self):
+        findings = fixture_findings("rl013_bad.py", AsyncBlockingCallRule(), self.IN_PACKAGE)
+        assert [f.rule for f in findings] == ["RL013"] * 4
+        hits = " | ".join(f.message for f in findings)
+        assert hits.count("time.sleep()") == 2  # module alias + from-import
+        assert "sync queue .get()" in hits
+        assert "blocking socket .recv()" in hits
+        assert "tick_loop" in hits and "drain" in hits  # names the coroutine
+
+    def test_good_fixture_is_clean_in_package(self):
+        assert fixture_findings("rl013_good.py", AsyncBlockingCallRule(), self.IN_PACKAGE) == []
+
+    def test_outside_the_package_is_exempt(self):
+        # The same blocking source is out of scope anywhere else — the
+        # rest of the codebase is synchronous by design.
+        assert fixture_findings("rl013_bad.py", AsyncBlockingCallRule()) == []
+        assert (
+            fixture_findings("rl013_bad.py", AsyncBlockingCallRule(), "src/repro/cli.py") == []
+        )
+
+    def test_awaits_and_nowait_variants_pass(self):
+        source = (
+            "import asyncio\n"
+            "async def ok(q):\n"
+            "    await asyncio.sleep(0)\n"
+            "    return await q.get(), q.get_nowait()\n"
+        )
+        assert lint_file(self.IN_PACKAGE, [AsyncBlockingCallRule()], source=source) == []
+
+
 class TestCli:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007", "RL012"):
+        for code in (
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007", "RL012", "RL013",
+        ):
             assert code in out
 
     def test_findings_exit_nonzero_and_print_locations(self, capsys):

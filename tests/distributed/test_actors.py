@@ -1,0 +1,190 @@
+"""Convergence property suite for the actor tier.
+
+The acceptance property: after quiescence, every shard actor's replica
+and owned rows are **bit-for-bit** the serial :class:`RoutingService`'s
+(``mismatches() == []``), across all four scenarios × all four
+constructions on loopback, and over real TCP/UDS sockets for at least
+one scenario each.  Plus: ``route_actor`` journeys equal ``route_served``
+exactly, HELLO timeouts mark silent peers suspect, and count-capped
+``lsa.drop``/``lsa.delay`` fault plans still converge through the
+anti-entropy resend path (satellite 3).
+"""
+
+import pytest
+
+from repro import faults
+from repro.distributed import ActorSystem, make_transport
+from repro.dynamic import SCENARIO_NAMES, make_scenario
+from repro.errors import NodeNotFound, ParameterError, ProtocolError
+from repro.faults import PLANS
+from repro.graph import sample_pairs
+from repro.graph.generators import random_connected_gnp
+from repro.routing import route_actor, route_served
+from repro.rng import derive_seed
+
+#: Construction → extra kwargs (mirrors the serving suite's spellings).
+METHODS = [
+    ("kcover", {}),
+    ("kmis", {"k": 2}),
+    ("mis", {"r": 3}),
+    ("greedy", {"r": 2}),
+]
+
+N = 26
+NUM_EVENTS = 10
+TICK = 5
+SHARDS = 3
+
+
+def converge(scenario, method, kwargs, *, transport=None, shards=SHARDS, seed=11, **extra):
+    sc = make_scenario(scenario, N, NUM_EVENTS, seed=seed)
+    system = ActorSystem(
+        sc.initial,
+        method,
+        rebuild_fraction=1.0,
+        shards=shards,
+        transport=transport,
+        **kwargs,
+        **extra,
+    )
+    with system:
+        assert system.mismatches() == [], "bootstrap must seed every replica"
+        events = list(sc.events)
+        for lo in range(0, len(events), TICK):
+            system.apply_tick(events[lo : lo + TICK])
+            assert system.mismatches() == [], f"{scenario}/{method} diverged at tick {lo}"
+        assert system.service.graph == sc.final
+        yield_system(system)
+
+
+def yield_system(system):
+    """Hook for tests that want post-convergence assertions."""
+
+
+class TestConvergenceLoopback:
+    @pytest.mark.parametrize("scenario", SCENARIO_NAMES)
+    @pytest.mark.parametrize("method,kwargs", METHODS, ids=[m for m, _ in METHODS])
+    def test_all_scenarios_all_constructions(self, scenario, method, kwargs):
+        converge(scenario, method, kwargs)
+
+    def test_single_shard_and_many_shards(self):
+        for shards in (1, 2, 7):
+            converge("mobility", "kcover", {}, shards=shards)
+
+    def test_rounds_and_messages_are_accounted(self):
+        sc = make_scenario("mobility", N, NUM_EVENTS, seed=3)
+        with ActorSystem(sc.initial, "kcover", rebuild_fraction=1.0, shards=SHARDS) as system:
+            system.apply_tick(list(sc.events))
+            snap = system.stats.snapshot()
+            assert system.stats.rounds > 0
+            assert system.stats.messages > 0 and system.stats.bytes > 0
+            assert snap["counters"]["wire.messages"] == system.stats.messages
+
+
+class TestConvergenceSockets:
+    def test_tcp_converges_on_mobility(self):
+        converge("mobility", "kcover", {}, transport=make_transport("tcp"))
+
+    def test_uds_converges_on_growth(self):
+        converge("growth", "kcover", {}, transport=make_transport("uds"))
+
+
+class TestRouteEquivalence:
+    @pytest.mark.parametrize("scenario", SCENARIO_NAMES)
+    def test_actor_journeys_match_served(self, scenario):
+        sc = make_scenario(scenario, N, NUM_EVENTS, seed=23)
+        with ActorSystem(sc.initial, "kcover", rebuild_fraction=1.0, shards=SHARDS) as system:
+            system.apply_tick(list(sc.events))
+            pairs = sample_pairs(
+                system.service.graph,
+                12,
+                seed=derive_seed(23, "actor-route", scenario),
+                require_nonadjacent=False,
+            )
+            for s, t in pairs:
+                actor_r = route_actor(system, s, t)
+                served_r = route_served(system.service, s, t)
+                assert actor_r.path == served_r.path
+                assert actor_r.delivered == served_r.delivered
+                assert actor_r.potentials == served_r.potentials
+
+    def test_route_validations_mirror_served(self):
+        g = random_connected_gnp(N, 0.15, seed=1)
+        with ActorSystem(g, "kcover", shards=SHARDS) as system:
+            with pytest.raises(ParameterError):
+                system.route(1, 1)
+            with pytest.raises(NodeNotFound):
+                system.route(0, 10_000)
+
+
+class TestLiveness:
+    def test_silent_peer_goes_suspect_after_hello_timeout(self):
+        from repro.distributed.wire import HELLO_TIMEOUT
+
+        g = random_connected_gnp(N, 0.15, seed=5)
+        with ActorSystem(g, "kcover", shards=SHARDS) as system:
+            system.muzzle(1)
+            for _ in range(HELLO_TIMEOUT + system.hello_every + 3):
+                system._run(system._pump_round())
+            assert 1 in system.actors[0].suspects
+            assert 1 in system.actors[2].suspects
+            assert 0 not in system.actors[2].suspects  # healthy peers stay trusted
+
+    def test_muzzled_actor_catches_up_via_anti_entropy(self):
+        sc = make_scenario("mobility", N, NUM_EVENTS, seed=7)
+        events = list(sc.events)
+        with ActorSystem(sc.initial, "kcover", rebuild_fraction=1.0, shards=SHARDS) as system:
+            system.muzzle(1)
+            system.apply_tick(events[:TICK])  # actor 1 misses this flood entirely
+            assert system.actors[1].applied_seq() < system._out_seq
+            system.unmuzzle(1)
+            system.quiesce()  # beacon reveals the gap → ResendRequest → retransmit
+            assert system.actors[1].applied_seq() == system._out_seq
+            assert system.mismatches() == []
+
+
+class TestFaultPlans:
+    """Satellite 3: dropped/delayed LSAs still converge to the serial twin."""
+
+    def setup_method(self):
+        faults.uninstall()
+
+    def teardown_method(self):
+        faults.uninstall()
+
+    def test_lsa_lossy_converges_through_resend(self):
+        faults.install(PLANS["lsa-lossy"])
+        sc = make_scenario("mobility", N, NUM_EVENTS, seed=13)
+        with ActorSystem(sc.initial, "kcover", rebuild_fraction=1.0, shards=SHARDS) as system:
+            system.apply_tick(list(sc.events))
+            assert system.mismatches() == []
+            assert system.stats.dropped >= 1, "the plan must actually fire"
+            assert faults.fired() and faults.fired()["lsa.drop"] == system.stats.dropped
+
+    def test_lsa_slow_converges_through_delay_queue(self):
+        faults.install(PLANS["lsa-slow"])
+        sc = make_scenario("nodechurn", N, NUM_EVENTS, seed=17)
+        with ActorSystem(sc.initial, "kcover", rebuild_fraction=1.0, shards=SHARDS) as system:
+            system.apply_tick(list(sc.events))
+            assert system.mismatches() == []
+            assert system.stats.delayed >= 1, "the plan must actually fire"
+
+
+class TestParameters:
+    def test_bad_shards_and_mode_rejected(self):
+        g = random_connected_gnp(N, 0.15, seed=1)
+        with pytest.raises(ParameterError):
+            ActorSystem(g, "kcover", shards=0)
+        with pytest.raises(ParameterError):
+            ActorSystem(g, "kcover", mode="telepathy")
+
+    def test_full_mode_converges_too(self):
+        # The naive baseline is still a correct protocol, just heavier.
+        converge("failure", "kcover", {}, mode="full")
+
+    def test_quiesce_raises_past_max_rounds(self):
+        g = random_connected_gnp(N, 0.15, seed=1)
+        system = ActorSystem(g, "kcover", shards=SHARDS, max_rounds=0)
+        with pytest.raises(ProtocolError):
+            system.start()
+        system.close()

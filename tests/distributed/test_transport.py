@@ -1,0 +1,177 @@
+"""Transport contract: loopback determinism, fault verdicts, real sockets."""
+
+import asyncio
+
+import pytest
+
+from repro import faults
+from repro.distributed import (
+    HelloBeacon,
+    LoopbackTransport,
+    LsaUpdate,
+    TcpTransport,
+    UdsTransport,
+    make_transport,
+    wire_bytes,
+)
+from repro.errors import ProtocolError
+from repro.faults import FaultPlan, FaultRule
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _open(transport, endpoints=(0, 1)):
+    for e in endpoints:
+        transport.register(e)
+    await transport.start()
+    return transport
+
+
+class TestLoopback:
+    def test_fifo_per_pair_and_exact_accounting(self):
+        async def go():
+            t = await _open(LoopbackTransport())
+            messages = [HelloBeacon(origin=0, seq=s) for s in range(5)]
+            for m in messages:
+                await t.send(0, 1, m)
+            assert await t.recv_all(1) == messages  # FIFO, decoded copies
+            assert await t.recv_all(1) == []  # drained
+            assert t.stats.messages == 5
+            assert t.stats.bytes == sum(wire_bytes(m) for m in messages)
+            assert t.pending() == 0
+            await t.close()
+
+        run(go())
+
+    def test_unregistered_destination_rejected(self):
+        async def go():
+            t = await _open(LoopbackTransport())
+            with pytest.raises(ProtocolError):
+                await t.send(0, 99, HelloBeacon(origin=0))
+
+        run(go())
+
+    def test_duplicate_registration_rejected(self):
+        t = LoopbackTransport()
+        t.register(0)
+        with pytest.raises(ProtocolError):
+            t.register(0)
+
+    def test_tick_advances_rounds(self):
+        async def go():
+            t = await _open(LoopbackTransport())
+            for _ in range(3):
+                await t.tick()
+            assert t.stats.rounds == 3
+
+        run(go())
+
+
+class TestFaultVerdicts:
+    def setup_method(self):
+        faults.uninstall()
+
+    def teardown_method(self):
+        faults.uninstall()
+
+    def test_drop_plan_swallows_lsa_frames(self):
+        faults.install(FaultPlan("t-drop", 3, (FaultRule("lsa.drop", p=1.0, count=2),)))
+
+        async def go():
+            t = await _open(LoopbackTransport())
+            for s in range(1, 5):
+                await t.send(0, 1, LsaUpdate(origin=0, seq=s))
+            got = await t.recv_all(1)
+            # First two frames dropped (count=2), the rest deliver.
+            assert [m.seq for m in got] == [3, 4]
+            assert t.stats.dropped == 2 and t.stats.messages == 2
+            assert t.pending() == 0
+
+        run(go())
+
+    def test_delay_plan_holds_frames_until_tick(self):
+        faults.install(
+            FaultPlan("t-delay", 3, (FaultRule("lsa.delay", p=1.0, count=1, duration=2.0),))
+        )
+
+        async def go():
+            t = await _open(LoopbackTransport())
+            await t.send(0, 1, LsaUpdate(origin=0, seq=1))
+            assert await t.recv_all(1) == []  # held in the delay queue
+            assert t.pending() == 1 and t.stats.delayed == 1
+            await t.tick()
+            assert await t.recv_all(1) == []  # duration=2 rounds
+            await t.tick()
+            got = await t.recv_all(1)
+            assert [m.seq for m in got] == [1]
+            assert t.pending() == 0
+
+        run(go())
+
+    def test_control_traffic_is_exempt(self):
+        # Only LSA kinds ("lsa"/"full") are fault-eligible; beacons pass.
+        faults.install(FaultPlan("t-drop", 3, (FaultRule("lsa.drop", p=1.0, count=8),)))
+
+        async def go():
+            t = await _open(LoopbackTransport())
+            await t.send(0, 1, HelloBeacon(origin=0, seq=1))
+            assert len(await t.recv_all(1)) == 1
+            assert t.stats.dropped == 0
+
+        run(go())
+
+
+class TestStreamTransports:
+    @pytest.mark.parametrize("name", ["tcp", "uds"])
+    def test_round_trip_over_a_real_socket(self, name):
+        async def go():
+            t = await _open(make_transport(name), endpoints=(0, 1, 2))
+            payload = LsaUpdate(origin=0, seq=1, g_added=((0, 1),), num_nodes=2)
+            await t.send(0, 1, payload)
+            await t.send(1, 2, HelloBeacon(origin=1, seq=7))
+            await t.tick()  # settles in-flight frames
+            assert await t.recv_all(1) == [payload]
+            got = await t.recv_all(2)
+            assert got == [HelloBeacon(origin=1, seq=7)]
+            assert t.pending() == 0
+            assert t.stats.messages == 2
+            await t.close()
+
+        run(go())
+
+    def test_uds_socket_file_is_cleaned_up(self):
+        import os
+
+        t = UdsTransport()
+        path = t.path
+
+        async def go():
+            await _open(t)
+            assert os.path.exists(path)
+            await t.close()
+
+        run(go())
+        assert not os.path.exists(path)
+
+    def test_tcp_binds_an_ephemeral_port(self):
+        async def go():
+            t = TcpTransport()
+            assert t.port is None
+            await _open(t)
+            assert t.port and t.port > 0
+            await t.close()
+
+        run(go())
+
+
+class TestFactory:
+    def test_names_map_to_types(self):
+        assert isinstance(make_transport("loop"), LoopbackTransport)
+        assert isinstance(make_transport("tcp"), TcpTransport)
+        assert isinstance(make_transport("uds"), UdsTransport)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ProtocolError):
+            make_transport("carrier-pigeon")

@@ -1,0 +1,132 @@
+"""LSA protocol mechanics: TTL boundary, loop window, LsaDb discipline.
+
+The TTL tests are the satellite-2 regression suite: ``relay()`` at an
+exhausted TTL must answer ``None`` (drop), never emit a ``ttl = -1``
+copy that floods forever.
+"""
+
+import pytest
+
+from repro.distributed import (
+    LOOP_WINDOW,
+    FullTopology,
+    LsaDb,
+    LsaUpdate,
+    NeighborAdvert,
+    TreeAdvert,
+)
+from repro.errors import ProtocolError
+
+
+class TestTtlBoundary:
+    """relay() at ttl<=0 drops — the negative-TTL regression."""
+
+    def test_neighbor_advert_ttl_zero_drops(self):
+        m = NeighborAdvert(origin=0, neighbors=frozenset({1}), ttl=0)
+        assert m.relay() is None
+
+    def test_tree_advert_ttl_zero_drops(self):
+        m = TreeAdvert(origin=0, edges=frozenset({(0, 1)}), ttl=0)
+        assert m.relay() is None
+
+    @pytest.mark.parametrize("cls", [NeighborAdvert, TreeAdvert])
+    def test_relay_chain_never_goes_negative(self, cls):
+        m = cls(origin=0, ttl=3)
+        ttls = []
+        while m is not None:
+            ttls.append(m.ttl)
+            m = m.relay()
+        assert ttls == [3, 2, 1, 0]  # the ttl=0 copy is received, then dropped
+
+    def test_lsa_ttl_zero_drops(self):
+        assert LsaUpdate(origin=9, seq=1, ttl=0).relay(via=0) is None
+        assert FullTopology(origin=9, seq=1, ttl=0).relay(via=0) is None
+
+    def test_lsa_relay_chain_never_goes_negative(self):
+        m = LsaUpdate(origin=9, seq=1, ttl=2)
+        first = m.relay(via=0)
+        assert first is not None and first.ttl == 1
+        second = first.relay(via=1)
+        assert second is not None and second.ttl == 0
+        assert second.relay(via=2) is None  # exhausted: drop, not ttl=-1
+
+
+class TestLoopWindow:
+    def test_relayer_appends_itself(self):
+        m = LsaUpdate(origin=9, seq=1, ttl=5)
+        relayed = m.relay(via=3)
+        assert relayed.seen == (3,)
+        assert relayed.relay(via=7).seen == (3, 7)
+
+    def test_seen_relayer_drops_the_copy(self):
+        # The copy circled the overlay back to a previous relayer.
+        m = LsaUpdate(origin=9, seq=1, ttl=5, seen=(2, 4))
+        assert m.relay(via=4) is None
+        assert m.relay(via=2) is None
+        assert m.relay(via=5) is not None
+
+    def test_window_is_bounded(self):
+        m = FullTopology(origin=9, seq=1, ttl=2 * LOOP_WINDOW + 5)
+        for via in range(LOOP_WINDOW + 4):
+            m = m.relay(via)
+            assert m is not None
+        assert len(m.seen) == LOOP_WINDOW  # header cannot grow with the flood
+        assert m.seen == tuple(range(4, LOOP_WINDOW + 4))  # oldest evicted first
+
+    def test_eviction_reopens_old_relayers(self):
+        # Once evicted from the window, an early relayer is no longer
+        # remembered — the TTL is the backstop, and it still counts down.
+        m = LsaUpdate(origin=9, seq=1, ttl=LOOP_WINDOW + 3)
+        for via in range(LOOP_WINDOW + 1):
+            m = m.relay(via)
+        assert 0 not in m.seen
+        again = m.relay(via=0)
+        assert again is not None and again.ttl == m.ttl - 1
+
+
+class TestLsaDb:
+    def test_in_order_apply(self):
+        db = LsaDb()
+        u1 = LsaUpdate(origin=9, seq=1)
+        u2 = LsaUpdate(origin=9, seq=2)
+        assert db.accept(u1) and db.accept(u2)
+        assert db.take_ready(9) == [u1, u2]
+        assert db.applied_seq(9) == 2
+
+    def test_gap_stalls_until_filled(self):
+        db = LsaDb()
+        u1, u2, u3 = (LsaUpdate(origin=9, seq=s) for s in (1, 2, 3))
+        assert db.accept(u3) and db.accept(u1)
+        assert db.take_ready(9) == [u1]  # seq 3 waits on the seq-2 gap
+        assert db.missing(9) == (2,)
+        assert db.accept(u2)
+        assert db.take_ready(9) == [u2, u3]
+        assert db.missing(9) == ()
+
+    def test_duplicates_and_stale_rejected(self):
+        db = LsaDb()
+        u1 = LsaUpdate(origin=9, seq=1)
+        assert db.accept(u1)
+        assert not db.accept(u1)  # pending duplicate
+        db.take_ready(9)
+        assert not db.accept(u1)  # already applied — the re-flood killer
+        assert db.duplicates == 2
+
+    def test_origins_are_independent(self):
+        db = LsaDb()
+        assert db.accept(LsaUpdate(origin=1, seq=1))
+        assert db.accept(LsaUpdate(origin=2, seq=1))
+        assert len(db.take_ready(1)) == 1
+        assert db.applied_seq(2) == 0  # untouched by origin 1's drain
+
+    def test_purge_ages_out_stalled_pending(self):
+        db = LsaDb()
+        db.accept(LsaUpdate(origin=9, seq=3), now=0)  # stalled behind 1, 2
+        assert db.purge(now=5, max_age=10) == 0
+        assert db.purge(now=20, max_age=10) == 1
+        assert db.aged_out == 1
+        assert db.take_ready(9) == []  # never applied late
+
+    def test_negative_seq_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            LsaDb().accept(LsaUpdate(origin=9, seq=-1))

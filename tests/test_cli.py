@@ -44,6 +44,7 @@ class TestCli:
             "rounds",
             "churn",
             "serve",
+            "distserve",
             "demo",
         ):
             args = parser.parse_args([cmd])
@@ -226,6 +227,52 @@ class TestTrafficCli:
         out = capsys.readouterr().out
         assert rc == 0
         assert "locality" in out and "uniform" not in out
+
+
+class TestDistserveCli:
+    def test_scenario_choices_match_registry(self):
+        # Literal twin: the parser hardcodes the scenario list to keep
+        # `--help` import-free; it must mirror SCENARIO_NAMES (+ "all").
+        from repro.dynamic import SCENARIO_NAMES
+
+        parser = build_parser()
+        assert parser.parse_args(["distserve"]).scenario == "mobility"
+        for name in (*SCENARIO_NAMES, "all"):
+            assert parser.parse_args(["distserve", "--scenario", name]).scenario == name
+        with pytest.raises(SystemExit):
+            parser.parse_args(["distserve", "--scenario", "tectonic"])
+
+    def test_transport_choices_match_factory(self):
+        parser = build_parser()
+        assert parser.parse_args(["distserve"]).transport == "loop"
+        for name in ("loop", "tcp", "uds"):
+            assert parser.parse_args(["distserve", "--transport", name]).transport == name
+        with pytest.raises(SystemExit):
+            parser.parse_args(["distserve", "--transport", "pigeon"])
+
+    def test_loopback_soak_converges_and_routes_match(self, capsys):
+        rc = main(
+            [
+                "distserve", "--n", "36", "--events", "10", "--tick", "5",
+                "--shards", "3", "--queries", "6", "--seed", "7",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0  # 0 iff converged bit-for-bit and all journeys matched
+        row = next(line for line in out.splitlines() if "| mobility" in line)
+        assert "yes" in row and "6/6" in row
+
+    def test_uds_soak_converges(self, capsys):
+        rc = main(
+            [
+                "distserve", "--scenario", "growth", "--transport", "uds",
+                "--n", "30", "--events", "8", "--tick", "4", "--shards", "2",
+                "--queries", "4", "--seed", "9",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "uds transport" in out
 
 
 class TestChaosCli:
